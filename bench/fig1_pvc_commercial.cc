@@ -1,0 +1,54 @@
+// Reproduces Figure 1: TPC-H Q5 workload (x10) on the commercial DBMS —
+// absolute CPU energy vs response time for the typical setting and the
+// 5/10/15 % underclocks with medium voltage downgrade (points A, B, C).
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main(int argc, char** argv) {
+  double sf = bench::ScaleFactorArg(argc, argv, 0.02);
+  bench::Header("Figure 1: TPC-H Query 5 on a Commercial DBMS",
+                "Lang & Patel, CIDR 2009, Figure 1 (SF 1.0; here scaled)");
+  std::printf("scale factor: %.3f (paper: 1.0; times scale ~linearly)\n\n",
+              sf);
+
+  auto db = bench::MakeDb(EngineProfile::Commercial(), sf);
+  auto workload = tpch::MakeQ5Workload(*db->catalog()).value();
+
+  PvcController pvc(db.get());
+  auto curve =
+      pvc.MeasureCurve(workload, PvcController::MediumGrid(), RunOptions{});
+  if (!curve.ok()) {
+    std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+    return 1;
+  }
+
+  const RunMeasurement& stock = curve.value().stock.measurement;
+  double sf1 = 1.0 / sf;  // scale to SF-1.0 equivalents for comparison
+
+  TablePrinter table({"setting", "resp. time (s)", "SF1-equiv (s)",
+                      "CPU energy (J)", "SF1-equiv (J)", "time vs stock",
+                      "energy vs stock"});
+  table.AddRow({"typical (stock)", bench::F(stock.seconds),
+                bench::F(stock.seconds * sf1, 1), bench::F(stock.cpu_j, 1),
+                bench::F(stock.cpu_j * sf1, 0), "-", "-"});
+  const char* labels[] = {"A: uc=5% medium", "B: uc=10% medium",
+                          "C: uc=15% medium"};
+  int i = 0;
+  for (const OperatingPoint& p : curve.value().points) {
+    table.AddRow({labels[i++], bench::F(p.measurement.seconds),
+                  bench::F(p.measurement.seconds * sf1, 1),
+                  bench::F(p.measurement.cpu_j, 1),
+                  bench::F(p.measurement.cpu_j * sf1, 0),
+                  bench::Pct(p.ratio.time_ratio),
+                  bench::Pct(p.ratio.energy_ratio)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper: stock ~48.5 s / ~1229 J; setting A: -49%% CPU energy for "
+      "+3%% time;\nB and C consume MORE energy and take longer than A "
+      "(worse EDP beyond 5%%).\n");
+  return 0;
+}

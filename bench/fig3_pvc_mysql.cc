@@ -1,0 +1,44 @@
+// Reproduces Figure 3: TPC-H Q5 on MySQL (MEMORY engine, paper SF 0.125)
+// — energy/time ratio plane for small and medium downgrades.
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main(int argc, char** argv) {
+  double sf = bench::ScaleFactorArg(argc, argv, 0.02);
+  bench::Header("Figure 3: TPC-H Query 5 on MySQL (memory engine)",
+                "Lang & Patel, CIDR 2009, Figure 3 (paper SF 0.125)");
+  std::printf("scale factor: %.3f\n\n", sf);
+
+  auto db = bench::MakeDb(EngineProfile::MySqlMemory(), sf);
+  auto workload = tpch::MakeQ5Workload(*db->catalog()).value();
+
+  PvcController pvc(db.get());
+  auto curve =
+      pvc.MeasureCurve(workload, PvcController::PaperGrid(), RunOptions{});
+  if (!curve.ok()) {
+    std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+    return 1;
+  }
+
+  const double paper_edp[6] = {-7, -0.4, +9, -16, -8, 0};
+
+  TablePrinter table({"setting", "energy ratio", "time ratio", "EDP delta",
+                      "paper EDP delta"});
+  int i = 0;
+  for (const OperatingPoint& p : curve.value().points) {
+    table.AddRow({p.settings.ToString(), bench::F(p.ratio.energy_ratio),
+                  bench::F(p.ratio.time_ratio),
+                  StrFormat("%+.1f%%", (p.ratio.edp_ratio - 1) * 100),
+                  StrFormat("%+.1f%%", paper_edp[i++])});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper shape: savings are milder than the commercial DBMS (the "
+      "pegged, sustained\nload sees a smaller effective voltage drop); EDP "
+      "rises with deeper underclock,\ncrossing break-even around 15%% for "
+      "the small downgrade.\n");
+  return 0;
+}

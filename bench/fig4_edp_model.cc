@@ -1,0 +1,50 @@
+// Reproduces Figure 4: observed EDP vs the theoretical EDP = V^2/F model
+// for the MySQL workload, (a) small and (b) medium voltage settings.
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main(int argc, char** argv) {
+  double sf = bench::ScaleFactorArg(argc, argv, 0.02);
+  bench::Header("Figure 4: Observed EDP vs Theoretical EDP = V^2/F",
+                "Lang & Patel, CIDR 2009, Figure 4 / Section 3.4");
+  std::printf("scale factor: %.3f\n\n", sf);
+
+  auto db = bench::MakeDb(EngineProfile::MySqlMemory(), sf);
+  auto workload = tpch::MakeQ5Workload(*db->catalog()).value();
+
+  PvcController pvc(db.get());
+  auto curve =
+      pvc.MeasureCurve(workload, PvcController::PaperGrid(), RunOptions{});
+  if (!curve.ok()) {
+    std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+    return 1;
+  }
+
+  for (VoltageDowngrade d :
+       {VoltageDowngrade::kSmall, VoltageDowngrade::kMedium}) {
+    std::printf("(%s) %s voltage settings\n",
+                d == VoltageDowngrade::kSmall ? "a" : "b", ToString(d));
+    TablePrinter table({"underclock", "observed EDP ratio",
+                        "theoretical V^2/F ratio", "deviation"});
+    for (const OperatingPoint& p : curve.value().points) {
+      if (p.settings.downgrade != d) continue;
+      table.AddRow(
+          {StrFormat("%.0f%%", p.settings.underclock * 100),
+           bench::F(p.ratio.edp_ratio, 4),
+           bench::F(p.theoretical_edp_ratio, 4),
+           StrFormat("%+.1f%%",
+                     (p.ratio.edp_ratio / p.theoretical_edp_ratio - 1) *
+                         100)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper: \"the observed EDP closely matches the theoretical model\" — "
+      "the execution\ntime penalty beyond 5%% underclock overwhelms the "
+      "CPU power gains.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 5: hard-disk throughput (a) and energy per KB (b) for
+// sequential vs random access at 4/8/16/32 KB read sizes — 1.6 GB read
+// from a 4 GB file, as in the paper.
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main() {
+  bench::Header("Figure 5: Hard Disk Energy for Access Patterns",
+                "Lang & Patel, CIDR 2009, Figure 5 / Section 3.5");
+
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 1600ull << 20;  // 1.6 GB of a 4 GB file
+
+  std::printf("(a) data throughput  /  (b) energy per KB\n");
+  TablePrinter table({"read size", "seq MB/s", "rand MB/s", "rand vs 4K",
+                      "seq J/KB", "rand J/KB"});
+  double rand_base = 0;
+  for (uint64_t block : {4096u, 8192u, 16384u, 32768u}) {
+    uint64_t n = total / block;
+    DiskOpCost seq = disk.ReadCost(total, n, false);
+    DiskOpCost rnd = disk.ReadCost(total, n, true);
+    double seq_tput = total / seq.total_s / (1 << 20);
+    double rnd_tput = total / rnd.total_s / (1 << 20);
+    if (block == 4096) rand_base = rnd_tput;
+    // Energy per KB includes the drive's idle/spindle power over the
+    // transfer duration (what the paper's rail measurements integrate).
+    double seq_jkb = (seq.TotalEnergyJ() + seq.total_s * disk.IdlePowerW()) /
+                     (total / 1024.0);
+    double rnd_jkb = (rnd.TotalEnergyJ() + rnd.total_s * disk.IdlePowerW()) /
+                     (total / 1024.0);
+    table.AddRow({StrFormat("%lluKB", static_cast<unsigned long long>(block / 1024)),
+                  bench::F(seq_tput, 1), bench::F(rnd_tput, 3),
+                  StrFormat("%.2fx", rnd_tput / rand_base),
+                  StrFormat("%.2e", seq_jkb), StrFormat("%.2e", rnd_jkb)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper shape: sequential throughput and J/KB flat; random "
+      "throughput improves\n~1.88x/3.5x/6x at 8/16/32 KB (ours reproduces "
+      "those ratios), with J/KB falling\naccordingly. Sequential is more "
+      "energy-efficient 'primarily because it is faster'.\n");
+  return 0;
+}

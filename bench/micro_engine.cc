@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks for engine internals (host wall-clock
+// performance of the simulator itself, not simulated time).
+
+#include <benchmark/benchmark.h>
+
+#include "ecodb/ecodb.h"
+
+namespace ecodb {
+namespace {
+
+std::unique_ptr<Database> g_db;
+
+Database* Db() {
+  if (!g_db) {
+    DatabaseOptions opt;
+    opt.profile = EngineProfile::MySqlMemory();
+    g_db = std::make_unique<Database>(opt);
+    tpch::DbGenOptions gen;
+    gen.scale_factor = 0.01;
+    Status st = g_db->LoadTpch(gen);
+    if (!st.ok()) std::abort();
+  }
+  return g_db.get();
+}
+
+void BM_SeqScanLineitem(benchmark::State& state) {
+  Database* db = Db();
+  auto plan = MakeScan(*db->catalog(), "lineitem").value();
+  for (auto _ : state) {
+    auto ctx = db->MakeExecContext();
+    auto rows = ExecutePlan(*plan, ctx.get());
+    benchmark::DoNotOptimize(rows.value().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(db->catalog()->FindTable("lineitem")->num_rows()));
+}
+BENCHMARK(BM_SeqScanLineitem);
+
+void BM_SelectionQuery(benchmark::State& state) {
+  Database* db = Db();
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24).value();
+  for (auto _ : state) {
+    auto r = db->ExecutePlanQuery(*plan);
+    benchmark::DoNotOptimize(r.value().rows.size());
+  }
+}
+BENCHMARK(BM_SelectionQuery);
+
+void BM_Q5Join(benchmark::State& state) {
+  Database* db = Db();
+  auto plan = tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{}).value();
+  for (auto _ : state) {
+    auto r = db->ExecutePlanQuery(*plan);
+    benchmark::DoNotOptimize(r.value().rows.size());
+  }
+}
+BENCHMARK(BM_Q5Join);
+
+void BM_SqlParsePlan(benchmark::State& state) {
+  Database* db = Db();
+  std::string sql = tpch::Q5Sql(tpch::Q5Params{});
+  for (auto _ : state) {
+    auto plan = db->PlanSql(sql);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_SqlParsePlan);
+
+void BM_CostModelEstimate(benchmark::State& state) {
+  Database* db = Db();
+  CostModel model(db->catalog(), &db->profile(), db->options().machine);
+  auto plan = tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{}).value();
+  for (auto _ : state) {
+    auto cost = model.Estimate(*plan, SystemSettings::Stock());
+    benchmark::DoNotOptimize(cost.value().est_seconds);
+  }
+}
+BENCHMARK(BM_CostModelEstimate);
+
+void BM_MachineExecuteCpu(benchmark::State& state) {
+  Machine machine(MachineConfig::PaperTestbed());
+  for (auto _ : state) {
+    machine.ExecuteCpu(1e6, 100);
+    benchmark::DoNotOptimize(machine.NowSeconds());
+  }
+}
+BENCHMARK(BM_MachineExecuteCpu);
+
+void BM_MergeSelections(benchmark::State& state) {
+  Database* db = Db();
+  auto wl = tpch::MakeSelectionWorkload(*db->catalog(), 50, 7).value();
+  std::vector<const PlanNode*> members;
+  for (const auto& q : wl.queries) members.push_back(q.get());
+  for (auto _ : state) {
+    auto merged = MergeSelections(members);
+    benchmark::DoNotOptimize(merged.ok());
+  }
+}
+BENCHMARK(BM_MergeSelections);
+
+}  // namespace
+}  // namespace ecodb
+
+BENCHMARK_MAIN();

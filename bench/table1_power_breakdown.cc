@@ -1,0 +1,50 @@
+// Reproduces Table 1: system wall-power breakdown as components are added
+// (PSU+MOBO soft-off, powered on, +CPU(+fan), +1G RAM, +2G RAM, +GPU).
+
+#include "bench_util.h"
+
+using namespace ecodb;
+
+int main() {
+  bench::Header("Table 1: System Power Breakdown",
+                "Lang & Patel, CIDR 2009, Table 1");
+
+  struct Stage {
+    const char* label;
+    bool sys_on;
+    bool has_cpu;
+    int dimms;
+    bool has_gpu;
+    double paper_w;
+  };
+  const Stage stages[] = {
+      {"PSU+MOBO, system off", false, false, 0, false, 9.2},
+      {"PSU+MOBO, system on", true, false, 0, false, 20.1},
+      {"+ CPU (incl. fan)", true, true, 0, false, 49.7},
+      {"+ 1G RAM", true, true, 1, false, 54.0},
+      {"+ 2G RAM", true, true, 2, false, 55.7},
+      {"+ GPU", true, true, 2, true, 69.3},
+  };
+
+  TablePrinter table({"configuration", "measured W", "paper W", "error"});
+  for (const Stage& s : stages) {
+    MachineConfig cfg = MachineConfig::PaperTestbed();
+    cfg.has_disk = false;   // paper's breakdown excludes disk and OS
+    cfg.os_running = false; // (Section 3.2)
+    cfg.has_cpu = s.has_cpu;
+    cfg.num_dimms = s.dimms;
+    cfg.has_gpu = s.has_gpu;
+    Machine machine(cfg);
+    double w = s.sys_on ? machine.IdleWallPowerW()
+                        : machine.StandbyWallPowerW();
+    table.AddRow({s.label, bench::F(w, 1), bench::F(s.paper_w, 1),
+                  StrFormat("%+.1f%%", (w / s.paper_w - 1.0) * 100.0)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nNotes: wall watts through the PSU efficiency curve (~83%% at 20%% "
+      "load, Section 3.2);\nthe DDR3 pair draws ~6 W DC as the paper "
+      "reports; GPU is idle (no server workload uses it).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// PVC tuning: sweep operating points for a workload, print the trade-off
+// curve and let an SLA policy choose the point — the paper's Figure 1
+// decision process as a library workflow.
+//
+//   ./build/examples/pvc_tuning
+
+#include <cstdio>
+
+#include "ecodb/ecodb.h"
+#include "ecodb/util/strings.h"
+
+using namespace ecodb;
+
+int main() {
+  DatabaseOptions options;
+  options.profile = EngineProfile::Commercial();
+  Database db(options);
+  tpch::DbGenOptions gen;
+  gen.scale_factor = 0.01;
+  if (!db.LoadTpch(gen).ok()) return 1;
+
+  auto workload = tpch::MakeQ5Workload(*db.catalog());
+  if (!workload.ok()) return 1;
+
+  PvcController pvc(&db);
+  auto curve = pvc.MeasureCurve(workload.value(), PvcController::PaperGrid(),
+                                RunOptions{});
+  if (!curve.ok()) {
+    std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"setting", "time ratio", "energy ratio", "EDP ratio"});
+  table.AddRow({"stock", "1.000", "1.000", "1.000"});
+  for (const OperatingPoint& p : curve.value().points) {
+    table.AddRow({p.settings.ToString(),
+                  StrFormat("%.3f", p.ratio.time_ratio),
+                  StrFormat("%.3f", p.ratio.energy_ratio),
+                  StrFormat("%.3f", p.ratio.edp_ratio)});
+  }
+  table.Print();
+
+  // The administrator's protocol: accept up to 8 % slowdown, minimize
+  // energy; at peak load, minimize time.
+  for (auto [label, policy] : {
+           std::pair<const char*, SlaPolicy>{
+               "off-peak (<= +8% time, min energy)",
+               {SlaPolicy::Objective::kMinEnergy, 1.08, 1e18}},
+           std::pair<const char*, SlaPolicy>{
+               "peak (fastest)",
+               {SlaPolicy::Objective::kMinTime, 1e18, 1e18}},
+       }) {
+    auto chosen = SelectOperatingPoint(curve.value(), policy);
+    if (chosen.ok()) {
+      std::printf("%-38s -> %s (energy x%.2f, time x%.2f)\n", label,
+                  chosen.value().settings.ToString().c_str(),
+                  chosen.value().ratio.energy_ratio,
+                  chosen.value().ratio.time_ratio);
+    }
+  }
+
+  // The SLA frontier: what energy each time budget buys (the paper's
+  // "work backward to create viable parameters for an SLA").
+  std::printf("\nSLA frontier (time budget -> energy):\n");
+  for (const RatioPoint& p : EnergyTimeFrontier(curve.value())) {
+    std::printf("  accept %+5.1f%% time  ->  %+6.1f%% energy\n",
+                (p.time_ratio - 1) * 100, (p.energy_ratio - 1) * 100);
+  }
+  return 0;
+}

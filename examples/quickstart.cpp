@@ -1,0 +1,62 @@
+// Quickstart: load TPC-H, run a SQL query, read its time AND energy.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ecodb/ecodb.h"
+
+using namespace ecodb;
+
+int main() {
+  // 1. Create a database. The profile chooses the engine behaviour
+  //    (commercial disk-backed vs MySQL memory engine) and the machine
+  //    model is the paper's instrumented testbed.
+  DatabaseOptions options;
+  options.profile = EngineProfile::MySqlMemory();
+  Database db(options);
+
+  // 2. Load TPC-H data.
+  tpch::DbGenOptions gen;
+  gen.scale_factor = 0.01;
+  if (Status st = db.LoadTpch(gen); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded TPC-H SF %.2f: %llu lineitem rows\n", gen.scale_factor,
+              static_cast<unsigned long long>(
+                  db.catalog()->FindTable("lineitem")->num_rows()));
+
+  // 3. Run a query; every result carries simulated response time and the
+  //    energy the machine spent on it (CPU / disk / wall).
+  std::string sql = tpch::Q5Sql(tpch::Q5Params{});
+  std::printf("\nSQL> %s\n\n", sql.c_str());
+  auto result = db.ExecuteSql(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const Row& row : result.value().rows) {
+    std::printf("  %s\n", RowToString(row).c_str());
+  }
+  std::printf(
+      "\nresponse time: %.4f s | CPU energy: %.3f J | wall energy: %.3f J\n",
+      result.value().seconds, result.value().cpu_joules,
+      result.value().wall_joules);
+
+  // 4. Trade energy for performance: apply the paper's "setting A"
+  //    (5 % underclock + medium voltage downgrade) and rerun.
+  SystemSettings eco{0.05, VoltageDowngrade::kMedium};
+  if (Status st = db.ApplySettings(eco); !st.ok()) {
+    std::fprintf(stderr, "settings rejected: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto eco_result = db.ExecuteSql(sql);
+  std::printf(
+      "under %s: time %+.1f%%, CPU energy %+.1f%% (the PVC trade)\n",
+      eco.ToString().c_str(),
+      (eco_result.value().seconds / result.value().seconds - 1) * 100,
+      (eco_result.value().cpu_joules / result.value().cpu_joules - 1) * 100);
+  return 0;
+}

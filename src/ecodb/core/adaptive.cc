@@ -1,0 +1,50 @@
+#include "ecodb/core/adaptive.h"
+
+namespace ecodb {
+
+Result<AdaptiveReport> AdaptiveController::Run(
+    const tpch::Workload& workload) {
+  Machine* machine = db_->machine();
+  SystemSettings previous = db_->settings();
+
+  machine->ResetMeters();
+  double t0 = machine->NowSeconds();
+
+  AdaptiveReport report;
+  SystemSettings current = options_.eco;
+  ECODB_RETURN_NOT_OK(db_->ApplySettings(current));
+
+  size_t n = workload.queries.size();
+  for (size_t i = 0; i < n; ++i) {
+    ECODB_ASSIGN_OR_RETURN(QueryResult r,
+                           db_->ExecutePlanQuery(*workload.queries[i]));
+    (void)r;
+    double elapsed = machine->NowSeconds() - t0;
+    report.per_query_settings.push_back(current);
+    report.query_completion_s.push_back(elapsed);
+
+    if (i + 1 < n) {
+      // Project completion assuming remaining queries run like the
+      // average so far (under the current settings).
+      double avg = elapsed / static_cast<double>(i + 1);
+      double projected = elapsed + avg * static_cast<double>(n - i - 1);
+      SystemSettings want =
+          (projected * options_.headroom > options_.deadline_s)
+              ? options_.fast
+              : options_.eco;
+      if (!(want == current)) {
+        ECODB_RETURN_NOT_OK(db_->ApplySettings(want));
+        current = want;
+        ++report.switches;
+      }
+    }
+  }
+
+  report.total_s = machine->NowSeconds() - t0;
+  report.cpu_j = machine->ledger().cpu_j;
+  report.met_deadline = report.total_s <= options_.deadline_s;
+  ECODB_RETURN_NOT_OK(db_->ApplySettings(previous));
+  return report;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,54 @@
+// Mid-flight adaptation (the paper's future-work idea: "dynamically adapt
+// our query plan midflight to meet our response time and energy goals").
+//
+// The controller runs a workload query by query under an eco operating
+// point, monitors projected completion against a deadline, and escalates
+// to a fast operating point when it is falling behind (and can drop back
+// when ahead).
+
+#ifndef ECODB_CORE_ADAPTIVE_H_
+#define ECODB_CORE_ADAPTIVE_H_
+
+#include <vector>
+
+#include "ecodb/core/database.h"
+#include "ecodb/tpch/workloads.h"
+
+namespace ecodb {
+
+struct AdaptiveOptions {
+  /// Workload must finish within this many simulated seconds.
+  double deadline_s = 0;
+  /// The energy-saving point to prefer.
+  SystemSettings eco{0.05, VoltageDowngrade::kMedium};
+  /// The fallback when behind schedule (stock by default).
+  SystemSettings fast{};
+  /// Projected finish must stay under deadline/headroom to stay eco.
+  double headroom = 1.05;
+};
+
+struct AdaptiveReport {
+  double total_s = 0;
+  double cpu_j = 0;
+  bool met_deadline = false;
+  int switches = 0;  ///< number of operating-point changes
+  std::vector<SystemSettings> per_query_settings;
+  std::vector<double> query_completion_s;
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController(Database* db, const AdaptiveOptions& options)
+      : db_(db), options_(options) {}
+
+  /// Runs the workload with between-query adaptation.
+  Result<AdaptiveReport> Run(const tpch::Workload& workload);
+
+ private:
+  Database* db_;
+  AdaptiveOptions options_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_ADAPTIVE_H_

@@ -1,0 +1,73 @@
+#include "ecodb/core/database.h"
+
+#include "ecodb/sql/planner.h"
+
+namespace ecodb {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  machine_ = std::make_unique<Machine>(options_.machine);
+  machine_->SetLoadClass(options_.profile.load_class);
+  buffer_pool_ = std::make_unique<BufferPool>(
+      machine_.get(), options_.profile.buffer_pool_pages);
+}
+
+Status Database::LoadTpch(const tpch::DbGenOptions& options) {
+  return tpch::Generate(options, &catalog_);
+}
+
+Status Database::ApplySettings(const SystemSettings& settings) {
+  return machine_->ApplySettings(settings);
+}
+
+std::unique_ptr<ExecContext> Database::MakeExecContext() {
+  return std::make_unique<ExecContext>(machine_.get(), &options_.profile,
+                                       &catalog_, buffer_pool_.get());
+}
+
+Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
+  auto ctx = MakeExecContext();
+  EnergyLedger before = machine_->ledger();
+  double t0 = machine_->NowSeconds();
+
+  ECODB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan, ctx.get()));
+  ctx->Flush();
+
+  const EnergyLedger& after = machine_->ledger();
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.schema = plan.output_schema;
+  result.seconds = machine_->NowSeconds() - t0;
+  result.cpu_joules = after.cpu_j - before.cpu_j;
+  result.disk_joules = after.DiskJ() - before.DiskJ();
+  result.wall_joules = after.wall_j - before.wall_j;
+  result.exec_stats = ctx->stats();
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanSql(sql));
+  return ExecutePlanQuery(*plan);
+}
+
+Result<PlanNodePtr> Database::PlanSql(const std::string& sql) {
+  return sql::PlanQuery(sql, catalog_);
+}
+
+void Database::ColdRestart() {
+  if (options_.profile.disk_backed) buffer_pool_->EvictAll();
+}
+
+Status Database::WarmUp() {
+  if (!options_.profile.disk_backed) return Status::OK();
+  for (const std::string& name : catalog_.TableNames()) {
+    const TableEntry* entry = catalog_.FindEntry(name);
+    ECODB_RETURN_NOT_OK(buffer_pool_->FetchRange(
+        entry->file.file_id(), 0, entry->file.num_pages(),
+        AccessHint::kSequential));
+  }
+  // Warm-up I/O time/energy is not part of any measurement; callers reset
+  // meters afterwards (ExperimentRunner does).
+  return Status::OK();
+}
+
+}  // namespace ecodb

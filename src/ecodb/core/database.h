@@ -1,0 +1,84 @@
+// Database: the public facade of ecoDB. Owns the simulated machine, the
+// catalog, the buffer pool and the engine profile; executes plans and SQL
+// with per-query time/energy measurement.
+
+#ifndef ECODB_CORE_DATABASE_H_
+#define ECODB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecodb/core/engine_profile.h"
+#include "ecodb/exec/plan.h"
+#include "ecodb/sim/machine.h"
+#include "ecodb/storage/buffer_pool.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/tpch/dbgen.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb {
+
+struct DatabaseOptions {
+  EngineProfile profile = EngineProfile::Commercial();
+  MachineConfig machine = MachineConfig::PaperTestbed();
+};
+
+/// Result of one query, with the energy/time the machine spent on it.
+struct QueryResult {
+  std::vector<Row> rows;
+  Schema schema;
+  double seconds = 0;      ///< simulated response time
+  double cpu_joules = 0;   ///< CPU package energy (what Figure 1 plots)
+  double disk_joules = 0;
+  double wall_joules = 0;
+  QueryExecStats exec_stats;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options);
+
+  /// Generates TPC-H data into the catalog.
+  Status LoadTpch(const tpch::DbGenOptions& options);
+
+  /// Applies a PVC operating point (validated for stability).
+  Status ApplySettings(const SystemSettings& settings);
+  const SystemSettings& settings() const { return machine_->settings(); }
+
+  /// Executes a physical plan, measuring the query's time and energy.
+  Result<QueryResult> ExecutePlanQuery(const PlanNode& plan);
+
+  /// Parses, binds, plans and executes a SQL statement.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Builds a physical plan for a SQL statement without executing it.
+  Result<PlanNodePtr> PlanSql(const std::string& sql);
+
+  /// Drops all buffered pages (the paper's "immediately following a
+  /// system reboot" cold state). No-op for memory-resident profiles.
+  void ColdRestart();
+
+  /// Pre-faults all tables through the buffer pool without measurement
+  /// (warm state). No-op for memory-resident profiles.
+  Status WarmUp();
+
+  Machine* machine() { return machine_.get(); }
+  Catalog* catalog() { return &catalog_; }
+  BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  const EngineProfile& profile() const { return options_.profile; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Fresh ExecContext bound to this database's machine/profile/pool.
+  std::unique_ptr<ExecContext> MakeExecContext();
+
+ private:
+  DatabaseOptions options_;
+  std::unique_ptr<Machine> machine_;
+  Catalog catalog_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_DATABASE_H_

@@ -1,0 +1,88 @@
+#include "ecodb/core/experiment.h"
+
+#include "ecodb/util/stats.h"
+
+namespace ecodb {
+
+Result<RunMeasurement> ExperimentRunner::RunOnce(
+    const tpch::Workload& workload, const RunOptions& options) {
+  Machine* machine = db_->machine();
+  if (options.cold) {
+    db_->ColdRestart();
+  } else {
+    ECODB_RETURN_NOT_OK(db_->WarmUp());
+  }
+  machine->ResetMeters();
+  double t0 = machine->NowSeconds();
+
+  RunMeasurement m;
+  for (const PlanNodePtr& plan : workload.queries) {
+    ECODB_ASSIGN_OR_RETURN(QueryResult r, db_->ExecutePlanQuery(*plan));
+    m.query_completion_s.push_back(machine->NowSeconds() - t0);
+    m.rows_returned += r.rows.size();
+  }
+
+  const EnergyLedger& ledger = machine->ledger();
+  m.seconds = machine->NowSeconds() - t0;
+  m.cpu_j = options.gui_sensor_method
+                ? machine->epu().GuiJoules(m.seconds)
+                : ledger.cpu_j;
+  m.disk_j = ledger.DiskJ();
+  m.mem_j = ledger.mem_j;
+  m.wall_j = ledger.wall_j;
+  m.dc_j = ledger.dc_j;
+  m.edp = m.cpu_j * m.seconds;
+  return m;
+}
+
+Result<RunMeasurement> ExperimentRunner::RunWorkload(
+    const tpch::Workload& workload, const SystemSettings& settings,
+    const RunOptions& options) {
+  SystemSettings previous = db_->settings();
+  ECODB_RETURN_NOT_OK(db_->ApplySettings(settings));
+
+  int repeats = std::max(1, options.repeats);
+  std::vector<RunMeasurement> runs;
+  runs.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    auto r = RunOnce(workload, options);
+    if (!r.ok()) {
+      (void)db_->ApplySettings(previous);
+      return r.status();
+    }
+    runs.push_back(std::move(r).value());
+  }
+  ECODB_RETURN_NOT_OK(db_->ApplySettings(previous));
+
+  if (runs.size() == 1) return runs[0];
+
+  // Paper protocol: sort each metric, drop `trim` from both ends, average.
+  size_t trim = static_cast<size_t>(std::max(0, options.trim));
+  auto collect = [&](auto getter) {
+    std::vector<double> xs;
+    xs.reserve(runs.size());
+    for (const RunMeasurement& r : runs) xs.push_back(getter(r));
+    return TrimmedMean(xs, trim);
+  };
+  RunMeasurement out;
+  out.seconds = collect([](const RunMeasurement& r) { return r.seconds; });
+  out.cpu_j = collect([](const RunMeasurement& r) { return r.cpu_j; });
+  out.disk_j = collect([](const RunMeasurement& r) { return r.disk_j; });
+  out.mem_j = collect([](const RunMeasurement& r) { return r.mem_j; });
+  out.wall_j = collect([](const RunMeasurement& r) { return r.wall_j; });
+  out.dc_j = collect([](const RunMeasurement& r) { return r.dc_j; });
+  out.edp = out.cpu_j * out.seconds;
+  out.query_completion_s = runs.back().query_completion_s;
+  out.rows_returned = runs.back().rows_returned;
+  return out;
+}
+
+RatioPoint RatioVs(const RunMeasurement& m, const RunMeasurement& stock) {
+  RatioPoint p;
+  if (stock.seconds > 0) p.time_ratio = m.seconds / stock.seconds;
+  if (stock.cpu_j > 0) p.energy_ratio = m.cpu_j / stock.cpu_j;
+  if (stock.edp > 0) p.edp_ratio = m.edp / stock.edp;
+  return p;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,71 @@
+// ExperimentRunner: executes workloads under PVC operating points with the
+// paper's measurement protocol (Section 3.1): per-workload measurement of
+// CPU joules (EPU GUI method: mean 1 Hz samples x duration), five repeated
+// runs with the top and bottom readings discarded.
+
+#ifndef ECODB_CORE_EXPERIMENT_H_
+#define ECODB_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "ecodb/core/database.h"
+#include "ecodb/tpch/workloads.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb {
+
+struct RunOptions {
+  /// Independent repetitions; the reported numbers are trimmed means.
+  int repeats = 1;
+  /// Readings discarded from each end (paper: 5 repeats, trim 1).
+  int trim = 0;
+  /// Start from a cold buffer pool (paper Section 3.5 cold runs).
+  bool cold = false;
+  /// Estimate CPU joules by the paper's GUI-sampling method instead of
+  /// exact integration.
+  bool gui_sensor_method = false;
+};
+
+/// Aggregated measurement of one workload run.
+struct RunMeasurement {
+  double seconds = 0;      ///< workload response time
+  double cpu_j = 0;        ///< CPU package joules
+  double disk_j = 0;
+  double mem_j = 0;
+  double wall_j = 0;
+  double dc_j = 0;
+  double edp = 0;          ///< cpu_j * seconds (paper Section 3.4)
+  /// Completion time of each query, measured from workload start.
+  std::vector<double> query_completion_s;
+  /// Total rows returned (sanity checking across operating points).
+  uint64_t rows_returned = 0;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(Database* db) : db_(db) {}
+
+  /// Runs the workload under `settings`, returning trimmed-mean
+  /// measurements. Restores the previous machine settings afterwards.
+  Result<RunMeasurement> RunWorkload(const tpch::Workload& workload,
+                                     const SystemSettings& settings,
+                                     const RunOptions& options);
+
+ private:
+  Result<RunMeasurement> RunOnce(const tpch::Workload& workload,
+                                 const RunOptions& options);
+
+  Database* db_;
+};
+
+/// Ratio helpers for the paper's relative plots (value / stock value).
+struct RatioPoint {
+  double time_ratio = 1.0;
+  double energy_ratio = 1.0;
+  double edp_ratio = 1.0;
+};
+RatioPoint RatioVs(const RunMeasurement& m, const RunMeasurement& stock);
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_EXPERIMENT_H_

@@ -1,0 +1,59 @@
+#include "ecodb/core/policy.h"
+
+#include <algorithm>
+
+namespace ecodb {
+
+Result<OperatingPoint> SelectOperatingPoint(const TradeoffCurve& curve,
+                                            const SlaPolicy& policy) {
+  std::vector<const OperatingPoint*> candidates;
+  candidates.push_back(&curve.stock);
+  for (const OperatingPoint& p : curve.points) candidates.push_back(&p);
+
+  const OperatingPoint* best = nullptr;
+  for (const OperatingPoint* p : candidates) {
+    if (p->ratio.time_ratio > policy.max_time_ratio) continue;
+    if (p->measurement.seconds > policy.max_seconds) continue;
+    if (best == nullptr) {
+      best = p;
+      continue;
+    }
+    switch (policy.objective) {
+      case SlaPolicy::Objective::kMinEnergy:
+        if (p->measurement.cpu_j < best->measurement.cpu_j) best = p;
+        break;
+      case SlaPolicy::Objective::kMinEdp:
+        if (p->measurement.edp < best->measurement.edp) best = p;
+        break;
+      case SlaPolicy::Objective::kMinTime:
+        if (p->measurement.seconds < best->measurement.seconds) best = p;
+        break;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no operating point satisfies the SLA bounds");
+  }
+  return *best;
+}
+
+std::vector<RatioPoint> EnergyTimeFrontier(const TradeoffCurve& curve) {
+  std::vector<RatioPoint> all;
+  all.push_back(curve.stock.ratio);
+  for (const OperatingPoint& p : curve.points) all.push_back(p.ratio);
+  std::sort(all.begin(), all.end(), [](const RatioPoint& a,
+                                       const RatioPoint& b) {
+    if (a.time_ratio != b.time_ratio) return a.time_ratio < b.time_ratio;
+    return a.energy_ratio < b.energy_ratio;
+  });
+  std::vector<RatioPoint> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const RatioPoint& p : all) {
+    if (p.energy_ratio < best_energy) {
+      frontier.push_back(p);
+      best_energy = p.energy_ratio;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace ecodb

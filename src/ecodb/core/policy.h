@@ -1,0 +1,49 @@
+// Operating-point selection policies.
+//
+// The paper: "The DBMS must be able to make automatic transitions given
+// protocols provided by administrators ... Factors such as SLAs may
+// restrict the choices." A policy turns a measured (or predicted)
+// trade-off curve into a concrete operating point, and can be inverted to
+// derive viable SLA parameters from a curve (the paper's "work backward"
+// remark).
+
+#ifndef ECODB_CORE_POLICY_H_
+#define ECODB_CORE_POLICY_H_
+
+#include <limits>
+#include <vector>
+
+#include "ecodb/core/pvc.h"
+
+namespace ecodb {
+
+struct SlaPolicy {
+  enum class Objective {
+    kMinEnergy,  ///< least CPU joules subject to the time bound
+    kMinEdp,     ///< least energy-delay product subject to the time bound
+    kMinTime,    ///< fastest (peak-load mode: "no choice but to aim for
+                 ///< the fastest query response time")
+  };
+  Objective objective = Objective::kMinEnergy;
+
+  /// Response-time budget as a ratio of stock (1.10 == "at most 10 %
+  /// slower"). Infinity = unconstrained.
+  double max_time_ratio = std::numeric_limits<double>::infinity();
+
+  /// Absolute response-time budget in seconds. Infinity = unconstrained.
+  double max_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Picks the best operating point (stock included as a candidate).
+/// Returns kNotFound if no point satisfies the SLA bounds.
+Result<OperatingPoint> SelectOperatingPoint(const TradeoffCurve& curve,
+                                            const SlaPolicy& policy);
+
+/// The Pareto frontier of (time_ratio, energy_ratio) points — each entry
+/// is a viable SLA parameterization: "if you can afford time ratio T, you
+/// can have energy ratio E". Sorted by time ratio ascending.
+std::vector<RatioPoint> EnergyTimeFrontier(const TradeoffCurve& curve);
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_POLICY_H_

@@ -1,0 +1,94 @@
+#include "ecodb/core/pvc.h"
+
+namespace ecodb {
+
+std::vector<SystemSettings> PvcController::PaperGrid() {
+  std::vector<SystemSettings> grid;
+  for (VoltageDowngrade d :
+       {VoltageDowngrade::kSmall, VoltageDowngrade::kMedium}) {
+    for (double uc : {0.05, 0.10, 0.15}) {
+      grid.push_back(SystemSettings{uc, d});
+    }
+  }
+  return grid;
+}
+
+std::vector<SystemSettings> PvcController::MediumGrid() {
+  std::vector<SystemSettings> grid;
+  for (double uc : {0.05, 0.10, 0.15}) {
+    grid.push_back(SystemSettings{uc, VoltageDowngrade::kMedium});
+  }
+  return grid;
+}
+
+double PvcController::TheoreticalEdp(const SystemSettings& s) const {
+  // V^2/F at the top p-state for this profile's load class (Section 3.4).
+  CpuModel cpu(db_->options().machine.cpu);
+  Status st = cpu.ApplySettings(s);
+  if (!st.ok()) return 0.0;
+  return cpu.TheoreticalEdpFactor(db_->profile().load_class);
+}
+
+Result<TradeoffCurve> PvcController::MeasureCurve(
+    const tpch::Workload& workload, const std::vector<SystemSettings>& grid,
+    const RunOptions& options) {
+  ExperimentRunner runner(db_);
+  TradeoffCurve curve;
+
+  curve.stock.settings = SystemSettings::Stock();
+  ECODB_ASSIGN_OR_RETURN(
+      curve.stock.measurement,
+      runner.RunWorkload(workload, curve.stock.settings, options));
+  curve.stock.ratio = RatioPoint{};
+  double stock_theory = TheoreticalEdp(curve.stock.settings);
+
+  for (const SystemSettings& s : grid) {
+    OperatingPoint p;
+    p.settings = s;
+    ECODB_ASSIGN_OR_RETURN(p.measurement,
+                           runner.RunWorkload(workload, s, options));
+    p.ratio = RatioVs(p.measurement, curve.stock.measurement);
+    double theory = TheoreticalEdp(s);
+    p.theoretical_edp_ratio =
+        stock_theory > 0 ? theory / stock_theory : 1.0;
+    curve.points.push_back(std::move(p));
+  }
+  return curve;
+}
+
+Result<TradeoffCurve> PvcController::PredictCurve(
+    const tpch::Workload& workload, const std::vector<SystemSettings>& grid) {
+  CostModel model(db_->catalog(), &db_->profile(), db_->options().machine);
+
+  auto predict = [&](const SystemSettings& s) -> Result<RunMeasurement> {
+    RunMeasurement m;
+    for (const PlanNodePtr& q : workload.queries) {
+      ECODB_ASSIGN_OR_RETURN(PlanCost c, model.Estimate(*q, s));
+      m.seconds += c.est_seconds;
+      m.cpu_j += c.est_cpu_joules;
+      m.query_completion_s.push_back(m.seconds);
+    }
+    m.edp = m.cpu_j * m.seconds;
+    return m;
+  };
+
+  TradeoffCurve curve;
+  curve.stock.settings = SystemSettings::Stock();
+  ECODB_ASSIGN_OR_RETURN(curve.stock.measurement,
+                         predict(curve.stock.settings));
+  double stock_theory = TheoreticalEdp(curve.stock.settings);
+
+  for (const SystemSettings& s : grid) {
+    OperatingPoint p;
+    p.settings = s;
+    ECODB_ASSIGN_OR_RETURN(p.measurement, predict(s));
+    p.ratio = RatioVs(p.measurement, curve.stock.measurement);
+    double theory = TheoreticalEdp(s);
+    p.theoretical_edp_ratio =
+        stock_theory > 0 ? theory / stock_theory : 1.0;
+    curve.points.push_back(std::move(p));
+  }
+  return curve;
+}
+
+}  // namespace ecodb

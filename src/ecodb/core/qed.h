@@ -1,0 +1,136 @@
+// QED — Improved Query Energy-efficiency by Introducing Explicit Delays
+// (paper Section 4).
+//
+// Structurally identical selection queries are delayed into a queue; when
+// the queue reaches a threshold the whole batch is merged (predicate
+// disjunction, via the multi-query optimizer) into one query, run once,
+// and the result split back per query in application logic (whose cost is
+// charged). Energy per query drops; average response time rises.
+//
+// Measurement rules follow the paper exactly:
+//  * sequential baseline: time/energy start when the first query is sent;
+//    query i's response time is its completion offset from batch start;
+//  * QED: queue build-up time is NOT counted (the DBMS sleeps; a master
+//    holds the queue); time/energy start when the merged batch is sent.
+
+#ifndef ECODB_CORE_QED_H_
+#define ECODB_CORE_QED_H_
+
+#include <vector>
+
+#include "ecodb/core/database.h"
+#include "ecodb/optimizer/mqo.h"
+#include "ecodb/tpch/workloads.h"
+
+namespace ecodb {
+
+struct QedOptions {
+  /// Queue threshold: flush when this many queries are pending.
+  int batch_size = 35;
+  /// Evaluate the merged disjunction as a hashed IN (ablation) instead of
+  /// the paper-faithful short-circuit OR chain.
+  bool hashed_in_list = false;
+};
+
+/// Side-by-side measurement of one batch, sequential vs QED.
+struct QedBatchReport {
+  int batch_size = 0;
+
+  // Sequential baseline.
+  double seq_total_s = 0;
+  double seq_avg_response_s = 0;
+  double seq_cpu_j = 0;
+  std::vector<double> seq_response_s;  ///< per query, from batch start
+
+  // QED (merged).
+  double qed_total_s = 0;      ///< merged query + split
+  double qed_avg_response_s = 0;  ///< == qed_total_s for every query
+  double qed_cpu_j = 0;
+
+  // Ratios (QED / sequential); energy is per-query (== total ratio).
+  double energy_ratio = 1.0;
+  double response_ratio = 1.0;
+  double edp_ratio = 1.0;  ///< (E/query * avg response) ratio
+
+  /// Response-time degradation of the first and last queries in the batch
+  /// (the paper notes degradation is most severe for the first query).
+  double first_query_degradation = 1.0;
+  double last_query_degradation = 1.0;
+
+  /// Whether the split per-query results exactly matched the sequential
+  /// per-query results (correctness check, always verified).
+  bool results_match = false;
+};
+
+class QedScheduler {
+ public:
+  QedScheduler(Database* db, const QedOptions& options)
+      : db_(db), options_(options) {}
+
+  // --- Batch-comparison API (Figure 6 harness) ---
+
+  /// Runs the first `options.batch_size` queries of the selection workload
+  /// sequentially and merged, returning the full report.
+  Result<QedBatchReport> RunComparison(const tpch::Workload& workload);
+
+  // --- Queue API (admission-control style, for applications) ---
+
+  /// Enqueues a selection query (plan must be Project(Filter(Scan))).
+  Status Submit(PlanNodePtr plan);
+  /// True when the queue reached the batch threshold.
+  bool ShouldFlush() const {
+    return static_cast<int>(queue_.size()) >= options_.batch_size;
+  }
+  int pending() const { return static_cast<int>(queue_.size()); }
+
+  struct FlushResult {
+    std::vector<std::vector<Row>> per_query_rows;
+    double total_s = 0;
+    double cpu_j = 0;
+  };
+  /// Merges and runs the queued batch, returning per-query results in
+  /// submission order. Clears the queue.
+  Result<FlushResult> Flush();
+
+ private:
+  Database* db_;
+  QedOptions options_;
+  std::vector<PlanNodePtr> queue_;
+};
+
+/// The paper's "simple analytical model" for QED response times: with a
+/// single-query time t_q, a merged-query time T_m(N) = base + slope * N,
+/// and zero think time,
+///   sequential avg response  = t_q * (N+1)/2
+///   QED response (any query) = T_m(N)
+/// The model exposes the per-query degradation the paper describes (worst
+/// for the first query, falling with position) and predicts where QED's
+/// EDP beats sequential.
+struct QedAnalyticalModel {
+  double single_query_s = 0;  ///< t_q
+  double merged_base_s = 0;   ///< scan cost independent of batch size
+  double merged_slope_s = 0;  ///< added cost per disjunct (incl. split)
+
+  double MergedTime(int n) const {
+    return merged_base_s + merged_slope_s * n;
+  }
+  double SeqAvgResponse(int n) const {
+    return single_query_s * (n + 1) / 2.0;
+  }
+  double ResponseRatio(int n) const {
+    return MergedTime(n) / SeqAvgResponse(n);
+  }
+  /// Degradation of the i-th query (1-based) in an N-batch: QED response
+  /// over that query's sequential response i*t_q.
+  double QueryDegradation(int i, int n) const {
+    return MergedTime(n) / (single_query_s * i);
+  }
+
+  /// Fits (merged_base_s, merged_slope_s) from two measured batch points.
+  static QedAnalyticalModel Fit(double single_query_s, int n1, double t1,
+                                int n2, double t2);
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_QED_H_

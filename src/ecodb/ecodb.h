@@ -1,0 +1,30 @@
+// ecoDB — umbrella public header.
+//
+// Reproduction of Lang & Patel, "Towards Eco-friendly Database Management
+// Systems" (CIDR 2009): a DBMS that treats energy as a first-class
+// performance metric, with the paper's two energy/performance trade-off
+// mechanisms (PVC and QED) on top of a calibrated full-machine energy
+// simulator and a relational query engine.
+
+#ifndef ECODB_ECODB_H_
+#define ECODB_ECODB_H_
+
+#include "ecodb/core/adaptive.h"
+#include "ecodb/core/database.h"
+#include "ecodb/core/engine_profile.h"
+#include "ecodb/core/experiment.h"
+#include "ecodb/core/policy.h"
+#include "ecodb/core/pvc.h"
+#include "ecodb/core/qed.h"
+#include "ecodb/optimizer/cost_model.h"
+#include "ecodb/optimizer/mqo.h"
+#include "ecodb/sim/machine.h"
+#include "ecodb/sql/planner.h"
+#include "ecodb/tpch/dbgen.h"
+#include "ecodb/tpch/queries.h"
+#include "ecodb/tpch/workloads.h"
+#include "ecodb/util/strings.h"
+#include "ecodb/util/table_printer.h"
+#include "ecodb/util/units.h"
+
+#endif  // ECODB_ECODB_H_

@@ -1,0 +1,128 @@
+#include "ecodb/exec/exec_context.h"
+
+namespace ecodb {
+
+ExecContext::ExecContext(Machine* machine, const EngineProfile* profile,
+                         Catalog* catalog, BufferPool* buffer_pool)
+    : machine_(machine),
+      profile_(profile),
+      catalog_(catalog),
+      buffer_pool_(buffer_pool) {
+  double uc = machine_->settings().underclock;
+  cycle_inflation_ = 1.0 + profile_->underclock_cpi_penalty * uc * uc * uc;
+  machine_->SetLoadClass(profile_->load_class);
+}
+
+void ExecContext::ChargeScanTuple(int bytes) {
+  ++stats_.tuples_scanned;
+  pending_cycles_ +=
+      profile_->scan_tuple_cycles + profile_->scan_byte_cycles * bytes;
+  pending_lines_ +=
+      (static_cast<double>(bytes) / 64.0) * profile_->scan_line_factor;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeHashBuild(int key_bytes) {
+  ++stats_.hash_builds;
+  pending_cycles_ += profile_->hash_build_cycles +
+                     profile_->scan_byte_cycles * key_bytes;
+  pending_lines_ += profile_->hash_op_lines;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeHashProbe(int key_bytes) {
+  ++stats_.hash_probes;
+  pending_cycles_ += profile_->hash_probe_cycles +
+                     profile_->scan_byte_cycles * key_bytes;
+  pending_lines_ += profile_->hash_op_lines;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeAggUpdate(int n_aggregates) {
+  ++stats_.agg_updates;
+  pending_cycles_ += profile_->agg_update_cycles * n_aggregates;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeSortCompares(uint64_t n) {
+  stats_.sort_compares += n;
+  pending_cycles_ += profile_->sort_compare_cycles * static_cast<double>(n);
+  MaybeFlush();
+}
+
+void ExecContext::ChargeOutputTuple(int bytes) {
+  ++stats_.tuples_output;
+  pending_cycles_ +=
+      profile_->output_tuple_cycles + profile_->output_byte_cycles * bytes;
+  pending_lines_ += profile_->output_tuple_lines;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeEvalOps() {
+  stats_.comparisons += eval_.comparisons;
+  stats_.arith_ops += eval_.arith_ops;
+  pending_cycles_ +=
+      profile_->compare_cycles * static_cast<double>(eval_.comparisons) +
+      profile_->arith_cycles * static_cast<double>(eval_.arith_ops);
+  eval_ = EvalCounters();
+  MaybeFlush();
+}
+
+void ExecContext::ChargeCycles(double cycles, double mem_lines) {
+  pending_cycles_ += cycles;
+  pending_lines_ += mem_lines;
+  MaybeFlush();
+}
+
+Status ExecContext::ChargeSpill(uint64_t bytes) {
+  if (!profile_->disk_backed || profile_->spill_fraction <= 0.0 || bytes == 0) {
+    return Status::OK();
+  }
+  uint64_t spilled =
+      static_cast<uint64_t>(static_cast<double>(bytes) * profile_->spill_fraction);
+  if (spilled == 0) return Status::OK();
+  stats_.spill_bytes += spilled;
+  Flush();
+  // Write partitions out, read them back: 2x the spilled volume, streamed.
+  uint64_t requests = spilled / kPageSizeBytes + 1;
+  ECODB_RETURN_NOT_OK(machine_->DiskRead(spilled, requests, false));
+  ECODB_RETURN_NOT_OK(machine_->DiskRead(spilled, requests, false));
+  return Status::OK();
+}
+
+Status ExecContext::FetchScanPages(uint32_t file_id, uint64_t first_page,
+                                   uint64_t count,
+                                   uint64_t scan_page_ordinal) {
+  if (!profile_->disk_backed || buffer_pool_ == nullptr) return Status::OK();
+  Flush();  // keep machine time ordered: CPU work before the I/O wait
+  int period = profile_->cold_random_page_period;
+  if (period > 0 && count == 1 &&
+      scan_page_ordinal % static_cast<uint64_t>(period) ==
+          static_cast<uint64_t>(period - 1)) {
+    return buffer_pool_->FetchPage(PageId{file_id, first_page},
+                                   AccessHint::kRandom);
+  }
+  return buffer_pool_->FetchRange(file_id, first_page, count,
+                                  AccessHint::kSequential);
+}
+
+void ExecContext::MaybeFlush() {
+  if (pending_cycles_ >= kFlushCycleThreshold) Flush();
+}
+
+void ExecContext::Flush() {
+  if (pending_cycles_ <= 0 && pending_lines_ <= 0) return;
+  double cycles = pending_cycles_ * cycle_inflation_;
+  stats_.cycles_charged += cycles;
+  stats_.mem_lines_charged += pending_lines_;
+  machine_->ExecuteCpu(cycles, pending_lines_);
+  pending_cycles_ = 0;
+  pending_lines_ = 0;
+}
+
+void ExecContext::ResetStats() {
+  stats_ = QueryExecStats();
+  eval_ = EvalCounters();
+}
+
+}  // namespace ecodb

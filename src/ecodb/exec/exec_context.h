@@ -1,0 +1,106 @@
+// ExecContext: the bridge between logical operator work and the simulated
+// machine. Operators report logical operations (tuples scanned, predicates
+// evaluated, hash probes, ...); the context converts them to CPU cycles
+// and DRAM traffic using the EngineProfile and charges the Machine in
+// batches.
+
+#ifndef ECODB_EXEC_EXEC_CONTEXT_H_
+#define ECODB_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "ecodb/core/engine_profile.h"
+#include "ecodb/sim/machine.h"
+#include "ecodb/storage/buffer_pool.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+/// Logical-operation counters accumulated during expression evaluation.
+/// Comparisons are counted lazily (short-circuit AND/OR), which is what
+/// gives QED's merged disjunctions their paper-shaped cost curve.
+struct EvalCounters {
+  uint64_t comparisons = 0;
+  uint64_t arith_ops = 0;
+};
+
+/// Aggregate execution statistics for one query/batch (diagnostics).
+struct QueryExecStats {
+  uint64_t tuples_scanned = 0;
+  uint64_t tuples_output = 0;
+  uint64_t comparisons = 0;
+  uint64_t arith_ops = 0;
+  uint64_t hash_builds = 0;
+  uint64_t hash_probes = 0;
+  uint64_t agg_updates = 0;
+  uint64_t sort_compares = 0;
+  double cycles_charged = 0;
+  double mem_lines_charged = 0;
+  uint64_t spill_bytes = 0;
+};
+
+class ExecContext {
+ public:
+  ExecContext(Machine* machine, const EngineProfile* profile,
+              Catalog* catalog, BufferPool* buffer_pool);
+
+  Machine* machine() { return machine_; }
+  const EngineProfile& profile() const { return *profile_; }
+  Catalog* catalog() { return catalog_; }
+  BufferPool* buffer_pool() { return buffer_pool_; }
+
+  /// Expression evaluation counters (flushed into cycles by operators).
+  EvalCounters* eval_counters() { return &eval_; }
+
+  // --- Logical work reporting (called by operators) ---
+
+  void ChargeScanTuple(int bytes);
+  void ChargeHashBuild(int key_bytes);
+  void ChargeHashProbe(int key_bytes);
+  void ChargeAggUpdate(int n_aggregates);
+  void ChargeSortCompares(uint64_t n);
+  void ChargeOutputTuple(int bytes);
+  /// Drains eval_counters into cycles.
+  void ChargeEvalOps();
+  /// Raw cycle charge (split costs, custom work).
+  void ChargeCycles(double cycles, double mem_lines = 0.0);
+
+  /// Spill `bytes` to temp storage and read them back (grace-hash model).
+  /// No-op for memory-resident profiles.
+  Status ChargeSpill(uint64_t bytes);
+
+  /// Page fetch for a scan; charges real simulated I/O only for
+  /// disk-backed profiles. `scan_page_seq` counts pages fetched by this
+  /// scan so far, to drive the cold_random_page_period mixing.
+  Status FetchScanPages(uint32_t file_id, uint64_t first_page, uint64_t count,
+                        uint64_t scan_page_ordinal);
+
+  /// Flushes pending cycles/lines to the machine. Called automatically
+  /// every kFlushInterval charges and at operator Close.
+  void Flush();
+
+  const QueryExecStats& stats() const { return stats_; }
+  void ResetStats();
+
+ private:
+  void MaybeFlush();
+
+  static constexpr double kFlushCycleThreshold = 2.0e6;
+
+  Machine* machine_;
+  const EngineProfile* profile_;
+  Catalog* catalog_;
+  BufferPool* buffer_pool_;
+
+  EvalCounters eval_;
+  QueryExecStats stats_;
+
+  double pending_cycles_ = 0;
+  double pending_lines_ = 0;
+  double cycle_inflation_ = 1.0;  ///< 1 + k*uc^2, cached per settings
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,342 @@
+#include "ecodb/exec/expr.h"
+
+#include <cassert>
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+const char* ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ToString(LogicalOp op) {
+  return op == LogicalOp::kAnd ? "AND" : "OR";
+}
+
+const char* ToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+// --- ColumnExpr ---
+
+ColumnExpr::ColumnExpr(int index, ValueType type, std::string name)
+    : index_(index), type_(type), name_(std::move(name)) {}
+
+Value ColumnExpr::Eval(const Row& row, EvalCounters*) const {
+  assert(static_cast<size_t>(index_) < row.size());
+  return row[static_cast<size_t>(index_)];
+}
+
+void ColumnExpr::CollectColumns(std::vector<int>* out) const {
+  out->push_back(index_);
+}
+
+// --- LiteralExpr ---
+
+std::string LiteralExpr::ToString() const {
+  if (value_.type() == ValueType::kString) {
+    return "'" + value_.ToString() + "'";
+  }
+  return value_.ToString();
+}
+
+// --- CompareExpr ---
+
+CompareExpr::CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
+    : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+Value CompareExpr::Eval(const Row& row, EvalCounters* c) const {
+  Value l = left_->Eval(row, c);
+  Value r = right_->Eval(row, c);
+  if (c != nullptr) ++c->comparisons;
+  if (l.is_null() || r.is_null()) return Value::Bool(false);
+  int cmp = l.Compare(r);
+  switch (op_) {
+    case CompareOp::kEq:
+      return Value::Bool(cmp == 0);
+    case CompareOp::kNe:
+      return Value::Bool(cmp != 0);
+    case CompareOp::kLt:
+      return Value::Bool(cmp < 0);
+    case CompareOp::kLe:
+      return Value::Bool(cmp <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(cmp > 0);
+    case CompareOp::kGe:
+      return Value::Bool(cmp >= 0);
+  }
+  return Value::Bool(false);
+}
+
+std::string CompareExpr::ToString() const {
+  return StrFormat("(%s %s %s)", left_->ToString().c_str(),
+                   ecodb::ToString(op_), right_->ToString().c_str());
+}
+
+void CompareExpr::CollectColumns(std::vector<int>* out) const {
+  left_->CollectColumns(out);
+  right_->CollectColumns(out);
+}
+
+// --- LogicalExpr ---
+
+LogicalExpr::LogicalExpr(LogicalOp op, std::vector<ExprPtr> operands)
+    : op_(op), operands_(std::move(operands)) {
+  assert(!operands_.empty());
+}
+
+Value LogicalExpr::Eval(const Row& row, EvalCounters* c) const {
+  if (op_ == LogicalOp::kAnd) {
+    for (const ExprPtr& e : operands_) {
+      if (!e->Eval(row, c).IsTruthy()) return Value::Bool(false);
+    }
+    return Value::Bool(true);
+  }
+  // OR: short-circuits at the first truthy disjunct, like MySQL's
+  // left-to-right predicate chain — the QED merged query's cost driver.
+  for (const ExprPtr& e : operands_) {
+    if (e->Eval(row, c).IsTruthy()) return Value::Bool(true);
+  }
+  return Value::Bool(false);
+}
+
+std::string LogicalExpr::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < operands_.size(); ++i) {
+    if (i) {
+      out += " ";
+      out += ecodb::ToString(op_);
+      out += " ";
+    }
+    out += operands_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void LogicalExpr::CollectColumns(std::vector<int>* out) const {
+  for (const ExprPtr& e : operands_) e->CollectColumns(out);
+}
+
+// --- NotExpr ---
+
+Value NotExpr::Eval(const Row& row, EvalCounters* c) const {
+  return Value::Bool(!operand_->Eval(row, c).IsTruthy());
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + operand_->ToString();
+}
+
+void NotExpr::CollectColumns(std::vector<int>* out) const {
+  operand_->CollectColumns(out);
+}
+
+// --- ArithExpr ---
+
+namespace {
+
+ValueType ArithResultType(const ExprPtr& l, const ExprPtr& r) {
+  if (l->type() == ValueType::kDouble || r->type() == ValueType::kDouble) {
+    return ValueType::kDouble;
+  }
+  return ValueType::kInt64;
+}
+
+}  // namespace
+
+ArithExpr::ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+    : op_(op),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      type_(ArithResultType(left_, right_)) {}
+
+Value ArithExpr::Eval(const Row& row, EvalCounters* c) const {
+  Value l = left_->Eval(row, c);
+  Value r = right_->Eval(row, c);
+  if (c != nullptr) ++c->arith_ops;
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (type_ == ValueType::kInt64) {
+    int64_t a = l.AsInt();
+    int64_t b = r.AsInt();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Int(a + b);
+      case ArithOp::kSub:
+        return Value::Int(a - b);
+      case ArithOp::kMul:
+        return Value::Int(a * b);
+      case ArithOp::kDiv:
+        return b == 0 ? Value::Null() : Value::Int(a / b);
+    }
+  }
+  double a = l.AsDouble();
+  double b = r.AsDouble();
+  switch (op_) {
+    case ArithOp::kAdd:
+      return Value::Dbl(a + b);
+    case ArithOp::kSub:
+      return Value::Dbl(a - b);
+    case ArithOp::kMul:
+      return Value::Dbl(a * b);
+    case ArithOp::kDiv:
+      return b == 0.0 ? Value::Null() : Value::Dbl(a / b);
+  }
+  return Value::Null();
+}
+
+std::string ArithExpr::ToString() const {
+  return StrFormat("(%s %s %s)", left_->ToString().c_str(),
+                   ecodb::ToString(op_), right_->ToString().c_str());
+}
+
+void ArithExpr::CollectColumns(std::vector<int>* out) const {
+  left_->CollectColumns(out);
+  right_->CollectColumns(out);
+}
+
+// --- BetweenExpr ---
+
+BetweenExpr::BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi)
+    : operand_(std::move(operand)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+Value BetweenExpr::Eval(const Row& row, EvalCounters* c) const {
+  Value v = operand_->Eval(row, c);
+  if (v.is_null()) return Value::Bool(false);
+  Value lo = lo_->Eval(row, c);
+  if (c != nullptr) ++c->comparisons;
+  if (!lo.is_null() && v.Compare(lo) < 0) return Value::Bool(false);
+  Value hi = hi_->Eval(row, c);
+  if (c != nullptr) ++c->comparisons;
+  return Value::Bool(!hi.is_null() && v.Compare(hi) <= 0);
+}
+
+std::string BetweenExpr::ToString() const {
+  return StrFormat("(%s BETWEEN %s AND %s)", operand_->ToString().c_str(),
+                   lo_->ToString().c_str(), hi_->ToString().c_str());
+}
+
+void BetweenExpr::CollectColumns(std::vector<int>* out) const {
+  operand_->CollectColumns(out);
+  lo_->CollectColumns(out);
+  hi_->CollectColumns(out);
+}
+
+// --- InListExpr ---
+
+InListExpr::InListExpr(ExprPtr operand, std::vector<Value> values,
+                       bool hashed)
+    : operand_(std::move(operand)),
+      values_(std::move(values)),
+      hashed_(hashed) {
+  if (hashed_) {
+    set_.reserve(values_.size() * 2);
+    for (const Value& v : values_) set_.insert(v);
+  }
+}
+
+Value InListExpr::Eval(const Row& row, EvalCounters* c) const {
+  Value v = operand_->Eval(row, c);
+  if (v.is_null()) return Value::Bool(false);
+  if (hashed_) {
+    if (c != nullptr) ++c->comparisons;  // one probe
+    return Value::Bool(set_.find(v) != set_.end());
+  }
+  for (const Value& candidate : values_) {
+    if (c != nullptr) ++c->comparisons;
+    if (v.Compare(candidate) == 0) return Value::Bool(true);
+  }
+  return Value::Bool(false);
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = operand_->ToString() + " IN (";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void InListExpr::CollectColumns(std::vector<int>* out) const {
+  operand_->CollectColumns(out);
+}
+
+// --- Construction helpers ---
+
+ExprPtr Col(int index, ValueType type, std::string name) {
+  return std::make_shared<ColumnExpr>(index, type, std::move(name));
+}
+
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr LitDbl(double v) { return Lit(Value::Dbl(v)); }
+ExprPtr LitStr(std::string v) { return Lit(Value::Str(std::move(v))); }
+
+ExprPtr LitDate(std::string_view iso) {
+  int32_t days = ParseDateToDays(iso);
+  assert(days != INT32_MIN && "bad literal date");
+  return Lit(Value::Date(days));
+}
+
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<CompareExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kEq, std::move(l), std::move(r));
+}
+
+ExprPtr And(std::vector<ExprPtr> operands) {
+  if (operands.size() == 1) return operands[0];
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(operands));
+}
+
+ExprPtr Or(std::vector<ExprPtr> operands) {
+  if (operands.size() == 1) return operands[0];
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(operands));
+}
+
+ExprPtr Not(ExprPtr e) { return std::make_shared<NotExpr>(std::move(e)); }
+
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr Between(ExprPtr e, ExprPtr lo, ExprPtr hi) {
+  return std::make_shared<BetweenExpr>(std::move(e), std::move(lo),
+                                       std::move(hi));
+}
+
+ExprPtr InList(ExprPtr e, std::vector<Value> values, bool hashed) {
+  return std::make_shared<InListExpr>(std::move(e), std::move(values),
+                                      hashed);
+}
+
+}  // namespace ecodb

@@ -1,0 +1,225 @@
+// Expression trees, evaluated tuple-at-a-time against bound column
+// indexes. Evaluation counts comparisons/arithmetic *lazily* (AND/OR
+// short-circuit, IN lists stop at the first hit): the cost of a merged
+// QED disjunction therefore grows with the number of disjuncts actually
+// inspected, which is what produces the paper's Figure 6 trade-off shape.
+
+#ifndef ECODB_EXEC_EXPR_H_
+#define ECODB_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ecodb/exec/exec_context.h"
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+enum class ExprKind {
+  kColumn,
+  kLiteral,
+  kCompare,
+  kLogical,
+  kNot,
+  kArith,
+  kBetween,
+  kInList,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* ToString(CompareOp op);
+const char* ToString(LogicalOp op);
+const char* ToString(ArithOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  virtual Value Eval(const Row& row, EvalCounters* c) const = 0;
+  virtual ExprKind kind() const = 0;
+  virtual ValueType type() const = 0;
+  virtual std::string ToString() const = 0;
+
+  /// All column indexes referenced by this subtree, appended to `out`.
+  virtual void CollectColumns(std::vector<int>* out) const = 0;
+};
+
+// --- Node accessors (for the planner / MQO, which inspect trees) ---
+
+class ColumnExpr : public Expr {
+ public:
+  ColumnExpr(int index, ValueType type, std::string name);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kColumn; }
+  ValueType type() const override { return type_; }
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<int>* out) const override;
+
+  int index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  int index_;
+  ValueType type_;
+  std::string name_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  Value Eval(const Row&, EvalCounters*) const override { return value_; }
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  ValueType type() const override { return value_.type(); }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>*) const override {}
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr left, ExprPtr right);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kCompare; }
+  ValueType type() const override { return ValueType::kBool; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_, right_;
+};
+
+/// N-ary AND/OR with short-circuit evaluation in operand order.
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, std::vector<ExprPtr> operands);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kLogical; }
+  ValueType type() const override { return ValueType::kBool; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  LogicalOp op() const { return op_; }
+  const std::vector<ExprPtr>& operands() const { return operands_; }
+
+ private:
+  LogicalOp op_;
+  std::vector<ExprPtr> operands_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kNot; }
+  ValueType type() const override { return ValueType::kBool; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  const ExprPtr& operand() const { return operand_; }
+
+ private:
+  ExprPtr operand_;
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kArith; }
+  ValueType type() const override { return type_; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  ArithOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_, right_;
+  ValueType type_;
+};
+
+/// expr BETWEEN lo AND hi (inclusive).
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kBetween; }
+  ValueType type() const override { return ValueType::kBool; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  const ExprPtr& operand() const { return operand_; }
+  const ExprPtr& lo() const { return lo_; }
+  const ExprPtr& hi() const { return hi_; }
+
+ private:
+  ExprPtr operand_, lo_, hi_;
+};
+
+/// expr IN (v1, v2, ...). Two evaluation strategies:
+///  * linear scan with short-circuit (what MySQL's OR chain does; default —
+///    this is the cost model QED's paper numbers embody), and
+///  * a hash set (one probe regardless of list size; the
+///    ablation_qed_inlist bench contrasts the two).
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr operand, std::vector<Value> values, bool hashed);
+  Value Eval(const Row& row, EvalCounters* c) const override;
+  ExprKind kind() const override { return ExprKind::kInList; }
+  ValueType type() const override { return ValueType::kBool; }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<int>* out) const override;
+
+  const ExprPtr& operand() const { return operand_; }
+  const std::vector<Value>& values() const { return values_; }
+  bool hashed() const { return hashed_; }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  ExprPtr operand_;
+  std::vector<Value> values_;
+  bool hashed_;
+  std::unordered_set<Value, ValueHash> set_;
+};
+
+// --- Construction helpers ---
+
+ExprPtr Col(int index, ValueType type, std::string name);
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDbl(double v);
+ExprPtr LitStr(std::string v);
+ExprPtr LitDate(std::string_view iso);
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(std::vector<ExprPtr> operands);
+ExprPtr Or(std::vector<ExprPtr> operands);
+ExprPtr Not(ExprPtr e);
+ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+ExprPtr Between(ExprPtr e, ExprPtr lo, ExprPtr hi);
+ExprPtr InList(ExprPtr e, std::vector<Value> values, bool hashed = false);
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_EXPR_H_

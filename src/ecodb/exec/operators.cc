@@ -1,0 +1,580 @@
+#include "ecodb/exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+ValueType AggSpec::ResultType() const {
+  switch (kind) {
+    case Kind::kCount:
+      return ValueType::kInt64;
+    case Kind::kSum:
+    case Kind::kAvg:
+      return ValueType::kDouble;
+    case Kind::kMin:
+    case Kind::kMax:
+      return arg ? arg->type() : ValueType::kNull;
+  }
+  return ValueType::kNull;
+}
+
+// --- SeqScanOp ---
+
+SeqScanOp::SeqScanOp(ExecContext* ctx, const std::string& table_name)
+    : ctx_(ctx), table_name_(table_name) {}
+
+Status SeqScanOp::Open() {
+  const TableEntry* entry = ctx_->catalog()->FindEntry(table_name_);
+  if (entry == nullptr) {
+    return Status::NotFound(StrFormat("table %s", table_name_.c_str()));
+  }
+  table_ = entry->table.get();
+  file_ = &entry->file;
+  schema_ = table_->schema();
+  row_width_ = schema_.RowWidth();
+  next_row_ = 0;
+  pages_fetched_ = 0;
+  return Status::OK();
+}
+
+Status SeqScanOp::Next(Row* out, bool* has_row) {
+  if (next_row_ >= table_->num_rows()) {
+    *has_row = false;
+    return Status::OK();
+  }
+  // Page boundary crossing: charge simulated I/O for the page.
+  uint64_t rpp = file_->rows_per_page();
+  if (next_row_ % rpp == 0) {
+    ECODB_RETURN_NOT_OK(ctx_->FetchScanPages(
+        file_->file_id(), next_row_ / rpp, 1, pages_fetched_));
+    ++pages_fetched_;
+  }
+  table_->GetRow(next_row_, out);
+  ++next_row_;
+  ctx_->ChargeScanTuple(row_width_);
+  *has_row = true;
+  return Status::OK();
+}
+
+void SeqScanOp::Close() { ctx_->Flush(); }
+
+// --- FilterOp ---
+
+FilterOp::FilterOp(ExecContext* ctx, OperatorPtr child, ExprPtr predicate)
+    : ctx_(ctx), child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open() {
+  rows_in_ = rows_out_ = 0;
+  return child_->Open();
+}
+
+Status FilterOp::Next(Row* out, bool* has_row) {
+  for (;;) {
+    bool child_has = false;
+    ECODB_RETURN_NOT_OK(child_->Next(out, &child_has));
+    if (!child_has) {
+      *has_row = false;
+      return Status::OK();
+    }
+    ++rows_in_;
+    bool pass = predicate_->Eval(*out, ctx_->eval_counters()).IsTruthy();
+    ctx_->ChargeEvalOps();
+    if (pass) {
+      ++rows_out_;
+      *has_row = true;
+      return Status::OK();
+    }
+  }
+}
+
+void FilterOp::Close() {
+  child_->Close();
+  ctx_->Flush();
+}
+
+// --- ProjectOp ---
+
+ProjectOp::ProjectOp(ExecContext* ctx, OperatorPtr child,
+                     std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names)
+    : ctx_(ctx), child_(std::move(child)), exprs_(std::move(exprs)) {
+  std::vector<Field> fields;
+  fields.reserve(exprs_.size());
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    fields.emplace_back(names[i], exprs_[i]->type());
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Status ProjectOp::Next(Row* out, bool* has_row) {
+  Row input;
+  bool child_has = false;
+  ECODB_RETURN_NOT_OK(child_->Next(&input, &child_has));
+  if (!child_has) {
+    *has_row = false;
+    return Status::OK();
+  }
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    out->push_back(e->Eval(input, ctx_->eval_counters()));
+  }
+  ctx_->ChargeEvalOps();
+  *has_row = true;
+  return Status::OK();
+}
+
+void ProjectOp::Close() {
+  child_->Close();
+  ctx_->Flush();
+}
+
+// --- HashJoinOp ---
+
+HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
+                       std::vector<int> build_keys,
+                       std::vector<int> probe_keys)
+    : ctx_(ctx),
+      build_child_(std::move(build)),
+      probe_child_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)) {
+  assert(build_keys_.size() == probe_keys_.size());
+  schema_ = Schema::Concat(build_child_->schema(), probe_child_->schema());
+}
+
+bool HashJoinOp::KeysEqual(const Row& build_row, const Row& probe_row) {
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    ++ctx_->eval_counters()->comparisons;
+    if (build_row[static_cast<size_t>(build_keys_[i])].Compare(
+            probe_row[static_cast<size_t>(probe_keys_[i])]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status HashJoinOp::Open() {
+  ECODB_RETURN_NOT_OK(build_child_->Open());
+  int build_width = build_child_->schema().RowWidth();
+  Row row;
+  bool has = false;
+  table_.clear();
+  build_bytes_ = 0;
+  probe_rows_ = 0;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(build_child_->Next(&row, &has));
+    if (!has) break;
+    size_t h = HashRowKey(row, build_keys_);
+    ctx_->ChargeHashBuild(build_width);
+    build_bytes_ += static_cast<uint64_t>(build_width);
+    table_.emplace(h, std::move(row));
+    row = Row();
+  }
+  build_child_->Close();
+  // Grace-hash spill of the build side (commercial profile).
+  ECODB_RETURN_NOT_OK(ctx_->ChargeSpill(build_bytes_));
+  ECODB_RETURN_NOT_OK(probe_child_->Open());
+  probe_valid_ = false;
+  return Status::OK();
+}
+
+Status HashJoinOp::Next(Row* out, bool* has_row) {
+  int probe_width = probe_child_->schema().RowWidth();
+  for (;;) {
+    if (probe_valid_) {
+      while (match_it_ != match_end_) {
+        const Row& build_row = match_it_->second;
+        ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
+        if (KeysEqual(build_row, probe_row_)) {
+          out->clear();
+          out->reserve(build_row.size() + probe_row_.size());
+          out->insert(out->end(), build_row.begin(), build_row.end());
+          out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+          ++match_it_;
+          ctx_->ChargeEvalOps();
+          *has_row = true;
+          return Status::OK();
+        }
+        ++match_it_;
+      }
+      probe_valid_ = false;
+      ctx_->ChargeEvalOps();
+    }
+    bool has = false;
+    ECODB_RETURN_NOT_OK(probe_child_->Next(&probe_row_, &has));
+    if (!has) {
+      *has_row = false;
+      return Status::OK();
+    }
+    ++probe_rows_;
+    ctx_->ChargeHashProbe(probe_width);
+    size_t h = HashRowKey(probe_row_, probe_keys_);
+    auto range = table_.equal_range(h);
+    match_it_ = range.first;
+    match_end_ = range.second;
+    probe_valid_ = true;
+  }
+}
+
+void HashJoinOp::Close() {
+  probe_child_->Close();
+  // Probe-side partitions of the grace hash.
+  uint64_t probe_bytes =
+      probe_rows_ * static_cast<uint64_t>(probe_child_->schema().RowWidth());
+  ctx_->ChargeSpill(probe_bytes).ok();  // best-effort at teardown
+  table_.clear();
+  ctx_->Flush();
+}
+
+// --- NestedLoopJoinOp ---
+
+NestedLoopJoinOp::NestedLoopJoinOp(ExecContext* ctx, OperatorPtr outer,
+                                   OperatorPtr inner, ExprPtr predicate)
+    : ctx_(ctx),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      predicate_(std::move(predicate)) {
+  schema_ = Schema::Concat(outer_->schema(), inner_->schema());
+}
+
+Status NestedLoopJoinOp::Open() {
+  ECODB_RETURN_NOT_OK(inner_->Open());
+  inner_rows_.clear();
+  Row row;
+  bool has = false;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(inner_->Next(&row, &has));
+    if (!has) break;
+    inner_rows_.push_back(std::move(row));
+    row = Row();
+  }
+  inner_->Close();
+  ECODB_RETURN_NOT_OK(outer_->Open());
+  outer_valid_ = false;
+  inner_pos_ = 0;
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
+  for (;;) {
+    if (!outer_valid_) {
+      bool has = false;
+      ECODB_RETURN_NOT_OK(outer_->Next(&outer_row_, &has));
+      if (!has) {
+        *has_row = false;
+        return Status::OK();
+      }
+      outer_valid_ = true;
+      inner_pos_ = 0;
+    }
+    while (inner_pos_ < inner_rows_.size()) {
+      const Row& inner_row = inner_rows_[inner_pos_++];
+      out->clear();
+      out->reserve(outer_row_.size() + inner_row.size());
+      out->insert(out->end(), outer_row_.begin(), outer_row_.end());
+      out->insert(out->end(), inner_row.begin(), inner_row.end());
+      bool pass = true;
+      if (predicate_) {
+        pass = predicate_->Eval(*out, ctx_->eval_counters()).IsTruthy();
+        ctx_->ChargeEvalOps();
+      }
+      if (pass) {
+        *has_row = true;
+        return Status::OK();
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  outer_->Close();
+  inner_rows_.clear();
+  ctx_->Flush();
+}
+
+// --- HashAggOp ---
+
+HashAggOp::HashAggOp(ExecContext* ctx, OperatorPtr child,
+                     std::vector<ExprPtr> group_by, std::vector<AggSpec> aggs)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  std::vector<Field> fields;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    fields.emplace_back(StrFormat("group_%zu", i), group_by_[i]->type());
+  }
+  for (const AggSpec& a : aggs_) {
+    fields.emplace_back(a.name, a.ResultType());
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+void HashAggOp::UpdateGroup(Group* g, const Row& row) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    Accumulator& acc = g->accs[i];
+    if (spec.kind == AggSpec::Kind::kCount && !spec.arg) {
+      ++acc.count;
+      continue;
+    }
+    Value v = spec.arg->Eval(row, ctx_->eval_counters());
+    if (v.is_null()) continue;
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kSum:
+      case AggSpec::Kind::kAvg:
+        acc.sum += v.AsDouble();
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kMin:
+        if (acc.count == 0 || v.Compare(acc.min) < 0) acc.min = v;
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kMax:
+        if (acc.count == 0 || v.Compare(acc.max) > 0) acc.max = v;
+        ++acc.count;
+        break;
+    }
+  }
+  ctx_->ChargeAggUpdate(static_cast<int>(aggs_.size()));
+}
+
+Row HashAggOp::GroupToRow(const Group& g) const {
+  Row out = g.key;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    const Accumulator& acc = g.accs[i];
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        out.push_back(Value::Int(static_cast<int64_t>(acc.count)));
+        break;
+      case AggSpec::Kind::kSum:
+        out.push_back(acc.count ? Value::Dbl(acc.sum) : Value::Null());
+        break;
+      case AggSpec::Kind::kAvg:
+        out.push_back(acc.count
+                          ? Value::Dbl(acc.sum / static_cast<double>(acc.count))
+                          : Value::Null());
+        break;
+      case AggSpec::Kind::kMin:
+        out.push_back(acc.count ? acc.min : Value::Null());
+        break;
+      case AggSpec::Kind::kMax:
+        out.push_back(acc.count ? acc.max : Value::Null());
+        break;
+    }
+  }
+  return out;
+}
+
+Status HashAggOp::Open() {
+  ECODB_RETURN_NOT_OK(child_->Open());
+  groups_.clear();
+  results_.clear();
+  result_pos_ = 0;
+
+  Row row;
+  bool has = false;
+  std::vector<int> all_key_cols;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    all_key_cols.push_back(static_cast<int>(i));
+  }
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    if (!has) break;
+    Row key;
+    key.reserve(group_by_.size());
+    for (const ExprPtr& e : group_by_) {
+      key.push_back(e->Eval(row, ctx_->eval_counters()));
+    }
+    ctx_->ChargeEvalOps();
+    size_t h = HashRowKey(key, all_key_cols);
+    ctx_->ChargeHashProbe(static_cast<int>(key.size()) * 8);
+    std::vector<Group>& bucket = groups_[h];
+    Group* target = nullptr;
+    for (Group& g : bucket) {
+      ++ctx_->eval_counters()->comparisons;
+      bool equal = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (g.key[i].Compare(key[i]) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        target = &g;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      bucket.push_back(Group{std::move(key), std::vector<Accumulator>(
+                                                 aggs_.size())});
+      target = &bucket.back();
+      ctx_->ChargeHashBuild(static_cast<int>(group_by_.size()) * 8);
+    }
+    UpdateGroup(target, row);
+  }
+  child_->Close();
+
+  if (groups_.empty() && group_by_.empty()) {
+    // Global aggregate over empty input still yields one row.
+    Group g{Row{}, std::vector<Accumulator>(aggs_.size())};
+    results_.push_back(GroupToRow(g));
+  } else {
+    for (auto& [h, bucket] : groups_) {
+      for (Group& g : bucket) results_.push_back(GroupToRow(g));
+    }
+  }
+  groups_.clear();
+  ctx_->Flush();
+  return Status::OK();
+}
+
+Status HashAggOp::Next(Row* out, bool* has_row) {
+  if (result_pos_ >= results_.size()) {
+    *has_row = false;
+    return Status::OK();
+  }
+  *out = results_[result_pos_++];
+  *has_row = true;
+  return Status::OK();
+}
+
+void HashAggOp::Close() {
+  results_.clear();
+  ctx_->Flush();
+}
+
+// --- SortOp ---
+
+SortOp::SortOp(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys)
+    : ctx_(ctx), child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOp::Open() {
+  ECODB_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  bool has = false;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    if (!has) break;
+    rows_.push_back(std::move(row));
+    row = Row();
+  }
+  child_->Close();
+
+  // Decorate: evaluate sort keys once per row.
+  std::vector<std::pair<Row, size_t>> decorated;
+  decorated.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Row key;
+    key.reserve(keys_.size());
+    for (const SortKey& k : keys_) {
+      key.push_back(k.expr->Eval(rows_[i], ctx_->eval_counters()));
+    }
+    decorated.emplace_back(std::move(key), i);
+  }
+  ctx_->ChargeEvalOps();
+
+  uint64_t compares = 0;
+  std::sort(decorated.begin(), decorated.end(),
+            [&](const auto& a, const auto& b) {
+              ++compares;
+              for (size_t i = 0; i < keys_.size(); ++i) {
+                int c = a.first[i].Compare(b.first[i]);
+                if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+              }
+              return a.second < b.second;  // stable tiebreak
+            });
+  ctx_->ChargeSortCompares(compares);
+
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (auto& [key, idx] : decorated) sorted.push_back(std::move(rows_[idx]));
+  rows_ = std::move(sorted);
+  ctx_->Flush();
+  return Status::OK();
+}
+
+Status SortOp::Next(Row* out, bool* has_row) {
+  if (pos_ >= rows_.size()) {
+    *has_row = false;
+    return Status::OK();
+  }
+  *out = rows_[pos_++];
+  *has_row = true;
+  return Status::OK();
+}
+
+void SortOp::Close() {
+  rows_.clear();
+  ctx_->Flush();
+}
+
+// --- LimitOp ---
+
+LimitOp::LimitOp(ExecContext* ctx, OperatorPtr child, int64_t limit)
+    : ctx_(ctx), child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Status LimitOp::Next(Row* out, bool* has_row) {
+  if (limit_ >= 0 && produced_ >= limit_) {
+    *has_row = false;
+    return Status::OK();
+  }
+  bool has = false;
+  ECODB_RETURN_NOT_OK(child_->Next(out, &has));
+  if (!has) {
+    *has_row = false;
+    return Status::OK();
+  }
+  ++produced_;
+  *has_row = true;
+  return Status::OK();
+}
+
+void LimitOp::Close() {
+  child_->Close();
+  ctx_->Flush();
+}
+
+// --- ExecuteOperator ---
+
+Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx) {
+  ECODB_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  int width = op->schema().RowWidth();
+  Row row;
+  bool has = false;
+  for (;;) {
+    Status st = op->Next(&row, &has);
+    if (!st.ok()) {
+      op->Close();
+      return st;
+    }
+    if (!has) break;
+    ctx->ChargeOutputTuple(width);
+    rows.push_back(std::move(row));
+    row = Row();
+  }
+  op->Close();
+  ctx->Flush();
+  return rows;
+}
+
+}  // namespace ecodb

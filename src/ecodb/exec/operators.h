@@ -1,0 +1,250 @@
+// Volcano-style physical operators.
+//
+// Each operator pulls rows from its children and reports its logical work
+// to the ExecContext, which converts it into simulated CPU cycles, DRAM
+// traffic and disk I/O. Open/Next/Close life cycle; Next sets *has_row =
+// false at end of stream.
+
+#ifndef ECODB_EXEC_OPERATORS_H_
+#define ECODB_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ecodb/exec/exec_context.h"
+#include "ecodb/exec/expr.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/storage/schema.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual Status Next(Row* out, bool* has_row) = 0;
+  virtual void Close() = 0;
+  virtual const Schema& schema() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Aggregate function specification for HashAggOp.
+struct AggSpec {
+  enum class Kind { kSum, kCount, kAvg, kMin, kMax };
+  Kind kind = Kind::kSum;
+  ExprPtr arg;  ///< null for COUNT(*)
+  std::string name;
+
+  ValueType ResultType() const;
+};
+
+/// Sort key: expression over the input row + direction.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Full-table scan. Charges per-tuple CPU cost and (for disk-backed
+/// profiles) page I/O, mixing in a random fetch every
+/// cold_random_page_period pages.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(ExecContext* ctx, const std::string& table_name);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "SeqScan(" + table_name_ + ")"; }
+
+ private:
+  ExecContext* ctx_;
+  std::string table_name_;
+  Schema schema_;
+  const Table* table_ = nullptr;
+  const HeapFile* file_ = nullptr;
+  size_t next_row_ = 0;
+  uint64_t pages_fetched_ = 0;
+  int row_width_ = 0;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(ExecContext* ctx, OperatorPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+  uint64_t rows_in() const { return rows_in_; }
+  uint64_t rows_out() const { return rows_out_; }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, OperatorPtr child, std::vector<ExprPtr> exprs,
+            std::vector<std::string> names);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "Project"; }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// In-memory hash join (equi-join). children: build (left) and probe
+/// (right); output schema = build fields ++ probe fields. For disk-backed
+/// profiles a grace-hash spill of build+probe bytes is charged per the
+/// profile's spill_fraction.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
+             std::vector<int> build_keys, std::vector<int> probe_keys);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashJoin"; }
+
+ private:
+  bool KeysEqual(const Row& build_row, const Row& probe_row);
+
+  ExecContext* ctx_;
+  OperatorPtr build_child_, probe_child_;
+  std::vector<int> build_keys_, probe_keys_;
+  Schema schema_;
+
+  std::unordered_multimap<size_t, Row> table_;
+  Row probe_row_;
+  bool probe_valid_ = false;
+  std::unordered_multimap<size_t, Row>::iterator match_it_, match_end_;
+  uint64_t build_bytes_ = 0;
+  uint64_t probe_rows_ = 0;
+};
+
+/// Nested-loop join with an arbitrary predicate over the concatenated row
+/// (inner side materialized at Open).
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(ExecContext* ctx, OperatorPtr outer, OperatorPtr inner,
+                   ExprPtr predicate /* may be null for cross join */);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "NestedLoopJoin"; }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr outer_, inner_;
+  ExprPtr predicate_;
+  Schema schema_;
+  std::vector<Row> inner_rows_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  size_t inner_pos_ = 0;
+};
+
+/// Hash group-by aggregation. With no group-by expressions produces a
+/// single global-aggregate row (even for empty input, SQL semantics).
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(ExecContext* ctx, OperatorPtr child,
+            std::vector<ExprPtr> group_by, std::vector<AggSpec> aggs);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashAgg"; }
+
+ private:
+  struct Accumulator {
+    double sum = 0.0;
+    uint64_t count = 0;
+    Value min, max;
+  };
+  struct Group {
+    Row key;
+    std::vector<Accumulator> accs;
+  };
+
+  void UpdateGroup(Group* g, const Row& row);
+  Row GroupToRow(const Group& g) const;
+
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::unordered_map<size_t, std::vector<Group>> groups_;
+  std::vector<Row> results_;
+  size_t result_pos_ = 0;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Sort"; }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(ExecContext* ctx, OperatorPtr child, int64_t limit);
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Limit"; }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+/// Drains an operator tree: Open, Next..., Close, charging per-row output
+/// cost, and returns the rows.
+Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx);
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_OPERATORS_H_

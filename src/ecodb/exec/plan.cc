@@ -1,0 +1,235 @@
+#include "ecodb/exec/plan.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+const char* ToString(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad + ToString(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      line += "(" + table_name + ")";
+      break;
+    case PlanKind::kFilter:
+      line += "(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kHashJoin: {
+      line += "(build keys:";
+      for (int k : build_keys) line += StrFormat(" %d", k);
+      line += " probe keys:";
+      for (int k : probe_keys) line += StrFormat(" %d", k);
+      line += ")";
+      break;
+    }
+    case PlanKind::kLimit:
+      line += StrFormat("(%lld)", static_cast<long long>(limit));
+      break;
+    default:
+      break;
+  }
+  if (est_rows >= 0) line += StrFormat("  [est %.0f rows]", est_rows);
+  line += "\n";
+  for (const auto& c : children) line += c->Explain(indent + 1);
+  return line;
+}
+
+Result<PlanNodePtr> MakeScan(const Catalog& catalog,
+                             const std::string& table_name) {
+  const Table* t = catalog.FindTable(table_name);
+  if (t == nullptr) {
+    return Status::NotFound(StrFormat("table %s", table_name.c_str()));
+  }
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kScan;
+  node->table_name = t->name();
+  node->output_schema = t->schema();
+  return node;
+}
+
+PlanNodePtr MakeFilter(PlanNodePtr child, ExprPtr predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->output_schema = child->output_schema;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeProject(PlanNodePtr child, std::vector<ExprPtr> exprs,
+                        std::vector<std::string> names) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kProject;
+  std::vector<Field> fields;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    fields.emplace_back(names[i], exprs[i]->type());
+  }
+  node->output_schema = Schema(std::move(fields));
+  node->exprs = std::move(exprs);
+  node->names = std::move(names);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeHashJoin(PlanNodePtr build, PlanNodePtr probe,
+                         std::vector<int> build_keys,
+                         std::vector<int> probe_keys) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kHashJoin;
+  node->output_schema =
+      Schema::Concat(build->output_schema, probe->output_schema);
+  node->build_keys = std::move(build_keys);
+  node->probe_keys = std::move(probe_keys);
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  return node;
+}
+
+PlanNodePtr MakeNestedLoopJoin(PlanNodePtr outer, PlanNodePtr inner,
+                               ExprPtr predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kNestedLoopJoin;
+  node->output_schema =
+      Schema::Concat(outer->output_schema, inner->output_schema);
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(outer));
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+PlanNodePtr MakeAggregate(PlanNodePtr child, std::vector<ExprPtr> group_by,
+                          std::vector<AggSpec> aggs) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kAggregate;
+  std::vector<Field> fields;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    fields.emplace_back(StrFormat("group_%zu", i), group_by[i]->type());
+  }
+  for (const AggSpec& a : aggs) fields.emplace_back(a.name, a.ResultType());
+  node->output_schema = Schema(std::move(fields));
+  node->group_by = std::move(group_by);
+  node->aggs = aggs;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeSort(PlanNodePtr child, std::vector<SortKey> keys) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->output_schema = child->output_schema;
+  node->sort_keys = std::move(keys);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeLimit(PlanNodePtr child, int64_t limit) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kLimit;
+  node->output_schema = child->output_schema;
+  node->limit = limit;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr ClonePlan(const PlanNode& node) {
+  auto out = std::make_unique<PlanNode>();
+  out->kind = node.kind;
+  out->output_schema = node.output_schema;
+  out->table_name = node.table_name;
+  out->predicate = node.predicate;  // Expr trees are immutable/shared
+  out->exprs = node.exprs;
+  out->names = node.names;
+  out->build_keys = node.build_keys;
+  out->probe_keys = node.probe_keys;
+  out->group_by = node.group_by;
+  out->aggs = node.aggs;
+  out->sort_keys = node.sort_keys;
+  out->limit = node.limit;
+  out->est_rows = node.est_rows;
+  for (const auto& c : node.children) out->children.push_back(ClonePlan(*c));
+  return out;
+}
+
+Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return OperatorPtr(std::make_unique<SeqScanOp>(ctx, node.table_name));
+    case PlanKind::kFilter: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr child,
+                             InstantiatePlan(*node.children[0], ctx));
+      return OperatorPtr(
+          std::make_unique<FilterOp>(ctx, std::move(child), node.predicate));
+    }
+    case PlanKind::kProject: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr child,
+                             InstantiatePlan(*node.children[0], ctx));
+      return OperatorPtr(std::make_unique<ProjectOp>(
+          ctx, std::move(child), node.exprs, node.names));
+    }
+    case PlanKind::kHashJoin: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr build,
+                             InstantiatePlan(*node.children[0], ctx));
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr probe,
+                             InstantiatePlan(*node.children[1], ctx));
+      return OperatorPtr(std::make_unique<HashJoinOp>(
+          ctx, std::move(build), std::move(probe), node.build_keys,
+          node.probe_keys));
+    }
+    case PlanKind::kNestedLoopJoin: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr outer,
+                             InstantiatePlan(*node.children[0], ctx));
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr inner,
+                             InstantiatePlan(*node.children[1], ctx));
+      return OperatorPtr(std::make_unique<NestedLoopJoinOp>(
+          ctx, std::move(outer), std::move(inner), node.predicate));
+    }
+    case PlanKind::kAggregate: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr child,
+                             InstantiatePlan(*node.children[0], ctx));
+      return OperatorPtr(std::make_unique<HashAggOp>(
+          ctx, std::move(child), node.group_by, node.aggs));
+    }
+    case PlanKind::kSort: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr child,
+                             InstantiatePlan(*node.children[0], ctx));
+      return OperatorPtr(
+          std::make_unique<SortOp>(ctx, std::move(child), node.sort_keys));
+    }
+    case PlanKind::kLimit: {
+      ECODB_ASSIGN_OR_RETURN(OperatorPtr child,
+                             InstantiatePlan(*node.children[0], ctx));
+      return OperatorPtr(
+          std::make_unique<LimitOp>(ctx, std::move(child), node.limit));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx) {
+  ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
+  return ExecuteOperator(op.get(), ctx);
+}
+
+}  // namespace ecodb

@@ -1,0 +1,286 @@
+#include "ecodb/optimizer/mqo.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+namespace {
+
+struct SelectionShape {
+  const PlanNode* project;
+  const PlanNode* filter;
+  const PlanNode* scan;
+  const ColumnExpr* column;
+  const LiteralExpr* literal;
+};
+
+Result<SelectionShape> AnalyzeSelection(const PlanNode& plan) {
+  SelectionShape s;
+  if (plan.kind != PlanKind::kProject || plan.children.size() != 1) {
+    return Status::InvalidArgument("plan root is not Project");
+  }
+  s.project = &plan;
+  const PlanNode& filter = *plan.children[0];
+  if (filter.kind != PlanKind::kFilter || filter.children.size() != 1) {
+    return Status::InvalidArgument("plan is not Project(Filter(...))");
+  }
+  s.filter = &filter;
+  const PlanNode& scan = *filter.children[0];
+  if (scan.kind != PlanKind::kScan) {
+    return Status::InvalidArgument("plan is not Project(Filter(Scan))");
+  }
+  s.scan = &scan;
+  if (filter.predicate->kind() != ExprKind::kCompare) {
+    return Status::InvalidArgument("filter is not a simple comparison");
+  }
+  const auto& cmp = static_cast<const CompareExpr&>(*filter.predicate);
+  if (cmp.op() != CompareOp::kEq) {
+    return Status::InvalidArgument("filter is not an equality");
+  }
+  if (cmp.left()->kind() == ExprKind::kColumn &&
+      cmp.right()->kind() == ExprKind::kLiteral) {
+    s.column = static_cast<const ColumnExpr*>(cmp.left().get());
+    s.literal = static_cast<const LiteralExpr*>(cmp.right().get());
+  } else if (cmp.right()->kind() == ExprKind::kColumn &&
+             cmp.left()->kind() == ExprKind::kLiteral) {
+    s.column = static_cast<const ColumnExpr*>(cmp.right().get());
+    s.literal = static_cast<const LiteralExpr*>(cmp.left().get());
+  } else {
+    return Status::InvalidArgument("filter is not column = literal");
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<MergedSelection> MergeSelections(
+    const std::vector<const PlanNode*>& plans, bool hashed_in_list) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  std::vector<SelectionShape> shapes;
+  shapes.reserve(plans.size());
+  for (const PlanNode* p : plans) {
+    ECODB_ASSIGN_OR_RETURN(SelectionShape s, AnalyzeSelection(*p));
+    shapes.push_back(s);
+  }
+  const SelectionShape& first = shapes.front();
+  for (const SelectionShape& s : shapes) {
+    if (s.scan->table_name != first.scan->table_name) {
+      return Status::InvalidArgument("batch spans multiple tables");
+    }
+    if (s.column->index() != first.column->index()) {
+      return Status::InvalidArgument("batch filters different columns");
+    }
+    if (s.project->exprs.size() != first.project->exprs.size()) {
+      return Status::InvalidArgument("batch projections differ");
+    }
+    for (size_t i = 0; i < s.project->exprs.size(); ++i) {
+      if (s.project->exprs[i]->ToString() !=
+          first.project->exprs[i]->ToString()) {
+        return Status::InvalidArgument("batch projections differ");
+      }
+    }
+  }
+
+  MergedSelection out;
+  std::vector<ExprPtr> disjuncts;
+  std::vector<Value> values;
+  ExprPtr col = Col(first.column->index(), first.column->type(),
+                    first.column->name());
+  for (const SelectionShape& s : shapes) {
+    disjuncts.push_back(Eq(col, Lit(s.literal->value())));
+    values.push_back(s.literal->value());
+    out.member_predicates.push_back(disjuncts.back());
+  }
+
+  ExprPtr merged_pred;
+  if (hashed_in_list) {
+    merged_pred = InList(col, values, /*hashed=*/true);
+  } else {
+    merged_pred = Or(disjuncts);
+  }
+
+  // Locate the filter column in the projection output.
+  for (size_t i = 0; i < first.project->exprs.size(); ++i) {
+    const Expr& e = *first.project->exprs[i];
+    if (e.kind() == ExprKind::kColumn &&
+        static_cast<const ColumnExpr&>(e).index() == first.column->index()) {
+      out.split_column = static_cast<int>(i);
+      break;
+    }
+  }
+  if (out.split_column < 0) {
+    return Status::InvalidArgument(
+        "projection does not include the filter column; cannot split");
+  }
+
+  PlanNodePtr scan = ClonePlan(*first.scan);
+  PlanNodePtr filter = MakeFilter(std::move(scan), merged_pred);
+  out.plan = MakeProject(std::move(filter), first.project->exprs,
+                         first.project->names);
+  out.split_values = std::move(values);
+  return out;
+}
+
+std::vector<std::vector<Row>> SplitMergedResult(
+    const MergedSelection& merged, const std::vector<Row>& merged_rows,
+    ExecContext* ctx) {
+  std::vector<std::vector<Row>> per_query(merged.split_values.size());
+  size_t col = static_cast<size_t>(merged.split_column);
+  double compares = 0;
+  for (const Row& row : merged_rows) {
+    const Value& v = row[col];
+    for (size_t q = 0; q < merged.split_values.size(); ++q) {
+      compares += 1;
+      if (v.Compare(merged.split_values[q]) == 0) {
+        per_query[q].push_back(row);
+        break;
+      }
+    }
+  }
+  const EngineProfile& p = ctx->profile();
+  double rows = static_cast<double>(merged_rows.size());
+  ctx->ChargeCycles(
+      rows * p.split_row_cycles + compares * p.split_compare_cycles,
+      rows * p.split_row_lines);
+  ctx->Flush();
+  return per_query;
+}
+
+Result<SharedAggBatch> AnalyzeSharedAggBatch(
+    const std::vector<const PlanNode*>& plans) {
+  if (plans.empty()) return Status::InvalidArgument("empty batch");
+  SharedAggBatch batch;
+  for (const PlanNode* plan : plans) {
+    const PlanNode* agg = plan;
+    if (agg->kind != PlanKind::kAggregate || agg->children.size() != 1) {
+      return Status::InvalidArgument("plan root is not a global Aggregate");
+    }
+    if (!agg->group_by.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY aggregates cannot share accumulators");
+    }
+    const PlanNode* below = agg->children[0].get();
+    ExprPtr filter;  // null = unconditional
+    if (below->kind == PlanKind::kFilter && below->children.size() == 1) {
+      filter = below->predicate;
+      below = below->children[0].get();
+    }
+    if (below->kind != PlanKind::kScan) {
+      return Status::InvalidArgument(
+          "plan is not Aggregate(Filter(Scan)) / Aggregate(Scan)");
+    }
+    if (batch.scan == nullptr) {
+      batch.scan = below;
+    } else if (below->table_name != batch.scan->table_name) {
+      return Status::InvalidArgument("batch spans multiple tables");
+    }
+    batch.filters.push_back(std::move(filter));
+    batch.aggs.push_back(agg->aggs);
+    batch.output_schemas.push_back(agg->output_schema);
+  }
+  return batch;
+}
+
+namespace {
+
+struct SharedAcc {
+  double sum = 0.0;
+  uint64_t count = 0;
+  Value min, max;
+};
+
+Row AccsToRow(const std::vector<AggSpec>& specs,
+              const std::vector<SharedAcc>& accs) {
+  Row out;
+  out.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const SharedAcc& a = accs[i];
+    switch (specs[i].kind) {
+      case AggSpec::Kind::kCount:
+        out.push_back(Value::Int(static_cast<int64_t>(a.count)));
+        break;
+      case AggSpec::Kind::kSum:
+        out.push_back(a.count ? Value::Dbl(a.sum) : Value::Null());
+        break;
+      case AggSpec::Kind::kAvg:
+        out.push_back(a.count ? Value::Dbl(a.sum / static_cast<double>(a.count))
+                              : Value::Null());
+        break;
+      case AggSpec::Kind::kMin:
+        out.push_back(a.count ? a.min : Value::Null());
+        break;
+      case AggSpec::Kind::kMax:
+        out.push_back(a.count ? a.max : Value::Null());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Row>>> RunSharedScanAggregates(
+    const SharedAggBatch& batch, ExecContext* ctx) {
+  size_t n = batch.filters.size();
+  std::vector<std::vector<SharedAcc>> accs(n);
+  for (size_t q = 0; q < n; ++q) accs[q].resize(batch.aggs[q].size());
+
+  SeqScanOp scan(ctx, batch.scan->table_name);
+  ECODB_RETURN_NOT_OK(scan.Open());
+  Row row;
+  bool has = false;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(scan.Next(&row, &has));
+    if (!has) break;
+    for (size_t q = 0; q < n; ++q) {
+      if (batch.filters[q]) {
+        bool pass =
+            batch.filters[q]->Eval(row, ctx->eval_counters()).IsTruthy();
+        if (!pass) continue;
+      }
+      const std::vector<AggSpec>& specs = batch.aggs[q];
+      for (size_t i = 0; i < specs.size(); ++i) {
+        SharedAcc& a = accs[q][i];
+        if (specs[i].kind == AggSpec::Kind::kCount && !specs[i].arg) {
+          ++a.count;
+          continue;
+        }
+        Value v = specs[i].arg->Eval(row, ctx->eval_counters());
+        if (v.is_null()) continue;
+        switch (specs[i].kind) {
+          case AggSpec::Kind::kCount:
+            ++a.count;
+            break;
+          case AggSpec::Kind::kSum:
+          case AggSpec::Kind::kAvg:
+            a.sum += v.AsDouble();
+            ++a.count;
+            break;
+          case AggSpec::Kind::kMin:
+            if (a.count == 0 || v.Compare(a.min) < 0) a.min = v;
+            ++a.count;
+            break;
+          case AggSpec::Kind::kMax:
+            if (a.count == 0 || v.Compare(a.max) > 0) a.max = v;
+            ++a.count;
+            break;
+        }
+      }
+      ctx->ChargeAggUpdate(static_cast<int>(specs.size()));
+    }
+    ctx->ChargeEvalOps();
+  }
+  scan.Close();
+
+  std::vector<std::vector<Row>> results(n);
+  for (size_t q = 0; q < n; ++q) {
+    results[q].push_back(AccsToRow(batch.aggs[q], accs[q]));
+    ctx->ChargeOutputTuple(batch.output_schemas[q].RowWidth());
+  }
+  ctx->Flush();
+  return results;
+}
+
+}  // namespace ecodb

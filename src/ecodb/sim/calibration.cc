@@ -1,0 +1,37 @@
+#include "ecodb/sim/calibration.h"
+
+#include "ecodb/sim/settings.h"
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+const char* ToString(VoltageDowngrade d) {
+  switch (d) {
+    case VoltageDowngrade::kStock:
+      return "stock";
+    case VoltageDowngrade::kSmall:
+      return "small";
+    case VoltageDowngrade::kMedium:
+      return "medium";
+    case VoltageDowngrade::kAggressive:
+      return "aggressive";
+  }
+  return "?";
+}
+
+const char* ToString(LoadClass c) {
+  switch (c) {
+    case LoadClass::kBursty:
+      return "bursty";
+    case LoadClass::kSustained:
+      return "sustained";
+  }
+  return "?";
+}
+
+std::string SystemSettings::ToString() const {
+  return StrFormat("uc=%.0f%% %s", underclock * 100.0,
+                   ecodb::ToString(downgrade));
+}
+
+}  // namespace ecodb

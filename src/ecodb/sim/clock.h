@@ -1,0 +1,32 @@
+// Virtual time for the machine simulation.
+
+#ifndef ECODB_SIM_CLOCK_H_
+#define ECODB_SIM_CLOCK_H_
+
+#include <cassert>
+
+namespace ecodb {
+
+/// Monotone simulated clock measured in double seconds. All workload
+/// "response times" reported by ecoDB are simulated seconds from this
+/// clock; wall-clock execution speed of the host is irrelevant.
+class SimClock {
+ public:
+  double Now() const { return now_s_; }
+
+  /// Advances time by dt seconds (dt >= 0).
+  void Advance(double dt_s) {
+    assert(dt_s >= 0.0);
+    now_s_ += dt_s;
+  }
+
+  /// Restarts the clock at zero (used between experiment runs).
+  void Reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_CLOCK_H_

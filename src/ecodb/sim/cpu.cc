@@ -1,0 +1,134 @@
+#include "ecodb/sim/cpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecodb/sim/calibration.h"
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+CpuConfig CpuConfig::E8500() {
+  CpuConfig c;
+  c.stock_fsb_hz = calib::kStockFsbHz;
+  c.multipliers.assign(calib::kMultipliers,
+                       calib::kMultipliers + calib::kNumPStates);
+  for (int d = 0; d < 4; ++d) {
+    for (int l = 0; l < 2; ++l) c.load_voltage[d][l] = calib::kLoadVoltage[d][l];
+    c.idle_voltage[d] = calib::kIdleVoltage[d];
+  }
+  c.dynamic_k = calib::kCpuDynamicK;
+  c.uncore_k = calib::kCpuUncoreK;
+  c.stall_activity = calib::kStallActivityFactor;
+  c.idle_activity = calib::kIdleActivityFactor;
+  c.firmware_activity = calib::kFirmwareActivityFactor;
+  c.fan_w = calib::kCpuFanW;
+  c.vmin_base = calib::kStabilityVminBase;
+  c.vmin_per_ghz = calib::kStabilityVminPerGHz;
+  return c;
+}
+
+CpuModel::CpuModel(const CpuConfig& config) : config_(config) {}
+
+Status CpuModel::ApplySettings(const SystemSettings& settings) {
+  if (settings.underclock < 0.0 || settings.underclock >= 0.5) {
+    return Status::InvalidArgument(
+        StrFormat("underclock fraction %.3f out of [0, 0.5)",
+                  settings.underclock));
+  }
+  ECODB_RETURN_NOT_OK(CheckStability(config_, settings));
+  settings_ = settings;
+  return Status::OK();
+}
+
+double CpuModel::FsbHz() const {
+  return config_.stock_fsb_hz * (1.0 - settings_.underclock);
+}
+
+double CpuModel::FrequencyHz(int pstate) const {
+  return config_.multipliers[static_cast<size_t>(pstate)] * FsbHz();
+}
+
+double CpuModel::TopFrequencyHz() const {
+  return FrequencyHz(num_pstates() - 1);
+}
+
+double CpuModel::IdleFrequencyHz() const { return FrequencyHz(0); }
+
+double CpuModel::LoadVoltage(LoadClass cls) const {
+  return config_.load_voltage[static_cast<int>(settings_.downgrade)]
+                             [static_cast<int>(cls)];
+}
+
+double CpuModel::IdleVoltage() const {
+  return config_.idle_voltage[static_cast<int>(settings_.downgrade)];
+}
+
+double CpuModel::BusyPowerW(LoadClass cls) const {
+  double v = LoadVoltage(cls);
+  double f = TopFrequencyHz();
+  return config_.dynamic_k * v * v * f + config_.uncore_k * v * v;
+}
+
+double CpuModel::StallPowerW(LoadClass cls) const {
+  double v = LoadVoltage(cls);
+  double f = TopFrequencyHz();
+  return config_.dynamic_k * config_.stall_activity * v * v * f +
+         config_.uncore_k * v * v;
+}
+
+double CpuModel::IdlePowerW() const {
+  double v = IdleVoltage();
+  double f = IdleFrequencyHz();
+  return config_.dynamic_k * config_.idle_activity * v * v * f +
+         config_.uncore_k * v * v;
+}
+
+double CpuModel::FirmwarePowerW() const {
+  // Firmware halts at the top p-state (no EIST governor yet).
+  double v = LoadVoltage(LoadClass::kBursty);
+  double f = TopFrequencyHz();
+  return config_.dynamic_k * config_.firmware_activity * v * v * f +
+         config_.uncore_k * v * v;
+}
+
+double CpuModel::TheoreticalEdpFactor(LoadClass cls) const {
+  double v = LoadVoltage(cls);
+  return v * v / TopFrequencyHz();
+}
+
+double CpuModel::PstateCapFrequencyHz(double max_multiplier) const {
+  double mult = config_.multipliers.front();
+  for (double m : config_.multipliers) {
+    if (m <= max_multiplier) mult = std::max(mult, m);
+  }
+  return mult * config_.stock_fsb_hz;  // capping keeps the stock FSB
+}
+
+Status CpuModel::CheckStability(const CpuConfig& config,
+                                const SystemSettings& settings) {
+  int d = static_cast<int>(settings.downgrade);
+  double fsb = config.stock_fsb_hz * (1.0 - settings.underclock);
+  // Every p-state must satisfy V >= V_min(F). The binding constraint is the
+  // top p-state (highest F, load voltage), but we check all states with
+  // their applicable voltages, as PC Probe II monitors continuously.
+  for (size_t i = 0; i < config.multipliers.size(); ++i) {
+    double f_ghz = config.multipliers[i] * fsb / 1e9;
+    double vmin = config.vmin_base + config.vmin_per_ghz * f_ghz;
+    bool top = (i + 1 == config.multipliers.size());
+    // Idle states run at the idle voltage; the top state must be stable for
+    // both load classes.
+    double v = top ? std::min(config.load_voltage[d][0], config.load_voltage[d][1])
+                   : config.idle_voltage[d];
+    if (v < vmin) {
+      return Status::UnstableSettings(StrFormat(
+          "p-state %zu at %.2f GHz needs >= %.3f V but has %.3f V "
+          "(downgrade=%s, underclock=%.0f%%)",
+          i, f_ghz, vmin, v, ecodb::ToString(settings.downgrade),
+          settings.underclock * 100));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecodb

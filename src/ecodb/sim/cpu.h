@@ -1,0 +1,100 @@
+// CPU model: p-states, underclocking, voltage downgrades, CV^2F power.
+//
+// Implements the paper's Section 3 machinery:
+//  * p-states are (multiplier, voltage) pairs; frequency = multiplier x FSB;
+//  * PVC underclocks the FSB, scaling *all* p-states down (unlike p-state
+//    capping, which removes top states — see PstateCapFrequency for the
+//    comparison the paper draws);
+//  * power follows P = K V^2 F (+ uncore V^2 leakage), the model the paper
+//    validates in Section 3.4 / Figure 4;
+//  * a stability monitor plays the role of ASUS PC Probe II, rejecting
+//    voltage/frequency combinations below the stable-voltage line.
+
+#ifndef ECODB_SIM_CPU_H_
+#define ECODB_SIM_CPU_H_
+
+#include <vector>
+
+#include "ecodb/sim/settings.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+/// Configuration of the simulated processor. Defaults model the paper's
+/// E8500; tests construct variants.
+struct CpuConfig {
+  double stock_fsb_hz;
+  std::vector<double> multipliers;  ///< ascending; last = top p-state
+  /// Effective top-p-state voltage per [downgrade][load class].
+  double load_voltage[4][2];
+  double idle_voltage[4];
+  double dynamic_k;              ///< P_dyn = dynamic_k * V^2 * F * activity
+  double uncore_k;               ///< P_uncore = uncore_k * V^2
+  double stall_activity;         ///< activity while stalled on DRAM
+  double idle_activity;          ///< activity factor of EIST-idle state
+  double firmware_activity;      ///< activity with no OS loaded
+  double fan_w;                  ///< constant fan draw
+  double vmin_base;              ///< stability: V_min = base + per_ghz*F_GHz
+  double vmin_per_ghz;
+
+  /// The paper's testbed CPU.
+  static CpuConfig E8500();
+};
+
+/// Stateless-ish CPU model; the only mutable state is the applied
+/// SystemSettings. All power/time queries are pure functions of settings.
+class CpuModel {
+ public:
+  explicit CpuModel(const CpuConfig& config);
+
+  /// Validates stability (PC Probe II role) and applies the settings.
+  /// Returns kUnstableSettings if any p-state would run below V_min.
+  Status ApplySettings(const SystemSettings& settings);
+
+  const SystemSettings& settings() const { return settings_; }
+  const CpuConfig& config() const { return config_; }
+
+  /// Effective FSB under the current underclock.
+  double FsbHz() const;
+
+  /// Frequency of p-state i (0 = deepest idle ... top).
+  double FrequencyHz(int pstate) const;
+  double TopFrequencyHz() const;
+  double IdleFrequencyHz() const;
+  int num_pstates() const { return static_cast<int>(config_.multipliers.size()); }
+
+  /// Effective voltage at the top p-state for the given load class under
+  /// the current downgrade.
+  double LoadVoltage(LoadClass cls) const;
+  double IdleVoltage() const;
+
+  /// Package power with one core busy at the top p-state.
+  double BusyPowerW(LoadClass cls) const;
+  /// Package power while stalled on DRAM at the top p-state.
+  double StallPowerW(LoadClass cls) const;
+  /// Package power in the EIST idle state (OS running).
+  double IdlePowerW() const;
+  /// Package power with only firmware running (Table 1 build-up stages).
+  double FirmwarePowerW() const;
+
+  /// The paper's theoretical EDP factor V^2/F (Section 3.4, Figure 4),
+  /// evaluated at the top p-state for the given load class.
+  double TheoreticalEdpFactor(LoadClass cls) const;
+
+  /// Frequency that p-state *capping* to `max_multiplier` would produce at
+  /// stock FSB — the coarse alternative the paper contrasts with
+  /// underclocking (Section 3: capping at 7 drops 3 GHz to 2.3 GHz).
+  double PstateCapFrequencyHz(double max_multiplier) const;
+
+  /// Static stability check (usable without constructing a model).
+  static Status CheckStability(const CpuConfig& config,
+                               const SystemSettings& settings);
+
+ private:
+  CpuConfig config_;
+  SystemSettings settings_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_CPU_H_

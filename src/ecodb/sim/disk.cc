@@ -1,0 +1,38 @@
+#include "ecodb/sim/disk.h"
+
+#include "ecodb/sim/calibration.h"
+
+namespace ecodb {
+
+DiskConfig DiskConfig::WdCaviarSe16() {
+  DiskConfig c;
+  c.seq_rate_bps = calib::kDiskSeqRateBps;
+  c.rand_rate_bps = calib::kDiskRandRateBps;
+  c.random_pos_s = calib::kDiskRandomPosS;
+  c.seq_pos_s = calib::kDiskSeqPosS;
+  c.idle_5v_w = calib::kDisk5vIdleW;
+  c.active_5v_extra_w = calib::kDisk5vActiveExtraW;
+  c.spin_12v_w = calib::kDisk12vSpinW;
+  c.seek_12v_extra_w = calib::kDisk12vSeekExtraW;
+  return c;
+}
+
+DiskOpCost DiskModel::ReadCost(uint64_t bytes, uint64_t n_requests,
+                               bool random) const {
+  DiskOpCost cost;
+  if (bytes == 0 && n_requests == 0) return cost;
+  double pos_each = random ? config_.random_pos_s : config_.seq_pos_s;
+  double rate = random ? config_.rand_rate_bps : config_.seq_rate_bps;
+  cost.position_s = static_cast<double>(n_requests) * pos_each;
+  cost.transfer_s = static_cast<double>(bytes) / rate;
+  cost.total_s = cost.position_s + cost.transfer_s;
+  // Activity premiums over idle; base idle power is integrated by the
+  // Machine over all simulated time while the disk is installed. The
+  // actuator (12 V) premium applies only to real seeks — sequential
+  // command overhead moves no arm.
+  cost.energy_5v_j = cost.transfer_s * config_.active_5v_extra_w;
+  cost.energy_12v_j = random ? cost.position_s * config_.seek_12v_extra_w : 0.0;
+  return cost;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,63 @@
+// Hard-disk model with separately metered 5 V and 12 V rails.
+//
+// The paper measured the WD Caviar's two supply lines while running TPC-H
+// (Section 3.5) and micro-benchmarked random vs sequential reads at
+// 4/8/16/32 KB (Figure 5). The model: each request costs a positioning
+// time (large for random, tiny for sequential) plus transfer at a
+// pattern-dependent media rate; the 12 V rail powers the always-spinning
+// spindle plus the actuator during positioning; the 5 V rail powers the
+// electronics, with a premium while transferring.
+
+#ifndef ECODB_SIM_DISK_H_
+#define ECODB_SIM_DISK_H_
+
+#include <cstdint>
+
+namespace ecodb {
+
+struct DiskConfig {
+  double seq_rate_bps;       ///< streaming transfer rate
+  double rand_rate_bps;      ///< effective rate of short random transfers
+  double random_pos_s;       ///< avg seek + rotational latency
+  double seq_pos_s;          ///< per-request overhead when sequential
+  double idle_5v_w;          ///< electronics, idle
+  double active_5v_extra_w;  ///< electronics premium while transferring
+  double spin_12v_w;         ///< spindle (always, while powered)
+  double seek_12v_extra_w;   ///< actuator premium while positioning
+
+  static DiskConfig WdCaviarSe16();
+};
+
+/// Time/energy breakdown of one I/O batch.
+struct DiskOpCost {
+  double total_s = 0.0;
+  double position_s = 0.0;  ///< portion spent positioning (seek+rotate)
+  double transfer_s = 0.0;  ///< portion spent moving bytes
+  double energy_5v_j = 0.0;
+  double energy_12v_j = 0.0;
+  double TotalEnergyJ() const { return energy_5v_j + energy_12v_j; }
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(const DiskConfig& config) : config_(config) {}
+
+  /// Cost of `n_requests` reads totaling `bytes`, random or sequential.
+  /// Energy covers only the activity premium over idle; idle/spindle power
+  /// is integrated continuously by the Machine while the disk is powered.
+  DiskOpCost ReadCost(uint64_t bytes, uint64_t n_requests, bool random) const;
+
+  /// Idle power (5 V electronics + 12 V spindle).
+  double IdlePowerW() const {
+    return config_.idle_5v_w + config_.spin_12v_w;
+  }
+
+  const DiskConfig& config() const { return config_; }
+
+ private:
+  DiskConfig config_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_DISK_H_

@@ -1,0 +1,189 @@
+#include "ecodb/sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecodb/sim/calibration.h"
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+MachineConfig MachineConfig::PaperTestbed() {
+  MachineConfig c;
+  c.cpu = CpuConfig::E8500();
+  c.mem = MemoryConfig::Ddr3_1066();
+  c.disk = DiskConfig::WdCaviarSe16();
+  c.psu = PsuConfig::CorsairVx450();
+  c.mobo_on_dc_w = calib::kMoboOnDcW;
+  c.cpu_activation_dc_w = calib::kCpuActivationDcW;
+  c.gpu_idle_dc_w = calib::kGpuIdleDcW;
+  return c;
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      cpu_(config.cpu),
+      mem_(config.mem, config.num_dimms),
+      disk_(config.disk),
+      psu_(config.psu),
+      epu_(calib::kEpuSamplePeriodS) {
+  mem_.SetFsbHz(cpu_.FsbHz());
+  epu_.Reset(clock_.Now());
+}
+
+Status Machine::ApplySettings(const SystemSettings& settings) {
+  ECODB_RETURN_NOT_OK(cpu_.ApplySettings(settings));
+  mem_.SetFsbHz(cpu_.FsbHz());
+  return Status::OK();
+}
+
+double Machine::CpuIdlePowerW() const {
+  return config_.os_running ? cpu_.IdlePowerW() : cpu_.FirmwarePowerW();
+}
+
+void Machine::Accrue(double dt_s, double cpu_w, double disk_extra_5v_w,
+                     double disk_extra_12v_w, double mem_access_j) {
+  if (dt_s < 0) dt_s = 0;
+  double t0 = clock_.Now();
+
+  double fan_w = config_.has_cpu ? config_.cpu.fan_w : 0.0;
+  double mem_w = mem_.BackgroundPowerW();
+  double disk_5v_w =
+      config_.has_disk ? disk_.config().idle_5v_w + disk_extra_5v_w : 0.0;
+  double disk_12v_w =
+      config_.has_disk ? disk_.config().spin_12v_w + disk_extra_12v_w : 0.0;
+  double mobo_w = config_.mobo_on_dc_w +
+                  (config_.has_cpu ? config_.cpu_activation_dc_w : 0.0);
+  double gpu_w = config_.has_gpu ? config_.gpu_idle_dc_w : 0.0;
+  double cpu_pkg_w = config_.has_cpu ? cpu_w : 0.0;
+
+  double mem_access_w = dt_s > 0 ? mem_access_j / dt_s : 0.0;
+  double dc_w = cpu_pkg_w + fan_w + mem_w + mem_access_w + disk_5v_w +
+                disk_12v_w + mobo_w + gpu_w;
+
+  ledger_.cpu_j += cpu_pkg_w * dt_s;
+  ledger_.fan_j += fan_w * dt_s;
+  ledger_.mem_j += mem_w * dt_s + mem_access_j;
+  ledger_.disk_5v_j += disk_5v_w * dt_s;
+  ledger_.disk_12v_j += disk_12v_w * dt_s;
+  ledger_.mobo_j += mobo_w * dt_s;
+  ledger_.gpu_j += gpu_w * dt_s;
+  ledger_.dc_j += dc_w * dt_s;
+  ledger_.wall_j += psu_.WallPowerW(dc_w) * dt_s;
+
+  epu_.AddInterval(t0, dt_s, cpu_pkg_w);
+  clock_.Advance(dt_s);
+}
+
+Machine::ExecBreakdown Machine::PredictExecuteBreakdown(
+    double cycles, double mem_lines) const {
+  ExecBreakdown b;
+  b.compute_s = cycles / cpu_.TopFrequencyHz();
+  double t_core = mem_lines * mem_.config().core_latency_s;
+  double bytes = mem_lines * mem_.config().line_bytes;
+  double t_tx_base = bytes / mem_.BandwidthBps();
+
+  // Bus contention: utilization depends on total time, which depends on
+  // contention; solve the fixed point T = t_cpu + t_core + t_tx / (1-rho)
+  // with rho = bytes / (T * bandwidth). Monotone contraction; a handful of
+  // iterations converge to < 0.01 %.
+  double total = b.compute_s + t_core + t_tx_base;
+  if (bytes > 0 && total > 0) {
+    for (int i = 0; i < 12; ++i) {
+      double rho = bytes / (total * mem_.BandwidthBps());
+      double next =
+          b.compute_s + t_core + t_tx_base * mem_.ContentionFactor(rho);
+      total = 0.5 * (total + next);  // damped for stability
+    }
+  }
+  b.stall_s = total - b.compute_s;
+  return b;
+}
+
+double Machine::PredictExecutePowerW(double cycles, double mem_lines) const {
+  ExecBreakdown b = PredictExecuteBreakdown(cycles, mem_lines);
+  double total = b.TotalS();
+  if (total <= 0) return cpu_.BusyPowerW(load_class_);
+  return (b.compute_s * cpu_.BusyPowerW(load_class_) +
+          b.stall_s * cpu_.StallPowerW(load_class_)) /
+         total;
+}
+
+void Machine::ExecuteCpu(double cycles, double mem_lines) {
+  ExecBreakdown b = PredictExecuteBreakdown(cycles, mem_lines);
+  double dt = b.TotalS();
+  double mem_j = mem_.AccessEnergyJ(mem_lines);
+  ledger_.busy_s += dt;
+  double cpu_w = dt > 0 ? (b.compute_s * cpu_.BusyPowerW(load_class_) +
+                           b.stall_s * cpu_.StallPowerW(load_class_)) /
+                              dt
+                        : 0.0;
+  Accrue(dt, cpu_w, 0.0, 0.0, mem_j);
+}
+
+Status Machine::DiskRead(uint64_t bytes, uint64_t n_requests, bool random) {
+  if (!config_.has_disk) {
+    return Status::InvalidArgument("machine has no disk installed");
+  }
+  if (fault_armed_) {
+    if (disk_fault_countdown_ <= n_requests) {
+      disk_faulted_ = true;
+    } else {
+      disk_fault_countdown_ -= n_requests;
+    }
+    if (disk_faulted_) {
+      return Status::HardwareFault(
+          StrFormat("injected disk fault after read of %llu bytes",
+                    static_cast<unsigned long long>(bytes)));
+    }
+  }
+  DiskOpCost cost = disk_.ReadCost(bytes, n_requests, random);
+  ledger_.io_s += cost.total_s;
+  // While blocked on I/O the CPU drops to its idle p-state (EIST) or
+  // busy-waits in firmware if no OS is loaded.
+  double avg_5v_extra =
+      cost.total_s > 0 ? cost.energy_5v_j / cost.total_s : 0.0;
+  double avg_12v_extra =
+      cost.total_s > 0 ? cost.energy_12v_j / cost.total_s : 0.0;
+  Accrue(cost.total_s, CpuIdlePowerW(), avg_5v_extra, avg_12v_extra, 0.0);
+  return Status::OK();
+}
+
+void Machine::Idle(double seconds) {
+  ledger_.idle_s += seconds;
+  Accrue(seconds, CpuIdlePowerW(), 0.0, 0.0, 0.0);
+}
+
+void Machine::InjectDiskFaultAfterRequests(uint64_t n) {
+  fault_armed_ = true;
+  disk_faulted_ = false;
+  disk_fault_countdown_ = n;
+}
+
+void Machine::ClearFaults() {
+  fault_armed_ = false;
+  disk_faulted_ = false;
+  disk_fault_countdown_ = 0;
+}
+
+void Machine::ResetMeters() {
+  ledger_ = EnergyLedger();
+  epu_.Reset(clock_.Now());
+}
+
+double Machine::IdleDcPowerW() const {
+  double w = config_.mobo_on_dc_w;
+  if (config_.has_cpu) {
+    w += config_.cpu_activation_dc_w + CpuIdlePowerW() + config_.cpu.fan_w;
+  }
+  w += mem_.BackgroundPowerW();
+  if (config_.has_gpu) w += config_.gpu_idle_dc_w;
+  if (config_.has_disk) w += disk_.IdlePowerW();
+  return w;
+}
+
+double Machine::IdleWallPowerW() const {
+  return psu_.WallPowerW(IdleDcPowerW());
+}
+
+}  // namespace ecodb

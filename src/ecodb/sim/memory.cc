@@ -1,0 +1,47 @@
+#include "ecodb/sim/memory.h"
+
+#include <algorithm>
+
+#include "ecodb/sim/calibration.h"
+
+namespace ecodb {
+
+MemoryConfig MemoryConfig::Ddr3_1066() {
+  MemoryConfig c;
+  c.mem_multiplier = calib::kMemMultiplier;
+  c.bytes_per_transfer = calib::kMemBytesPerTransfer;
+  c.core_latency_s = calib::kDramCoreLatencyS;
+  c.line_bytes = calib::kCacheLineBytes;
+  c.access_energy_j = calib::kDramAccessEnergyJ;
+  c.dimm_background_w = calib::kDimmBackgroundW;
+  c.second_dimm_background_w = calib::kSecondDimmBackgroundW;
+  c.controller_w = calib::kMemControllerW;
+  return c;
+}
+
+MemoryModel::MemoryModel(const MemoryConfig& config, int num_dimms)
+    : config_(config),
+      num_dimms_(num_dimms),
+      fsb_hz_(calib::kStockFsbHz) {}
+
+double MemoryModel::BaseAccessTimeS() const {
+  return config_.core_latency_s + config_.line_bytes / BandwidthBps();
+}
+
+double MemoryModel::ContentionFactor(double rho) const {
+  // Cap utilization; past ~0.97 the open-loop M/M/1 form explodes and the
+  // simulation would report absurd times rather than "saturated".
+  rho = std::clamp(rho, 0.0, 0.97);
+  return 1.0 / (1.0 - rho);
+}
+
+double MemoryModel::BackgroundPowerW() const {
+  if (num_dimms_ <= 0) return 0.0;
+  double w = config_.controller_w + config_.dimm_background_w;
+  if (num_dimms_ > 1) {
+    w += (num_dimms_ - 1) * config_.second_dimm_background_w;
+  }
+  return w;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,70 @@
+// DDR3 main-memory model.
+//
+// Memory hangs off the Northbridge, so its bus frequency is a multiple of
+// the FSB: PVC underclocking slows memory too (paper Section 3). Latency
+// has a DRAM-core component fixed in nanoseconds plus a bus-transfer
+// component that scales with the (underclocked) bus; under high demand a
+// queueing term models bus contention. This split is what makes the
+// commercial workload's response time rise only ~3 % at a 5 % underclock
+// yet go convex at 10-15 % (Figures 1/2).
+
+#ifndef ECODB_SIM_MEMORY_H_
+#define ECODB_SIM_MEMORY_H_
+
+namespace ecodb {
+
+struct MemoryConfig {
+  double mem_multiplier;       ///< bus freq = mem_multiplier * FSB
+  double bytes_per_transfer;   ///< bus width (DDR: 8 B per edge-pair)
+  double core_latency_s;       ///< fixed DRAM-core portion of an access
+  double line_bytes;           ///< access granularity (cache line)
+  double access_energy_j;      ///< energy per line transferred
+  double dimm_background_w;    ///< refresh/standby per first DIMM
+  double second_dimm_background_w;
+  double controller_w;         ///< memory-controller activation (once)
+
+  static MemoryConfig Ddr3_1066();
+};
+
+class MemoryModel {
+ public:
+  MemoryModel(const MemoryConfig& config, int num_dimms);
+
+  /// Called by the machine when the FSB changes.
+  void SetFsbHz(double fsb_hz) { fsb_hz_ = fsb_hz; }
+
+  /// Effective memory bus frequency.
+  double BusHz() const { return fsb_hz_ * config_.mem_multiplier; }
+
+  /// Peak bandwidth at the current bus frequency, bytes/second.
+  double BandwidthBps() const {
+    return BusHz() * config_.bytes_per_transfer;
+  }
+
+  /// Un-contended time to service one line: core latency + transfer.
+  double BaseAccessTimeS() const;
+
+  /// M/M/1-style contention factor applied to the *transfer* portion of an
+  /// access when the bus utilization is rho (clamped below 1).
+  double ContentionFactor(double rho) const;
+
+  /// Energy for n line accesses.
+  double AccessEnergyJ(double n_lines) const {
+    return n_lines * config_.access_energy_j;
+  }
+
+  /// Standby power of the installed DIMMs + controller.
+  double BackgroundPowerW() const;
+
+  const MemoryConfig& config() const { return config_; }
+  int num_dimms() const { return num_dimms_; }
+
+ private:
+  MemoryConfig config_;
+  int num_dimms_;
+  double fsb_hz_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_MEMORY_H_

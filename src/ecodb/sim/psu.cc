@@ -1,0 +1,46 @@
+#include "ecodb/sim/psu.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ecodb/sim/calibration.h"
+
+namespace ecodb {
+
+PsuConfig PsuConfig::CorsairVx450() {
+  PsuConfig c;
+  c.rated_w = calib::kPsuRatedW;
+  c.curve_load.assign(calib::kPsuCurveLoad,
+                      calib::kPsuCurveLoad + calib::kPsuCurvePoints);
+  c.curve_eff.assign(calib::kPsuCurveEff,
+                     calib::kPsuCurveEff + calib::kPsuCurvePoints);
+  c.standby_dc_w = calib::kStandbyDcW;
+  c.standby_efficiency = calib::kStandbyEfficiency;
+  return c;
+}
+
+double PsuModel::Efficiency(double dc_w) const {
+  assert(!config_.curve_load.empty());
+  double load = std::clamp(dc_w / config_.rated_w, 0.0, 1.0);
+  const auto& xs = config_.curve_load;
+  const auto& ys = config_.curve_eff;
+  if (load <= xs.front()) return ys.front();
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (load <= xs[i]) {
+      double t = (load - xs[i - 1]) / (xs[i] - xs[i - 1]);
+      return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys.back();
+}
+
+double PsuModel::WallPowerW(double dc_w) const {
+  if (dc_w <= 0.0) return 0.0;
+  return dc_w / Efficiency(dc_w);
+}
+
+double PsuModel::StandbyWallPowerW() const {
+  return config_.standby_dc_w / config_.standby_efficiency;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,44 @@
+// Power-supply model: DC -> wall conversion with a load-dependent
+// efficiency curve (Corsair VX450W, "80plus"; the paper estimates ~83 %
+// efficiency at its system's ~20 % load and notes Table 1 contains the
+// resulting PSU losses).
+
+#ifndef ECODB_SIM_PSU_H_
+#define ECODB_SIM_PSU_H_
+
+#include <vector>
+
+namespace ecodb {
+
+struct PsuConfig {
+  double rated_w;
+  std::vector<double> curve_load;  ///< ascending load fractions
+  std::vector<double> curve_eff;   ///< efficiency at each load point
+  double standby_dc_w;             ///< DC draw with system soft-off
+  double standby_efficiency;
+
+  static PsuConfig CorsairVx450();
+};
+
+class PsuModel {
+ public:
+  explicit PsuModel(const PsuConfig& config) : config_(config) {}
+
+  /// Conversion efficiency at the given DC load (piecewise linear).
+  double Efficiency(double dc_w) const;
+
+  /// Wall (AC) power required to deliver dc_w to the components.
+  double WallPowerW(double dc_w) const;
+
+  /// Wall power with the system soft-off (Table 1 row 1).
+  double StandbyWallPowerW() const;
+
+  const PsuConfig& config() const { return config_; }
+
+ private:
+  PsuConfig config_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_PSU_H_

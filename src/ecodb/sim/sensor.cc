@@ -1,0 +1,29 @@
+#include "ecodb/sim/sensor.h"
+
+namespace ecodb {
+
+EpuSensor::EpuSensor(double period_s) : period_s_(period_s) {}
+
+void EpuSensor::Reset(double now_s) {
+  samples_.clear();
+  exact_j_ = 0.0;
+  next_sample_s_ = now_s + period_s_;
+}
+
+void EpuSensor::AddInterval(double start_s, double dt_s, double cpu_w) {
+  exact_j_ += cpu_w * dt_s;
+  double end_s = start_s + dt_s;
+  while (next_sample_s_ <= end_s) {
+    samples_.push_back(cpu_w);
+    next_sample_s_ += period_s_;
+  }
+}
+
+double EpuSensor::MeanSampledWatts() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double w : samples_) sum += w;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace ecodb

@@ -1,0 +1,52 @@
+// Power sensors.
+//
+// EpuSensor reproduces the paper's CPU-power measurement *method*
+// (Section 3.1): the ASUS EPU hardware sensor is only exposed through a
+// GUI that refreshes about once per second, so the authors sampled it at
+// 1 Hz and computed joules as (average sampled watts) x (workload
+// duration). We model exactly that — including its quantization error,
+// which tests bound against the exact integral the simulator also keeps.
+
+#ifndef ECODB_SIM_SENSOR_H_
+#define ECODB_SIM_SENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ecodb {
+
+class EpuSensor {
+ public:
+  explicit EpuSensor(double period_s);
+
+  /// Clears samples and aligns the next sample tick to `now_s`.
+  void Reset(double now_s);
+
+  /// Records that CPU power was `cpu_w` over [start_s, start_s + dt_s).
+  /// Samples are taken at every period boundary inside the interval.
+  void AddInterval(double start_s, double dt_s, double cpu_w);
+
+  size_t num_samples() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Average of the 1 Hz GUI samples (0 if none were taken yet).
+  double MeanSampledWatts() const;
+
+  /// The paper's joule estimate: mean sampled watts x duration.
+  double GuiJoules(double duration_s) const {
+    return MeanSampledWatts() * duration_s;
+  }
+
+  /// Ground truth: exact integral of CPU power since Reset().
+  double ExactJoules() const { return exact_j_; }
+
+ private:
+  double period_s_;
+  double next_sample_s_ = 0.0;
+  double exact_j_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_SENSOR_H_

@@ -1,0 +1,69 @@
+#include "ecodb/sql/ast.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb::sql {
+
+AstExprPtr MakeAst(AstKind kind) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = kind;
+  return e;
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstKind::kColumn:
+      return name;
+    case AstKind::kIntLit:
+      return StrFormat("%lld", static_cast<long long>(int_value));
+    case AstKind::kDoubleLit:
+      return FormatDouble(dbl_value, 6);
+    case AstKind::kStringLit:
+      return "'" + str_value + "'";
+    case AstKind::kDateLit:
+      return "DATE '" + str_value + "'";
+    case AstKind::kStar:
+      return "*";
+    case AstKind::kCompare:
+      return StrFormat("(%s %s %s)", args[0]->ToString().c_str(),
+                       ecodb::ToString(cmp_op), args[1]->ToString().c_str());
+    case AstKind::kLogical: {
+      std::string out = "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += std::string(" ") + ecodb::ToString(log_op) + " ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstKind::kNot:
+      return "NOT " + args[0]->ToString();
+    case AstKind::kArith:
+      return StrFormat("(%s %s %s)", args[0]->ToString().c_str(),
+                       ecodb::ToString(arith_op),
+                       args[1]->ToString().c_str());
+    case AstKind::kBetween:
+      return StrFormat("(%s BETWEEN %s AND %s)",
+                       args[0]->ToString().c_str(),
+                       args[1]->ToString().c_str(),
+                       args[2]->ToString().c_str());
+    case AstKind::kInList: {
+      std::string out = args[0]->ToString() + " IN (";
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstKind::kFuncCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ecodb::sql

@@ -1,0 +1,74 @@
+// Parsed (unbound) SQL syntax trees.
+
+#ifndef ECODB_SQL_AST_H_
+#define ECODB_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecodb/exec/expr.h"  // for CompareOp/LogicalOp/ArithOp enums
+
+namespace ecodb::sql {
+
+enum class AstKind {
+  kColumn,
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kDateLit,
+  kStar,      ///< bare `*` (only inside COUNT(*) or SELECT *)
+  kCompare,
+  kLogical,
+  kNot,
+  kArith,
+  kBetween,   ///< args: operand, lo, hi
+  kInList,    ///< args: operand, v1, v2, ...
+  kFuncCall,  ///< name = function, args = arguments
+};
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  AstKind kind;
+  std::string name;       ///< column or function name
+  int64_t int_value = 0;
+  double dbl_value = 0.0;
+  std::string str_value;
+  CompareOp cmp_op = CompareOp::kEq;
+  LogicalOp log_op = LogicalOp::kAnd;
+  ArithOp arith_op = ArithOp::kAdd;
+  std::vector<AstExprPtr> args;
+
+  std::string ToString() const;
+};
+
+AstExprPtr MakeAst(AstKind kind);
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  ///< empty if none
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+/// SELECT ... FROM t1, t2 [JOIN t ON ...] WHERE ... GROUP BY ...
+/// ORDER BY ... LIMIT n
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<std::string> from_tables;
+  AstExprPtr where;  ///< null if absent (JOIN..ON conditions are folded in)
+  std::vector<AstExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace ecodb::sql
+
+#endif  // ECODB_SQL_AST_H_

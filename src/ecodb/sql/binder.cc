@@ -1,0 +1,98 @@
+#include "ecodb/sql/binder.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb::sql {
+
+bool IsAggregateName(const std::string& upper_name) {
+  return upper_name == "SUM" || upper_name == "COUNT" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+bool ContainsAggregate(const AstExpr& ast) {
+  if (ast.kind == AstKind::kFuncCall && IsAggregateName(ast.name)) {
+    return true;
+  }
+  for (const AstExprPtr& a : ast.args) {
+    if (ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+Result<ExprPtr> BindScalar(const AstExpr& ast, const Schema& schema) {
+  switch (ast.kind) {
+    case AstKind::kColumn: {
+      int idx = schema.FindField(ast.name);
+      if (idx < 0) {
+        return Status::ParseError(
+            StrFormat("unknown column '%s'", ast.name.c_str()));
+      }
+      return Col(idx, schema.field(idx).type, schema.field(idx).name);
+    }
+    case AstKind::kIntLit:
+      return LitInt(ast.int_value);
+    case AstKind::kDoubleLit:
+      return LitDbl(ast.dbl_value);
+    case AstKind::kStringLit:
+      return LitStr(ast.str_value);
+    case AstKind::kDateLit: {
+      int32_t days = ParseDateToDays(ast.str_value);
+      if (days == INT32_MIN) {
+        return Status::ParseError(
+            StrFormat("bad date literal '%s'", ast.str_value.c_str()));
+      }
+      return Lit(Value::Date(days));
+    }
+    case AstKind::kStar:
+      return Status::ParseError("'*' is only valid in COUNT(*) or SELECT *");
+    case AstKind::kCompare: {
+      ECODB_ASSIGN_OR_RETURN(ExprPtr l, BindScalar(*ast.args[0], schema));
+      ECODB_ASSIGN_OR_RETURN(ExprPtr r, BindScalar(*ast.args[1], schema));
+      return Cmp(ast.cmp_op, std::move(l), std::move(r));
+    }
+    case AstKind::kLogical: {
+      std::vector<ExprPtr> operands;
+      for (const AstExprPtr& a : ast.args) {
+        ECODB_ASSIGN_OR_RETURN(ExprPtr e, BindScalar(*a, schema));
+        operands.push_back(std::move(e));
+      }
+      return ast.log_op == LogicalOp::kAnd ? And(std::move(operands))
+                                           : Or(std::move(operands));
+    }
+    case AstKind::kNot: {
+      ECODB_ASSIGN_OR_RETURN(ExprPtr e, BindScalar(*ast.args[0], schema));
+      return Not(std::move(e));
+    }
+    case AstKind::kArith: {
+      ECODB_ASSIGN_OR_RETURN(ExprPtr l, BindScalar(*ast.args[0], schema));
+      ECODB_ASSIGN_OR_RETURN(ExprPtr r, BindScalar(*ast.args[1], schema));
+      return Arith(ast.arith_op, std::move(l), std::move(r));
+    }
+    case AstKind::kBetween: {
+      ECODB_ASSIGN_OR_RETURN(ExprPtr e, BindScalar(*ast.args[0], schema));
+      ECODB_ASSIGN_OR_RETURN(ExprPtr lo, BindScalar(*ast.args[1], schema));
+      ECODB_ASSIGN_OR_RETURN(ExprPtr hi, BindScalar(*ast.args[2], schema));
+      return Between(std::move(e), std::move(lo), std::move(hi));
+    }
+    case AstKind::kInList: {
+      ECODB_ASSIGN_OR_RETURN(ExprPtr operand,
+                             BindScalar(*ast.args[0], schema));
+      std::vector<Value> values;
+      for (size_t i = 1; i < ast.args.size(); ++i) {
+        ECODB_ASSIGN_OR_RETURN(ExprPtr v, BindScalar(*ast.args[i], schema));
+        if (v->kind() != ExprKind::kLiteral) {
+          return Status::ParseError("IN list items must be literals");
+        }
+        values.push_back(static_cast<const LiteralExpr&>(*v).value());
+      }
+      return InList(std::move(operand), std::move(values));
+    }
+    case AstKind::kFuncCall:
+      return Status::ParseError(
+          StrFormat("aggregate/function '%s' not allowed here",
+                    ast.name.c_str()));
+  }
+  return Status::Internal("unhandled AST kind");
+}
+
+}  // namespace ecodb::sql

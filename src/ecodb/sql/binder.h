@@ -1,0 +1,27 @@
+// Binder: resolves parsed expressions against a schema, producing
+// executable Expr trees.
+
+#ifndef ECODB_SQL_BINDER_H_
+#define ECODB_SQL_BINDER_H_
+
+#include "ecodb/exec/expr.h"
+#include "ecodb/sql/ast.h"
+#include "ecodb/storage/schema.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb::sql {
+
+/// Binds a scalar (non-aggregate) expression; column names resolve
+/// case-insensitively against `schema`. Aggregate calls are an error here
+/// (the planner lifts them into AggSpecs first).
+Result<ExprPtr> BindScalar(const AstExpr& ast, const Schema& schema);
+
+/// True if the tree contains an aggregate function call.
+bool ContainsAggregate(const AstExpr& ast);
+
+/// True if `name` is one of SUM/COUNT/AVG/MIN/MAX.
+bool IsAggregateName(const std::string& upper_name);
+
+}  // namespace ecodb::sql
+
+#endif  // ECODB_SQL_BINDER_H_

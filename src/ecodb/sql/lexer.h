@@ -1,0 +1,41 @@
+// SQL lexer.
+
+#ifndef ECODB_SQL_LEXER_H_
+#define ECODB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecodb/util/result.h"
+
+namespace ecodb::sql {
+
+enum class TokenKind {
+  kIdent,    ///< bare identifier or keyword (case-insensitive)
+  kInt,
+  kDouble,
+  kString,   ///< 'quoted literal' (quotes stripped, '' unescaped)
+  kSymbol,   ///< punctuation / operator, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< identifier/symbol text (identifiers upper-cased
+                          ///< in `upper`, original in text)
+  std::string upper;      ///< upper-case form for keyword matching
+  int64_t int_value = 0;
+  double dbl_value = 0.0;
+  size_t pos = 0;         ///< byte offset in the input (for errors)
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* s) const;
+};
+
+/// Tokenizes SQL text. Symbols recognized: ( ) , . * / + - = <> != < <= > >= ;
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace ecodb::sql
+
+#endif  // ECODB_SQL_LEXER_H_

@@ -1,0 +1,23 @@
+// Recursive-descent SQL parser for the ecoDB subset:
+//   SELECT [*|expr [AS alias], ...]
+//   FROM t1 [, t2 ...] [[INNER] JOIN t ON cond ...]
+//   [WHERE cond] [GROUP BY expr, ...]
+//   [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+// Expressions: AND/OR/NOT, comparisons, +,-,*,/, BETWEEN, IN (...),
+// DATE 'yyyy-mm-dd' literals, SUM/COUNT/AVG/MIN/MAX calls.
+
+#ifndef ECODB_SQL_PARSER_H_
+#define ECODB_SQL_PARSER_H_
+
+#include <string>
+
+#include "ecodb/sql/ast.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb::sql {
+
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace ecodb::sql
+
+#endif  // ECODB_SQL_PARSER_H_

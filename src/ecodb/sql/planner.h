@@ -1,0 +1,26 @@
+// SQL planner: parsed statement -> physical plan.
+//
+// Join ordering is a greedy heuristic in the System-R spirit: start from
+// the table with the smallest filtered cardinality estimate, repeatedly
+// attach the connected table with the smallest estimate via a hash join
+// (smaller side builds), fall back to a nested-loop cross join for
+// disconnected tables. Single-table predicates are pushed below joins.
+
+#ifndef ECODB_SQL_PLANNER_H_
+#define ECODB_SQL_PLANNER_H_
+
+#include <string>
+
+#include "ecodb/exec/plan.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb::sql {
+
+/// Parses, binds and plans a SELECT statement.
+Result<PlanNodePtr> PlanQuery(const std::string& sql_text,
+                              const Catalog& catalog);
+
+}  // namespace ecodb::sql
+
+#endif  // ECODB_SQL_PLANNER_H_

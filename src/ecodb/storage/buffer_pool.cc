@@ -1,0 +1,85 @@
+#include "ecodb/storage/buffer_pool.h"
+
+namespace ecodb {
+
+BufferPool::BufferPool(Machine* machine, uint64_t capacity_pages)
+    : machine_(machine), capacity_pages_(capacity_pages) {}
+
+bool BufferPool::Contains(PageId pid) const {
+  return frames_.find(pid) != frames_.end();
+}
+
+void BufferPool::Touch(PageId pid) {
+  auto it = frames_.find(pid);
+  lru_.erase(it->second);
+  lru_.push_front(pid);
+  it->second = lru_.begin();
+}
+
+void BufferPool::Admit(PageId pid) {
+  if (capacity_pages_ != 0 && frames_.size() >= capacity_pages_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(pid);
+  frames_[pid] = lru_.begin();
+}
+
+Status BufferPool::FetchPage(PageId pid, AccessHint hint) {
+  if (Contains(pid)) {
+    ++stats_.hits;
+    Touch(pid);
+    return Status::OK();
+  }
+  ++stats_.misses;
+  bool random = hint == AccessHint::kRandom;
+  if (random) {
+    ++stats_.random_misses;
+  } else {
+    ++stats_.sequential_misses;
+  }
+  ECODB_RETURN_NOT_OK(machine_->DiskRead(kPageSizeBytes, 1, random));
+  Admit(pid);
+  return Status::OK();
+}
+
+Status BufferPool::FetchRange(uint32_t file_id, uint64_t first, uint64_t count,
+                              AccessHint hint) {
+  uint64_t missing = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    PageId pid{file_id, first + i};
+    if (Contains(pid)) {
+      ++stats_.hits;
+      Touch(pid);
+    } else {
+      ++missing;
+    }
+  }
+  if (missing == 0) return Status::OK();
+  stats_.misses += missing;
+  bool random = hint == AccessHint::kRandom;
+  if (random) {
+    stats_.random_misses += missing;
+    ECODB_RETURN_NOT_OK(
+        machine_->DiskRead(missing * kPageSizeBytes, missing, true));
+  } else {
+    stats_.sequential_misses += missing;
+    // Readahead: one positioning for the whole run.
+    ECODB_RETURN_NOT_OK(
+        machine_->DiskRead(missing * kPageSizeBytes, missing, false));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    PageId pid{file_id, first + i};
+    if (!Contains(pid)) Admit(pid);
+  }
+  return Status::OK();
+}
+
+void BufferPool::EvictAll() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace ecodb

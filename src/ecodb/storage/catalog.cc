@@ -1,0 +1,59 @@
+#include "ecodb/storage/catalog.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (FindTable(name) != nullptr) {
+    return Status::AlreadyExists(StrFormat("table %s", name.c_str()));
+  }
+  auto entry = std::make_unique<TableEntry>();
+  entry->table = std::make_unique<Table>(name, std::move(schema));
+  entry->file = HeapFile(next_file_id_++, 0,
+                         entry->table->schema().RowWidth());
+  Table* raw = entry->table.get();
+  tables_.emplace_back(ToLower(name), std::move(entry));
+  return raw;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  const TableEntry* e = FindEntry(name);
+  return e ? e->table.get() : nullptr;
+}
+
+const TableEntry* Catalog::FindEntry(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (const auto& [n, entry] : tables_) {
+    if (n == key) return entry.get();
+  }
+  return nullptr;
+}
+
+Status Catalog::FinalizeLoad(const std::string& name) {
+  std::string key = ToLower(name);
+  for (auto& [n, entry] : tables_) {
+    if (n == key) {
+      entry->file.SetNumRows(entry->table->num_rows());
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("table %s", name.c_str()));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [n, entry] : tables_) out.push_back(entry->table->name());
+  return out;
+}
+
+uint64_t Catalog::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [n, entry] : tables_) {
+    total += entry->table->EstimatedBytes();
+  }
+  return total;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,50 @@
+// Catalog: name -> (columnar table, heap-file layout).
+
+#ifndef ECODB_STORAGE_CATALOG_H_
+#define ECODB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecodb/storage/heap_file.h"
+#include "ecodb/storage/table.h"
+#include "ecodb/util/result.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+struct TableEntry {
+  std::unique_ptr<Table> table;
+  HeapFile file;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails with kAlreadyExists on name clash.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Lookup (case-insensitive). nullptr if missing.
+  Table* FindTable(const std::string& name) const;
+  const TableEntry* FindEntry(const std::string& name) const;
+
+  /// Refreshes heap-file layout after bulk loading `name`.
+  Status FinalizeLoad(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Total estimated data volume across tables (bytes).
+  uint64_t TotalBytes() const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<TableEntry>>> tables_;
+  uint32_t next_file_id_ = 1;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_CATALOG_H_

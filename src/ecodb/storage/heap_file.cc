@@ -1,0 +1,19 @@
+#include "ecodb/storage/heap_file.h"
+
+#include <algorithm>
+
+namespace ecodb {
+
+HeapFile::HeapFile(uint32_t file_id, uint64_t num_rows, int row_width)
+    : file_id_(file_id) {
+  rows_per_page_ = std::max<uint64_t>(
+      1, kPageSizeBytes / static_cast<uint64_t>(std::max(1, row_width)));
+  SetNumRows(num_rows);
+}
+
+void HeapFile::SetNumRows(uint64_t num_rows) {
+  num_rows_ = num_rows;
+  num_pages_ = (num_rows + rows_per_page_ - 1) / rows_per_page_;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,60 @@
+// Simulated on-disk layout: each table maps to a heap file of fixed-size
+// pages. Pages are accounting entities (what the buffer pool caches and
+// what disk reads are charged against); their contents are the columnar
+// Table data.
+
+#ifndef ECODB_STORAGE_HEAP_FILE_H_
+#define ECODB_STORAGE_HEAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecodb {
+
+inline constexpr uint32_t kPageSizeBytes = 8192;
+
+struct PageId {
+  uint32_t file_id = 0;
+  uint64_t page_no = 0;
+
+  bool operator==(const PageId& o) const {
+    return file_id == o.file_id && page_no == o.page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (static_cast<size_t>(p.file_id) << 48) ^ p.page_no;
+  }
+};
+
+/// Page-layout metadata for one table.
+class HeapFile {
+ public:
+  HeapFile() = default;
+  /// row_width: estimated bytes per tuple (Schema::RowWidth()).
+  HeapFile(uint32_t file_id, uint64_t num_rows, int row_width);
+
+  uint32_t file_id() const { return file_id_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t rows_per_page() const { return rows_per_page_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Page holding row `r`.
+  PageId PageOfRow(uint64_t r) const {
+    return PageId{file_id_, rows_per_page_ ? r / rows_per_page_ : 0};
+  }
+
+  /// Recomputes layout after rows were appended.
+  void SetNumRows(uint64_t num_rows);
+
+ private:
+  uint32_t file_id_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t rows_per_page_ = 1;
+  uint64_t num_pages_ = 0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_HEAP_FILE_H_

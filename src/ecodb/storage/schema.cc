@@ -1,0 +1,63 @@
+#include "ecodb/storage/schema.h"
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+namespace {
+
+int DefaultWidth(ValueType t) {
+  switch (t) {
+    case ValueType::kString:
+      return 16;
+    case ValueType::kDate:
+      return 4;
+    case ValueType::kBool:
+      return 1;
+    default:
+      return 8;
+  }
+}
+
+}  // namespace
+
+Field::Field(std::string n, ValueType t)
+    : name(std::move(n)), type(t), avg_width(DefaultWidth(t)) {}
+
+Field::Field(std::string n, ValueType t, int width)
+    : name(std::move(n)), type(t), avg_width(width) {}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::RowWidth() const {
+  int w = 0;
+  for (const Field& f : fields_) w += f.avg_width;
+  return w;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Field> fields = a.fields();
+  fields.insert(fields.end(), b.fields().begin(), b.fields().end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += ecodb::ToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ecodb

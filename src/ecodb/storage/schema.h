@@ -1,0 +1,51 @@
+// Relational schemas.
+
+#ifndef ECODB_STORAGE_SCHEMA_H_
+#define ECODB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// Average on-disk width in bytes (used for page layout and the
+  /// memory-traffic model). Strings default to 16.
+  int avg_width = 8;
+
+  Field() = default;
+  Field(std::string n, ValueType t);
+  Field(std::string n, ValueType t, int width);
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with this (case-insensitive) name, or -1.
+  int FindField(const std::string& name) const;
+
+  /// Sum of field widths: estimated bytes per tuple.
+  int RowWidth() const;
+
+  /// Concatenation (join output schema).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_SCHEMA_H_

@@ -1,0 +1,112 @@
+#include "ecodb/storage/table.h"
+
+#include <cassert>
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+size_t Column::size() const {
+  switch (type_) {
+    case ValueType::kDouble:
+      return doubles_.size();
+    case ValueType::kString:
+      return strings_.size();
+    default:
+      return ints_.size();
+  }
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value::Int(ints_[row]);
+    case ValueType::kDate:
+      return Value::Date(static_cast<int32_t>(ints_[row]));
+    case ValueType::kBool:
+      return Value::Bool(ints_[row] != 0);
+    case ValueType::kDouble:
+      return Value::Dbl(doubles_[row]);
+    case ValueType::kString:
+      return Value::Str(strings_[row]);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+      AppendInt(v.AsInt());
+      return;
+    case ValueType::kDate:
+      AppendInt(v.AsDate());
+      return;
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      return;
+    case ValueType::kNull:
+      assert(false && "append to NULL-typed column");
+  }
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      return;
+    case ValueType::kString:
+      strings_.reserve(n);
+      return;
+    default:
+      ints_.reserve(n);
+  }
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %d", row.size(),
+                  schema_.num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      return Status::InvalidArgument(
+          StrFormat("NULL value for column %s",
+                    schema_.field(static_cast<int>(i)).name.c_str()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].AppendValue(row[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::GetRow(size_t r, Row* out) const {
+  out->clear();
+  out->reserve(columns_.size());
+  for (const Column& c : columns_) out->push_back(c.GetValue(r));
+}
+
+void Table::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+uint64_t Table::EstimatedBytes() const {
+  return static_cast<uint64_t>(num_rows_) *
+         static_cast<uint64_t>(schema_.RowWidth());
+}
+
+}  // namespace ecodb

@@ -1,0 +1,87 @@
+// Columnar in-memory table storage.
+//
+// Data lives in typed column vectors (compact; TPC-H lineitem at SF 1 fits
+// in a couple hundred MB). The *disk-backed* engine profile still charges
+// simulated page I/O through HeapFile + BufferPool; the columnar arrays
+// are the contents those simulated pages hold.
+
+#ifndef ECODB_STORAGE_TABLE_H_
+#define ECODB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecodb/storage/schema.h"
+#include "ecodb/storage/value.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+/// One typed column. Only the vector matching the declared type is used.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+
+  /// Boxed access (slow path; scans use the typed getters).
+  Value GetValue(size_t row) const;
+  void AppendValue(const Value& v);
+
+  void Reserve(size_t n);
+
+ private:
+  ValueType type_;
+  std::vector<int64_t> ints_;      // kInt64 / kDate / kBool
+  std::vector<double> doubles_;    // kDouble
+  std::vector<std::string> strings_;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Appends a row; the row must match the schema arity and types
+  /// (kNull values are rejected — ecoDB tables are NOT NULL, as TPC-H is).
+  Status AppendRow(const Row& row);
+
+  /// Materializes row `r` into `out` (resized as needed).
+  void GetRow(size_t r, Row* out) const;
+
+  Value GetValue(size_t row, int col) const {
+    return columns_[static_cast<size_t>(col)].GetValue(row);
+  }
+
+  void Reserve(size_t n);
+
+  /// Estimated data bytes (for buffer-pool sizing decisions).
+  uint64_t EstimatedBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_TABLE_H_

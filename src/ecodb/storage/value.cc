@@ -1,0 +1,204 @@
+#include "ecodb/storage/value.h"
+
+#include <cassert>
+#include <functional>
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+const char* ToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kDate:
+      return "DATE";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = ValueType::kInt64;
+  out.i_ = v;
+  return out;
+}
+
+Value Value::Dbl(double v) {
+  Value out;
+  out.type_ = ValueType::kDouble;
+  out.d_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.type_ = ValueType::kString;
+  out.s_ = std::move(v);
+  return out;
+}
+
+Value Value::Date(int32_t days) {
+  Value out;
+  out.type_ = ValueType::kDate;
+  out.i_ = days;
+  return out;
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = ValueType::kBool;
+  out.i_ = v ? 1 : 0;
+  return out;
+}
+
+int64_t Value::AsInt() const {
+  assert(type_ == ValueType::kInt64 || type_ == ValueType::kDate ||
+         type_ == ValueType::kBool);
+  return i_;
+}
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kDouble:
+      return d_;
+    case ValueType::kInt64:
+    case ValueType::kDate:
+    case ValueType::kBool:
+      return static_cast<double>(i_);
+    default:
+      assert(false && "AsDouble on non-numeric value");
+      return 0.0;
+  }
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == ValueType::kString);
+  return s_;
+}
+
+int32_t Value::AsDate() const {
+  assert(type_ == ValueType::kDate);
+  return static_cast<int32_t>(i_);
+}
+
+bool Value::AsBool() const {
+  assert(type_ == ValueType::kBool);
+  return i_ != 0;
+}
+
+bool Value::IsTruthy() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return i_ != 0;
+    case ValueType::kDouble:
+      return d_ != 0.0;
+    case ValueType::kString:
+      return !s_.empty();
+  }
+  return false;
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble ||
+         t == ValueType::kDate || t == ValueType::kBool;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (type_ == ValueType::kNull || other.type_ == ValueType::kNull) {
+    if (type_ == other.type_) return 0;
+    return type_ == ValueType::kNull ? -1 : 1;
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    // Fast exact path when neither side is a double.
+    if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
+      if (i_ < other.i_) return -1;
+      return i_ > other.i_ ? 1 : 0;
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    return a > b ? 1 : 0;
+  }
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    int c = s_.compare(other.s_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mismatched non-comparable types: order by tag for sort totality.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0xEC0DB0ULL;
+    case ValueType::kString:
+      return std::hash<std::string>{}(s_);
+    case ValueType::kDouble: {
+      // Hash doubles through their numeric value so Int(2) and Dbl(2.0)
+      // (which compare equal) hash equal when integral.
+      double d = d_;
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>{}(as_int);
+      }
+      return std::hash<double>{}(d);
+    }
+    default:
+      return std::hash<int64_t>{}(i_);
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(i_));
+    case ValueType::kDouble:
+      return FormatDouble(d_, 4);
+    case ValueType::kString:
+      return s_;
+    case ValueType::kDate:
+      return DaysToDateString(static_cast<int32_t>(i_));
+    case ValueType::kBool:
+      return i_ ? "true" : "false";
+  }
+  return "?";
+}
+
+size_t HashRowKey(const Row& row, const std::vector<int>& key_cols) {
+  size_t h = 0x9E3779B97F4A7C15ULL;
+  for (int c : key_cols) {
+    h ^= row[static_cast<size_t>(c)].Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ecodb

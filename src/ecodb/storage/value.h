@@ -1,0 +1,80 @@
+// Value: the dynamically-typed scalar used at engine boundaries (rows,
+// literals, query results).
+
+#ifndef ECODB_STORAGE_VALUE_H_
+#define ECODB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecodb {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,  ///< stored as int32 days since 1970-01-01
+  kBool,
+};
+
+const char* ToString(ValueType t);
+
+/// Owning scalar variant. Comparisons between kInt64/kDouble/kDate coerce
+/// numerically; strings compare lexicographically; NULL compares less than
+/// everything (only used for sort stability — SQL predicates on NULL
+/// evaluate to false via IsTruthy).
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v);
+  static Value Dbl(double v);
+  static Value Str(std::string v);
+  static Value Date(int32_t days);
+  static Value Bool(bool v);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt() const;       ///< valid for kInt64/kDate/kBool
+  double AsDouble() const;     ///< valid for numeric types
+  const std::string& AsString() const;
+  int32_t AsDate() const;
+  bool AsBool() const;
+
+  /// True numeric-ish interpretation for WHERE results.
+  bool IsTruthy() const;
+
+  /// Three-way comparison: <0, 0, >0. Numeric types coerce; mismatched
+  /// non-numeric types order by type tag (total order for sorting).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Hash consistent with operator== for join/group keys.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+};
+
+/// A materialized tuple flowing between operators.
+using Row = std::vector<Value>;
+
+/// Hash of a multi-column key.
+size_t HashRowKey(const Row& row, const std::vector<int>& key_cols);
+
+std::string RowToString(const Row& row);
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_VALUE_H_

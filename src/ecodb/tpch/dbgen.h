@@ -1,0 +1,68 @@
+// TPC-H data generator (deterministic, scale-factor parameterized).
+//
+// Generates the eight TPC-H tables with the distributional properties the
+// paper's workloads rely on: uniform keys, order dates spanning 1992-01-01
+// .. 1998-08-02 (so one-year Q5 ranges are non-overlapping equal slices),
+// and l_quantity uniform over the 50 integers 1..50 (so a single-value
+// predicate has the 2 % selectivity QED's workload uses). Text fields are
+// generated short to keep memory modest; schema shapes match TPC-H.
+
+#ifndef ECODB_TPCH_DBGEN_H_
+#define ECODB_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ecodb/storage/catalog.h"
+#include "ecodb/util/status.h"
+
+namespace ecodb::tpch {
+
+struct DbGenOptions {
+  /// TPC-H scale factor. SF 1.0 ~ 6M lineitem rows. The paper uses SF 1.0
+  /// (commercial), 0.125 (MySQL PVC) and 0.5 (QED); benches default lower
+  /// and report scaled results.
+  double scale_factor = 0.1;
+  uint64_t seed = 19940101;
+  /// Skip part/partsupp when not needed (they are not used by Q1/3/5/6).
+  bool include_part_tables = false;
+};
+
+/// Row-count helpers for a scale factor (minimum 1).
+uint64_t CustomerCount(double sf);
+uint64_t OrderCount(double sf);
+uint64_t SupplierCount(double sf);
+uint64_t PartCount(double sf);
+
+/// Date-range constants shared with the query builders.
+extern const char* const kOrderDateLo;  // "1992-01-01"
+extern const char* const kOrderDateHi;  // "1998-08-02" (exclusive)
+
+/// The 25 TPC-H nations (name, region key) and 5 regions.
+extern const char* const kRegionNames[5];
+struct NationSpec {
+  const char* name;
+  int region_key;
+};
+extern const NationSpec kNations[25];
+
+/// Number of distinct l_quantity values (1..kQuantityValues, uniform).
+inline constexpr int64_t kQuantityValues = 50;
+
+/// Generates all tables into the catalog. Fails with kAlreadyExists if
+/// tables are already present.
+Status Generate(const DbGenOptions& options, Catalog* catalog);
+
+// Schemas (exported for tests and the binder).
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+Schema PartSchema();
+Schema PartsuppSchema();
+
+}  // namespace ecodb::tpch
+
+#endif  // ECODB_TPCH_DBGEN_H_

@@ -1,0 +1,62 @@
+// TPC-H query plan builders (hand-built physical plans, as a DBMS
+// optimizer would produce) and matching SQL texts for the SQL front end.
+//
+// Q5 is the paper's PVC workload query ("a six table join and a group by
+// clause on one attribute"); Q1/Q3/Q6 round out the example workloads.
+// SelectionQuery is QED's 2 %-selectivity single-table select.
+
+#ifndef ECODB_TPCH_QUERIES_H_
+#define ECODB_TPCH_QUERIES_H_
+
+#include <string>
+
+#include "ecodb/exec/plan.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb::tpch {
+
+/// TPC-H Q5 parameters: region name and a one-year date window.
+struct Q5Params {
+  std::string region = "ASIA";
+  std::string date_lo = "1994-01-01";
+  std::string date_hi = "1995-01-01";
+};
+
+/// Local-supplier volume query (six-way join, group by n_name).
+Result<PlanNodePtr> BuildQ5Plan(const Catalog& catalog, const Q5Params& p);
+std::string Q5Sql(const Q5Params& p);
+
+/// Q1: pricing summary report over lineitem (shipdate <= cutoff).
+Result<PlanNodePtr> BuildQ1Plan(const Catalog& catalog,
+                                const std::string& ship_cutoff);
+std::string Q1Sql(const std::string& ship_cutoff);
+
+/// Q3: shipping priority (customer x orders x lineitem, top 10).
+struct Q3Params {
+  std::string segment = "BUILDING";
+  std::string date = "1995-03-15";
+};
+Result<PlanNodePtr> BuildQ3Plan(const Catalog& catalog, const Q3Params& p);
+std::string Q3Sql(const Q3Params& p);
+
+/// Q6: forecasting revenue change (selection + aggregate over lineitem).
+struct Q6Params {
+  std::string date_lo = "1994-01-01";
+  std::string date_hi = "1995-01-01";
+  double discount = 0.06;
+  int64_t quantity = 24;
+};
+Result<PlanNodePtr> BuildQ6Plan(const Catalog& catalog, const Q6Params& p);
+std::string Q6Sql(const Q6Params& p);
+
+/// QED's workload query: SELECT l_orderkey, l_partkey, l_quantity,
+/// l_extendedprice FROM lineitem WHERE l_quantity = `value` — one of the
+/// 50 uniform values, i.e. 2 % selectivity (paper Section 4).
+Result<PlanNodePtr> BuildSelectionQuery(const Catalog& catalog,
+                                        int64_t quantity_value);
+std::string SelectionSql(int64_t quantity_value);
+
+}  // namespace ecodb::tpch
+
+#endif  // ECODB_TPCH_QUERIES_H_

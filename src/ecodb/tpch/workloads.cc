@@ -1,0 +1,67 @@
+#include "ecodb/tpch/workloads.h"
+
+#include <numeric>
+
+#include "ecodb/tpch/dbgen.h"
+#include "ecodb/tpch/queries.h"
+#include "ecodb/util/rng.h"
+#include "ecodb/util/strings.h"
+
+namespace ecodb::tpch {
+
+Result<Workload> MakeQ5Workload(const Catalog& catalog) {
+  Workload w;
+  w.name = "tpch-q5-x10";
+  for (const char* region : {"ASIA", "AMERICA"}) {
+    for (int year = 1993; year <= 1997; ++year) {
+      Q5Params p;
+      p.region = region;
+      p.date_lo = StrFormat("%d-01-01", year);
+      p.date_hi = StrFormat("%d-01-01", year + 1);
+      ECODB_ASSIGN_OR_RETURN(PlanNodePtr plan, BuildQ5Plan(catalog, p));
+      w.queries.push_back(std::move(plan));
+    }
+  }
+  return w;
+}
+
+Result<Workload> MakeSelectionWorkload(const Catalog& catalog, int n,
+                                       uint64_t seed) {
+  if (n < 1 || n > kQuantityValues) {
+    return Status::InvalidArgument(
+        StrFormat("selection workload size %d out of [1, %lld]", n,
+                  static_cast<long long>(kQuantityValues)));
+  }
+  // Choose n distinct values from 1..50, shuffled deterministically.
+  std::vector<int64_t> values(kQuantityValues);
+  std::iota(values.begin(), values.end(), 1);
+  Rng rng(seed);
+  rng.Shuffle(&values);
+  values.resize(static_cast<size_t>(n));
+
+  Workload w;
+  w.name = StrFormat("selection-x%d", n);
+  for (int64_t v : values) {
+    ECODB_ASSIGN_OR_RETURN(PlanNodePtr plan, BuildSelectionQuery(catalog, v));
+    w.queries.push_back(std::move(plan));
+    w.selection_values.push_back(v);
+  }
+  return w;
+}
+
+Result<Workload> MakeMixedWorkload(const Catalog& catalog) {
+  Workload w;
+  w.name = "mixed-q1-q3-q5-q6";
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q1,
+                         BuildQ1Plan(catalog, "1998-09-02"));
+  w.queries.push_back(std::move(q1));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q3, BuildQ3Plan(catalog, Q3Params{}));
+  w.queries.push_back(std::move(q3));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q5, BuildQ5Plan(catalog, Q5Params{}));
+  w.queries.push_back(std::move(q5));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q6, BuildQ6Plan(catalog, Q6Params{}));
+  w.queries.push_back(std::move(q6));
+  return w;
+}
+
+}  // namespace ecodb::tpch

@@ -1,0 +1,40 @@
+// Workload generators matching the paper's experimental setup.
+
+#ifndef ECODB_TPCH_WORKLOADS_H_
+#define ECODB_TPCH_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "ecodb/exec/plan.h"
+#include "ecodb/storage/catalog.h"
+#include "ecodb/util/result.h"
+
+namespace ecodb::tpch {
+
+/// A named sequence of query plans, run back-to-back (zero think time).
+struct Workload {
+  std::string name;
+  std::vector<PlanNodePtr> queries;
+  /// For selection workloads: the predicate value of each query (used by
+  /// QED's result splitter and the analytical model).
+  std::vector<int64_t> selection_values;
+};
+
+/// The paper's PVC workload (Section 3.3): ten TPC-H Q5 instances with
+/// regions ASIA and AMERICA crossed with the five one-year date windows
+/// 1993..1997 — equal work, non-overlapping predicates.
+Result<Workload> MakeQ5Workload(const Catalog& catalog);
+
+/// The paper's QED workload (Section 4): `n` single-table selections on
+/// lineitem, each on a distinct l_quantity value (2 % selectivity each, no
+/// predicate overlap; requires n <= 50).
+Result<Workload> MakeSelectionWorkload(const Catalog& catalog, int n,
+                                       uint64_t seed);
+
+/// Extra mixed workload used by examples/ablations: Q1 + Q3 + Q6 + Q5.
+Result<Workload> MakeMixedWorkload(const Catalog& catalog);
+
+}  // namespace ecodb::tpch
+
+#endif  // ECODB_TPCH_WORKLOADS_H_

@@ -1,0 +1,66 @@
+// Result<T>: a value-or-Status holder (Arrow's arrow::Result idiom).
+
+#ifndef ECODB_UTIL_RESULT_H_
+#define ECODB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "ecodb/util/status.h"
+
+namespace ecodb {
+
+/// Holds either a successfully produced T or the Status explaining why no
+/// value could be produced. Access to value() on an errored Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result-producing expression to `lhs`, or returns
+/// the error Status from the enclosing function.
+#define ECODB_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto ECODB_CONCAT_(res_, __LINE__) = (expr);  \
+  if (!ECODB_CONCAT_(res_, __LINE__).ok())      \
+    return ECODB_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(ECODB_CONCAT_(res_, __LINE__)).value()
+
+#define ECODB_CONCAT_(a, b) ECODB_CONCAT_IMPL_(a, b)
+#define ECODB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_RESULT_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All data generation (TPC-H dbgen, workload predicates, disk access
+// patterns) must be reproducible run-to-run, so everything funnels through
+// this explicitly seeded generator rather than std::random_device.
+
+#ifndef ECODB_UTIL_RNG_H_
+#define ECODB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecodb {
+
+/// xoshiro256** — small, fast, high-quality, and fully deterministic for a
+/// given seed across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x8500E8500ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Random lowercase alphabetic string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_RNG_H_

@@ -1,0 +1,78 @@
+#include "ecodb/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecodb {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double TrimmedMean(const std::vector<double>& xs, size_t trim) {
+  if (xs.empty()) return 0.0;
+  if (2 * trim >= xs.size()) return Mean(xs);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  size_t kept = 0;
+  for (size_t i = trim; i < sorted.size() - trim; ++i) {
+    sum += sorted[i];
+    ++kept;
+  }
+  return sum / static_cast<double>(kept);
+}
+
+double Median(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ecodb

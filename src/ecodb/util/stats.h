@@ -1,0 +1,57 @@
+// Small statistics helpers.
+//
+// The paper's measurement protocol (Section 3.1): run each workload five
+// times, discard the top and bottom readings, average the middle three.
+// TrimmedMean implements exactly that (and the general k-trim case).
+
+#ifndef ECODB_UTIL_STATS_H_
+#define ECODB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ecodb {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Sorts a copy and drops `trim` values from each end, then averages the
+/// rest. With xs.size()==5 and trim==1 this is the paper's protocol.
+/// If 2*trim >= xs.size(), falls back to the plain mean.
+double TrimmedMean(const std::vector<double>& xs, size_t trim);
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+double Median(const std::vector<double>& xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for empty input; requires all xs > 0.
+double GeoMean(const std::vector<double>& xs);
+
+/// Simple online accumulator for count/mean/min/max/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Population variance.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_STATS_H_

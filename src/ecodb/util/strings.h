@@ -1,0 +1,45 @@
+// String formatting/parsing helpers shared across modules.
+
+#ifndef ECODB_UTIL_STRINGS_H_
+#define ECODB_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecodb {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+/// ASCII case-insensitive equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Formats a double with `digits` significant decimals, no trailing junk.
+std::string FormatDouble(double v, int digits = 3);
+
+/// "1994-06-08" <-> days since 1970-01-01 (proleptic Gregorian).
+/// Returns INT32_MIN on malformed input.
+int32_t ParseDateToDays(std::string_view iso);
+std::string DaysToDateString(int32_t days);
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_STRINGS_H_

@@ -1,0 +1,67 @@
+#include "ecodb/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ecodb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  Row r;
+  r.cells = std::move(cells);
+  r.cells.resize(header_.size());
+  rows_.push_back(std::move(r));
+}
+
+void TablePrinter::AddSeparator() {
+  Row r;
+  r.separator = true;
+  rows_.push_back(std::move(r));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+
+  auto render_rule = [&] {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line.append(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : header_[i];
+      line += " " + c;
+      line.append(widths[i] - c.size() + 1, ' ');
+      line += "|";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_rule();
+  out += render_row(header_);
+  out += render_rule();
+  for (const Row& r : rows_) {
+    out += r.separator ? render_rule() : render_row(r.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ecodb

@@ -1,0 +1,41 @@
+// Aligned text tables for the bench harnesses (paper table/figure output).
+
+#ifndef ECODB_UTIL_TABLE_PRINTER_H_
+#define ECODB_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ecodb {
+
+/// Collects rows of string cells and renders an aligned, pipe-separated
+/// table. Numeric formatting is the caller's job (use FormatDouble).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Adds a horizontal rule between row groups.
+  void AddSeparator();
+
+  /// Renders the full table (header, rule, rows).
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_TABLE_PRINTER_H_

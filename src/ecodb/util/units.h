@@ -1,0 +1,37 @@
+// Unit conventions used throughout the simulator.
+//
+//   time    : double seconds
+//   energy  : double joules
+//   power   : double watts
+//   freq    : double hertz
+//   voltage : double volts
+//
+// Helper constants keep call sites readable without a heavyweight unit
+// type system.
+
+#ifndef ECODB_UTIL_UNITS_H_
+#define ECODB_UTIL_UNITS_H_
+
+namespace ecodb {
+
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Energy-delay product: joules x seconds. The paper's preferred combined
+/// metric (Section 3.4); lower is better.
+inline constexpr double Edp(double joules, double seconds) {
+  return joules * seconds;
+}
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_UNITS_H_

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/core/adaptive.h"
+#include "ecodb/core/experiment.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+    ASSERT_NE(db_, nullptr);
+    workload_ = tpch::MakeSelectionWorkload(*db_->catalog(), 10, 5).value();
+    ExperimentRunner runner(db_.get());
+    stock_ =
+        runner.RunWorkload(workload_, SystemSettings::Stock(), {}).value();
+    eco_ = runner
+               .RunWorkload(workload_, {0.05, VoltageDowngrade::kMedium}, {})
+               .value();
+  }
+  std::unique_ptr<Database> db_;
+  tpch::Workload workload_;
+  RunMeasurement stock_, eco_;
+};
+
+TEST_F(AdaptiveTest, StaysEcoWithGenerousDeadline) {
+  AdaptiveOptions opt;
+  opt.deadline_s = eco_.seconds * 2.0;
+  AdaptiveController ctl(db_.get(), opt);
+  auto rep = ctl.Run(workload_);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep.value().met_deadline);
+  EXPECT_EQ(rep.value().switches, 0);
+  // Energy close to the pure-eco run.
+  EXPECT_NEAR(rep.value().cpu_j / eco_.cpu_j, 1.0, 0.05);
+}
+
+TEST_F(AdaptiveTest, EscalatesUnderTightDeadline) {
+  // Deadline between eco and stock times: the controller must switch to
+  // the fast point to make it.
+  AdaptiveOptions opt;
+  opt.deadline_s = 0.5 * (stock_.seconds + eco_.seconds);
+  AdaptiveController ctl(db_.get(), opt);
+  auto rep = ctl.Run(workload_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GE(rep.value().switches, 1);
+  EXPECT_TRUE(rep.value().met_deadline)
+      << rep.value().total_s << " vs deadline " << opt.deadline_s;
+  // Uses less energy than running stock throughout (some eco queries).
+  EXPECT_LT(rep.value().cpu_j, stock_.cpu_j);
+}
+
+TEST_F(AdaptiveTest, ImpossibleDeadlineReported) {
+  AdaptiveOptions opt;
+  opt.deadline_s = stock_.seconds * 0.5;
+  AdaptiveController ctl(db_.get(), opt);
+  auto rep = ctl.Run(workload_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.value().met_deadline);
+}
+
+TEST_F(AdaptiveTest, RestoresSettingsAndRecordsPerQueryState) {
+  AdaptiveOptions opt;
+  opt.deadline_s = eco_.seconds * 1.5;
+  AdaptiveController ctl(db_.get(), opt);
+  ASSERT_TRUE(db_->ApplySettings(SystemSettings::Stock()).ok());
+  auto rep = ctl.Run(workload_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(db_->settings() == SystemSettings::Stock());
+  EXPECT_EQ(rep.value().per_query_settings.size(), workload_.queries.size());
+  EXPECT_EQ(rep.value().query_completion_s.size(), workload_.queries.size());
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/storage/buffer_pool.h"
+
+namespace ecodb {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : machine_(MachineConfig::PaperTestbed()) {}
+  Machine machine_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(&machine_, 16);
+  PageId p{1, 0};
+  ASSERT_TRUE(pool.FetchPage(p, AccessHint::kSequential).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  ASSERT_TRUE(pool.FetchPage(p, AccessHint::kSequential).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_TRUE(pool.Contains(p));
+}
+
+TEST_F(BufferPoolTest, MissChargesSimulatedDiskTime) {
+  BufferPool pool(&machine_, 16);
+  double t0 = machine_.NowSeconds();
+  ASSERT_TRUE(pool.FetchPage({1, 0}, AccessHint::kRandom).ok());
+  double t_random = machine_.NowSeconds() - t0;
+  EXPECT_GT(t_random, 0.01);  // ~12.5 ms positioning
+  t0 = machine_.NowSeconds();
+  ASSERT_TRUE(pool.FetchPage({1, 1}, AccessHint::kSequential).ok());
+  double t_seq = machine_.NowSeconds() - t0;
+  EXPECT_LT(t_seq, t_random / 10);
+  // A hit charges no time at all.
+  t0 = machine_.NowSeconds();
+  ASSERT_TRUE(pool.FetchPage({1, 1}, AccessHint::kSequential).ok());
+  EXPECT_EQ(machine_.NowSeconds(), t0);
+}
+
+TEST_F(BufferPoolTest, LruEvictionOrder) {
+  BufferPool pool(&machine_, 3);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.FetchPage({1, i}, AccessHint::kSequential).ok());
+  }
+  // Touch page 0 so page 1 becomes LRU.
+  ASSERT_TRUE(pool.FetchPage({1, 0}, AccessHint::kSequential).ok());
+  ASSERT_TRUE(pool.FetchPage({1, 3}, AccessHint::kSequential).ok());
+  EXPECT_TRUE(pool.Contains({1, 0}));
+  EXPECT_FALSE(pool.Contains({1, 1}));  // evicted
+  EXPECT_TRUE(pool.Contains({1, 2}));
+  EXPECT_TRUE(pool.Contains({1, 3}));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityNeverExceeded) {
+  BufferPool pool(&machine_, 8);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.FetchPage({1, i}, AccessHint::kSequential).ok());
+    EXPECT_LE(pool.resident_pages(), 8u);
+  }
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityMeansUnbounded) {
+  BufferPool pool(&machine_, 0);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pool.FetchPage({1, i}, AccessHint::kSequential).ok());
+  }
+  EXPECT_EQ(pool.resident_pages(), 500u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictAllModelsColdRestart) {
+  BufferPool pool(&machine_, 16);
+  ASSERT_TRUE(pool.FetchPage({1, 0}, AccessHint::kSequential).ok());
+  pool.EvictAll();
+  EXPECT_FALSE(pool.Contains({1, 0}));
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  ASSERT_TRUE(pool.FetchPage({1, 0}, AccessHint::kSequential).ok());
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST_F(BufferPoolTest, FetchRangeBatchesMisses) {
+  BufferPool pool(&machine_, 64);
+  ASSERT_TRUE(pool.FetchPage({1, 3}, AccessHint::kSequential).ok());
+  double t0 = machine_.NowSeconds();
+  ASSERT_TRUE(pool.FetchRange(1, 0, 10, AccessHint::kSequential).ok());
+  double dt = machine_.NowSeconds() - t0;
+  // 9 misses, 1 hit; one positioning for the whole run (readahead).
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_TRUE(pool.Contains({1, i}));
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  DiskOpCost expect = disk.ReadCost(9 * kPageSizeBytes, 9, false);
+  EXPECT_NEAR(dt, expect.total_s, 1e-9);
+}
+
+TEST_F(BufferPoolTest, RandomVsSequentialMissCounters) {
+  BufferPool pool(&machine_, 16);
+  ASSERT_TRUE(pool.FetchPage({1, 0}, AccessHint::kRandom).ok());
+  ASSERT_TRUE(pool.FetchPage({1, 1}, AccessHint::kSequential).ok());
+  EXPECT_EQ(pool.stats().random_misses, 1u);
+  EXPECT_EQ(pool.stats().sequential_misses, 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 0.0);
+}
+
+TEST_F(BufferPoolTest, DiskFaultPropagates) {
+  BufferPool pool(&machine_, 16);
+  machine_.InjectDiskFaultAfterRequests(0);
+  Status st = pool.FetchPage({1, 0}, AccessHint::kSequential);
+  EXPECT_TRUE(st.IsHardwareFault());
+  EXPECT_FALSE(pool.Contains({1, 0}));  // failed page not admitted
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/optimizer/cost_model.h"
+#include "ecodb/tpch/queries.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+    ASSERT_NE(db_, nullptr);
+    model_ = std::make_unique<CostModel>(db_->catalog(), &db_->profile(),
+                                         db_->options().machine);
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_F(CostModelTest, TableStatsCountNdvAndRange) {
+  const TableStats* li = model_->GetTableStats("lineitem");
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->rows, db_->catalog()->FindTable("lineitem")->num_rows());
+  int qty = db_->catalog()->FindTable("lineitem")->schema().FindField(
+      "l_quantity");
+  const ColumnStats& cs = li->columns[static_cast<size_t>(qty)];
+  EXPECT_NEAR(cs.ndv, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(cs.min, 1.0);
+  EXPECT_DOUBLE_EQ(cs.max, 50.0);
+}
+
+TEST_F(CostModelTest, EqualityOnQuantityEstimatesTwoPercent) {
+  auto plan = tpch::BuildSelectionQuery(*db_->catalog(), 24);
+  ASSERT_TRUE(plan.ok());
+  auto cost = model_->Estimate(*plan.value(), SystemSettings::Stock());
+  ASSERT_TRUE(cost.ok());
+  double rows = db_->catalog()->FindTable("lineitem")->num_rows();
+  EXPECT_NEAR(cost.value().est_rows / (0.02 * rows), 1.0, 0.15);
+}
+
+TEST_F(CostModelTest, TimePredictionTracksMeasurement) {
+  auto plan = tpch::BuildSelectionQuery(*db_->catalog(), 24);
+  ASSERT_TRUE(plan.ok());
+  auto cost = model_->Estimate(*plan.value(), SystemSettings::Stock());
+  ASSERT_TRUE(cost.ok());
+  auto measured = db_->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(measured.ok());
+  EXPECT_NEAR(cost.value().est_seconds / measured.value().seconds, 1.0, 0.35);
+  EXPECT_NEAR(cost.value().est_cpu_joules / measured.value().cpu_joules, 1.0,
+              0.35);
+}
+
+TEST_F(CostModelTest, Q5PredictionWithinFactorTwo) {
+  // Join cardinalities are heuristic; we require the prediction to stay
+  // within a factor of ~2.5 of the measurement (good enough to rank).
+  auto plan = tpch::BuildQ5Plan(*db_->catalog(), tpch::Q5Params{});
+  ASSERT_TRUE(plan.ok());
+  auto cost = model_->Estimate(*plan.value(), SystemSettings::Stock());
+  ASSERT_TRUE(cost.ok());
+  auto measured = db_->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(measured.ok());
+  double ratio = cost.value().est_seconds / measured.value().seconds;
+  EXPECT_GT(ratio, 1.0 / 2.5) << cost.value().est_seconds << " vs "
+                              << measured.value().seconds;
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST_F(CostModelTest, PredictsEnergySavingsUnderDowngrade) {
+  // The energy-aware optimizer hook: predicted joules must fall when a
+  // voltage downgrade is applied, with roughly the V^2 scaling.
+  auto plan = tpch::BuildSelectionQuery(*db_->catalog(), 10);
+  ASSERT_TRUE(plan.ok());
+  auto stock = model_->Estimate(*plan.value(), SystemSettings::Stock());
+  auto eco = model_->Estimate(*plan.value(),
+                              {0.05, VoltageDowngrade::kMedium});
+  ASSERT_TRUE(stock.ok());
+  ASSERT_TRUE(eco.ok());
+  EXPECT_LT(eco.value().est_cpu_joules, stock.value().est_cpu_joules);
+  EXPECT_GT(eco.value().est_seconds, stock.value().est_seconds);
+}
+
+TEST_F(CostModelTest, RankingAcrossOperatingPointsMatchesSimulation) {
+  // What the policy layer needs: predicted EDP ordering across settings
+  // must match the simulated ordering.
+  auto plan = tpch::BuildSelectionQuery(*db_->catalog(), 7);
+  ASSERT_TRUE(plan.ok());
+  std::vector<SystemSettings> grid = {
+      SystemSettings::Stock(),
+      {0.05, VoltageDowngrade::kSmall},
+      {0.05, VoltageDowngrade::kMedium},
+      {0.15, VoltageDowngrade::kSmall},
+  };
+  std::vector<double> predicted, measured;
+  for (const SystemSettings& s : grid) {
+    auto cost = model_->Estimate(*plan.value(), s);
+    ASSERT_TRUE(cost.ok());
+    predicted.push_back(cost.value().est_edp);
+    ASSERT_TRUE(db_->ApplySettings(s).ok());
+    auto m = db_->ExecutePlanQuery(*plan.value());
+    ASSERT_TRUE(m.ok());
+    measured.push_back(m.value().cpu_joules * m.value().seconds);
+  }
+  ASSERT_TRUE(db_->ApplySettings(SystemSettings::Stock()).ok());
+  // Compare orderings pairwise.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    for (size_t j = i + 1; j < grid.size(); ++j) {
+      EXPECT_EQ(predicted[i] < predicted[j], measured[i] < measured[j])
+          << grid[i].ToString() << " vs " << grid[j].ToString();
+    }
+  }
+}
+
+TEST_F(CostModelTest, SelectivityHeuristics) {
+  auto plan = tpch::BuildSelectionQuery(*db_->catalog(), 24);
+  ASSERT_TRUE(plan.ok());
+  const PlanNode& filter = *plan.value()->children[0];
+  const TableStats* stats = model_->GetTableStats("lineitem");
+  double sel = model_->EstimateSelectivity(*filter.predicate, filter, stats);
+  EXPECT_NEAR(sel, 0.02, 0.005);
+
+  // Range selectivity interpolates min/max.
+  int qty = filter.output_schema.FindField("l_quantity");
+  ExprPtr half = Cmp(CompareOp::kLt,
+                     Col(qty, ValueType::kInt64, "l_quantity"), LitInt(25));
+  EXPECT_NEAR(model_->EstimateSelectivity(*half, filter, stats), 0.49, 0.05);
+
+  // OR of two disjoint equalities doubles the estimate.
+  ExprPtr two = Or({Eq(Col(qty, ValueType::kInt64, "q"), LitInt(1)),
+                    Eq(Col(qty, ValueType::kInt64, "q"), LitInt(2))});
+  EXPECT_NEAR(model_->EstimateSelectivity(*two, filter, stats), 0.04, 0.01);
+}
+
+TEST_F(CostModelTest, UnknownTableFails) {
+  PlanNode scan;
+  scan.kind = PlanKind::kScan;
+  scan.table_name = "nope";
+  auto cost = model_->Estimate(scan, SystemSettings::Stock());
+  EXPECT_FALSE(cost.ok());
+}
+
+}  // namespace
+}  // namespace ecodb

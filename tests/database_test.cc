@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/core/database.h"
+#include "ecodb/tpch/queries.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+TEST(DatabaseTest, ExecutePlanMeasuresTimeAndEnergy) {
+  auto db = testing::MakeTestDb();
+  ASSERT_NE(db, nullptr);
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24);
+  ASSERT_TRUE(plan.ok());
+  auto r = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().seconds, 0);
+  EXPECT_GT(r.value().cpu_joules, 0);
+  EXPECT_GT(r.value().wall_joules, r.value().cpu_joules);
+  EXPECT_GT(r.value().exec_stats.tuples_scanned, 0u);
+  // ~2 % of lineitem.
+  double rows = db->catalog()->FindTable("lineitem")->num_rows();
+  EXPECT_NEAR(r.value().rows.size() / (0.02 * rows), 1.0, 0.4);
+}
+
+TEST(DatabaseTest, MemoryEngineDoesNoDiskIo) {
+  auto db = testing::MakeTestDb(EngineProfile::MySqlMemory());
+  ASSERT_NE(db, nullptr);
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24);
+  auto r = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(db->buffer_pool()->stats().misses, 0u);
+}
+
+TEST(DatabaseTest, CommercialEngineChargesIoWhenCold) {
+  auto db = testing::MakeTestDb(EngineProfile::Commercial());
+  ASSERT_NE(db, nullptr);
+  db->ColdRestart();
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24);
+  auto cold = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(db->buffer_pool()->stats().misses, 0u);
+  // Second run is warm: faster.
+  auto warm = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm.value().seconds, cold.value().seconds);
+}
+
+TEST(DatabaseTest, WarmUpPreloadsAllTables) {
+  auto db = testing::MakeTestDb(EngineProfile::Commercial());
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->WarmUp().ok());
+  uint64_t miss_after_warm = db->buffer_pool()->stats().misses;
+  auto plan = tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(db->ExecutePlanQuery(*plan.value()).ok());
+  EXPECT_EQ(db->buffer_pool()->stats().misses, miss_after_warm);
+}
+
+TEST(DatabaseTest, SettingsApplyAndSlowDownQueries) {
+  auto db = testing::MakeTestDb();
+  ASSERT_NE(db, nullptr);
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24);
+  auto stock = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(stock.ok());
+  ASSERT_TRUE(db->ApplySettings({0.15, VoltageDowngrade::kMedium}).ok());
+  EXPECT_EQ(db->settings().underclock, 0.15);
+  auto eco = db->ExecutePlanQuery(*plan.value());
+  ASSERT_TRUE(eco.ok());
+  EXPECT_GT(eco.value().seconds, stock.value().seconds);
+  EXPECT_LT(eco.value().cpu_joules, stock.value().cpu_joules);
+}
+
+TEST(DatabaseTest, RejectsUnstableSettings) {
+  auto db = testing::MakeTestDb();
+  ASSERT_NE(db, nullptr);
+  EXPECT_TRUE(db->ApplySettings({0.05, VoltageDowngrade::kAggressive})
+                  .IsUnstableSettings());
+}
+
+TEST(DatabaseTest, ExecuteSqlEndToEnd) {
+  auto db = testing::MakeTestDb();
+  ASSERT_NE(db, nullptr);
+  auto r = db->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(static_cast<uint64_t>(r.value().rows[0][0].AsInt()),
+            db->catalog()->FindTable("lineitem")->num_rows());
+}
+
+TEST(DatabaseTest, PlanSqlReturnsExplainablePlan) {
+  auto db = testing::MakeTestDb();
+  ASSERT_NE(db, nullptr);
+  auto plan = db->PlanSql(tpch::Q5Sql(tpch::Q5Params{}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = plan.value()->Explain();
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+}
+
+TEST(DatabaseTest, DiskFaultSurfacesAsHardwareFault) {
+  auto db = testing::MakeTestDb(EngineProfile::Commercial());
+  ASSERT_NE(db, nullptr);
+  db->ColdRestart();
+  db->machine()->InjectDiskFaultAfterRequests(3);
+  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24);
+  auto r = db->ExecutePlanQuery(*plan.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsHardwareFault());
+  db->machine()->ClearFaults();
+  EXPECT_TRUE(db->ExecutePlanQuery(*plan.value()).ok());
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/core/experiment.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTestDb();
+    ASSERT_NE(db_, nullptr);
+    workload_ = tpch::MakeSelectionWorkload(*db_->catalog(), 5, 3).value();
+  }
+  std::unique_ptr<Database> db_;
+  tpch::Workload workload_;
+};
+
+TEST_F(ExperimentTest, MeasuresWorkloadAndPerQueryCompletions) {
+  ExperimentRunner runner(db_.get());
+  auto m = runner.RunWorkload(workload_, SystemSettings::Stock(), {});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m.value().seconds, 0);
+  EXPECT_GT(m.value().cpu_j, 0);
+  EXPECT_DOUBLE_EQ(m.value().edp, m.value().cpu_j * m.value().seconds);
+  ASSERT_EQ(m.value().query_completion_s.size(), 5u);
+  // Completions are increasing and end at the workload time.
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(m.value().query_completion_s[i],
+              m.value().query_completion_s[i - 1]);
+  }
+  EXPECT_NEAR(m.value().query_completion_s.back(), m.value().seconds, 1e-9);
+}
+
+TEST_F(ExperimentTest, RepeatedRunsAreDeterministic) {
+  ExperimentRunner runner(db_.get());
+  RunOptions opt;
+  opt.repeats = 5;
+  opt.trim = 1;  // the paper's protocol
+  auto multi = runner.RunWorkload(workload_, SystemSettings::Stock(), opt);
+  auto single = runner.RunWorkload(workload_, SystemSettings::Stock(), {});
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(multi.value().seconds, single.value().seconds, 1e-9);
+  EXPECT_NEAR(multi.value().cpu_j, single.value().cpu_j, 1e-6);
+}
+
+TEST_F(ExperimentTest, RestoresPreviousSettings) {
+  ExperimentRunner runner(db_.get());
+  ASSERT_TRUE(db_->ApplySettings({0.05, VoltageDowngrade::kSmall}).ok());
+  ASSERT_TRUE(
+      runner.RunWorkload(workload_, {0.15, VoltageDowngrade::kMedium}, {})
+          .ok());
+  EXPECT_TRUE(db_->settings() ==
+              (SystemSettings{0.05, VoltageDowngrade::kSmall}));
+}
+
+TEST_F(ExperimentTest, UnstableSettingsPropagateError) {
+  ExperimentRunner runner(db_.get());
+  auto m = runner.RunWorkload(workload_,
+                              {0.05, VoltageDowngrade::kAggressive}, {});
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsUnstableSettings());
+}
+
+TEST_F(ExperimentTest, GuiSensorMethodApproximatesExact) {
+  ExperimentRunner runner(db_.get());
+  RunOptions gui;
+  gui.gui_sensor_method = true;
+  auto exact = runner.RunWorkload(workload_, SystemSettings::Stock(), {});
+  auto sampled = runner.RunWorkload(workload_, SystemSettings::Stock(), gui);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(sampled.ok());
+  if (sampled.value().cpu_j > 0) {  // needs >= 1 sample (run > 1 s)
+    EXPECT_NEAR(sampled.value().cpu_j / exact.value().cpu_j, 1.0, 0.25);
+  }
+}
+
+TEST_F(ExperimentTest, RatioVsComputesRelativePlots) {
+  RunMeasurement stock;
+  stock.seconds = 10;
+  stock.cpu_j = 100;
+  stock.edp = 1000;
+  RunMeasurement eco;
+  eco.seconds = 10.3;
+  eco.cpu_j = 51;
+  eco.edp = 51 * 10.3;
+  RatioPoint p = RatioVs(eco, stock);
+  EXPECT_NEAR(p.time_ratio, 1.03, 1e-9);
+  EXPECT_NEAR(p.energy_ratio, 0.51, 1e-9);
+  EXPECT_NEAR(p.edp_ratio, 0.5253, 1e-4);
+}
+
+TEST_F(ExperimentTest, ColdRunSlowerThanWarmOnDiskEngine) {
+  auto db = testing::MakeTestDb(EngineProfile::Commercial(), 0.005);
+  ASSERT_NE(db, nullptr);
+  auto wl = tpch::MakeSelectionWorkload(*db->catalog(), 3, 3).value();
+  ExperimentRunner runner(db.get());
+  RunOptions cold;
+  cold.cold = true;
+  auto m_cold = runner.RunWorkload(wl, SystemSettings::Stock(), cold);
+  auto m_warm = runner.RunWorkload(wl, SystemSettings::Stock(), {});
+  ASSERT_TRUE(m_cold.ok());
+  ASSERT_TRUE(m_warm.ok());
+  EXPECT_GT(m_cold.value().seconds, 1.5 * m_warm.value().seconds);
+  EXPECT_GT(m_cold.value().disk_j, m_warm.value().disk_j);
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/exec/expr.h"
+
+namespace ecodb {
+namespace {
+
+Row TestRow() {
+  return {Value::Int(10), Value::Dbl(2.5), Value::Str("ASIA"),
+          Value::Date(100)};
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Row row = TestRow();
+  EXPECT_EQ(Col(0, ValueType::kInt64, "k")->Eval(row, nullptr).AsInt(), 10);
+  EXPECT_EQ(LitStr("x")->Eval(row, nullptr).AsString(), "x");
+}
+
+struct CmpCase {
+  CompareOp op;
+  int64_t lhs;
+  int64_t rhs;
+  bool expect;
+};
+
+class CompareOpTest : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(CompareOpTest, EvaluatesCorrectly) {
+  const CmpCase& c = GetParam();
+  ExprPtr e = Cmp(c.op, LitInt(c.lhs), LitInt(c.rhs));
+  EXPECT_EQ(e->Eval({}, nullptr).AsBool(), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CompareOpTest,
+    ::testing::Values(CmpCase{CompareOp::kEq, 3, 3, true},
+                      CmpCase{CompareOp::kEq, 3, 4, false},
+                      CmpCase{CompareOp::kNe, 3, 4, true},
+                      CmpCase{CompareOp::kNe, 3, 3, false},
+                      CmpCase{CompareOp::kLt, 3, 4, true},
+                      CmpCase{CompareOp::kLt, 4, 3, false},
+                      CmpCase{CompareOp::kLt, 3, 3, false},
+                      CmpCase{CompareOp::kLe, 3, 3, true},
+                      CmpCase{CompareOp::kGt, 4, 3, true},
+                      CmpCase{CompareOp::kGt, 3, 3, false},
+                      CmpCase{CompareOp::kGe, 3, 3, true},
+                      CmpCase{CompareOp::kGe, 2, 3, false}));
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  EXPECT_EQ(Arith(ArithOp::kAdd, LitInt(2), LitInt(3))->Eval({}, nullptr).AsInt(), 5);
+  EXPECT_EQ(Arith(ArithOp::kMul, LitInt(2), LitInt(3))->Eval({}, nullptr).AsInt(), 6);
+  EXPECT_DOUBLE_EQ(
+      Arith(ArithOp::kMul, LitDbl(1.5), LitInt(4))->Eval({}, nullptr).AsDouble(),
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      Arith(ArithOp::kSub, LitDbl(1.0), LitDbl(0.25))->Eval({}, nullptr).AsDouble(),
+      0.75);
+  // Division by zero yields NULL, not a crash.
+  EXPECT_TRUE(
+      Arith(ArithOp::kDiv, LitInt(1), LitInt(0))->Eval({}, nullptr).is_null());
+}
+
+TEST(ExprTest, Q5RevenueExpression) {
+  // l_extendedprice * (1 - l_discount), the paper workload's aggregate arg.
+  Row row{Value::Dbl(1000.0), Value::Dbl(0.1)};
+  ExprPtr rev = Arith(ArithOp::kMul, Col(0, ValueType::kDouble, "p"),
+                      Arith(ArithOp::kSub, LitDbl(1.0),
+                            Col(1, ValueType::kDouble, "d")));
+  EXPECT_DOUBLE_EQ(rev->Eval(row, nullptr).AsDouble(), 900.0);
+}
+
+TEST(ExprTest, AndOrNotSemantics) {
+  ExprPtr t = Lit(Value::Bool(true));
+  ExprPtr f = Lit(Value::Bool(false));
+  EXPECT_FALSE(And({t, f, t})->Eval({}, nullptr).AsBool());
+  EXPECT_TRUE(And({t, t})->Eval({}, nullptr).AsBool());
+  EXPECT_TRUE(Or({f, f, t})->Eval({}, nullptr).AsBool());
+  EXPECT_FALSE(Or({f, f})->Eval({}, nullptr).AsBool());
+  EXPECT_TRUE(Not(f)->Eval({}, nullptr).AsBool());
+}
+
+TEST(ExprTest, OrShortCircuitCountsLazily) {
+  // The comparison count must reflect early termination — the property
+  // QED's merged-OR cost model rests on.
+  Row row{Value::Int(7)};
+  ExprPtr col = Col(0, ValueType::kInt64, "q");
+  std::vector<ExprPtr> disjuncts;
+  for (int v = 1; v <= 10; ++v) disjuncts.push_back(Eq(col, LitInt(v)));
+  ExprPtr ten_or = Or(disjuncts);
+
+  EvalCounters c;
+  EXPECT_TRUE(ten_or->Eval(row, &c).AsBool());
+  EXPECT_EQ(c.comparisons, 7u);  // stops at the matching 7th disjunct
+
+  Row miss{Value::Int(99)};
+  c = EvalCounters();
+  EXPECT_FALSE(ten_or->Eval(miss, &c).AsBool());
+  EXPECT_EQ(c.comparisons, 10u);  // full scan on a non-match
+}
+
+TEST(ExprTest, AndShortCircuits) {
+  Row row{Value::Int(7)};
+  ExprPtr col = Col(0, ValueType::kInt64, "q");
+  EvalCounters c;
+  ExprPtr e = And({Eq(col, LitInt(1)), Eq(col, LitInt(7))});
+  EXPECT_FALSE(e->Eval(row, &c).AsBool());
+  EXPECT_EQ(c.comparisons, 1u);
+}
+
+TEST(ExprTest, BetweenInclusive) {
+  ExprPtr col = Col(0, ValueType::kInt64, "q");
+  ExprPtr e = Between(col, LitInt(5), LitInt(10));
+  EXPECT_TRUE(e->Eval({Value::Int(5)}, nullptr).AsBool());
+  EXPECT_TRUE(e->Eval({Value::Int(10)}, nullptr).AsBool());
+  EXPECT_FALSE(e->Eval({Value::Int(4)}, nullptr).AsBool());
+  EXPECT_FALSE(e->Eval({Value::Int(11)}, nullptr).AsBool());
+}
+
+class InListEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InListEquivalenceTest, HashedAndLinearAgree) {
+  // Property: the two IN evaluation strategies are semantically identical
+  // (they differ only in charged cost).
+  int n = GetParam();
+  std::vector<Value> values;
+  for (int i = 0; i < n; ++i) values.push_back(Value::Int(i * 3));
+  ExprPtr col = Col(0, ValueType::kInt64, "q");
+  ExprPtr linear = InList(col, values, /*hashed=*/false);
+  ExprPtr hashed = InList(col, values, /*hashed=*/true);
+  for (int64_t probe = -2; probe < 3 * n + 2; ++probe) {
+    Row row{Value::Int(probe)};
+    EXPECT_EQ(linear->Eval(row, nullptr).AsBool(),
+              hashed->Eval(row, nullptr).AsBool())
+        << "probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InListEquivalenceTest,
+                         ::testing::Values(1, 2, 5, 16, 50));
+
+TEST(ExprTest, HashedInListChargesOneComparison) {
+  std::vector<Value> values;
+  for (int i = 0; i < 50; ++i) values.push_back(Value::Int(i));
+  ExprPtr col = Col(0, ValueType::kInt64, "q");
+  ExprPtr hashed = InList(col, values, true);
+  EvalCounters c;
+  hashed->Eval({Value::Int(49)}, &c);
+  EXPECT_EQ(c.comparisons, 1u);
+  ExprPtr linear = InList(col, values, false);
+  c = EvalCounters();
+  linear->Eval({Value::Int(49)}, &c);
+  EXPECT_EQ(c.comparisons, 50u);
+}
+
+TEST(ExprTest, NullComparisonsAreFalse) {
+  ExprPtr e = Eq(Lit(Value::Null()), LitInt(1));
+  EXPECT_FALSE(e->Eval({}, nullptr).AsBool());
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  ExprPtr e = And({Eq(Col(0, ValueType::kString, "r_name"), LitStr("ASIA")),
+                   Cmp(CompareOp::kLt, Col(1, ValueType::kInt64, "q"),
+                       LitInt(24))});
+  EXPECT_EQ(e->ToString(), "((r_name = 'ASIA') AND (q < 24))");
+}
+
+TEST(ExprTest, CollectColumnsFindsAllReferences) {
+  ExprPtr e = And({Eq(Col(3, ValueType::kInt64, "a"), LitInt(1)),
+                   Between(Col(7, ValueType::kInt64, "b"), LitInt(0),
+                           Col(2, ValueType::kInt64, "c"))});
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  EXPECT_EQ(cols, (std::vector<int>{2, 3, 7}));
+}
+
+}  // namespace
+}  // namespace ecodb

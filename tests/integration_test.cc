@@ -1,0 +1,123 @@
+// Cross-module integration tests: the paper's end-to-end scenarios, small.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+TEST(IntegrationTest, Figure1ShapeAtSmallScale) {
+  // Commercial engine, Q5 workload: the 5 % medium point must cut CPU
+  // energy roughly in half for a small slowdown, and deeper underclocks
+  // must cost more energy AND more time than point A (B, C dominated).
+  auto db = testing::MakeTestDb(EngineProfile::Commercial(), 0.005);
+  ASSERT_NE(db, nullptr);
+  auto wl = tpch::MakeQ5Workload(*db->catalog()).value();
+  wl.queries.resize(4);
+  PvcController pvc(db.get());
+  auto curve = pvc.MeasureCurve(wl, PvcController::MediumGrid(), {});
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  const auto& pts = curve.value().points;
+  // Point A: -45..-55 % energy at < +6 % time (paper: -49 % at +3 %).
+  EXPECT_NEAR(pts[0].ratio.energy_ratio, 0.51, 0.06);
+  EXPECT_LT(pts[0].ratio.time_ratio, 1.06);
+  // B and C are dominated by A (Figure 1's "worse" points).
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].ratio.energy_ratio, pts[0].ratio.energy_ratio);
+    EXPECT_GT(pts[i].ratio.time_ratio, pts[0].ratio.time_ratio);
+  }
+}
+
+TEST(IntegrationTest, WarmColdContrastMatchesSection35) {
+  auto db = testing::MakeTestDb(EngineProfile::Commercial(), 0.005);
+  ASSERT_NE(db, nullptr);
+  auto wl = tpch::MakeQ5Workload(*db->catalog()).value();
+  wl.queries.resize(4);
+  ExperimentRunner runner(db.get());
+  auto warm = runner.RunWorkload(wl, SystemSettings::Stock(), {});
+  RunOptions cold_opt;
+  cold_opt.cold = true;
+  auto cold = runner.RunWorkload(wl, SystemSettings::Stock(), cold_opt);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cold.ok());
+  // Cold runs took "about three times longer". At this tiny test scale the
+  // fixed seek costs loom larger than at the paper's SF 1.0, so we accept
+  // a generous 1.8x..8x band here; the bench harness at its default scale
+  // lands near the paper's 3.2x.
+  double slowdown = cold.value().seconds / warm.value().seconds;
+  EXPECT_GT(slowdown, 1.8);
+  EXPECT_LT(slowdown, 8.0);
+  // Average CPU power falls when cold (idle during I/O), disk power rises.
+  EXPECT_LT(cold.value().cpu_j / cold.value().seconds,
+            warm.value().cpu_j / warm.value().seconds);
+  EXPECT_GT(cold.value().disk_j / cold.value().seconds,
+            warm.value().disk_j / warm.value().seconds);
+}
+
+TEST(IntegrationTest, SqlDrivenPvcSweep) {
+  // Full path: SQL text -> plan -> PVC sweep -> policy selection.
+  auto db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+  ASSERT_NE(db, nullptr);
+  tpch::Workload wl;
+  wl.name = "sql";
+  auto plan = db->PlanSql(tpch::Q6Sql(tpch::Q6Params{}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  wl.queries.push_back(std::move(plan).value());
+  PvcController pvc(db.get());
+  auto curve = pvc.MeasureCurve(wl, PvcController::PaperGrid(), {});
+  ASSERT_TRUE(curve.ok());
+  SlaPolicy policy;
+  policy.max_time_ratio = 1.08;
+  policy.objective = SlaPolicy::Objective::kMinEnergy;
+  auto chosen = SelectOperatingPoint(curve.value(), policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_LT(chosen.value().ratio.energy_ratio, 1.0);
+  EXPECT_LE(chosen.value().ratio.time_ratio, 1.08);
+}
+
+TEST(IntegrationTest, QedThenPvcCompose) {
+  // The two techniques compose: batch with QED while underclocked.
+  auto db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+  ASSERT_NE(db, nullptr);
+  auto wl = tpch::MakeSelectionWorkload(*db->catalog(), 30, 11).value();
+  QedScheduler qed(db.get(), QedOptions{30, false});
+  auto stock = qed.RunComparison(wl);
+  ASSERT_TRUE(stock.ok());
+  ASSERT_TRUE(db->ApplySettings({0.05, VoltageDowngrade::kMedium}).ok());
+  auto eco = qed.RunComparison(wl);
+  ASSERT_TRUE(eco.ok());
+  // Energy of the merged run under PVC is lower than merged at stock.
+  EXPECT_LT(eco.value().qed_cpu_j, stock.value().qed_cpu_j);
+  EXPECT_TRUE(eco.value().results_match);
+}
+
+TEST(IntegrationTest, EnergyAccountingConsistentAcrossLedgerAndQueries) {
+  auto db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+  ASSERT_NE(db, nullptr);
+  db->machine()->ResetMeters();
+  double sum_cpu = 0;
+  auto wl = tpch::MakeSelectionWorkload(*db->catalog(), 5, 1).value();
+  for (const auto& q : wl.queries) {
+    auto r = db->ExecutePlanQuery(*q);
+    ASSERT_TRUE(r.ok());
+    sum_cpu += r.value().cpu_joules;
+  }
+  // Per-query joules sum to the ledger total (no unattributed energy).
+  EXPECT_NEAR(db->machine()->ledger().cpu_j, sum_cpu, 1e-6 * sum_cpu);
+}
+
+TEST(IntegrationTest, GeneratedDataSupportsAllFourExampleQueries) {
+  auto db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+  ASSERT_NE(db, nullptr);
+  auto wl = tpch::MakeMixedWorkload(*db->catalog());
+  ASSERT_TRUE(wl.ok());
+  for (const auto& q : wl.value().queries) {
+    auto r = db->ExecutePlanQuery(*q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().rows.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/exec/operators.h"
+#include "ecodb/exec/plan.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  OperatorsTest()
+      : machine_(MachineConfig::PaperTestbed()),
+        profile_(EngineProfile::MySqlMemory()),
+        pool_(&machine_, 0),
+        ctx_(&machine_, &profile_, &catalog_, &pool_) {
+    testing::MakeSimpleTable(&catalog_, "t", 100);
+    testing::MakeSimpleTable(&catalog_, "u", 10);
+  }
+
+  PlanNodePtr Scan(const std::string& name) {
+    return MakeScan(catalog_, name).value();
+  }
+
+  std::vector<Row> Run(const PlanNode& plan) {
+    auto rows = ExecutePlan(plan, &ctx_);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? std::move(rows).value() : std::vector<Row>{};
+  }
+
+  Machine machine_;
+  EngineProfile profile_;
+  Catalog catalog_;
+  BufferPool pool_;
+  ExecContext ctx_;
+};
+
+TEST_F(OperatorsTest, SeqScanReturnsAllRowsInOrder) {
+  auto rows = Run(*Scan("t"));
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_EQ(rows[99][0].AsInt(), 99);
+  EXPECT_EQ(rows[7][2].AsString(), "s2");
+}
+
+TEST_F(OperatorsTest, SeqScanChargesCpuWork) {
+  Run(*Scan("t"));
+  EXPECT_EQ(ctx_.stats().tuples_scanned, 100u);
+  EXPECT_GT(ctx_.stats().cycles_charged, 0);
+  EXPECT_GT(machine_.NowSeconds(), 0);
+}
+
+TEST_F(OperatorsTest, ScanOfMissingTableFails) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kScan;
+  node->table_name = "missing";
+  SeqScanOp op(&ctx_, "missing");
+  EXPECT_TRUE(op.Open().IsNotFound());
+}
+
+TEST_F(OperatorsTest, FilterKeepsMatchingRows) {
+  PlanNodePtr scan = Scan("t");
+  ExprPtr pred = Cmp(CompareOp::kLt, Col(0, ValueType::kInt64, "k"),
+                     LitInt(10));
+  auto rows = Run(*MakeFilter(std::move(scan), pred));
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST_F(OperatorsTest, ProjectComputesExpressions) {
+  PlanNodePtr scan = Scan("t");
+  ExprPtr doubled = Arith(ArithOp::kMul, Col(0, ValueType::kInt64, "k"),
+                          LitInt(2));
+  auto rows = Run(*MakeProject(std::move(scan), {doubled}, {"k2"}));
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(rows[21][0].AsInt(), 42);
+}
+
+TEST_F(OperatorsTest, HashJoinMatchesKeyPairs) {
+  // t.k in [0,100), u.k in [0,10): join on k%? -> join t.k = u.k directly.
+  PlanNodePtr t = Scan("t");
+  PlanNodePtr u = Scan("u");
+  auto rows = Run(*MakeHashJoin(std::move(u), std::move(t), {0}, {0}));
+  EXPECT_EQ(rows.size(), 10u);  // keys 0..9 match once each
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[0].AsInt(), r[3].AsInt());  // u.k == t.k
+  }
+}
+
+TEST_F(OperatorsTest, HashJoinEqualsNestedLoopJoin) {
+  // Property: the two join algorithms produce the same multiset on an
+  // equi-join (s column has duplicates -> multi-match case covered).
+  PlanNodePtr hj = MakeHashJoin(Scan("u"), Scan("t"), {2}, {2});
+  auto hash_rows = Run(*hj);
+
+  ExprPtr pred = Eq(Col(2, ValueType::kString, "us"),
+                    Col(5, ValueType::kString, "ts"));
+  PlanNodePtr nl = MakeNestedLoopJoin(Scan("u"), Scan("t"), pred);
+  auto nl_rows = Run(*nl);
+
+  ASSERT_EQ(hash_rows.size(), nl_rows.size());
+  auto key = [](const Row& r) {
+    std::string s;
+    for (const Value& v : r) s += v.ToString() + "|";
+    return s;
+  };
+  std::vector<std::string> a, b;
+  for (const Row& r : hash_rows) a.push_back(key(r));
+  for (const Row& r : nl_rows) b.push_back(key(r));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(OperatorsTest, MultiKeyHashJoin) {
+  PlanNodePtr j = MakeHashJoin(Scan("u"), Scan("t"), {0, 2}, {0, 2});
+  auto rows = Run(*j);
+  EXPECT_EQ(rows.size(), 10u);  // (k, s) pairs align for k<10
+}
+
+TEST_F(OperatorsTest, CrossJoinProducesCartesianProduct) {
+  PlanNodePtr j = MakeNestedLoopJoin(Scan("u"), Scan("u"), nullptr);
+  auto rows = Run(*j);
+  EXPECT_EQ(rows.size(), 100u);
+}
+
+TEST_F(OperatorsTest, HashAggComputesAllAggregateKinds) {
+  // Group t by s (5 groups of 20), aggregate k.
+  PlanNodePtr scan = Scan("t");
+  ExprPtr k = Col(0, ValueType::kInt64, "k");
+  ExprPtr s = Col(2, ValueType::kString, "s");
+  auto mk = [&](AggSpec::Kind kind, const char* name) {
+    AggSpec a;
+    a.kind = kind;
+    a.arg = k;
+    a.name = name;
+    return a;
+  };
+  AggSpec count_star;
+  count_star.kind = AggSpec::Kind::kCount;
+  count_star.arg = nullptr;
+  count_star.name = "n";
+  auto rows = Run(*MakeAggregate(
+      std::move(scan), {s},
+      {mk(AggSpec::Kind::kSum, "sum"), mk(AggSpec::Kind::kMin, "min"),
+       mk(AggSpec::Kind::kMax, "max"), mk(AggSpec::Kind::kAvg, "avg"),
+       count_star}));
+  ASSERT_EQ(rows.size(), 5u);
+  for (const Row& r : rows) {
+    const std::string& group = r[0].AsString();
+    int64_t g = group[1] - '0';
+    // Members: g, g+5, ..., g+95 -> 20 values.
+    EXPECT_EQ(r[5].AsInt(), 20);                       // count(*)
+    EXPECT_DOUBLE_EQ(r[1].AsDouble(), 20 * g + 950.0); // sum
+    EXPECT_EQ(r[2].AsInt(), g);                        // min
+    EXPECT_EQ(r[3].AsInt(), g + 95);                   // max
+    EXPECT_DOUBLE_EQ(r[4].AsDouble(), (20 * g + 950.0) / 20.0);  // avg
+  }
+}
+
+TEST_F(OperatorsTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  PlanNodePtr scan = Scan("t");
+  PlanNodePtr filtered =
+      MakeFilter(std::move(scan),
+                 Cmp(CompareOp::kLt, Col(0, ValueType::kInt64, "k"),
+                     LitInt(-1)));
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  auto rows = Run(*MakeAggregate(std::move(filtered), {}, {cnt}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+}
+
+TEST_F(OperatorsTest, SortAscendingAndDescending) {
+  PlanNodePtr scan = Scan("u");
+  ExprPtr k = Col(0, ValueType::kInt64, "k");
+  auto rows = Run(*MakeSort(std::move(scan), {SortKey{k, false}}));
+  ASSERT_EQ(rows.size(), 10u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i - 1][0].AsInt(), rows[i][0].AsInt());
+  }
+}
+
+TEST_F(OperatorsTest, SortIsStableViaTiebreak) {
+  PlanNodePtr scan = Scan("t");
+  ExprPtr s = Col(2, ValueType::kString, "s");
+  auto rows = Run(*MakeSort(std::move(scan), {SortKey{s, true}}));
+  ASSERT_EQ(rows.size(), 100u);
+  // Within equal s groups, original k order preserved.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1][2].AsString() == rows[i][2].AsString()) {
+      EXPECT_LT(rows[i - 1][0].AsInt(), rows[i][0].AsInt());
+    }
+  }
+}
+
+TEST_F(OperatorsTest, LimitTruncates) {
+  auto rows = Run(*MakeLimit(Scan("t"), 7));
+  EXPECT_EQ(rows.size(), 7u);
+  rows = Run(*MakeLimit(Scan("u"), 100));
+  EXPECT_EQ(rows.size(), 10u);
+  rows = Run(*MakeLimit(Scan("u"), 0));
+  EXPECT_EQ(rows.size(), 0u);
+}
+
+TEST_F(OperatorsTest, PlanExplainShowsTree) {
+  PlanNodePtr plan = MakeLimit(
+      MakeFilter(Scan("t"), Eq(Col(0, ValueType::kInt64, "k"), LitInt(1))),
+      5);
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("Limit"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("Scan(t)"), std::string::npos);
+}
+
+TEST_F(OperatorsTest, ClonePlanIsDeepAndEquivalent) {
+  PlanNodePtr plan = MakeFilter(
+      Scan("t"), Cmp(CompareOp::kLt, Col(0, ValueType::kInt64, "k"),
+                     LitInt(50)));
+  PlanNodePtr copy = ClonePlan(*plan);
+  auto a = Run(*plan);
+  auto b = Run(*copy);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_NE(plan.get(), copy.get());
+  EXPECT_NE(plan->children[0].get(), copy->children[0].get());
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/core/policy.h"
+
+namespace ecodb {
+namespace {
+
+// Builds a synthetic trade-off curve resembling Figure 1: stock fast and
+// hungry; A (5 % medium) slightly slower, much cheaper; B and C slower and
+// more energy-hungry than A.
+TradeoffCurve PaperLikeCurve() {
+  TradeoffCurve curve;
+  auto mk = [](double uc, VoltageDowngrade d, double seconds, double joules) {
+    OperatingPoint p;
+    p.settings = {uc, d};
+    p.measurement.seconds = seconds;
+    p.measurement.cpu_j = joules;
+    p.measurement.edp = seconds * joules;
+    return p;
+  };
+  curve.stock = mk(0.0, VoltageDowngrade::kStock, 48.5, 1228.7);
+  curve.stock.ratio = RatioPoint{};
+  for (auto [uc, s, j] : {std::tuple{0.05, 50.0, 627.0},
+                          std::tuple{0.10, 53.7, 658.0},
+                          std::tuple{0.15, 62.5, 722.0}}) {
+    OperatingPoint p = mk(uc, VoltageDowngrade::kMedium, s, j);
+    p.ratio = RatioVs(p.measurement, curve.stock.measurement);
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+TEST(PolicyTest, MinEnergyUnconstrainedPicksPointA) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinEnergy;
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value().settings.underclock, 0.05);
+}
+
+TEST(PolicyTest, TimeBoundForcesStock) {
+  // "A data center operating near peak may have no choice but to aim for
+  // the fastest query response time."
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinEnergy;
+  policy.max_time_ratio = 1.01;  // tighter than point A's +3 %
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_TRUE(chosen.value().settings == SystemSettings::Stock());
+}
+
+TEST(PolicyTest, ModestSlackEnablesEnergySaving) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinEnergy;
+  policy.max_time_ratio = 1.05;
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value().settings.underclock, 0.05);
+  EXPECT_LT(chosen.value().measurement.cpu_j,
+            curve.stock.measurement.cpu_j * 0.55);
+}
+
+TEST(PolicyTest, AbsoluteSecondsBound) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinEnergy;
+  policy.max_seconds = 51.0;  // admits stock and A only
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value().settings.underclock, 0.05);
+}
+
+TEST(PolicyTest, MinTimeObjective) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinTime;
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_TRUE(chosen.value().settings == SystemSettings::Stock());
+}
+
+TEST(PolicyTest, MinEdpObjective) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.objective = SlaPolicy::Objective::kMinEdp;
+  auto chosen = SelectOperatingPoint(curve, policy);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen.value().settings.underclock, 0.05);  // A has least EDP
+}
+
+TEST(PolicyTest, InfeasibleBoundReturnsNotFound) {
+  TradeoffCurve curve = PaperLikeCurve();
+  SlaPolicy policy;
+  policy.max_seconds = 1.0;
+  EXPECT_TRUE(SelectOperatingPoint(curve, policy).status().IsNotFound());
+}
+
+TEST(PolicyTest, FrontierIsParetoAndSorted) {
+  TradeoffCurve curve = PaperLikeCurve();
+  auto frontier = EnergyTimeFrontier(curve);
+  ASSERT_GE(frontier.size(), 2u);
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].time_ratio, frontier[i - 1].time_ratio);
+    EXPECT_LT(frontier[i].energy_ratio, frontier[i - 1].energy_ratio);
+  }
+  // B and C are dominated by A -> frontier is stock + A only.
+  EXPECT_EQ(frontier.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/core/pvc.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class PvcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.005);
+    ASSERT_NE(db_, nullptr);
+    workload_ = tpch::MakeQ5Workload(*db_->catalog()).value();
+    // Keep the sweep fast: two Q5 instances are enough for ratios.
+    workload_.queries.resize(2);
+  }
+  std::unique_ptr<Database> db_;
+  tpch::Workload workload_;
+};
+
+TEST_F(PvcTest, PaperGridHasSixPoints) {
+  auto grid = PvcController::PaperGrid();
+  EXPECT_EQ(grid.size(), 6u);
+  EXPECT_EQ(PvcController::MediumGrid().size(), 3u);
+}
+
+TEST_F(PvcTest, CurveRatiosAreRelativeToStock) {
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(workload_, PvcController::MediumGrid(), {});
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  EXPECT_DOUBLE_EQ(curve.value().stock.ratio.time_ratio, 1.0);
+  ASSERT_EQ(curve.value().points.size(), 3u);
+  for (const OperatingPoint& p : curve.value().points) {
+    EXPECT_GT(p.ratio.time_ratio, 1.0);   // underclock slows queries
+    EXPECT_LT(p.ratio.energy_ratio, 1.0); // downgrade saves energy
+  }
+}
+
+TEST_F(PvcTest, FivePercentMediumSavesEnergyWithSmallSlowdown) {
+  // The paper's MySQL headline (Section 1): ~20 % energy savings for ~6 %
+  // response time penalty at the 5 % underclock + medium downgrade.
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(
+      workload_, {{0.05, VoltageDowngrade::kMedium}}, {});
+  ASSERT_TRUE(curve.ok());
+  const OperatingPoint& p = curve.value().points[0];
+  EXPECT_NEAR(p.ratio.energy_ratio, 0.80, 0.05);
+  EXPECT_NEAR(p.ratio.time_ratio, 1.05, 0.03);
+}
+
+TEST_F(PvcTest, EdpWorsensBeyondFivePercent) {
+  // "underclocking beyond 5% actually worsens the EDP!" (Section 3.3)
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(workload_, PvcController::MediumGrid(), {});
+  ASSERT_TRUE(curve.ok());
+  const auto& pts = curve.value().points;
+  EXPECT_LT(pts[0].ratio.edp_ratio, pts[1].ratio.edp_ratio);
+  EXPECT_LT(pts[1].ratio.edp_ratio, pts[2].ratio.edp_ratio);
+}
+
+TEST_F(PvcTest, ObservedEdpTracksTheoreticalV2OverF) {
+  // Figure 4: for the CPU-bound MySQL workload, observed EDP ratios track
+  // V^2/F. We require agreement within 6 % at every grid point.
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(workload_, PvcController::PaperGrid(), {});
+  ASSERT_TRUE(curve.ok());
+  for (const OperatingPoint& p : curve.value().points) {
+    EXPECT_NEAR(p.ratio.edp_ratio / p.theoretical_edp_ratio, 1.0, 0.06)
+        << p.settings.ToString();
+  }
+}
+
+TEST_F(PvcTest, MediumBeatsSmallOnEdp) {
+  // Figure 2/3: the medium downgrade gives lower EDP than small at the
+  // same underclock.
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(workload_, PvcController::PaperGrid(), {});
+  ASSERT_TRUE(curve.ok());
+  const auto& pts = curve.value().points;  // small x3 then medium x3
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(pts[static_cast<size_t>(i + 3)].ratio.edp_ratio,
+              pts[static_cast<size_t>(i)].ratio.edp_ratio);
+  }
+}
+
+TEST_F(PvcTest, PredictedCurveMatchesMeasuredDirections) {
+  PvcController pvc(db_.get());
+  auto predicted = pvc.PredictCurve(workload_, PvcController::MediumGrid());
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  for (const OperatingPoint& p : predicted.value().points) {
+    EXPECT_GT(p.ratio.time_ratio, 1.0);
+    EXPECT_LT(p.ratio.energy_ratio, 1.0);
+  }
+  // Predicted EDP ordering matches measured ordering.
+  auto measured = pvc.MeasureCurve(workload_, PvcController::MediumGrid(), {});
+  ASSERT_TRUE(measured.ok());
+  for (size_t i = 1; i < predicted.value().points.size(); ++i) {
+    bool pred_less = predicted.value().points[i - 1].ratio.edp_ratio <
+                     predicted.value().points[i].ratio.edp_ratio;
+    bool meas_less = measured.value().points[i - 1].ratio.edp_ratio <
+                     measured.value().points[i].ratio.edp_ratio;
+    EXPECT_EQ(pred_less, meas_less);
+  }
+}
+
+TEST_F(PvcTest, ResultsIdenticalAcrossOperatingPoints) {
+  // PVC must not change query answers, only their cost.
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(workload_, PvcController::PaperGrid(), {});
+  ASSERT_TRUE(curve.ok());
+  uint64_t rows = curve.value().stock.measurement.rows_returned;
+  for (const OperatingPoint& p : curve.value().points) {
+    EXPECT_EQ(p.measurement.rows_returned, rows);
+  }
+}
+
+TEST_F(PvcTest, UnstableGridPointFailsTheSweep) {
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCurve(
+      workload_, {{0.05, VoltageDowngrade::kAggressive}}, {});
+  EXPECT_FALSE(curve.ok());
+}
+
+}  // namespace
+}  // namespace ecodb

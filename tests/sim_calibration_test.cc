@@ -1,0 +1,101 @@
+// Pins the calibration against the paper's published numbers. If one of
+// these fails after a constant change, a reproduced table/figure has
+// drifted.
+
+#include <gtest/gtest.h>
+
+#include "ecodb/sim/calibration.h"
+#include "ecodb/sim/machine.h"
+
+namespace ecodb {
+namespace {
+
+// Paper Table 1, wall watts.
+struct Table1Row {
+  bool has_cpu;
+  int dimms;
+  bool has_gpu;
+  double paper_w;
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Test, WallPowerWithinTwoPercent) {
+  const Table1Row& row = GetParam();
+  MachineConfig cfg = MachineConfig::PaperTestbed();
+  cfg.has_disk = false;   // the paper's breakdown is measured without disk
+  cfg.os_running = false; // ... and without an OS (Section 3.2)
+  cfg.has_cpu = row.has_cpu;
+  cfg.num_dimms = row.dimms;
+  cfg.has_gpu = row.has_gpu;
+  Machine m(cfg);
+  EXPECT_NEAR(m.IdleWallPowerW() / row.paper_w, 1.0, 0.02)
+      << "measured " << m.IdleWallPowerW() << " W vs paper " << row.paper_w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1Test,
+    ::testing::Values(Table1Row{false, 0, false, 20.1},   // PSU+MOBO on
+                      Table1Row{true, 0, false, 49.7},    // +CPU (and fan)
+                      Table1Row{true, 1, false, 54.0},    // +1G RAM
+                      Table1Row{true, 2, false, 55.7},    // +2G RAM
+                      Table1Row{true, 2, true, 69.3}));   // +GPU
+
+TEST(CalibrationTest, StandbyWallMatchesTable1Row1) {
+  Machine m(MachineConfig::PaperTestbed());
+  EXPECT_NEAR(m.StandbyWallPowerW(), 9.2, 0.1);
+}
+
+TEST(CalibrationTest, DiskIdlePowerMatchesWarmRunAverage) {
+  // Warm run: 214.7 J / 48.5 s = 4.43 W, nearly all idle spinning.
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  EXPECT_NEAR(disk.IdlePowerW(), 4.25, 0.2);
+}
+
+TEST(CalibrationTest, MemoryTwoDimmsDrawAboutSixWatts) {
+  // Section 3.2: "DDR3 main memory draws about 6W for 2 DIMMs".
+  MemoryModel mem(MemoryConfig::Ddr3_1066(), 2);
+  EXPECT_NEAR(mem.BackgroundPowerW(), 5.4, 1.0);
+}
+
+TEST(CalibrationTest, SustainedBusyPowerPlausibleForE8500) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.SetLoadClass(LoadClass::kSustained);
+  double p = m.BusyCpuPowerW();
+  EXPECT_GT(p, 20.0);
+  EXPECT_LT(p, 40.0);  // package, one core busy, below the 65 W TDP
+}
+
+TEST(CalibrationTest, MediumDowngradeBurstyPowerRatioGivesMinus49Pct) {
+  // Figure 1's headline: -49 % CPU energy at +3 % time means the busy
+  // power ratio must be ~0.50/1.03 at the 5 % underclock point.
+  Machine m(MachineConfig::PaperTestbed());
+  m.SetLoadClass(LoadClass::kBursty);
+  double p_stock = m.PredictExecutePowerW(1e9, 2e5);
+  ASSERT_TRUE(m.ApplySettings({0.05, VoltageDowngrade::kMedium}).ok());
+  double p_a = m.PredictExecutePowerW(1e9, 2e5);
+  EXPECT_NEAR(p_a / p_stock, 0.49, 0.06);
+}
+
+TEST(CalibrationTest, MySqlTheoreticalEdpMatchesFigure4Scale) {
+  // Sustained voltages: V^2/F ratios at medium should span roughly
+  // 0.84..0.93 across the 5..15 % underclocks (Figure 4(b) trend).
+  CpuModel cpu(CpuConfig::E8500());
+  double stock = cpu.TheoreticalEdpFactor(LoadClass::kSustained);
+  ASSERT_TRUE(cpu.ApplySettings({0.05, VoltageDowngrade::kMedium}).ok());
+  EXPECT_NEAR(cpu.TheoreticalEdpFactor(LoadClass::kSustained) / stock, 0.836,
+              0.02);
+  ASSERT_TRUE(cpu.ApplySettings({0.15, VoltageDowngrade::kMedium}).ok());
+  EXPECT_NEAR(cpu.TheoreticalEdpFactor(LoadClass::kSustained) / stock, 0.934,
+              0.02);
+}
+
+TEST(CalibrationTest, RandomDiskParametersImplyPaperRatios) {
+  // The implied positioning/transfer constants behind Figure 5's ratios.
+  EXPECT_NEAR(calib::kDiskRandomPosS, 12.5e-3, 1e-4);
+  EXPECT_NEAR(calib::kDiskRandomPosS * calib::kDiskRandRateBps / 1024.0,
+              78.1, 1.0);  // positioning ~= 78 KB worth of transfer
+}
+
+}  // namespace
+}  // namespace ecodb

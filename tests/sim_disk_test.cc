@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/sim/disk.h"
+#include "ecodb/util/units.h"
+
+namespace ecodb {
+namespace {
+
+TEST(DiskModelTest, SequentialThroughputIsFlatAcrossReadSizes) {
+  // Figure 5(a): sequential throughput is constant regardless of read size.
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 100 << 20;
+  double tput_4k = 0;
+  for (uint64_t block : {4096u, 8192u, 16384u, 32768u}) {
+    DiskOpCost c = disk.ReadCost(total, total / block, false);
+    double tput = total / c.total_s;
+    if (block == 4096) tput_4k = tput;
+    EXPECT_NEAR(tput / tput_4k, 1.0, 0.02);
+  }
+}
+
+TEST(DiskModelTest, RandomThroughputRatiosMatchFigure5) {
+  // Figure 5: going 4K->8K/16K/32K improves random throughput by about
+  // 1.88x / 3.5x / 6x.
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 1600ull << 20;  // the paper reads 1.6 GB
+  auto tput = [&](uint64_t block) {
+    DiskOpCost c = disk.ReadCost(total, total / block, true);
+    return total / c.total_s;
+  };
+  double base = tput(4096);
+  EXPECT_NEAR(tput(8192) / base, 1.88, 0.10);
+  EXPECT_NEAR(tput(16384) / base, 3.5, 0.15);
+  EXPECT_NEAR(tput(32768) / base, 6.0, 0.25);
+}
+
+TEST(DiskModelTest, SequentialEnergyPerKbIsFlat) {
+  // Figure 5(b): energy per KB flat for sequential access.
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 100 << 20;
+  double base = -1;
+  for (uint64_t block : {4096u, 8192u, 16384u, 32768u}) {
+    DiskOpCost c = disk.ReadCost(total, total / block, false);
+    double j_per_kb =
+        (c.TotalEnergyJ() + c.total_s * disk.IdlePowerW()) / (total / 1024.0);
+    if (base < 0) base = j_per_kb;
+    EXPECT_NEAR(j_per_kb / base, 1.0, 0.03);
+  }
+}
+
+TEST(DiskModelTest, RandomEnergyPerKbFallsWithBlockSize) {
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 100 << 20;
+  double prev = 1e18;
+  for (uint64_t block : {4096u, 8192u, 16384u, 32768u}) {
+    DiskOpCost c = disk.ReadCost(total, total / block, true);
+    double j_per_kb =
+        (c.TotalEnergyJ() + c.total_s * disk.IdlePowerW()) / (total / 1024.0);
+    EXPECT_LT(j_per_kb, prev);
+    prev = j_per_kb;
+  }
+}
+
+TEST(DiskModelTest, SequentialIsMoreEnergyEfficientThanRandom) {
+  // "Sequential access is more energy efficient per KB than random access,
+  // primarily because it is faster!" (Section 3.5)
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  const uint64_t total = 16 << 20;
+  DiskOpCost seq = disk.ReadCost(total, total / 4096, false);
+  DiskOpCost rnd = disk.ReadCost(total, total / 4096, true);
+  EXPECT_LT(seq.total_s, rnd.total_s);
+  double seq_j = seq.TotalEnergyJ() + seq.total_s * disk.IdlePowerW();
+  double rnd_j = rnd.TotalEnergyJ() + rnd.total_s * disk.IdlePowerW();
+  EXPECT_LT(seq_j, rnd_j);
+}
+
+class DiskAdditivityTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, bool>> {};
+
+TEST_P(DiskAdditivityTest, CostIsAdditiveAcrossBatches) {
+  auto [block, random] = GetParam();
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  DiskOpCost one = disk.ReadCost(block * 10, 10, random);
+  DiskOpCost a = disk.ReadCost(block * 4, 4, random);
+  DiskOpCost b = disk.ReadCost(block * 6, 6, random);
+  EXPECT_NEAR(one.total_s, a.total_s + b.total_s, 1e-12);
+  EXPECT_NEAR(one.TotalEnergyJ(), a.TotalEnergyJ() + b.TotalEnergyJ(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, DiskAdditivityTest,
+    ::testing::Values(std::make_pair(4096ull, true),
+                      std::make_pair(8192ull, true),
+                      std::make_pair(4096ull, false),
+                      std::make_pair(32768ull, false)));
+
+TEST(DiskModelTest, ZeroReadCostsNothing) {
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  DiskOpCost c = disk.ReadCost(0, 0, true);
+  EXPECT_EQ(c.total_s, 0);
+  EXPECT_EQ(c.TotalEnergyJ(), 0);
+}
+
+TEST(DiskModelTest, EnergySplitAcrossRails) {
+  // Positioning charges the 12 V (actuator) rail; transfer charges 5 V.
+  DiskModel disk(DiskConfig::WdCaviarSe16());
+  DiskOpCost rnd = disk.ReadCost(4096 * 100, 100, true);
+  EXPECT_GT(rnd.energy_12v_j, 0);
+  EXPECT_GT(rnd.energy_5v_j, 0);
+  EXPECT_GT(rnd.energy_12v_j, rnd.energy_5v_j);  // seek-dominated
+  DiskOpCost seq = disk.ReadCost(64 << 20, 100, false);
+  EXPECT_GT(seq.energy_5v_j, seq.energy_12v_j);  // transfer-dominated
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/sim/machine.h"
+
+namespace ecodb {
+namespace {
+
+TEST(MachineTest, ExecuteCpuAdvancesClockByCyclesOverFrequency) {
+  Machine m(MachineConfig::PaperTestbed());
+  double f = m.cpu_model().TopFrequencyHz();
+  m.ExecuteCpu(f, 0);  // one second of pure compute
+  EXPECT_NEAR(m.NowSeconds(), 1.0, 1e-9);
+  EXPECT_NEAR(m.ledger().busy_s, 1.0, 1e-9);
+}
+
+TEST(MachineTest, UnderclockSlowsCompute) {
+  Machine m(MachineConfig::PaperTestbed());
+  double cycles = m.cpu_model().TopFrequencyHz();
+  double t_stock = m.PredictExecuteSeconds(cycles, 0);
+  ASSERT_TRUE(m.ApplySettings({0.10, VoltageDowngrade::kStock}).ok());
+  double t_uc = m.PredictExecuteSeconds(cycles, 0);
+  EXPECT_NEAR(t_uc / t_stock, 1.0 / 0.9, 1e-9);
+}
+
+TEST(MachineTest, MemoryStallsDoNotScaleFullyWithFsb) {
+  // DRAM core latency is fixed in nanoseconds, so a memory-heavy burst
+  // slows down less than 1/f under underclocking (the Figure 1 mechanism).
+  Machine m(MachineConfig::PaperTestbed());
+  double t_stock = m.PredictExecuteSeconds(1e6, 1e6);
+  ASSERT_TRUE(m.ApplySettings({0.10, VoltageDowngrade::kStock}).ok());
+  double t_uc = m.PredictExecuteSeconds(1e6, 1e6);
+  EXPECT_GT(t_uc, t_stock);
+  EXPECT_LT(t_uc / t_stock, 1.0 / 0.9);
+}
+
+TEST(MachineTest, StallHeavyBurstDrawsLessCpuPower) {
+  Machine m(MachineConfig::PaperTestbed());
+  double p_compute = m.PredictExecutePowerW(1e9, 0);
+  double p_stalled = m.PredictExecutePowerW(1e6, 1e6);
+  EXPECT_LT(p_stalled, p_compute);
+}
+
+TEST(MachineTest, EnergyLedgerAccumulatesAllComponents) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.ExecuteCpu(1e9, 1e4);
+  ASSERT_TRUE(m.DiskRead(1 << 20, 10, false).ok());
+  m.Idle(0.5);
+  const EnergyLedger& l = m.ledger();
+  EXPECT_GT(l.cpu_j, 0);
+  EXPECT_GT(l.mem_j, 0);
+  EXPECT_GT(l.DiskJ(), 0);
+  EXPECT_GT(l.mobo_j, 0);
+  EXPECT_GT(l.gpu_j, 0);
+  EXPECT_GT(l.fan_j, 0);
+  // Wall energy exceeds DC energy (PSU losses), which exceeds any part.
+  EXPECT_GT(l.wall_j, l.dc_j);
+  EXPECT_GT(l.dc_j, l.cpu_j);
+  EXPECT_NEAR(l.ElapsedS(), m.NowSeconds(), 1e-9);
+}
+
+TEST(MachineTest, DcEnergyIsSumOfComponents) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.ExecuteCpu(5e8, 1e3);
+  m.Idle(0.1);
+  const EnergyLedger& l = m.ledger();
+  double sum = l.cpu_j + l.fan_j + l.mem_j + l.disk_5v_j + l.disk_12v_j +
+               l.mobo_j + l.gpu_j;
+  EXPECT_NEAR(l.dc_j, sum, 1e-6 * sum);
+}
+
+TEST(MachineTest, CpuIdlesDuringDiskIo) {
+  // Section 3.5: during the cold run "the CPU may remain idle for extended
+  // periods" -> low CPU watts while blocked on I/O.
+  Machine m(MachineConfig::PaperTestbed());
+  ASSERT_TRUE(m.DiskRead(100 << 20, 1000, true).ok());
+  double io_s = m.ledger().io_s;
+  ASSERT_GT(io_s, 1.0);
+  double cpu_w = m.ledger().cpu_j / io_s;
+  EXPECT_LT(cpu_w, 8.0);  // EIST idle, not busy (~26 W)
+}
+
+TEST(MachineTest, ResetMetersZeroesLedgerButNotClock) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.Idle(1.0);
+  double now = m.NowSeconds();
+  m.ResetMeters();
+  EXPECT_EQ(m.ledger().cpu_j, 0);
+  EXPECT_EQ(m.NowSeconds(), now);
+}
+
+TEST(MachineTest, RejectsUnstableSettings) {
+  Machine m(MachineConfig::PaperTestbed());
+  Status st = m.ApplySettings({0.05, VoltageDowngrade::kAggressive});
+  EXPECT_TRUE(st.IsUnstableSettings());
+  // Settings unchanged after rejection.
+  EXPECT_TRUE(m.settings() == SystemSettings::Stock());
+}
+
+TEST(MachineTest, DiskFaultInjection) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.InjectDiskFaultAfterRequests(5);
+  EXPECT_TRUE(m.DiskRead(4096, 3, false).ok());
+  Status st = m.DiskRead(4096, 10, false);
+  EXPECT_TRUE(st.IsHardwareFault());
+  // Faults persist until cleared.
+  EXPECT_TRUE(m.DiskRead(4096, 1, false).IsHardwareFault());
+  m.ClearFaults();
+  EXPECT_TRUE(m.DiskRead(4096, 1, false).ok());
+}
+
+TEST(MachineTest, DiskReadWithoutDiskFails) {
+  MachineConfig cfg = MachineConfig::PaperTestbed();
+  cfg.has_disk = false;
+  Machine m(cfg);
+  EXPECT_TRUE(m.DiskRead(4096, 1, false).IsInvalidArgument());
+}
+
+TEST(MachineTest, IdleWallPowerAboveIdleDcPower) {
+  Machine m(MachineConfig::PaperTestbed());
+  EXPECT_GT(m.IdleWallPowerW(), m.IdleDcPowerW());
+  EXPECT_GT(m.IdleDcPowerW(), 0);
+}
+
+TEST(MachineTest, VoltageDowngradeCutsBusyPowerRoughlyQuadratically) {
+  Machine m(MachineConfig::PaperTestbed());
+  m.SetLoadClass(LoadClass::kSustained);
+  double p0 = m.BusyCpuPowerW();
+  ASSERT_TRUE(m.ApplySettings({0.0, VoltageDowngrade::kMedium}).ok());
+  double p1 = m.BusyCpuPowerW();
+  double v_ratio = 0.98 / 1.10;
+  EXPECT_NEAR(p1 / p0, v_ratio * v_ratio, 0.01);
+}
+
+TEST(MachineTest, ContentionInflatesMemoryBoundBursts) {
+  // Demanding far more bandwidth than the bus sustains must inflate the
+  // stall time (queueing), not silently exceed the physical bandwidth.
+  Machine m(MachineConfig::PaperTestbed());
+  double lines = 1e7;
+  auto b = m.PredictExecuteBreakdown(1e3, lines);
+  double bytes = lines * 64.0;
+  double min_time = bytes / m.memory_model().BandwidthBps();
+  EXPECT_GT(b.stall_s, min_time);
+}
+
+}  // namespace
+}  // namespace ecodb

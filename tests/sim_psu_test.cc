@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/sim/psu.h"
+
+namespace ecodb {
+namespace {
+
+TEST(PsuModelTest, EfficiencyAtTwentyPercentLoadMatchesPaper) {
+  // "we estimate that the power efficiency of the PSU is around 83%,
+  // given the near 20% load" (Section 3.2).
+  PsuModel psu(PsuConfig::CorsairVx450());
+  EXPECT_NEAR(psu.Efficiency(0.20 * 450.0), 0.83, 0.005);
+}
+
+TEST(PsuModelTest, EfficiencyInterpolatesBetweenCurvePoints) {
+  PsuModel psu(PsuConfig::CorsairVx450());
+  // Halfway between the 20 % (0.83) and 50 % (0.85) points.
+  EXPECT_NEAR(psu.Efficiency(0.35 * 450.0), 0.84, 1e-9);
+}
+
+class PsuBoundsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsuBoundsTest, EfficiencyStaysInPhysicalRange) {
+  PsuModel psu(PsuConfig::CorsairVx450());
+  double eff = psu.Efficiency(GetParam());
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LT(eff, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PsuBoundsTest,
+                         ::testing::Values(0.0, 5.0, 20.0, 55.0, 90.0, 200.0,
+                                           450.0, 1000.0));
+
+TEST(PsuModelTest, WallPowerExceedsDcPower) {
+  PsuModel psu(PsuConfig::CorsairVx450());
+  for (double dc : {10.0, 50.0, 100.0, 400.0}) {
+    EXPECT_GT(psu.WallPowerW(dc), dc);
+  }
+  EXPECT_EQ(psu.WallPowerW(0.0), 0.0);
+}
+
+TEST(PsuModelTest, WallPowerMonotoneInDcLoad) {
+  PsuModel psu(PsuConfig::CorsairVx450());
+  double prev = 0;
+  for (double dc = 1; dc <= 450; dc += 1) {
+    double wall = psu.WallPowerW(dc);
+    EXPECT_GT(wall, prev);
+    prev = wall;
+  }
+}
+
+TEST(PsuModelTest, StandbyMatchesTable1Row1) {
+  PsuModel psu(PsuConfig::CorsairVx450());
+  EXPECT_NEAR(psu.StandbyWallPowerW(), 9.2, 0.05);
+}
+
+}  // namespace
+}  // namespace ecodb

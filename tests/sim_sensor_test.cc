@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/sim/sensor.h"
+
+namespace ecodb {
+namespace {
+
+TEST(EpuSensorTest, SamplesAtOneHz) {
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  epu.AddInterval(0.0, 5.0, 20.0);
+  EXPECT_EQ(epu.num_samples(), 5u);
+  EXPECT_DOUBLE_EQ(epu.MeanSampledWatts(), 20.0);
+}
+
+TEST(EpuSensorTest, ExactIntegralIsGroundTruth) {
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  epu.AddInterval(0.0, 2.0, 30.0);
+  epu.AddInterval(2.0, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(epu.ExactJoules(), 80.0);
+}
+
+TEST(EpuSensorTest, GuiMethodMatchesExactForConstantPower) {
+  // The paper's method (mean sampled watts x duration) is exact when power
+  // is constant.
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  epu.AddInterval(0.0, 10.0, 25.0);
+  EXPECT_NEAR(epu.GuiJoules(10.0), epu.ExactJoules(), 1e-9);
+}
+
+TEST(EpuSensorTest, GuiMethodQuantizationErrorIsBounded) {
+  // Alternating power phases: the 1 Hz sampling has quantization error,
+  // but over many seconds it must stay within a modest band of the exact
+  // integral (this bounds the measurement-method substitution).
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    double w = (i % 2 == 0) ? 30.0 : 10.0;
+    epu.AddInterval(t, 0.7, w);  // phases not aligned with sampling
+    t += 0.7;
+  }
+  double exact = epu.ExactJoules();
+  double gui = epu.GuiJoules(t);
+  EXPECT_NEAR(gui / exact, 1.0, 0.10);
+}
+
+TEST(EpuSensorTest, ResetClearsState) {
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  epu.AddInterval(0.0, 3.0, 50.0);
+  epu.Reset(3.0);
+  EXPECT_EQ(epu.num_samples(), 0u);
+  EXPECT_EQ(epu.ExactJoules(), 0.0);
+  // Next sample boundary realigned to reset time.
+  epu.AddInterval(3.0, 1.5, 12.0);
+  EXPECT_EQ(epu.num_samples(), 1u);
+}
+
+TEST(EpuSensorTest, SubSecondIntervalsAccumulateIntoSamples) {
+  EpuSensor epu(1.0);
+  epu.Reset(0.0);
+  for (int i = 0; i < 10; ++i) {
+    epu.AddInterval(i * 0.25, 0.25, static_cast<double>(i));
+  }
+  // 2.5 seconds -> 2 samples, taken at t=1 (during i=3) and t=2 (i=7).
+  ASSERT_EQ(epu.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(epu.samples()[0], 3.0);
+  EXPECT_DOUBLE_EQ(epu.samples()[1], 7.0);
+}
+
+}  // namespace
+}  // namespace ecodb

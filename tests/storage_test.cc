@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/storage/catalog.h"
+#include "ecodb/storage/heap_file.h"
+#include "ecodb/storage/schema.h"
+#include "ecodb/storage/table.h"
+#include "ecodb/storage/value.h"
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Dbl(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Date(100).AsDate(), 100);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, NumericCoercionInCompare) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Dbl(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Dbl(2.5)), 0);
+  EXPECT_GT(Value::Dbl(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, StringsCompareLexicographically) {
+  EXPECT_LT(Value::Str("ASIA").Compare(Value::Str("EUROPE")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Dbl(2.0).Hash());
+  EXPECT_EQ(Value::Str("q").Hash(), Value::Str("q").Hash());
+}
+
+TEST(ValueTest, IsTruthySemantics) {
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::Bool(false).IsTruthy());
+  EXPECT_TRUE(Value::Int(-1).IsTruthy());
+  EXPECT_FALSE(Value::Dbl(0.0).IsTruthy());
+  EXPECT_TRUE(Value::Str("x").IsTruthy());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Date(ParseDateToDays("1994-01-01")).ToString(),
+            "1994-01-01");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(SchemaTest, FindFieldIsCaseInsensitive) {
+  Schema s({Field("L_QUANTITY", ValueType::kInt64),
+            Field("l_price", ValueType::kDouble)});
+  EXPECT_EQ(s.FindField("l_quantity"), 0);
+  EXPECT_EQ(s.FindField("L_PRICE"), 1);
+  EXPECT_EQ(s.FindField("missing"), -1);
+}
+
+TEST(SchemaTest, ConcatAndRowWidth) {
+  Schema a({Field("x", ValueType::kInt64)});
+  Schema b({Field("y", ValueType::kString, 20)});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_fields(), 2);
+  EXPECT_EQ(c.RowWidth(), 28);
+}
+
+TEST(TableTest, AppendAndGetRoundTrip) {
+  Table t("t", Schema({Field("k", ValueType::kInt64),
+                       Field("s", ValueType::kString, 8),
+                       Field("d", ValueType::kDate)}));
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(1), Value::Str("a"), Value::Date(10)}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(2), Value::Str("b"), Value::Date(20)}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  Row row;
+  t.GetRow(1, &row);
+  EXPECT_EQ(row[0].AsInt(), 2);
+  EXPECT_EQ(row[1].AsString(), "b");
+  EXPECT_EQ(row[2].AsDate(), 20);
+  EXPECT_EQ(t.GetValue(0, 1).AsString(), "a");
+}
+
+TEST(TableTest, RejectsWrongArityAndNulls) {
+  Table t("t", Schema({Field("k", ValueType::kInt64)}));
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Int(2)}).IsInvalidArgument());
+  EXPECT_TRUE(t.AppendRow({Value::Null()}).IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(HeapFileTest, PageLayoutMath) {
+  HeapFile f(3, 1000, 100);  // 8192/100 = 81 rows/page
+  EXPECT_EQ(f.rows_per_page(), 81u);
+  EXPECT_EQ(f.num_pages(), (1000 + 80) / 81);
+  EXPECT_EQ(f.PageOfRow(0).page_no, 0u);
+  EXPECT_EQ(f.PageOfRow(80).page_no, 0u);
+  EXPECT_EQ(f.PageOfRow(81).page_no, 1u);
+  EXPECT_EQ(f.PageOfRow(80).file_id, 3u);
+}
+
+TEST(HeapFileTest, WideRowsStillGetOnePage) {
+  HeapFile f(1, 10, 100000);  // row wider than a page
+  EXPECT_EQ(f.rows_per_page(), 1u);
+  EXPECT_EQ(f.num_pages(), 10u);
+}
+
+TEST(CatalogTest, CreateFindFinalize) {
+  Catalog c;
+  auto r = c.CreateTable("T1", Schema({Field("k", ValueType::kInt64)}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value()->AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(c.FinalizeLoad("t1").ok());
+  EXPECT_NE(c.FindTable("t1"), nullptr);
+  EXPECT_NE(c.FindTable("T1"), nullptr);
+  EXPECT_EQ(c.FindTable("nope"), nullptr);
+  EXPECT_EQ(c.FindEntry("t1")->file.num_rows(), 1u);
+  EXPECT_TRUE(c.CreateTable("t1", Schema(std::vector<Field>{})).status().code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(c.FinalizeLoad("missing").IsNotFound());
+  EXPECT_EQ(c.TableNames().size(), 1u);
+}
+
+TEST(CatalogTest, DistinctFileIds) {
+  Catalog c;
+  (void)c.CreateTable("a", Schema({Field("x", ValueType::kInt64)}));
+  (void)c.CreateTable("b", Schema({Field("x", ValueType::kInt64)}));
+  EXPECT_NE(c.FindEntry("a")->file.file_id(), c.FindEntry("b")->file.file_id());
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,48 @@
+// Shared test fixtures.
+
+#ifndef ECODB_TESTS_TEST_UTIL_H_
+#define ECODB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "ecodb/ecodb.h"
+
+namespace ecodb::testing {
+
+/// Tiny TPC-H database (fast to generate; ~6k lineitem rows).
+inline constexpr double kTestSf = 0.002;
+
+inline std::unique_ptr<Database> MakeTestDb(
+    EngineProfile profile = EngineProfile::MySqlMemory(),
+    double sf = kTestSf) {
+  DatabaseOptions opt;
+  opt.profile = std::move(profile);
+  auto db = std::make_unique<Database>(opt);
+  tpch::DbGenOptions gen;
+  gen.scale_factor = sf;
+  Status st = db->LoadTpch(gen);
+  if (!st.ok()) return nullptr;
+  return db;
+}
+
+/// A small standalone table: t(k INT, v DOUBLE, s STRING) with rows
+/// (i, i*1.5, "s<i%mod>") for i in [0, n).
+inline Table* MakeSimpleTable(Catalog* catalog, const std::string& name,
+                              int n, int mod = 5) {
+  Schema schema({Field("k", ValueType::kInt64), Field("v", ValueType::kDouble),
+                 Field("s", ValueType::kString, 8)});
+  auto result = catalog->CreateTable(name, schema);
+  if (!result.ok()) return nullptr;
+  Table* t = result.value();
+  for (int i = 0; i < n; ++i) {
+    Status st = t->AppendRow({Value::Int(i), Value::Dbl(i * 1.5),
+                              Value::Str("s" + std::to_string(i % mod))});
+    if (!st.ok()) return nullptr;
+  }
+  (void)catalog->FinalizeLoad(name);
+  return t;
+}
+
+}  // namespace ecodb::testing
+
+#endif  // ECODB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "ecodb/util/result.h"
+#include "ecodb/util/rng.h"
+#include "ecodb/util/stats.h"
+#include "ecodb/util/status.h"
+#include "ecodb/util/strings.h"
+#include "ecodb/util/table_printer.h"
+#include "ecodb/util/units.h"
+
+namespace ecodb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, SpecializedPredicates) {
+  EXPECT_TRUE(Status::UnstableSettings("x").IsUnstableSettings());
+  EXPECT_TRUE(Status::HardwareFault("x").IsHardwareFault());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status UsesMacro() {
+  ECODB_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(UsesMacro().code(), StatusCode::kInternal);
+}
+
+Result<int> MakeInt(bool ok) {
+  if (ok) return 42;
+  return Status::NotFound("no int");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = MakeInt(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad = MakeInt(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+Result<int> UsesAssign(bool ok) {
+  ECODB_ASSIGN_OR_RETURN(int v, MakeInt(ok));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssign(true).value(), 43);
+  EXPECT_FALSE(UsesAssign(false).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RngBoundsTest, UniformIntStaysInRange) {
+  Rng rng(GetParam());
+  int64_t lo = -17, hi = 23;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST_P(RngBoundsTest, UniformDoubleInUnitInterval) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundsTest,
+                         ::testing::Values(1, 7, 42, 8500, 99991));
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[static_cast<size_t>(rng.UniformInt(0, 9))];
+  for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_NEAR(StdDev(xs), 1.4142, 1e-3);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, TrimmedMeanIsPaperProtocol) {
+  // Five runs, drop best and worst, average the middle three (Sec. 3.1).
+  std::vector<double> runs{10.0, 50.0, 11.0, 12.0, 1.0};
+  EXPECT_DOUBLE_EQ(TrimmedMean(runs, 1), 11.0);
+}
+
+TEST(StatsTest, TrimmedMeanDegeneratesToMean) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(TrimmedMean(xs, 1), 1.5);  // trimming would empty it
+}
+
+TEST(StatsTest, MedianEvenOdd) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), Mean(xs));
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 2);
+  EXPECT_DOUBLE_EQ(rs.max(), 9);
+}
+
+TEST(StringsTest, FormatAndSplitAndTrim) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrSplit("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(StrTrim("  hi \n"), "hi");
+  EXPECT_TRUE(EqualsIgnoreCase("LineItem", "LINEITEM"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DateRoundTripTest, ParseFormatRoundTrips) {
+  int32_t days = ParseDateToDays(GetParam());
+  ASSERT_NE(days, INT32_MIN);
+  EXPECT_EQ(DaysToDateString(days), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dates, DateRoundTripTest,
+                         ::testing::Values("1992-01-01", "1994-06-08",
+                                           "1995-03-15", "1998-08-02",
+                                           "1996-02-29", "1970-01-01",
+                                           "2026-06-08"));
+
+TEST(StringsTest, DateArithmeticMatchesCalendar) {
+  EXPECT_EQ(ParseDateToDays("1970-01-02"), 1);
+  EXPECT_EQ(ParseDateToDays("1995-01-01") - ParseDateToDays("1994-01-01"),
+            365);
+  EXPECT_EQ(ParseDateToDays("1997-01-01") - ParseDateToDays("1996-01-01"),
+            366);  // leap year
+  EXPECT_EQ(ParseDateToDays("bogus"), INT32_MIN);
+  EXPECT_EQ(ParseDateToDays("1994-13-01"), INT32_MIN);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"x", "1"});
+  tp.AddRow({"longer", "22"});
+  std::string out = tp.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 2u);
+}
+
+TEST(UnitsTest, EdpDefinition) {
+  EXPECT_DOUBLE_EQ(Edp(10.0, 2.0), 20.0);  // joules x seconds
+}
+
+}  // namespace
+}  // namespace ecodb
