@@ -1,105 +1,191 @@
-// google-benchmark micro-benchmarks for engine internals (host wall-clock
-// performance of the simulator itself, not simulated time).
+// Engine micro-benchmarks: host wall-clock performance of the simulator
+// itself (not simulated time), comparing row-at-a-time Volcano execution
+// against the vectorized RowBatch engine on the same plans.
+//
+// Emits machine-readable JSON on stdout so successive PRs can track the
+// perf trajectory (redirect to BENCH_micro_engine.json). Per benchmark and
+// mode: host rows/sec through the pipeline, host seconds per query, and
+// the *simulated* seconds and joules per query — which must agree between
+// modes (the parity suite enforces < 0.1%).
+//
+// Usage: micro_engine [--sf=0.02]
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "ecodb/ecodb.h"
 
-namespace ecodb {
+namespace ecodb::bench {
 namespace {
 
-std::unique_ptr<Database> g_db;
+struct ModeResult {
+  double wall_seconds_per_iter = 0;
+  double rows_per_sec = 0;
+  uint64_t rows_scanned = 0;
+  size_t result_rows = 0;
+  double sim_seconds = 0;
+  double sim_joules = 0;
+};
 
-Database* Db() {
-  if (!g_db) {
-    DatabaseOptions opt;
-    opt.profile = EngineProfile::MySqlMemory();
-    g_db = std::make_unique<Database>(opt);
-    tpch::DbGenOptions gen;
-    gen.scale_factor = 0.01;
-    Status st = g_db->LoadTpch(gen);
-    if (!st.ok()) std::abort();
-  }
-  return g_db.get();
+/// Builds the acceptance pipeline: scan(lineitem) -> filter -> group-by
+/// aggregate, the shape whose per-tuple interpretation overhead the batch
+/// engine amortizes.
+Result<PlanNodePtr> BuildScanFilterAgg(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    if (idx < 0) {
+      std::fprintf(stderr, "lineitem field not found: %s\n", name);
+      std::exit(1);
+    }
+    return Col(idx, s.field(idx).type, name);
+  };
+  ExprPtr qty = col("l_quantity");
+  ExprPtr price = col("l_extendedprice");
+  ExprPtr disc = col("l_discount");
+  ExprPtr flag = col("l_returnflag");
+  PlanNodePtr filtered = MakeFilter(
+      std::move(scan), Cmp(CompareOp::kLt, qty, LitInt(25)));
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSum;
+  revenue.arg = Arith(ArithOp::kMul, price,
+                      Arith(ArithOp::kSub, LitDbl(1.0), disc));
+  revenue.name = "revenue";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  return MakeAggregate(std::move(filtered), {flag}, {revenue, cnt});
 }
 
-void BM_SeqScanLineitem(benchmark::State& state) {
-  Database* db = Db();
-  auto plan = MakeScan(*db->catalog(), "lineitem").value();
-  for (auto _ : state) {
-    auto ctx = db->MakeExecContext();
-    auto rows = ExecutePlan(*plan, ctx.get());
-    benchmark::DoNotOptimize(rows.value().size());
+ModeResult RunPlan(Database* db, const PlanNode& plan) {
+  // Warm once, then time iterations until we have a stable best-of run.
+  ModeResult out;
+  double best = 1e100;
+  const int kMinIters = 3;
+  const double kMinTotalSeconds = 0.25;
+  double total = 0;
+  int iters = 0;
+  while (iters < kMinIters || total < kMinTotalSeconds) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = db->ExecutePlanQuery(plan);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!res.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(1);
+    }
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+    total += wall;
+    ++iters;
+    if (wall < best) {
+      best = wall;
+      out.rows_scanned = res.value().exec_stats.tuples_scanned;
+      out.result_rows = res.value().rows.size();
+      out.sim_seconds = res.value().seconds;
+      out.sim_joules = res.value().wall_joules;
+    }
+    if (iters > 200) break;
   }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations()) *
-      static_cast<int64_t>(db->catalog()->FindTable("lineitem")->num_rows()));
+  out.wall_seconds_per_iter = best;
+  out.rows_per_sec =
+      best > 0 ? static_cast<double>(out.rows_scanned) / best : 0;
+  return out;
 }
-BENCHMARK(BM_SeqScanLineitem);
 
-void BM_SelectionQuery(benchmark::State& state) {
-  Database* db = Db();
-  auto plan = tpch::BuildSelectionQuery(*db->catalog(), 24).value();
-  for (auto _ : state) {
-    auto r = db->ExecutePlanQuery(*plan);
-    benchmark::DoNotOptimize(r.value().rows.size());
-  }
+void EmitMode(const char* name, const char* mode, const ModeResult& r,
+              bool trailing_comma) {
+  std::printf(
+      "    {\"name\": \"%s\", \"mode\": \"%s\", "
+      "\"wall_seconds_per_iter\": %.6e, \"rows_per_sec\": %.6e, "
+      "\"rows_scanned\": %llu, \"result_rows\": %zu, "
+      "\"sim_seconds\": %.9e, \"sim_joules_per_query\": %.9e}%s\n",
+      name, mode, r.wall_seconds_per_iter, r.rows_per_sec,
+      static_cast<unsigned long long>(r.rows_scanned), r.result_rows,
+      r.sim_seconds, r.sim_joules, trailing_comma ? "," : "");
 }
-BENCHMARK(BM_SelectionQuery);
 
-void BM_Q5Join(benchmark::State& state) {
-  Database* db = Db();
-  auto plan = tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{}).value();
-  for (auto _ : state) {
-    auto r = db->ExecutePlanQuery(*plan);
-    benchmark::DoNotOptimize(r.value().rows.size());
-  }
-}
-BENCHMARK(BM_Q5Join);
+int Main(int argc, char** argv) {
+  double sf = ScaleFactorArg(argc, argv, 0.02);
 
-void BM_SqlParsePlan(benchmark::State& state) {
-  Database* db = Db();
-  std::string sql = tpch::Q5Sql(tpch::Q5Params{});
-  for (auto _ : state) {
-    auto plan = db->PlanSql(sql);
-    benchmark::DoNotOptimize(plan.ok());
+  DatabaseOptions row_opt;
+  row_opt.profile = EngineProfile::MySqlMemory();
+  row_opt.exec_mode = ExecMode::kRow;
+  Database row_db(row_opt);
+  DatabaseOptions batch_opt;
+  batch_opt.profile = EngineProfile::MySqlMemory();
+  batch_opt.exec_mode = ExecMode::kBatch;
+  Database batch_db(batch_opt);
+  tpch::DbGenOptions gen;
+  gen.scale_factor = sf;
+  if (!row_db.LoadTpch(gen).ok() || !batch_db.LoadTpch(gen).ok()) {
+    std::fprintf(stderr, "TPC-H load failed\n");
+    return 1;
   }
-}
-BENCHMARK(BM_SqlParsePlan);
 
-void BM_CostModelEstimate(benchmark::State& state) {
-  Database* db = Db();
-  CostModel model(db->catalog(), &db->profile(), db->options().machine);
-  auto plan = tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{}).value();
-  for (auto _ : state) {
-    auto cost = model.Estimate(*plan, SystemSettings::Stock());
-    benchmark::DoNotOptimize(cost.value().est_seconds);
-  }
-}
-BENCHMARK(BM_CostModelEstimate);
+  struct NamedPlan {
+    std::string name;
+    PlanNodePtr row_plan;
+    PlanNodePtr batch_plan;
+  };
+  std::vector<NamedPlan> plans;
+  auto add = [&](const std::string& name,
+                 Result<PlanNodePtr> (*builder)(const Catalog&)) {
+    auto rp = builder(*row_db.catalog());
+    auto bp = builder(*batch_db.catalog());
+    if (!rp.ok() || !bp.ok()) {
+      std::fprintf(stderr, "plan build failed for %s\n", name.c_str());
+      std::exit(1);
+    }
+    plans.push_back(
+        NamedPlan{name, std::move(rp).value(), std::move(bp).value()});
+  };
+  add("scan_filter_agg", &BuildScanFilterAgg);
+  add("scan_lineitem", [](const Catalog& c) {
+    return MakeScan(c, "lineitem");
+  });
+  add("selection_q2pct", [](const Catalog& c) {
+    return tpch::BuildSelectionQuery(c, 24);
+  });
+  add("tpch_q1", [](const Catalog& c) {
+    return tpch::BuildQ1Plan(c, "1998-09-02");
+  });
+  add("tpch_q5", [](const Catalog& c) {
+    return tpch::BuildQ5Plan(c, tpch::Q5Params{});
+  });
+  add("tpch_q6", [](const Catalog& c) {
+    return tpch::BuildQ6Plan(c, tpch::Q6Params{});
+  });
 
-void BM_MachineExecuteCpu(benchmark::State& state) {
-  Machine machine(MachineConfig::PaperTestbed());
-  for (auto _ : state) {
-    machine.ExecuteCpu(1e6, 100);
-    benchmark::DoNotOptimize(machine.NowSeconds());
+  std::printf("{\n  \"bench\": \"micro_engine\",\n  \"sf\": %g,\n", sf);
+  std::printf("  \"batch_rows\": %zu,\n",
+              static_cast<size_t>(RowBatch::kDefaultBatchRows));
+  std::printf("  \"benchmarks\": [\n");
+  std::vector<std::pair<std::string, double>> speedups;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    ModeResult row_r = RunPlan(&row_db, *plans[i].row_plan);
+    ModeResult batch_r = RunPlan(&batch_db, *plans[i].batch_plan);
+    EmitMode(plans[i].name.c_str(), "row", row_r, true);
+    EmitMode(plans[i].name.c_str(), "batch", batch_r,
+             i + 1 < plans.size());
+    speedups.emplace_back(plans[i].name,
+                          row_r.wall_seconds_per_iter /
+                              batch_r.wall_seconds_per_iter);
   }
-}
-BENCHMARK(BM_MachineExecuteCpu);
-
-void BM_MergeSelections(benchmark::State& state) {
-  Database* db = Db();
-  auto wl = tpch::MakeSelectionWorkload(*db->catalog(), 50, 7).value();
-  std::vector<const PlanNode*> members;
-  for (const auto& q : wl.queries) members.push_back(q.get());
-  for (auto _ : state) {
-    auto merged = MergeSelections(members);
-    benchmark::DoNotOptimize(merged.ok());
+  std::printf("  ],\n  \"batch_speedup\": {");
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    std::printf("%s\"%s\": %.2f", i ? ", " : "", speedups[i].first.c_str(),
+                speedups[i].second);
   }
+  std::printf("}\n}\n");
+  return 0;
 }
-BENCHMARK(BM_MergeSelections);
 
 }  // namespace
-}  // namespace ecodb
+}  // namespace ecodb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ecodb::bench::Main(argc, argv); }

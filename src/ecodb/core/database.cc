@@ -29,7 +29,8 @@ Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
   EnergyLedger before = machine_->ledger();
   double t0 = machine_->NowSeconds();
 
-  ECODB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan, ctx.get()));
+  ECODB_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         ExecutePlan(plan, ctx.get(), options_.exec_mode));
   ctx->Flush();
 
   const EnergyLedger& after = machine_->ledger();

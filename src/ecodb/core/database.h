@@ -22,6 +22,9 @@ namespace ecodb {
 struct DatabaseOptions {
   EngineProfile profile = EngineProfile::Commercial();
   MachineConfig machine = MachineConfig::PaperTestbed();
+  /// How query plans are executed. Batch (vectorized) by default; row
+  /// mode keeps the Volcano pull loop for comparison/parity runs.
+  ExecMode exec_mode = ExecMode::kBatch;
 };
 
 /// Result of one query, with the energy/time the machine spent on it.

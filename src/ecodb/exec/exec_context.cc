@@ -2,6 +2,10 @@
 
 namespace ecodb {
 
+const char* ToString(ExecMode m) {
+  return m == ExecMode::kRow ? "row" : "batch";
+}
+
 ExecContext::ExecContext(Machine* machine, const EngineProfile* profile,
                          Catalog* catalog, BufferPool* buffer_pool)
     : machine_(machine),
@@ -13,34 +17,42 @@ ExecContext::ExecContext(Machine* machine, const EngineProfile* profile,
   machine_->SetLoadClass(profile_->load_class);
 }
 
-void ExecContext::ChargeScanTuple(int bytes) {
-  ++stats_.tuples_scanned;
+void ExecContext::ChargeScanTuples(uint64_t n, uint64_t total_bytes) {
+  if (n == 0) return;
+  stats_.tuples_scanned += n;
+  pending_cycles_ += profile_->scan_tuple_cycles * static_cast<double>(n) +
+                     profile_->scan_byte_cycles *
+                         static_cast<double>(total_bytes);
+  pending_lines_ += (static_cast<double>(total_bytes) / 64.0) *
+                    profile_->scan_line_factor;
+  MaybeFlush();
+}
+
+void ExecContext::ChargeHashBuilds(uint64_t n, int key_bytes) {
+  if (n == 0) return;
+  stats_.hash_builds += n;
   pending_cycles_ +=
-      profile_->scan_tuple_cycles + profile_->scan_byte_cycles * bytes;
-  pending_lines_ +=
-      (static_cast<double>(bytes) / 64.0) * profile_->scan_line_factor;
+      static_cast<double>(n) * (profile_->hash_build_cycles +
+                                profile_->scan_byte_cycles * key_bytes);
+  pending_lines_ += profile_->hash_op_lines * static_cast<double>(n);
   MaybeFlush();
 }
 
-void ExecContext::ChargeHashBuild(int key_bytes) {
-  ++stats_.hash_builds;
-  pending_cycles_ += profile_->hash_build_cycles +
-                     profile_->scan_byte_cycles * key_bytes;
-  pending_lines_ += profile_->hash_op_lines;
+void ExecContext::ChargeHashProbes(uint64_t n, int key_bytes) {
+  if (n == 0) return;
+  stats_.hash_probes += n;
+  pending_cycles_ +=
+      static_cast<double>(n) * (profile_->hash_probe_cycles +
+                                profile_->scan_byte_cycles * key_bytes);
+  pending_lines_ += profile_->hash_op_lines * static_cast<double>(n);
   MaybeFlush();
 }
 
-void ExecContext::ChargeHashProbe(int key_bytes) {
-  ++stats_.hash_probes;
-  pending_cycles_ += profile_->hash_probe_cycles +
-                     profile_->scan_byte_cycles * key_bytes;
-  pending_lines_ += profile_->hash_op_lines;
-  MaybeFlush();
-}
-
-void ExecContext::ChargeAggUpdate(int n_aggregates) {
-  ++stats_.agg_updates;
-  pending_cycles_ += profile_->agg_update_cycles * n_aggregates;
+void ExecContext::ChargeAggUpdates(uint64_t n, int n_aggregates) {
+  if (n == 0) return;
+  stats_.agg_updates += n;
+  pending_cycles_ +=
+      static_cast<double>(n) * profile_->agg_update_cycles * n_aggregates;
   MaybeFlush();
 }
 
@@ -50,11 +62,13 @@ void ExecContext::ChargeSortCompares(uint64_t n) {
   MaybeFlush();
 }
 
-void ExecContext::ChargeOutputTuple(int bytes) {
-  ++stats_.tuples_output;
+void ExecContext::ChargeOutputTuples(uint64_t n, int bytes_per_tuple) {
+  if (n == 0) return;
+  stats_.tuples_output += n;
   pending_cycles_ +=
-      profile_->output_tuple_cycles + profile_->output_byte_cycles * bytes;
-  pending_lines_ += profile_->output_tuple_lines;
+      static_cast<double>(n) * (profile_->output_tuple_cycles +
+                                profile_->output_byte_cycles * bytes_per_tuple);
+  pending_lines_ += profile_->output_tuple_lines * static_cast<double>(n);
   MaybeFlush();
 }
 

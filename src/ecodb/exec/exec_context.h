@@ -17,6 +17,14 @@
 
 namespace ecodb {
 
+/// How an operator tree is driven: classic row-at-a-time Volcano pulls, or
+/// vectorized RowBatch pulls. Both modes charge identical logical work to
+/// the simulated machine (the parity suite asserts it); batch mode merely
+/// amortizes host-side bookkeeping over ~1k tuples.
+enum class ExecMode { kRow, kBatch };
+
+const char* ToString(ExecMode m);
+
 /// Logical-operation counters accumulated during expression evaluation.
 /// Comparisons are counted lazily (short-circuit AND/OR), which is what
 /// gives QED's merged disjunctions their paper-shaped cost curve.
@@ -53,14 +61,33 @@ class ExecContext {
   /// Expression evaluation counters (flushed into cycles by operators).
   EvalCounters* eval_counters() { return &eval_; }
 
-  // --- Logical work reporting (called by operators) ---
+  /// Execution mode the current operator tree is driven in. Pipeline
+  /// breakers (sort, hash build, aggregation) consult this to decide how
+  /// they consume their children.
+  ExecMode exec_mode() const { return exec_mode_; }
+  void set_exec_mode(ExecMode m) { exec_mode_ = m; }
 
-  void ChargeScanTuple(int bytes);
-  void ChargeHashBuild(int key_bytes);
-  void ChargeHashProbe(int key_bytes);
-  void ChargeAggUpdate(int n_aggregates);
+  // --- Logical work reporting (called by operators) ---
+  //
+  // Bulk variants charge `n` tuples' worth of logical work with one stats
+  // update and one pending-cycle accumulation; the singular forms are the
+  // n == 1 case. The per-tuple cycle formula is identical either way, so
+  // simulated totals agree between row and batch execution (bit-exact for
+  // the integer counters, within fp-associativity for cycles).
+
+  void ChargeScanTuple(int bytes) {
+    ChargeScanTuples(1, static_cast<uint64_t>(bytes));
+  }
+  void ChargeScanTuples(uint64_t n, uint64_t total_bytes);
+  void ChargeHashBuild(int key_bytes) { ChargeHashBuilds(1, key_bytes); }
+  void ChargeHashBuilds(uint64_t n, int key_bytes);
+  void ChargeHashProbe(int key_bytes) { ChargeHashProbes(1, key_bytes); }
+  void ChargeHashProbes(uint64_t n, int key_bytes);
+  void ChargeAggUpdate(int n_aggregates) { ChargeAggUpdates(1, n_aggregates); }
+  void ChargeAggUpdates(uint64_t n, int n_aggregates);
   void ChargeSortCompares(uint64_t n);
-  void ChargeOutputTuple(int bytes);
+  void ChargeOutputTuple(int bytes) { ChargeOutputTuples(1, bytes); }
+  void ChargeOutputTuples(uint64_t n, int bytes_per_tuple);
   /// Drains eval_counters into cycles.
   void ChargeEvalOps();
   /// Raw cycle charge (split costs, custom work).
@@ -95,6 +122,7 @@ class ExecContext {
 
   EvalCounters eval_;
   QueryExecStats stats_;
+  ExecMode exec_mode_ = ExecMode::kBatch;
 
   double pending_cycles_ = 0;
   double pending_lines_ = 0;

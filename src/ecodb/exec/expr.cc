@@ -42,6 +42,29 @@ const char* ToString(ArithOp op) {
   return "?";
 }
 
+// --- Base EvalBatch (generic fallback) ---
+
+void Expr::EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                     std::vector<Value>* out, EvalCounters* c) const {
+  out->resize(batch.num_rows());
+  Row row;
+  for (uint32_t r : sel) {
+    batch.MaterializeRow(r, &row);
+    (*out)[r] = Eval(row, c);
+  }
+}
+
+void Expr::FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
+                       EvalCounters* c) const {
+  std::vector<Value> vals;
+  EvalBatch(batch, *sel, &vals, c);
+  size_t w = 0;
+  for (uint32_t r : *sel) {
+    if (vals[r].IsTruthy()) (*sel)[w++] = r;
+  }
+  sel->resize(w);
+}
+
 // --- ColumnExpr ---
 
 ColumnExpr::ColumnExpr(int index, ValueType type, std::string name)
@@ -52,11 +75,27 @@ Value ColumnExpr::Eval(const Row& row, EvalCounters*) const {
   return row[static_cast<size_t>(index_)];
 }
 
+void ColumnExpr::EvalBatch(const RowBatch& batch,
+                           const std::vector<uint32_t>& sel,
+                           std::vector<Value>* out, EvalCounters*) const {
+  assert(index_ < batch.num_cols());
+  const std::vector<Value>& src = batch.col(index_);
+  out->resize(batch.num_rows());
+  for (uint32_t r : sel) (*out)[r] = src[r];
+}
+
 void ColumnExpr::CollectColumns(std::vector<int>* out) const {
   out->push_back(index_);
 }
 
 // --- LiteralExpr ---
+
+void LiteralExpr::EvalBatch(const RowBatch& batch,
+                            const std::vector<uint32_t>& sel,
+                            std::vector<Value>* out, EvalCounters*) const {
+  out->resize(batch.num_rows());
+  for (uint32_t r : sel) (*out)[r] = value_;
+}
 
 std::string LiteralExpr::ToString() const {
   if (value_.type() == ValueType::kString) {
@@ -67,6 +106,241 @@ std::string LiteralExpr::ToString() const {
 
 // --- CompareExpr ---
 
+void BatchOperand::Resolve(const Expr& e, const RowBatch& batch,
+                           const std::vector<uint32_t>& sel,
+                           EvalCounters* c) {
+  vec_ = nullptr;
+  scalar_ = nullptr;
+  if (e.kind() == ExprKind::kColumn) {
+    vec_ = &batch.col(static_cast<const ColumnExpr&>(e).index());
+    return;
+  }
+  if (e.kind() == ExprKind::kLiteral) {
+    scalar_ = &static_cast<const LiteralExpr&>(e).value();
+    return;
+  }
+  e.EvalBatch(batch, sel, &storage_, c);
+  vec_ = &storage_;
+}
+
+namespace {
+
+inline bool CompareOpHolds(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+inline Value ApplyCompare(CompareOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Bool(false);
+  return Value::Bool(CompareOpHolds(op, l.Compare(r)));
+}
+
+inline bool IsIntBacked(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDate ||
+         t == ValueType::kBool;
+}
+
+/// Whether an arithmetic subtree can be evaluated entirely through typed
+/// double arrays: numeric columns still lazy in the batch, non-null
+/// numeric literals, and +/-/* combinations thereof (division is excluded
+/// because divide-by-zero yields NULL). Pure predicate — charges nothing.
+bool CanEvalDoubleSubtree(const Expr& e, const RowBatch& batch) {
+  switch (e.kind()) {
+    case ExprKind::kColumn: {
+      const Table* table = batch.lazy_source();
+      if (table == nullptr) return false;
+      const int idx = static_cast<const ColumnExpr&>(e).index();
+      if (batch.col_materialized(idx)) return false;
+      const ValueType ct = table->column(idx).type();
+      return IsIntBacked(ct) || ct == ValueType::kDouble;
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value();
+      return !v.is_null() &&
+             (IsIntBacked(v.type()) || v.type() == ValueType::kDouble);
+    }
+    case ExprKind::kArith: {
+      const auto& a = static_cast<const ArithExpr&>(e);
+      // Division is excluded because divide-by-zero yields NULL; int-typed
+      // nodes are excluded because the scalar path computes them in int64
+      // (with int64 wrapping), which double arithmetic would not replicate.
+      if (a.op() == ArithOp::kDiv || a.type() != ValueType::kDouble) {
+        return false;
+      }
+      return CanEvalDoubleSubtree(*a.left(), batch) &&
+             CanEvalDoubleSubtree(*a.right(), batch);
+    }
+    default:
+      return false;
+  }
+}
+
+/// Evaluates a CanEvalDoubleSubtree-approved subtree into raw doubles —
+/// no Values anywhere. Results are either one scalar (*is_scalar) or
+/// `vec` indexed by physical row. Operation counting matches the scalar
+/// evaluator exactly: one arith op per arith node per selected row,
+/// nothing for columns and literals.
+void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
+                       const std::vector<uint32_t>& sel,
+                       std::vector<double>* vec, double* scalar,
+                       bool* is_scalar, EvalCounters* c) {
+  switch (e.kind()) {
+    case ExprKind::kColumn: {
+      const int idx = static_cast<const ColumnExpr&>(e).index();
+      const Column& col = batch.lazy_source()->column(idx);
+      const size_t base = batch.lazy_start();
+      *is_scalar = false;
+      vec->resize(batch.num_rows());
+      if (col.type() == ValueType::kDouble) {
+        for (uint32_t r : sel) (*vec)[r] = col.GetDouble(base + r);
+      } else {
+        for (uint32_t r : sel) {
+          (*vec)[r] = static_cast<double>(col.GetInt(base + r));
+        }
+      }
+      return;
+    }
+    case ExprKind::kLiteral: {
+      *is_scalar = true;
+      *scalar = static_cast<const LiteralExpr&>(e).value().AsDouble();
+      return;
+    }
+    case ExprKind::kArith:
+    default: {
+      const auto& a = static_cast<const ArithExpr&>(e);
+      std::vector<double> lv, rv;
+      double ls = 0, rs = 0;
+      bool lsc = false, rsc = false;
+      EvalDoubleSubtree(*a.left(), batch, sel, &lv, &ls, &lsc, c);
+      EvalDoubleSubtree(*a.right(), batch, sel, &rv, &rs, &rsc, c);
+      if (c != nullptr) c->arith_ops += sel.size();
+      auto apply = [&](double x, double y) {
+        switch (a.op()) {
+          case ArithOp::kAdd:
+            return x + y;
+          case ArithOp::kSub:
+            return x - y;
+          case ArithOp::kMul:
+            return x * y;
+          case ArithOp::kDiv:
+            break;  // excluded by CanEvalDoubleSubtree
+        }
+        return 0.0;
+      };
+      if (lsc && rsc) {
+        *is_scalar = true;
+        *scalar = apply(ls, rs);
+        return;
+      }
+      *is_scalar = false;
+      vec->resize(batch.num_rows());
+      for (uint32_t r : sel) {
+        (*vec)[r] = apply(lsc ? ls : lv[r], rsc ? rs : rv[r]);
+      }
+      return;
+    }
+  }
+}
+
+/// Typed fast path for `column <op> literal` over a lazily-bound scan
+/// batch: compares the table's columnar arrays directly, skipping the
+/// Value boxing of the whole column. Comparison semantics match
+/// Value::Compare (numeric coercion; table columns are NOT NULL by
+/// construction; a NULL literal compares to false) and exactly one
+/// comparison per selected row is charged. Calls emit(row, pass) for each
+/// selected row; returns false (charging nothing) when the shape doesn't
+/// apply and the caller must take the generic path.
+template <typename Emit>
+bool ForEachColumnLiteralCompare(CompareOp op, const Expr& left,
+                                 const Expr& right, const RowBatch& batch,
+                                 const std::vector<uint32_t>& sel,
+                                 EvalCounters* c, Emit&& emit) {
+  if (left.kind() != ExprKind::kColumn ||
+      right.kind() != ExprKind::kLiteral) {
+    return false;
+  }
+  const Table* table = batch.lazy_source();
+  if (table == nullptr) return false;
+  const int idx = static_cast<const ColumnExpr&>(left).index();
+  if (batch.col_materialized(idx)) return false;  // boxed already: use it
+  const Value& lit = static_cast<const LiteralExpr&>(right).value();
+  const Column& col = table->column(idx);
+  const size_t base = batch.lazy_start();
+  const ValueType ct = col.type();
+  const bool col_int = IsIntBacked(ct);
+  const bool col_numeric = col_int || ct == ValueType::kDouble;
+  const bool lit_int = IsIntBacked(lit.type());
+  const bool lit_numeric = lit_int || lit.type() == ValueType::kDouble;
+
+  enum class Path { kNullLit, kInt, kDouble, kString };
+  Path path;
+  if (lit.is_null()) {
+    path = Path::kNullLit;
+  } else if (col_int && lit_int) {
+    path = Path::kInt;
+  } else if (col_numeric && lit_numeric) {
+    path = Path::kDouble;
+  } else if (ct == ValueType::kString && lit.type() == ValueType::kString) {
+    path = Path::kString;
+  } else {
+    return false;  // mismatched non-numeric types: rare; generic path
+  }
+
+  if (c != nullptr) c->comparisons += sel.size();
+  switch (path) {
+    case Path::kNullLit:  // scalar path: NULL operand compares to false
+      for (uint32_t r : sel) emit(r, false);
+      break;
+    case Path::kInt: {
+      const int64_t b = lit.AsInt();
+      for (uint32_t r : sel) {
+        const int64_t a = col.GetInt(base + r);
+        emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
+      }
+      break;
+    }
+    case Path::kDouble: {
+      const double b = lit.AsDouble();
+      if (ct == ValueType::kDouble) {
+        for (uint32_t r : sel) {
+          const double a = col.GetDouble(base + r);
+          emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
+        }
+      } else {
+        for (uint32_t r : sel) {
+          const double a = static_cast<double>(col.GetInt(base + r));
+          emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
+        }
+      }
+      break;
+    }
+    case Path::kString: {
+      const std::string& b = lit.AsString();
+      for (uint32_t r : sel) {
+        const int cmp = col.GetString(base + r).compare(b);
+        emit(r, CompareOpHolds(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)));
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 CompareExpr::CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
     : op_(op), left_(std::move(left)), right_(std::move(right)) {}
 
@@ -74,23 +348,53 @@ Value CompareExpr::Eval(const Row& row, EvalCounters* c) const {
   Value l = left_->Eval(row, c);
   Value r = right_->Eval(row, c);
   if (c != nullptr) ++c->comparisons;
-  if (l.is_null() || r.is_null()) return Value::Bool(false);
-  int cmp = l.Compare(r);
-  switch (op_) {
-    case CompareOp::kEq:
-      return Value::Bool(cmp == 0);
-    case CompareOp::kNe:
-      return Value::Bool(cmp != 0);
-    case CompareOp::kLt:
-      return Value::Bool(cmp < 0);
-    case CompareOp::kLe:
-      return Value::Bool(cmp <= 0);
-    case CompareOp::kGt:
-      return Value::Bool(cmp > 0);
-    case CompareOp::kGe:
-      return Value::Bool(cmp >= 0);
+  return ApplyCompare(op_, l, r);
+}
+
+void CompareExpr::EvalBatch(const RowBatch& batch,
+                            const std::vector<uint32_t>& sel,
+                            std::vector<Value>* out, EvalCounters* c) const {
+  out->resize(batch.num_rows());
+  if (ForEachColumnLiteralCompare(
+          op_, *left_, *right_, batch, sel, c,
+          [&](uint32_t r, bool pass) { (*out)[r] = Value::Bool(pass); })) {
+    return;
   }
-  return Value::Bool(false);
+  BatchOperand lhs, rhs;
+  lhs.Resolve(*left_, batch, sel, c);
+  rhs.Resolve(*right_, batch, sel, c);
+  // One comparison per evaluated row, exactly like the scalar path (which
+  // counts before its null check).
+  if (c != nullptr) c->comparisons += sel.size();
+  for (uint32_t r : sel) (*out)[r] = ApplyCompare(op_, lhs.at(r), rhs.at(r));
+}
+
+void CompareExpr::FilterBatch(const RowBatch& batch,
+                              std::vector<uint32_t>* sel,
+                              EvalCounters* c) const {
+  {
+    std::vector<uint32_t>& s = *sel;
+    size_t w = 0;
+    if (ForEachColumnLiteralCompare(
+            op_, *left_, *right_, batch, s, c,
+            [&](uint32_t r, bool pass) { if (pass) s[w++] = r; })) {
+      s.resize(w);
+      return;
+    }
+  }
+  BatchOperand lhs, rhs;
+  lhs.Resolve(*left_, batch, *sel, c);
+  rhs.Resolve(*right_, batch, *sel, c);
+  if (c != nullptr) c->comparisons += sel->size();
+  std::vector<uint32_t>& s = *sel;
+  size_t w = 0;
+  for (uint32_t r : s) {
+    const Value& l = lhs.at(r);
+    const Value& rv = rhs.at(r);
+    if (l.is_null() || rv.is_null()) continue;
+    if (CompareOpHolds(op_, l.Compare(rv))) s[w++] = r;
+  }
+  s.resize(w);
 }
 
 std::string CompareExpr::ToString() const {
@@ -125,6 +429,60 @@ Value LogicalExpr::Eval(const Row& row, EvalCounters* c) const {
   return Value::Bool(false);
 }
 
+void LogicalExpr::EvalBatch(const RowBatch& batch,
+                            const std::vector<uint32_t>& sel,
+                            std::vector<Value>* out, EvalCounters* c) const {
+  // Short-circuit vectorized: each operand is evaluated only over the rows
+  // still undecided after the previous operands, in operand order — the
+  // same per-row laziness (and therefore the same operation counts) as the
+  // scalar path, just with the operand loop hoisted outside the row loop.
+  out->resize(batch.num_rows());
+  std::vector<uint32_t> active(sel);
+  std::vector<uint32_t> next;
+  std::vector<Value> vals;
+  const bool is_and = (op_ == LogicalOp::kAnd);
+  for (const ExprPtr& e : operands_) {
+    if (active.empty()) break;
+    e->EvalBatch(batch, active, &vals, c);
+    next.clear();
+    for (uint32_t r : active) {
+      bool truthy = vals[r].IsTruthy();
+      if (is_and) {
+        if (truthy) {
+          next.push_back(r);  // still undecided
+        } else {
+          (*out)[r] = Value::Bool(false);
+        }
+      } else {
+        if (truthy) {
+          (*out)[r] = Value::Bool(true);
+        } else {
+          next.push_back(r);  // still undecided
+        }
+      }
+    }
+    active.swap(next);
+  }
+  // Rows that survived every operand: AND -> true, OR -> false.
+  for (uint32_t r : active) (*out)[r] = Value::Bool(is_and);
+}
+
+void LogicalExpr::FilterBatch(const RowBatch& batch,
+                              std::vector<uint32_t>* sel,
+                              EvalCounters* c) const {
+  if (op_ == LogicalOp::kAnd) {
+    // A conjunction narrows through each operand in order over the
+    // survivors of the previous ones — identical laziness and counts to
+    // the scalar short-circuit, with no boolean vector in between.
+    for (const ExprPtr& e : operands_) {
+      if (sel->empty()) return;
+      e->FilterBatch(batch, sel, c);
+    }
+    return;
+  }
+  Expr::FilterBatch(batch, sel, c);  // OR: evaluate-and-compact
+}
+
 std::string LogicalExpr::ToString() const {
   std::string out = "(";
   for (size_t i = 0; i < operands_.size(); ++i) {
@@ -147,6 +505,15 @@ void LogicalExpr::CollectColumns(std::vector<int>* out) const {
 
 Value NotExpr::Eval(const Row& row, EvalCounters* c) const {
   return Value::Bool(!operand_->Eval(row, c).IsTruthy());
+}
+
+void NotExpr::EvalBatch(const RowBatch& batch,
+                        const std::vector<uint32_t>& sel,
+                        std::vector<Value>* out, EvalCounters* c) const {
+  std::vector<Value> vals;
+  operand_->EvalBatch(batch, sel, &vals, c);
+  out->resize(batch.num_rows());
+  for (uint32_t r : sel) (*out)[r] = Value::Bool(!vals[r].IsTruthy());
 }
 
 std::string NotExpr::ToString() const {
@@ -210,6 +577,78 @@ Value ArithExpr::Eval(const Row& row, EvalCounters* c) const {
   return Value::Null();
 }
 
+void ArithExpr::EvalBatch(const RowBatch& batch,
+                          const std::vector<uint32_t>& sel,
+                          std::vector<Value>* out, EvalCounters* c) const {
+  if (type_ == ValueType::kDouble && CanEvalDoubleSubtree(*this, batch)) {
+    std::vector<double> vals;
+    double scalar = 0;
+    bool is_scalar = false;
+    EvalDoubleSubtree(*this, batch, sel, &vals, &scalar, &is_scalar, c);
+    out->resize(batch.num_rows());
+    for (uint32_t r : sel) {
+      (*out)[r] = Value::Dbl(is_scalar ? scalar : vals[r]);
+    }
+    return;
+  }
+  BatchOperand lhs, rhs;
+  lhs.Resolve(*left_, batch, sel, c);
+  rhs.Resolve(*right_, batch, sel, c);
+  if (c != nullptr) c->arith_ops += sel.size();
+  out->resize(batch.num_rows());
+  if (type_ == ValueType::kInt64) {
+    for (uint32_t r : sel) {
+      const Value& l = lhs.at(r);
+      const Value& rv = rhs.at(r);
+      if (l.is_null() || rv.is_null()) {
+        (*out)[r] = Value::Null();
+        continue;
+      }
+      int64_t a = l.AsInt();
+      int64_t b = rv.AsInt();
+      switch (op_) {
+        case ArithOp::kAdd:
+          (*out)[r] = Value::Int(a + b);
+          break;
+        case ArithOp::kSub:
+          (*out)[r] = Value::Int(a - b);
+          break;
+        case ArithOp::kMul:
+          (*out)[r] = Value::Int(a * b);
+          break;
+        case ArithOp::kDiv:
+          (*out)[r] = b == 0 ? Value::Null() : Value::Int(a / b);
+          break;
+      }
+    }
+    return;
+  }
+  for (uint32_t r : sel) {
+    const Value& l = lhs.at(r);
+    const Value& rv = rhs.at(r);
+    if (l.is_null() || rv.is_null()) {
+      (*out)[r] = Value::Null();
+      continue;
+    }
+    double a = l.AsDouble();
+    double b = rv.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd:
+        (*out)[r] = Value::Dbl(a + b);
+        break;
+      case ArithOp::kSub:
+        (*out)[r] = Value::Dbl(a - b);
+        break;
+      case ArithOp::kMul:
+        (*out)[r] = Value::Dbl(a * b);
+        break;
+      case ArithOp::kDiv:
+        (*out)[r] = b == 0.0 ? Value::Null() : Value::Dbl(a / b);
+        break;
+    }
+  }
+}
+
 std::string ArithExpr::ToString() const {
   return StrFormat("(%s %s %s)", left_->ToString().c_str(),
                    ecodb::ToString(op_), right_->ToString().c_str());
@@ -234,6 +673,49 @@ Value BetweenExpr::Eval(const Row& row, EvalCounters* c) const {
   Value hi = hi_->Eval(row, c);
   if (c != nullptr) ++c->comparisons;
   return Value::Bool(!hi.is_null() && v.Compare(hi) <= 0);
+}
+
+void BetweenExpr::EvalBatch(const RowBatch& batch,
+                            const std::vector<uint32_t>& sel,
+                            std::vector<Value>* out, EvalCounters* c) const {
+  // Mirrors the scalar laziness: rows with a NULL operand are decided
+  // without touching the bounds; `hi` is only evaluated (and its
+  // comparison counted) for rows that pass the `lo` check.
+  out->resize(batch.num_rows());
+  BatchOperand vals;
+  vals.Resolve(*operand_, batch, sel, c);
+  std::vector<uint32_t> pending;
+  pending.reserve(sel.size());
+  for (uint32_t r : sel) {
+    if (vals.at(r).is_null()) {
+      (*out)[r] = Value::Bool(false);
+    } else {
+      pending.push_back(r);
+    }
+  }
+  if (pending.empty()) return;
+
+  BatchOperand lo_vals;
+  lo_vals.Resolve(*lo_, batch, pending, c);
+  if (c != nullptr) c->comparisons += pending.size();
+  std::vector<uint32_t> passed_lo;
+  passed_lo.reserve(pending.size());
+  for (uint32_t r : pending) {
+    if (!lo_vals.at(r).is_null() && vals.at(r).Compare(lo_vals.at(r)) < 0) {
+      (*out)[r] = Value::Bool(false);
+    } else {
+      passed_lo.push_back(r);
+    }
+  }
+  if (passed_lo.empty()) return;
+
+  BatchOperand hi_vals;
+  hi_vals.Resolve(*hi_, batch, passed_lo, c);
+  if (c != nullptr) c->comparisons += passed_lo.size();
+  for (uint32_t r : passed_lo) {
+    (*out)[r] = Value::Bool(!hi_vals.at(r).is_null() &&
+                            vals.at(r).Compare(hi_vals.at(r)) <= 0);
+  }
 }
 
 std::string BetweenExpr::ToString() const {
@@ -272,6 +754,52 @@ Value InListExpr::Eval(const Row& row, EvalCounters* c) const {
     if (v.Compare(candidate) == 0) return Value::Bool(true);
   }
   return Value::Bool(false);
+}
+
+void InListExpr::EvalBatch(const RowBatch& batch,
+                           const std::vector<uint32_t>& sel,
+                           std::vector<Value>* out, EvalCounters* c) const {
+  out->resize(batch.num_rows());
+  BatchOperand vals;
+  vals.Resolve(*operand_, batch, sel, c);
+  if (hashed_) {
+    for (uint32_t r : sel) {
+      if (vals.at(r).is_null()) {
+        (*out)[r] = Value::Bool(false);
+        continue;
+      }
+      if (c != nullptr) ++c->comparisons;  // one probe
+      (*out)[r] = Value::Bool(set_.find(vals.at(r)) != set_.end());
+    }
+    return;
+  }
+  // Linear scan with per-row early exit, candidate loop hoisted outside
+  // the row loop: row `r` is compared against candidates until its first
+  // hit, so the total comparison count equals the scalar path's.
+  std::vector<uint32_t> remaining;
+  remaining.reserve(sel.size());
+  for (uint32_t r : sel) {
+    if (vals.at(r).is_null()) {
+      (*out)[r] = Value::Bool(false);
+    } else {
+      remaining.push_back(r);
+    }
+  }
+  std::vector<uint32_t> next;
+  for (const Value& candidate : values_) {
+    if (remaining.empty()) break;
+    if (c != nullptr) c->comparisons += remaining.size();
+    next.clear();
+    for (uint32_t r : remaining) {
+      if (vals.at(r).Compare(candidate) == 0) {
+        (*out)[r] = Value::Bool(true);
+      } else {
+        next.push_back(r);
+      }
+    }
+    remaining.swap(next);
+  }
+  for (uint32_t r : remaining) (*out)[r] = Value::Bool(false);
 }
 
 std::string InListExpr::ToString() const {

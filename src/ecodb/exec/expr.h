@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ecodb/exec/exec_context.h"
+#include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/value.h"
 
 namespace ecodb {
@@ -44,6 +45,27 @@ class Expr {
   virtual ~Expr() = default;
 
   virtual Value Eval(const Row& row, EvalCounters* c) const = 0;
+
+  /// Vectorized evaluation over the rows listed in `sel` (a subset of
+  /// `batch.sel()`). `out` is resized to batch.num_rows(); only positions
+  /// in `sel` are written. Implementations MUST charge `c` exactly as a
+  /// row-at-a-time Eval loop over `sel` would — including AND/OR
+  /// short-circuit and IN-list early-exit laziness — so that batch and row
+  /// execution report identical logical work (the Figure 6 cost shape).
+  /// The base implementation materializes each selected row and calls
+  /// Eval; subclasses override with tight columnar loops.
+  virtual void EvalBatch(const RowBatch& batch,
+                         const std::vector<uint32_t>& sel,
+                         std::vector<Value>* out, EvalCounters* c) const;
+
+  /// Predicate form of EvalBatch: narrows `sel` in place to the rows where
+  /// this expression is truthy, charging `c` exactly as EvalBatch over the
+  /// same selection would. The base implementation evaluates and compacts;
+  /// CompareExpr and AND-chains override to skip materializing the boolean
+  /// vector entirely (the hot shape under FilterOp).
+  virtual void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
+                           EvalCounters* c) const;
+
   virtual ExprKind kind() const = 0;
   virtual ValueType type() const = 0;
   virtual std::string ToString() const = 0;
@@ -58,6 +80,8 @@ class ColumnExpr : public Expr {
  public:
   ColumnExpr(int index, ValueType type, std::string name);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kColumn; }
   ValueType type() const override { return type_; }
   std::string ToString() const override { return name_; }
@@ -76,6 +100,8 @@ class LiteralExpr : public Expr {
  public:
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
   Value Eval(const Row&, EvalCounters*) const override { return value_; }
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kLiteral; }
   ValueType type() const override { return value_.type(); }
   std::string ToString() const override;
@@ -91,6 +117,10 @@ class CompareExpr : public Expr {
  public:
   CompareExpr(CompareOp op, ExprPtr left, ExprPtr right);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
+  void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
+                   EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kCompare; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -110,6 +140,10 @@ class LogicalExpr : public Expr {
  public:
   LogicalExpr(LogicalOp op, std::vector<ExprPtr> operands);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
+  void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
+                   EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kLogical; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -127,6 +161,8 @@ class NotExpr : public Expr {
  public:
   explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kNot; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -142,6 +178,8 @@ class ArithExpr : public Expr {
  public:
   ArithExpr(ArithOp op, ExprPtr left, ExprPtr right);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kArith; }
   ValueType type() const override { return type_; }
   std::string ToString() const override;
@@ -162,6 +200,8 @@ class BetweenExpr : public Expr {
  public:
   BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kBetween; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -184,6 +224,8 @@ class InListExpr : public Expr {
  public:
   InListExpr(ExprPtr operand, std::vector<Value> values, bool hashed);
   Value Eval(const Row& row, EvalCounters* c) const override;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const override;
   ExprKind kind() const override { return ExprKind::kInList; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -201,6 +243,26 @@ class InListExpr : public Expr {
   std::vector<Value> values_;
   bool hashed_;
   std::unordered_set<Value, ValueHash> set_;
+};
+
+/// Batch operand accessor that avoids materializing a Value vector for the
+/// two dominant leaf shapes: a ColumnExpr resolves to a direct reference
+/// into the batch's column (triggering lazy boxing of just that column)
+/// and a LiteralExpr to a single shared Value; anything else evaluates
+/// into local storage via EvalBatch. Counting parity holds because column
+/// and literal references charge nothing in the scalar path either.
+/// The referenced batch/expression must outlive the operand.
+class BatchOperand {
+ public:
+  const Value& at(uint32_t r) const { return vec_ ? (*vec_)[r] : *scalar_; }
+
+  void Resolve(const Expr& e, const RowBatch& batch,
+               const std::vector<uint32_t>& sel, EvalCounters* c);
+
+ private:
+  const std::vector<Value>* vec_ = nullptr;  ///< per-row values, or
+  const Value* scalar_ = nullptr;            ///< one value for every row
+  std::vector<Value> storage_;
 };
 
 // --- Construction helpers ---

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "ecodb/util/strings.h"
 
@@ -19,6 +20,24 @@ ValueType AggSpec::ResultType() const {
       return arg ? arg->type() : ValueType::kNull;
   }
   return ValueType::kNull;
+}
+
+// --- Operator (base NextBatch adapter) ---
+
+Status Operator::NextBatch(RowBatch* out, bool* has_rows) {
+  out->Reset(schema().num_fields());
+  Row row;
+  bool has = false;
+  size_t emitted = 0;
+  while (emitted < RowBatch::kDefaultBatchRows) {
+    ECODB_RETURN_NOT_OK(Next(&row, &has));
+    if (!has) break;
+    out->AppendRowMove(std::move(row));
+    row = Row();
+    ++emitted;
+  }
+  *has_rows = emitted > 0;
+  return Status::OK();
 }
 
 // --- SeqScanOp ---
@@ -59,6 +78,44 @@ Status SeqScanOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
+Status SeqScanOp::NextBatch(RowBatch* out, bool* has_rows) {
+  const int num_cols = schema_.num_fields();
+  out->Reset(num_cols);
+  const uint64_t total = table_->num_rows();
+  if (next_row_ >= total) {
+    *has_rows = false;
+    return Status::OK();
+  }
+  const size_t take = static_cast<size_t>(
+      std::min<uint64_t>(RowBatch::kDefaultBatchRows, total - next_row_));
+  const size_t batch_start = next_row_;
+  const uint64_t rpp = file_->rows_per_page();
+  // Account page-run by page-run: one FetchScanPages call per page entered
+  // (same I/O sequence and flush points as the row path), one bulk tuple
+  // charge per run instead of one per row. The data itself is NOT boxed
+  // here: the batch lazily references the table and downstream operators
+  // materialize only the columns (and, post-filter, positions) they touch.
+  size_t remaining = take;
+  while (remaining > 0) {
+    if (next_row_ % rpp == 0) {
+      ECODB_RETURN_NOT_OK(ctx_->FetchScanPages(
+          file_->file_id(), next_row_ / rpp, 1, pages_fetched_));
+      ++pages_fetched_;
+    }
+    const size_t run = static_cast<size_t>(
+        std::min<uint64_t>(remaining, file_->RowsLeftInPage(next_row_)));
+    ctx_->ChargeScanTuples(run, static_cast<uint64_t>(run) *
+                                    static_cast<uint64_t>(row_width_));
+    next_row_ += run;
+    remaining -= run;
+  }
+  out->set_num_rows(take);
+  out->ExtendIdentitySel(0);
+  out->BindLazySource(table_, batch_start);
+  *has_rows = true;
+  return Status::OK();
+}
+
 void SeqScanOp::Close() { ctx_->Flush(); }
 
 // --- FilterOp ---
@@ -85,6 +142,25 @@ Status FilterOp::Next(Row* out, bool* has_row) {
     if (pass) {
       ++rows_out_;
       *has_row = true;
+      return Status::OK();
+    }
+  }
+}
+
+Status FilterOp::NextBatch(RowBatch* out, bool* has_rows) {
+  for (;;) {
+    bool child_has = false;
+    ECODB_RETURN_NOT_OK(child_->NextBatch(out, &child_has));
+    if (!child_has) {
+      *has_rows = false;
+      return Status::OK();
+    }
+    rows_in_ += out->active();
+    predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters());
+    ctx_->ChargeEvalOps();
+    rows_out_ += out->active();
+    if (!out->empty()) {
+      *has_rows = true;
       return Status::OK();
     }
   }
@@ -129,6 +205,26 @@ Status ProjectOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
+Status ProjectOp::NextBatch(RowBatch* out, bool* has_rows) {
+  bool child_has = false;
+  ECODB_RETURN_NOT_OK(child_->NextBatch(&input_batch_, &child_has));
+  if (!child_has) {
+    *has_rows = false;
+    return Status::OK();
+  }
+  out->Reset(static_cast<int>(exprs_.size()));
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    exprs_[i]->EvalBatch(input_batch_, input_batch_.sel(),
+                         &out->col(static_cast<int>(i)),
+                         ctx_->eval_counters());
+  }
+  ctx_->ChargeEvalOps();
+  out->set_num_rows(input_batch_.num_rows());
+  out->sel() = input_batch_.sel();
+  *has_rows = true;
+  return Status::OK();
+}
+
 void ProjectOp::Close() {
   child_->Close();
   ctx_->Flush();
@@ -145,7 +241,6 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
       build_keys_(std::move(build_keys)),
       probe_keys_(std::move(probe_keys)) {
   assert(build_keys_.size() == probe_keys_.size());
-  schema_ = Schema::Concat(build_child_->schema(), probe_child_->schema());
 }
 
 bool HashJoinOp::KeysEqual(const Row& build_row, const Row& probe_row) {
@@ -159,14 +254,44 @@ bool HashJoinOp::KeysEqual(const Row& build_row, const Row& probe_row) {
   return true;
 }
 
-Status HashJoinOp::Open() {
-  ECODB_RETURN_NOT_OK(build_child_->Open());
+bool HashJoinOp::KeysEqualBatch(const Row& build_row,
+                                const RowBatch& probe_batch,
+                                uint32_t probe_row) {
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    ++ctx_->eval_counters()->comparisons;
+    if (build_row[static_cast<size_t>(build_keys_[i])].Compare(
+            probe_batch.col(probe_keys_[i])[probe_row]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status HashJoinOp::ConsumeBuildSide() {
   int build_width = build_child_->schema().RowWidth();
-  Row row;
-  bool has = false;
   table_.clear();
   build_bytes_ = 0;
-  probe_rows_ = 0;
+  if (ctx_->exec_mode() == ExecMode::kBatch) {
+    RowBatch batch;
+    bool has = false;
+    for (;;) {
+      ECODB_RETURN_NOT_OK(build_child_->NextBatch(&batch, &has));
+      if (!has) break;
+      ctx_->ChargeHashBuilds(batch.active(), build_width);
+      build_bytes_ +=
+          static_cast<uint64_t>(batch.active()) *
+          static_cast<uint64_t>(build_width);
+      for (uint32_t r : batch.sel()) {
+        Row row;
+        batch.MaterializeRow(r, &row);
+        size_t h = HashRowKey(row, build_keys_);
+        table_.emplace(h, std::move(row));
+      }
+    }
+    return Status::OK();
+  }
+  Row row;
+  bool has = false;
   for (;;) {
     ECODB_RETURN_NOT_OK(build_child_->Next(&row, &has));
     if (!has) break;
@@ -176,11 +301,26 @@ Status HashJoinOp::Open() {
     table_.emplace(h, std::move(row));
     row = Row();
   }
+  return Status::OK();
+}
+
+Status HashJoinOp::Open() {
+  ECODB_RETURN_NOT_OK(build_child_->Open());
+  ECODB_RETURN_NOT_OK(ConsumeBuildSide());
   build_child_->Close();
+  probe_rows_ = 0;
   // Grace-hash spill of the build side (commercial profile).
   ECODB_RETURN_NOT_OK(ctx_->ChargeSpill(build_bytes_));
   ECODB_RETURN_NOT_OK(probe_child_->Open());
+  // Children only know their schemas once opened (scans bind to the
+  // catalog in Open), so the concatenated schema is computed here — the
+  // seed's constructor-time Concat saw two empty schemas, silently
+  // zeroing the join's output-tuple width.
+  schema_ = Schema::Concat(build_child_->schema(), probe_child_->schema());
   probe_valid_ = false;
+  probe_batch_valid_ = false;
+  probe_sel_pos_ = 0;
+  probe_eos_ = false;
   return Status::OK();
 }
 
@@ -195,7 +335,16 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
           out->clear();
           out->reserve(build_row.size() + probe_row_.size());
           out->insert(out->end(), build_row.begin(), build_row.end());
-          out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+          // The probe row's values can be moved out on its last chain
+          // entry: nothing reads probe_row_ again before the next child
+          // pull overwrites it.
+          if (std::next(match_it_) == match_end_) {
+            out->insert(out->end(),
+                        std::make_move_iterator(probe_row_.begin()),
+                        std::make_move_iterator(probe_row_.end()));
+          } else {
+            out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+          }
           ++match_it_;
           ctx_->ChargeEvalOps();
           *has_row = true;
@@ -222,6 +371,62 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
   }
 }
 
+Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
+  const int num_cols = schema_.num_fields();
+  const int build_cols = build_child_->schema().num_fields();
+  const int probe_cols = probe_child_->schema().num_fields();
+  const int probe_width = probe_child_->schema().RowWidth();
+  out->Reset(num_cols);
+  size_t emitted = 0;
+  while (emitted < RowBatch::kDefaultBatchRows) {
+    if (probe_valid_) {
+      const uint32_t pr = probe_batch_.sel()[probe_sel_pos_];
+      while (match_it_ != match_end_ &&
+             emitted < RowBatch::kDefaultBatchRows) {
+        const Row& build_row = match_it_->second;
+        ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
+        if (KeysEqualBatch(build_row, probe_batch_, pr)) {
+          for (int c = 0; c < build_cols; ++c) {
+            out->col(c).push_back(build_row[static_cast<size_t>(c)]);
+          }
+          for (int c = 0; c < probe_cols; ++c) {
+            out->col(build_cols + c).push_back(probe_batch_.col(c)[pr]);
+          }
+          ++emitted;
+        }
+        ++match_it_;
+      }
+      if (match_it_ != match_end_) break;  // out full; resume mid-chain
+      probe_valid_ = false;
+      ++probe_sel_pos_;
+    }
+    if (!probe_batch_valid_ || probe_sel_pos_ >= probe_batch_.active()) {
+      if (probe_eos_) break;
+      bool has = false;
+      ECODB_RETURN_NOT_OK(probe_child_->NextBatch(&probe_batch_, &has));
+      if (!has) {
+        probe_eos_ = true;
+        break;
+      }
+      probe_batch_valid_ = true;
+      probe_sel_pos_ = 0;
+      probe_rows_ += probe_batch_.active();
+      ctx_->ChargeHashProbes(probe_batch_.active(), probe_width);
+    }
+    const uint32_t pr = probe_batch_.sel()[probe_sel_pos_];
+    size_t h = HashBatchKey(probe_batch_, pr, probe_keys_);
+    auto range = table_.equal_range(h);
+    match_it_ = range.first;
+    match_end_ = range.second;
+    probe_valid_ = true;
+  }
+  ctx_->ChargeEvalOps();
+  out->set_num_rows(emitted);
+  out->ExtendIdentitySel(0);
+  *has_rows = emitted > 0;
+  return Status::OK();
+}
+
 void HashJoinOp::Close() {
   probe_child_->Close();
   // Probe-side partitions of the grace hash.
@@ -239,25 +444,45 @@ NestedLoopJoinOp::NestedLoopJoinOp(ExecContext* ctx, OperatorPtr outer,
     : ctx_(ctx),
       outer_(std::move(outer)),
       inner_(std::move(inner)),
-      predicate_(std::move(predicate)) {
-  schema_ = Schema::Concat(outer_->schema(), inner_->schema());
-}
+      predicate_(std::move(predicate)) {}
 
 Status NestedLoopJoinOp::Open() {
   ECODB_RETURN_NOT_OK(inner_->Open());
   inner_rows_.clear();
-  Row row;
-  bool has = false;
-  for (;;) {
-    ECODB_RETURN_NOT_OK(inner_->Next(&row, &has));
-    if (!has) break;
-    inner_rows_.push_back(std::move(row));
-    row = Row();
+  if (ctx_->exec_mode() == ExecMode::kBatch) {
+    RowBatch batch;
+    bool has = false;
+    for (;;) {
+      ECODB_RETURN_NOT_OK(inner_->NextBatch(&batch, &has));
+      if (!has) break;
+      const size_t need = inner_rows_.size() + batch.active();
+      if (inner_rows_.capacity() < need) {
+        inner_rows_.reserve(std::max(need, inner_rows_.capacity() * 2));
+      }
+      for (uint32_t r : batch.sel()) {
+        Row row;
+        batch.MaterializeRow(r, &row);
+        inner_rows_.push_back(std::move(row));
+      }
+    }
+  } else {
+    Row row;
+    bool has = false;
+    for (;;) {
+      ECODB_RETURN_NOT_OK(inner_->Next(&row, &has));
+      if (!has) break;
+      inner_rows_.push_back(std::move(row));
+      row = Row();
+    }
   }
   inner_->Close();
   ECODB_RETURN_NOT_OK(outer_->Open());
+  schema_ = Schema::Concat(outer_->schema(), inner_->schema());
   outer_valid_ = false;
   inner_pos_ = 0;
+  outer_batch_valid_ = false;
+  outer_sel_pos_ = 0;
+  outer_eos_ = false;
   return Status::OK();
 }
 
@@ -290,6 +515,64 @@ Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
       }
     }
     outer_valid_ = false;
+  }
+}
+
+Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
+  const int outer_cols = outer_->schema().num_fields();
+  const int inner_cols = inner_->schema().num_fields();
+  for (;;) {
+    out->Reset(schema_.num_fields());
+    size_t emitted = 0;
+    // Build a batch of concatenated candidate rows.
+    while (emitted < RowBatch::kDefaultBatchRows) {
+      if (!outer_batch_valid_ || outer_sel_pos_ >= outer_batch_.active()) {
+        if (outer_eos_) break;
+        bool has = false;
+        ECODB_RETURN_NOT_OK(outer_->NextBatch(&outer_batch_, &has));
+        if (!has) {
+          outer_eos_ = true;
+          break;
+        }
+        outer_batch_valid_ = true;
+        outer_sel_pos_ = 0;
+        inner_pos_ = 0;
+      }
+      const uint32_t orow = outer_batch_.sel()[outer_sel_pos_];
+      while (inner_pos_ < inner_rows_.size() &&
+             emitted < RowBatch::kDefaultBatchRows) {
+        const Row& inner_row = inner_rows_[inner_pos_++];
+        for (int c = 0; c < outer_cols; ++c) {
+          out->col(c).push_back(outer_batch_.col(c)[orow]);
+        }
+        for (int c = 0; c < inner_cols; ++c) {
+          out->col(outer_cols + c).push_back(
+              inner_row[static_cast<size_t>(c)]);
+        }
+        ++emitted;
+      }
+      if (inner_pos_ >= inner_rows_.size()) {
+        ++outer_sel_pos_;
+        inner_pos_ = 0;
+      } else {
+        break;  // out full mid-inner-loop; resume next call
+      }
+    }
+    if (emitted == 0) {
+      *has_rows = false;
+      return Status::OK();
+    }
+    out->set_num_rows(emitted);
+    out->ExtendIdentitySel(0);
+    if (predicate_ != nullptr) {
+      predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters());
+      ctx_->ChargeEvalOps();
+    }
+    if (!out->empty()) {
+      *has_rows = true;
+      return Status::OK();
+    }
+    // Every candidate failed the predicate; build the next batch.
   }
 }
 
@@ -349,6 +632,156 @@ void HashAggOp::UpdateGroup(Group* g, const Row& row) {
   ctx_->ChargeAggUpdate(static_cast<int>(aggs_.size()));
 }
 
+void HashAggOp::UpdateGroupFromBatch(
+    Group* g, const std::vector<BatchOperand>& arg_vals, uint32_t r) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    Accumulator& acc = g->accs[i];
+    if (spec.kind == AggSpec::Kind::kCount && !spec.arg) {
+      ++acc.count;
+      continue;
+    }
+    const Value& v = arg_vals[i].at(r);
+    if (v.is_null()) continue;
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kSum:
+      case AggSpec::Kind::kAvg:
+        acc.sum += v.AsDouble();
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kMin:
+        if (acc.count == 0 || v.Compare(acc.min) < 0) acc.min = v;
+        ++acc.count;
+        break;
+      case AggSpec::Kind::kMax:
+        if (acc.count == 0 || v.Compare(acc.max) > 0) acc.max = v;
+        ++acc.count;
+        break;
+    }
+  }
+}
+
+template <typename KeyAt, typename MakeKey>
+HashAggOp::Group* HashAggOp::FindOrCreateGroup(size_t hash, size_t n_keys,
+                                               KeyAt&& key_at,
+                                               MakeKey&& make_key,
+                                               uint64_t* new_groups) {
+  std::vector<Group>& bucket = groups_[hash];
+  for (Group& g : bucket) {
+    ++ctx_->eval_counters()->comparisons;
+    bool equal = true;
+    for (size_t i = 0; i < n_keys; ++i) {
+      if (g.key[i].Compare(key_at(i)) != 0) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return &g;
+  }
+  bucket.push_back(
+      Group{make_key(), std::vector<Accumulator>(aggs_.size())});
+  ++*new_groups;
+  return &bucket.back();
+}
+
+Status HashAggOp::ConsumeChildRowMode() {
+  Row row;
+  bool has = false;
+  std::vector<int> all_key_cols;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    all_key_cols.push_back(static_cast<int>(i));
+  }
+  const int key_bytes = static_cast<int>(group_by_.size()) * 8;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    if (!has) break;
+    Row key;
+    key.reserve(group_by_.size());
+    for (const ExprPtr& e : group_by_) {
+      key.push_back(e->Eval(row, ctx_->eval_counters()));
+    }
+    ctx_->ChargeEvalOps();
+    size_t h = HashRowKey(key, all_key_cols);
+    ctx_->ChargeHashProbe(key_bytes);
+    uint64_t new_groups = 0;
+    Group* target = FindOrCreateGroup(
+        h, key.size(), [&](size_t i) -> const Value& { return key[i]; },
+        [&] { return std::move(key); }, &new_groups);
+    if (new_groups > 0) ctx_->ChargeHashBuild(key_bytes);
+    UpdateGroup(target, row);
+  }
+  return Status::OK();
+}
+
+Status HashAggOp::ConsumeChildBatchMode() {
+  RowBatch batch;
+  bool has = false;
+  const int key_bytes = static_cast<int>(group_by_.size()) * 8;
+  std::vector<BatchOperand> key_vals(group_by_.size());
+  std::vector<BatchOperand> arg_vals(aggs_.size());
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
+    if (!has) break;
+    // Vectorized evaluation of group keys and aggregate arguments; the
+    // scalar path evaluates the same expressions over the same rows.
+    // Plain column references resolve into the batch without a copy.
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      key_vals[i].Resolve(*group_by_[i], batch, batch.sel(),
+                          ctx_->eval_counters());
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (aggs_[i].arg) {
+        arg_vals[i].Resolve(*aggs_[i].arg, batch, batch.sel(),
+                            ctx_->eval_counters());
+      }
+    }
+    uint64_t new_groups = 0;
+    const size_t n_keys = group_by_.size();
+    for (uint32_t r : batch.sel()) {
+      // Hash and bucket-compare against the resolved key operands
+      // directly; the key Row is only materialized when a new group is
+      // created (the common found-case does no per-row allocation).
+      size_t h = kRowKeyHashSeed;
+      for (size_t i = 0; i < n_keys; ++i) {
+        h = HashCombineKey(h, key_vals[i].at(r).Hash());
+      }
+      Group* target = FindOrCreateGroup(
+          h, n_keys,
+          [&](size_t i) -> const Value& { return key_vals[i].at(r); },
+          [&] {
+            Row key;
+            key.reserve(n_keys);
+            for (size_t i = 0; i < n_keys; ++i) {
+              key.push_back(key_vals[i].at(r));
+            }
+            return key;
+          },
+          &new_groups);
+      UpdateGroupFromBatch(target, arg_vals, r);
+    }
+    ctx_->ChargeHashProbes(batch.active(), key_bytes);
+    ctx_->ChargeHashBuilds(new_groups, key_bytes);
+    ctx_->ChargeAggUpdates(batch.active(), static_cast<int>(aggs_.size()));
+    ctx_->ChargeEvalOps();
+  }
+  return Status::OK();
+}
+
+void HashAggOp::EmitResults() {
+  if (groups_.empty() && group_by_.empty()) {
+    // Global aggregate over empty input still yields one row.
+    Group g{Row{}, std::vector<Accumulator>(aggs_.size())};
+    results_.push_back(GroupToRow(g));
+  } else {
+    for (auto& [h, bucket] : groups_) {
+      for (Group& g : bucket) results_.push_back(GroupToRow(g));
+    }
+  }
+}
+
 Row HashAggOp::GroupToRow(const Group& g) const {
   Row out = g.key;
   for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -383,58 +816,17 @@ Status HashAggOp::Open() {
   results_.clear();
   result_pos_ = 0;
 
-  Row row;
-  bool has = false;
-  std::vector<int> all_key_cols;
-  for (size_t i = 0; i < group_by_.size(); ++i) {
-    all_key_cols.push_back(static_cast<int>(i));
-  }
-  for (;;) {
-    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
-    if (!has) break;
-    Row key;
-    key.reserve(group_by_.size());
-    for (const ExprPtr& e : group_by_) {
-      key.push_back(e->Eval(row, ctx_->eval_counters()));
-    }
-    ctx_->ChargeEvalOps();
-    size_t h = HashRowKey(key, all_key_cols);
-    ctx_->ChargeHashProbe(static_cast<int>(key.size()) * 8);
-    std::vector<Group>& bucket = groups_[h];
-    Group* target = nullptr;
-    for (Group& g : bucket) {
-      ++ctx_->eval_counters()->comparisons;
-      bool equal = true;
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (g.key[i].Compare(key[i]) != 0) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) {
-        target = &g;
-        break;
-      }
-    }
-    if (target == nullptr) {
-      bucket.push_back(Group{std::move(key), std::vector<Accumulator>(
-                                                 aggs_.size())});
-      target = &bucket.back();
-      ctx_->ChargeHashBuild(static_cast<int>(group_by_.size()) * 8);
-    }
-    UpdateGroup(target, row);
+  if (ctx_->exec_mode() == ExecMode::kBatch) {
+    ECODB_RETURN_NOT_OK(ConsumeChildBatchMode());
+  } else {
+    ECODB_RETURN_NOT_OK(ConsumeChildRowMode());
   }
   child_->Close();
+  // Drain the trailing bucket-compare / aggregate-argument counters (the
+  // per-row drain above only covers work up to the previous row).
+  ctx_->ChargeEvalOps();
 
-  if (groups_.empty() && group_by_.empty()) {
-    // Global aggregate over empty input still yields one row.
-    Group g{Row{}, std::vector<Accumulator>(aggs_.size())};
-    results_.push_back(GroupToRow(g));
-  } else {
-    for (auto& [h, bucket] : groups_) {
-      for (Group& g : bucket) results_.push_back(GroupToRow(g));
-    }
-  }
+  EmitResults();
   groups_.clear();
   ctx_->Flush();
   return Status::OK();
@@ -447,6 +839,21 @@ Status HashAggOp::Next(Row* out, bool* has_row) {
   }
   *out = results_[result_pos_++];
   *has_row = true;
+  return Status::OK();
+}
+
+Status HashAggOp::NextBatch(RowBatch* out, bool* has_rows) {
+  out->Reset(schema_.num_fields());
+  if (result_pos_ >= results_.size()) {
+    *has_rows = false;
+    return Status::OK();
+  }
+  const size_t take = std::min(RowBatch::kDefaultBatchRows,
+                               results_.size() - result_pos_);
+  for (size_t i = 0; i < take; ++i) {
+    out->AppendRowMove(std::move(results_[result_pos_++]));
+  }
+  *has_rows = true;
   return Status::OK();
 }
 
@@ -464,13 +871,31 @@ Status SortOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   pos_ = 0;
-  Row row;
-  bool has = false;
-  for (;;) {
-    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
-    if (!has) break;
-    rows_.push_back(std::move(row));
-    row = Row();
+  if (ctx_->exec_mode() == ExecMode::kBatch) {
+    RowBatch batch;
+    bool has = false;
+    for (;;) {
+      ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
+      if (!has) break;
+      const size_t need = rows_.size() + batch.active();
+      if (rows_.capacity() < need) {
+        rows_.reserve(std::max(need, rows_.capacity() * 2));
+      }
+      for (uint32_t r : batch.sel()) {
+        Row row;
+        batch.MaterializeRow(r, &row);
+        rows_.push_back(std::move(row));
+      }
+    }
+  } else {
+    Row row;
+    bool has = false;
+    for (;;) {
+      ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+      if (!has) break;
+      rows_.push_back(std::move(row));
+      row = Row();
+    }
   }
   child_->Close();
 
@@ -517,6 +942,21 @@ Status SortOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
+Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
+  out->Reset(child_->schema().num_fields());
+  if (pos_ >= rows_.size()) {
+    *has_rows = false;
+    return Status::OK();
+  }
+  const size_t take =
+      std::min(RowBatch::kDefaultBatchRows, rows_.size() - pos_);
+  for (size_t i = 0; i < take; ++i) {
+    out->AppendRowMove(std::move(rows_[pos_++]));
+  }
+  *has_rows = true;
+  return Status::OK();
+}
+
 void SortOp::Close() {
   rows_.clear();
   ctx_->Flush();
@@ -548,6 +988,24 @@ Status LimitOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
+Status LimitOp::NextBatch(RowBatch* out, bool* has_rows) {
+  out->Reset(child_->schema().num_fields());
+  Row row;
+  bool has = false;
+  size_t emitted = 0;
+  while (emitted < RowBatch::kDefaultBatchRows &&
+         (limit_ < 0 || produced_ < limit_)) {
+    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    if (!has) break;
+    ++produced_;
+    out->AppendRowMove(std::move(row));
+    row = Row();
+    ++emitted;
+  }
+  *has_rows = emitted > 0;
+  return Status::OK();
+}
+
 void LimitOp::Close() {
   child_->Close();
   ctx_->Flush();
@@ -555,22 +1013,39 @@ void LimitOp::Close() {
 
 // --- ExecuteOperator ---
 
-Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx) {
+Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
+                                         ExecMode mode) {
+  ctx->set_exec_mode(mode);
   ECODB_RETURN_NOT_OK(op->Open());
   std::vector<Row> rows;
   int width = op->schema().RowWidth();
-  Row row;
-  bool has = false;
-  for (;;) {
-    Status st = op->Next(&row, &has);
-    if (!st.ok()) {
-      op->Close();
-      return st;
+  if (mode == ExecMode::kBatch) {
+    RowBatch batch;
+    for (;;) {
+      bool has = false;
+      Status st = op->NextBatch(&batch, &has);
+      if (!st.ok()) {
+        op->Close();
+        return st;
+      }
+      if (!has) break;
+      ctx->ChargeOutputTuples(batch.active(), width);
+      batch.MaterializeInto(&rows);
     }
-    if (!has) break;
-    ctx->ChargeOutputTuple(width);
-    rows.push_back(std::move(row));
-    row = Row();
+  } else {
+    Row row;
+    bool has = false;
+    for (;;) {
+      Status st = op->Next(&row, &has);
+      if (!st.ok()) {
+        op->Close();
+        return st;
+      }
+      if (!has) break;
+      ctx->ChargeOutputTuple(width);
+      rows.push_back(std::move(row));
+      row = Row();
+    }
   }
   op->Close();
   ctx->Flush();

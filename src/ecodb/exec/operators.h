@@ -15,6 +15,7 @@
 
 #include "ecodb/exec/exec_context.h"
 #include "ecodb/exec/expr.h"
+#include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/catalog.h"
 #include "ecodb/storage/schema.h"
 #include "ecodb/util/status.h"
@@ -26,6 +27,16 @@ class Operator {
   virtual ~Operator() = default;
   virtual Status Open() = 0;
   virtual Status Next(Row* out, bool* has_row) = 0;
+
+  /// Vectorized pull: fills `out` (Reset by the callee) with up to
+  /// RowBatch::kDefaultBatchRows tuples and sets *has_rows = false at end
+  /// of stream. A returned batch always has at least one selected row.
+  /// Pipeline breakers consult ExecContext::exec_mode() at Open to decide
+  /// how to consume their children; the mode a tree is *driven* in is
+  /// decided by the root caller (ExecuteOperator). The base implementation
+  /// adapts row-at-a-time Next.
+  virtual Status NextBatch(RowBatch* out, bool* has_rows);
+
   virtual void Close() = 0;
   virtual const Schema& schema() const = 0;
   virtual std::string name() const = 0;
@@ -58,6 +69,7 @@ class SeqScanOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "SeqScan(" + table_name_ + ")"; }
@@ -79,6 +91,7 @@ class FilterOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override {
@@ -103,6 +116,7 @@ class ProjectOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "Project"; }
@@ -112,6 +126,7 @@ class ProjectOp : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  RowBatch input_batch_;  ///< batch-mode scratch
 };
 
 /// In-memory hash join (equi-join). children: build (left) and probe
@@ -125,12 +140,17 @@ class HashJoinOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "HashJoin"; }
 
  private:
   bool KeysEqual(const Row& build_row, const Row& probe_row);
+  /// KeysEqual against a probe row living in a batch (same counting).
+  bool KeysEqualBatch(const Row& build_row, const RowBatch& probe_batch,
+                      uint32_t probe_row);
+  Status ConsumeBuildSide();
 
   ExecContext* ctx_;
   OperatorPtr build_child_, probe_child_;
@@ -143,6 +163,13 @@ class HashJoinOp : public Operator {
   std::unordered_multimap<size_t, Row>::iterator match_it_, match_end_;
   uint64_t build_bytes_ = 0;
   uint64_t probe_rows_ = 0;
+
+  // Batch-mode probe state: current probe batch, the position of the
+  // in-progress probe row within its selection vector, and end-of-stream.
+  RowBatch probe_batch_;
+  size_t probe_sel_pos_ = 0;
+  bool probe_batch_valid_ = false;
+  bool probe_eos_ = false;
 };
 
 /// Nested-loop join with an arbitrary predicate over the concatenated row
@@ -154,6 +181,7 @@ class NestedLoopJoinOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "NestedLoopJoin"; }
@@ -167,6 +195,12 @@ class NestedLoopJoinOp : public Operator {
   Row outer_row_;
   bool outer_valid_ = false;
   size_t inner_pos_ = 0;
+
+  // Batch-mode outer state.
+  RowBatch outer_batch_;
+  size_t outer_sel_pos_ = 0;
+  bool outer_batch_valid_ = false;
+  bool outer_eos_ = false;
 };
 
 /// Hash group-by aggregation. With no group-by expressions produces a
@@ -178,6 +212,7 @@ class HashAggOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "HashAgg"; }
@@ -194,6 +229,21 @@ class HashAggOp : public Operator {
   };
 
   void UpdateGroup(Group* g, const Row& row);
+  /// Accumulates row `r` of a batch using resolved aggregate-argument
+  /// operands (arg_vals[i] is unused for COUNT(*)).
+  void UpdateGroupFromBatch(Group* g,
+                            const std::vector<BatchOperand>& arg_vals,
+                            uint32_t r);
+  /// Finds or creates the group for a key presented via `key_at(i)` (the
+  /// i-th key component); `make_key()` builds the stored Row only when a
+  /// new group is created. One implementation serves both execution modes
+  /// so bucket-compare counting stays in lockstep (the parity invariant).
+  template <typename KeyAt, typename MakeKey>
+  Group* FindOrCreateGroup(size_t hash, size_t n_keys, KeyAt&& key_at,
+                           MakeKey&& make_key, uint64_t* new_groups);
+  Status ConsumeChildRowMode();
+  Status ConsumeChildBatchMode();
+  void EmitResults();
   Row GroupToRow(const Group& g) const;
 
   ExecContext* ctx_;
@@ -212,6 +262,7 @@ class SortOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "Sort"; }
@@ -230,6 +281,10 @@ class LimitOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
+  /// Pulls its child row-at-a-time even in batch mode, so a limited
+  /// pipeline never reads ahead of the limit: counters stay identical to
+  /// row mode (pipeline breakers below still batch internally).
+  Status NextBatch(RowBatch* out, bool* has_rows) override;
   void Close() override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "Limit"; }
@@ -241,9 +296,12 @@ class LimitOp : public Operator {
   int64_t produced_ = 0;
 };
 
-/// Drains an operator tree: Open, Next..., Close, charging per-row output
-/// cost, and returns the rows.
-Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx);
+/// Drains an operator tree: Open, Next/NextBatch..., Close, charging
+/// per-row output cost, and returns the rows. `mode` selects Volcano
+/// row-at-a-time or vectorized batch pulls; both produce identical rows
+/// and identical logical-work counters.
+Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
+                                         ExecMode mode = ExecMode::kBatch);
 
 }  // namespace ecodb
 

@@ -227,9 +227,10 @@ Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
   return Status::Internal("unknown plan kind");
 }
 
-Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx) {
+Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx,
+                                     ExecMode mode) {
   ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
-  return ExecuteOperator(op.get(), ctx);
+  return ExecuteOperator(op.get(), ctx, mode);
 }
 
 }  // namespace ecodb

@@ -92,8 +92,11 @@ PlanNodePtr ClonePlan(const PlanNode& node);
 /// Builds the operator tree for a plan.
 Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx);
 
-/// Convenience: instantiate + execute + drain.
-Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx);
+/// Convenience: instantiate + execute + drain. Defaults to vectorized
+/// batch execution; ExecMode::kRow preserves the classic Volcano pull
+/// (identical results and logical-work accounting, more host overhead).
+Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx,
+                                     ExecMode mode = ExecMode::kBatch);
 
 }  // namespace ecodb
 

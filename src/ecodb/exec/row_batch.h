@@ -1,0 +1,185 @@
+// RowBatch: the unit of vectorized execution. A batch holds up to
+// kDefaultBatchRows tuples in column-major order (one std::vector<Value>
+// per output column) plus a selection vector of the row indexes that are
+// logically alive. Operators communicate by filling / narrowing batches,
+// which amortizes the per-tuple virtual-call, copy and accounting overhead
+// of the Volcano path across ~1k tuples.
+//
+// Scan batches use *late materialization*: SeqScanOp binds the batch to a
+// table row range instead of boxing every cell up front, and a column is
+// boxed into Values only when first touched — and, once a filter has
+// narrowed the selection, only at the selected positions. A pipeline like
+// scan -> filter -> aggregate therefore boxes just the columns its
+// expressions reference instead of the full tuple width. This is purely a
+// host-side optimization: the simulated accounting still charges the scan
+// for full tuples and the same page I/O sequence.
+//
+// Conventions:
+//  * `sel()` holds ascending physical row indexes; only those positions of
+//    each column are meaningful. Producers that emit dense output (scans,
+//    joins) fill an identity selection; filters narrow it in place.
+//  * Batches are reused across NextBatch calls; Reset() keeps column
+//    capacity so steady-state execution does not allocate.
+
+#ifndef ECODB_EXEC_ROW_BATCH_H_
+#define ECODB_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ecodb/storage/table.h"
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+class RowBatch {
+ public:
+  /// Default number of tuples per batch (the classic vector size: large
+  /// enough to amortize per-batch overhead, small enough to stay
+  /// cache-resident).
+  static constexpr size_t kDefaultBatchRows = 1024;
+
+  RowBatch() = default;
+
+  /// Clears rows, selection and any lazy binding, (re)shaping to
+  /// `num_cols` columns. Column capacity is retained so steady-state reuse
+  /// is allocation-free.
+  void Reset(int num_cols) {
+    cols_.resize(static_cast<size_t>(num_cols));
+    for (auto& c : cols_) c.clear();
+    sel_.clear();
+    num_rows_ = 0;
+    lazy_source_ = nullptr;
+  }
+
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+  size_t num_rows() const { return num_rows_; }
+  void set_num_rows(size_t n) { num_rows_ = n; }
+
+  /// Binds this batch to rows [start_row, start_row + num_rows()) of
+  /// `table` without boxing anything yet. Columns materialize on first
+  /// access. Call after set_num_rows(); the selection at materialization
+  /// time decides which positions are boxed.
+  void BindLazySource(const Table* table, size_t start_row) {
+    lazy_source_ = table;
+    lazy_start_ = start_row;
+    lazy_filled_.assign(cols_.size(), 0);
+  }
+
+  /// Column accessors; lazy columns are boxed on first touch.
+  const std::vector<Value>& col(int i) const {
+    EnsureCol(i);
+    return cols_[static_cast<size_t>(i)];
+  }
+  std::vector<Value>& col(int i) {
+    EnsureCol(i);
+    return cols_[static_cast<size_t>(i)];
+  }
+
+  std::vector<uint32_t>& sel() { return sel_; }
+  const std::vector<uint32_t>& sel() const { return sel_; }
+
+  /// Lazy-binding introspection, for typed fast paths that want to read
+  /// the source table's columnar arrays directly (bypassing Value boxing).
+  /// lazy_source() is null once columns are owned/materialized.
+  const Table* lazy_source() const { return lazy_source_; }
+  size_t lazy_start() const { return lazy_start_; }
+  bool col_materialized(int i) const {
+    return lazy_source_ == nullptr || lazy_filled_[static_cast<size_t>(i)];
+  }
+
+  /// Number of logically-alive rows.
+  size_t active() const { return sel_.size(); }
+  bool empty() const { return sel_.empty(); }
+
+  /// Appends one row (copying values) and marks it selected.
+  void AppendRow(const Row& row) {
+    for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(row[c]);
+    sel_.push_back(static_cast<uint32_t>(num_rows_));
+    ++num_rows_;
+  }
+
+  /// Appends one row, moving the values out of `row`.
+  void AppendRowMove(Row&& row) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].push_back(std::move(row[c]));
+    }
+    sel_.push_back(static_cast<uint32_t>(num_rows_));
+    ++num_rows_;
+  }
+
+  /// Extends the selection with the identity [from, num_rows_).
+  void ExtendIdentitySel(size_t from) {
+    sel_.reserve(num_rows_);
+    for (size_t r = from; r < num_rows_; ++r) {
+      sel_.push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  /// Materializes physical row `r` into `out`.
+  void MaterializeRow(uint32_t r, Row* out) const {
+    out->clear();
+    out->reserve(cols_.size());
+    if (lazy_source_ != nullptr) {
+      // Whole-row access: box straight from the table, bypassing the
+      // per-column caches (full-width consumers touch every column once).
+      lazy_source_->GetRow(lazy_start_ + r, out);
+      return;
+    }
+    for (const auto& c : cols_) out->push_back(c[r]);
+  }
+
+  /// Appends every selected row to `out` as materialized Rows. Reserves
+  /// with geometric growth (an exact per-batch reserve would defeat
+  /// amortized doubling and turn repeated drains quadratic).
+  void MaterializeInto(std::vector<Row>* out) const {
+    const size_t need = out->size() + sel_.size();
+    if (out->capacity() < need) {
+      out->reserve(need > out->capacity() * 2 ? need : out->capacity() * 2);
+    }
+    for (uint32_t r : sel_) {
+      Row row;
+      MaterializeRow(r, &row);
+      out->push_back(std::move(row));
+    }
+  }
+
+ private:
+  void EnsureCol(int i) const {
+    if (lazy_source_ == nullptr) return;
+    const size_t c = static_cast<size_t>(i);
+    if (lazy_filled_[c]) return;
+    std::vector<Value>& dst = cols_[c];
+    const Column& src = lazy_source_->column(i);
+    dst.clear();
+    if (sel_.size() == num_rows_) {
+      src.GetValueRange(lazy_start_, num_rows_, &dst);
+    } else {
+      // Sparse selection: box only the live positions.
+      dst.resize(num_rows_);
+      for (uint32_t r : sel_) dst[r] = src.GetValue(lazy_start_ + r);
+    }
+    lazy_filled_[c] = 1;
+  }
+
+  mutable std::vector<std::vector<Value>> cols_;
+  std::vector<uint32_t> sel_;
+  size_t num_rows_ = 0;
+
+  const Table* lazy_source_ = nullptr;
+  size_t lazy_start_ = 0;
+  mutable std::vector<uint8_t> lazy_filled_;
+};
+
+/// Hash of a multi-column key read directly from a batch row; identical to
+/// HashRowKey over the materialized row (same combine, same Value::Hash).
+inline size_t HashBatchKey(const RowBatch& batch, uint32_t r,
+                           const std::vector<int>& key_cols) {
+  size_t h = kRowKeyHashSeed;
+  for (int c : key_cols) h = HashCombineKey(h, batch.col(c)[r].Hash());
+  return h;
+}
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_ROW_BATCH_H_

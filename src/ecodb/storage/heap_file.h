@@ -45,6 +45,14 @@ class HeapFile {
     return PageId{file_id_, rows_per_page_ ? r / rows_per_page_ : 0};
   }
 
+  /// Number of rows from `r` (inclusive) to the end of its page — the
+  /// largest contiguous run a batch scan can take without crossing a page
+  /// boundary (and thus without another I/O accounting call).
+  uint64_t RowsLeftInPage(uint64_t r) const {
+    if (rows_per_page_ == 0) return 1;
+    return rows_per_page_ - (r % rows_per_page_);
+  }
+
   /// Recomputes layout after rows were appended.
   void SetNumRows(uint64_t num_rows);
 

@@ -35,6 +35,40 @@ Value Column::GetValue(size_t row) const {
   return Value::Null();
 }
 
+void Column::GetValueRange(size_t start, size_t n,
+                           std::vector<Value>* out) const {
+  out->reserve(out->size() + n);
+  switch (type_) {
+    case ValueType::kInt64:
+      for (size_t r = start; r < start + n; ++r) {
+        out->push_back(Value::Int(ints_[r]));
+      }
+      return;
+    case ValueType::kDate:
+      for (size_t r = start; r < start + n; ++r) {
+        out->push_back(Value::Date(static_cast<int32_t>(ints_[r])));
+      }
+      return;
+    case ValueType::kBool:
+      for (size_t r = start; r < start + n; ++r) {
+        out->push_back(Value::Bool(ints_[r] != 0));
+      }
+      return;
+    case ValueType::kDouble:
+      for (size_t r = start; r < start + n; ++r) {
+        out->push_back(Value::Dbl(doubles_[r]));
+      }
+      return;
+    case ValueType::kString:
+      for (size_t r = start; r < start + n; ++r) {
+        out->push_back(Value::Str(strings_[r]));
+      }
+      return;
+    case ValueType::kNull:
+      for (size_t r = start; r < start + n; ++r) out->push_back(Value::Null());
+  }
+}
+
 void Column::AppendValue(const Value& v) {
   switch (type_) {
     case ValueType::kInt64:

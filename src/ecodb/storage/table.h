@@ -38,6 +38,11 @@ class Column {
   Value GetValue(size_t row) const;
   void AppendValue(const Value& v);
 
+  /// Appends boxed values for rows [start, start + n) to `out`. The type
+  /// dispatch is hoisted out of the row loop, so batch scans pay one
+  /// switch per column-range instead of one per cell.
+  void GetValueRange(size_t start, size_t n, std::vector<Value>* out) const;
+
   void Reserve(size_t n);
 
  private:

@@ -184,9 +184,9 @@ std::string Value::ToString() const {
 }
 
 size_t HashRowKey(const Row& row, const std::vector<int>& key_cols) {
-  size_t h = 0x9E3779B97F4A7C15ULL;
+  size_t h = kRowKeyHashSeed;
   for (int c : key_cols) {
-    h ^= row[static_cast<size_t>(c)].Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+    h = HashCombineKey(h, row[static_cast<size_t>(c)].Hash());
   }
   return h;
 }

@@ -70,6 +70,16 @@ class Value {
 /// A materialized tuple flowing between operators.
 using Row = std::vector<Value>;
 
+/// Key-hash combine step (Fibonacci/boost-style). All multi-column key
+/// hashes — row keys, batch keys, group keys — MUST use this same seed and
+/// combine so build/probe sides of hash operators agree across execution
+/// modes.
+inline constexpr size_t kRowKeyHashSeed = 0x9E3779B97F4A7C15ULL;
+
+inline size_t HashCombineKey(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9E3779B9 + (h << 6) + (h >> 2));
+}
+
 /// Hash of a multi-column key.
 size_t HashRowKey(const Row& row, const std::vector<int>& key_cols);
 

@@ -291,4 +291,20 @@ std::string SelectionSql(int64_t quantity_value) {
       static_cast<long long>(quantity_value));
 }
 
+Result<std::vector<NamedQuery>> BuildAllBenchmarkQueries(
+    const Catalog& catalog) {
+  std::vector<NamedQuery> out;
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q1, BuildQ1Plan(catalog, "1998-09-02"));
+  out.push_back(NamedQuery{"q1", std::move(q1)});
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q3, BuildQ3Plan(catalog, Q3Params{}));
+  out.push_back(NamedQuery{"q3", std::move(q3)});
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q5, BuildQ5Plan(catalog, Q5Params{}));
+  out.push_back(NamedQuery{"q5", std::move(q5)});
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr q6, BuildQ6Plan(catalog, Q6Params{}));
+  out.push_back(NamedQuery{"q6", std::move(q6)});
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr sel, BuildSelectionQuery(catalog, 24));
+  out.push_back(NamedQuery{"selection", std::move(sel)});
+  return out;
+}
+
 }  // namespace ecodb::tpch

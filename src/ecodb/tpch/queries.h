@@ -9,6 +9,7 @@
 #define ECODB_TPCH_QUERIES_H_
 
 #include <string>
+#include <vector>
 
 #include "ecodb/exec/plan.h"
 #include "ecodb/storage/catalog.h"
@@ -56,6 +57,18 @@ std::string Q6Sql(const Q6Params& p);
 Result<PlanNodePtr> BuildSelectionQuery(const Catalog& catalog,
                                         int64_t quantity_value);
 std::string SelectionSql(int64_t quantity_value);
+
+/// A named benchmark plan, for harnesses that sweep "every query".
+struct NamedQuery {
+  std::string name;
+  PlanNodePtr plan;
+};
+
+/// All benchmark query plans (Q1, Q3, Q5, Q6, selection) with default
+/// parameters — the corpus the batch-vs-row parity suite and the engine
+/// micro-bench iterate over.
+Result<std::vector<NamedQuery>> BuildAllBenchmarkQueries(
+    const Catalog& catalog);
 
 }  // namespace ecodb::tpch
 

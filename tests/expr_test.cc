@@ -152,6 +152,67 @@ TEST(ExprTest, HashedInListChargesOneComparison) {
   EXPECT_EQ(c.comparisons, 50u);
 }
 
+// EvalBatch must reproduce the scalar path's lazy operation counts
+// exactly — AND/OR short-circuit and IN-list early exit are what give the
+// QED merged-disjunction cost curve (Figure 6) its shape.
+TEST(ExprTest, EvalBatchMatchesScalarCountsAndValues) {
+  RowBatch batch;
+  batch.Reset(2);
+  for (int i = 0; i < 200; ++i) {
+    batch.AppendRow({Value::Int(i % 23), Value::Str("s" + std::to_string(i % 7))});
+  }
+  ExprPtr k = Col(0, ValueType::kInt64, "k");
+  ExprPtr s = Col(1, ValueType::kString, "s");
+  std::vector<Value> in_vals;
+  for (int i = 0; i < 5; ++i) in_vals.push_back(Value::Str("s" + std::to_string(i)));
+  std::vector<ExprPtr> exprs = {
+      Cmp(CompareOp::kLt, k, LitInt(11)),
+      Arith(ArithOp::kMul, k, LitInt(3)),
+      And({Cmp(CompareOp::kGe, k, LitInt(5)), Eq(s, LitStr("s2"))}),
+      Or({Eq(s, LitStr("s0")), Eq(s, LitStr("s4")),
+          Cmp(CompareOp::kGt, k, LitInt(20))}),
+      Between(k, LitInt(3), LitInt(17)),
+      InList(s, in_vals, /*hashed=*/false),
+      InList(s, in_vals, /*hashed=*/true),
+      Not(Eq(s, LitStr("s1"))),
+  };
+  for (const ExprPtr& e : exprs) {
+    SCOPED_TRACE(e->ToString());
+    EvalCounters scalar_c;
+    std::vector<Value> scalar_vals(batch.num_rows());
+    Row row;
+    for (uint32_t r : batch.sel()) {
+      batch.MaterializeRow(r, &row);
+      scalar_vals[r] = e->Eval(row, &scalar_c);
+    }
+    EvalCounters batch_c;
+    std::vector<Value> batch_vals;
+    e->EvalBatch(batch, batch.sel(), &batch_vals, &batch_c);
+    EXPECT_EQ(scalar_c.comparisons, batch_c.comparisons);
+    EXPECT_EQ(scalar_c.arith_ops, batch_c.arith_ops);
+    ASSERT_EQ(batch_vals.size(), batch.num_rows());
+    for (uint32_t r : batch.sel()) {
+      EXPECT_EQ(scalar_vals[r].ToString(), batch_vals[r].ToString())
+          << "row " << r;
+    }
+  }
+}
+
+TEST(ExprTest, EvalBatchRespectsSelectionSubset) {
+  RowBatch batch;
+  batch.Reset(1);
+  for (int i = 0; i < 10; ++i) batch.AppendRow({Value::Int(i)});
+  // Evaluate over the even rows only; counts scale with the subset.
+  std::vector<uint32_t> subset = {0, 2, 4, 6, 8};
+  ExprPtr e = Cmp(CompareOp::kLt, Col(0, ValueType::kInt64, "k"), LitInt(5));
+  EvalCounters c;
+  std::vector<Value> vals;
+  e->EvalBatch(batch, subset, &vals, &c);
+  EXPECT_EQ(c.comparisons, subset.size());
+  EXPECT_TRUE(vals[4].AsBool());
+  EXPECT_FALSE(vals[6].AsBool());
+}
+
 TEST(ExprTest, NullComparisonsAreFalse) {
   ExprPtr e = Eq(Lit(Value::Null()), LitInt(1));
   EXPECT_FALSE(e->Eval({}, nullptr).AsBool());

@@ -123,6 +123,94 @@ TEST_F(OperatorsTest, CrossJoinProducesCartesianProduct) {
   EXPECT_EQ(rows.size(), 100u);
 }
 
+TEST_F(OperatorsTest, HashJoinRejectsHashCollidingKeys) {
+  // Join and group-by hash tables bucket rows by HashRowKey alone, so two
+  // *different* keys that collide on the full 64-bit hash land in the same
+  // bucket chain; correctness then depends on the full-key compare
+  // (KeysEqual). Construct a genuine collision by inverting the hash
+  // combine for the second column: find (a2, b2) != (a1, b1) with
+  // HashRowKey equal, and assert the join emits only the true match.
+  const int64_t a1 = 1, b1 = 2, a2 = 3;
+  const size_t target = HashCombineKey(
+      HashCombineKey(kRowKeyHashSeed, Value::Int(a1).Hash()),
+      Value::Int(b1).Hash());
+  const size_t h1 = HashCombineKey(kRowKeyHashSeed, Value::Int(a2).Hash());
+  // Solve HashCombineKey(h1, hb) == target for the second column's hash.
+  const size_t needed_hash =
+      (target ^ h1) - 0x9E3779B9 - (h1 << 6) - (h1 >> 2);
+  const int64_t b2 = static_cast<int64_t>(needed_hash);
+  if (Value::Int(b2).Hash() != needed_hash) {
+    GTEST_SKIP() << "std::hash<int64_t> is not invertible here; cannot "
+                    "construct a deterministic collision";
+  }
+  Row key1{Value::Int(a1), Value::Int(b1)};
+  Row key2{Value::Int(a2), Value::Int(b2)};
+  ASSERT_EQ(HashRowKey(key1, {0, 1}), HashRowKey(key2, {0, 1}));
+  ASSERT_NE(RowToString(key1), RowToString(key2));
+
+  Schema schema({Field("x", ValueType::kInt64), Field("y", ValueType::kInt64),
+                 Field("tag", ValueType::kInt64)});
+  Table* build = catalog_.CreateTable("collide_build", schema).value();
+  ASSERT_TRUE(
+      build->AppendRow({key1[0], key1[1], Value::Int(100)}).ok());
+  ASSERT_TRUE(
+      build->AppendRow({key2[0], key2[1], Value::Int(200)}).ok());
+  ASSERT_TRUE(catalog_.FinalizeLoad("collide_build").ok());
+  Table* probe = catalog_.CreateTable("collide_probe", schema).value();
+  ASSERT_TRUE(
+      probe->AppendRow({key1[0], key1[1], Value::Int(999)}).ok());
+  ASSERT_TRUE(catalog_.FinalizeLoad("collide_probe").ok());
+
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    PlanNodePtr join = MakeHashJoin(Scan("collide_build"),
+                                    Scan("collide_probe"), {0, 1}, {0, 1});
+    auto rows = ExecutePlan(*join, &ctx_, mode);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows.value().size(), 1u) << ToString(mode);
+    EXPECT_EQ(rows.value()[0][2].AsInt(), 100);  // true match only
+  }
+}
+
+TEST_F(OperatorsTest, HashAggSeparatesHashCollidingGroups) {
+  // Same collision, via the aggregation hash table: the two keys must
+  // form two groups, not be merged by their shared hash.
+  const int64_t a1 = 1, b1 = 2, a2 = 3;
+  const size_t target = HashCombineKey(
+      HashCombineKey(kRowKeyHashSeed, Value::Int(a1).Hash()),
+      Value::Int(b1).Hash());
+  const size_t h1 = HashCombineKey(kRowKeyHashSeed, Value::Int(a2).Hash());
+  const size_t needed_hash =
+      (target ^ h1) - 0x9E3779B9 - (h1 << 6) - (h1 >> 2);
+  const int64_t b2 = static_cast<int64_t>(needed_hash);
+  if (Value::Int(b2).Hash() != needed_hash) {
+    GTEST_SKIP() << "std::hash<int64_t> is not invertible here";
+  }
+  Schema schema({Field("x", ValueType::kInt64), Field("y", ValueType::kInt64)});
+  Table* t = catalog_.CreateTable("collide_agg", schema).value();
+  for (int rep = 0; rep < 3; ++rep) {
+    ASSERT_TRUE(t->AppendRow({Value::Int(a1), Value::Int(b1)}).ok());
+  }
+  ASSERT_TRUE(t->AppendRow({Value::Int(a2), Value::Int(b2)}).ok());
+  ASSERT_TRUE(catalog_.FinalizeLoad("collide_agg").ok());
+
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    PlanNodePtr agg = MakeAggregate(
+        Scan("collide_agg"),
+        {Col(0, ValueType::kInt64, "x"), Col(1, ValueType::kInt64, "y")},
+        {cnt});
+    auto rows = ExecutePlan(*agg, &ctx_, mode);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows.value().size(), 2u) << ToString(mode);
+    int64_t total = rows.value()[0][2].AsInt() + rows.value()[1][2].AsInt();
+    EXPECT_EQ(total, 4);
+    EXPECT_NE(rows.value()[0][2].AsInt(), rows.value()[1][2].AsInt());
+  }
+}
+
 TEST_F(OperatorsTest, HashAggComputesAllAggregateKinds) {
   // Group t by s (5 groups of 20), aggregate k.
   PlanNodePtr scan = Scan("t");
