@@ -30,6 +30,46 @@ struct ModeResult {
   double sim_joules = 0;
 };
 
+/// Join-heavy microbench: orders (one-year date filter) |x| lineitem on
+/// orderkey, then a global aggregate so the timing isolates hash build,
+/// batch-at-a-time probe and match emission rather than result
+/// materialization. ~14% of probe rows match, the selective-join shape
+/// where boxing only matched probe positions pays off.
+Result<PlanNodePtr> BuildJoinOrdersLineitem(const Catalog& catalog) {
+  auto col_idx = [](const PlanNode& node, const char* name) {
+    int idx = node.output_schema.FindField(name);
+    if (idx < 0) {
+      std::fprintf(stderr, "field not found: %s\n", name);
+      std::exit(1);
+    }
+    return idx;
+  };
+  auto col = [&](const PlanNode& node, const char* name) {
+    int idx = col_idx(node, name);
+    return Col(idx, node.output_schema.field(idx).type, name);
+  };
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr orders, MakeScan(catalog, "orders"));
+  ExprPtr odate_col = col(*orders, "o_orderdate");
+  PlanNodePtr filtered = MakeFilter(
+      std::move(orders),
+      And({Cmp(CompareOp::kGe, odate_col, LitDate("1994-01-01")),
+           Cmp(CompareOp::kLt, odate_col, LitDate("1995-01-01"))}));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr lineitem, MakeScan(catalog, "lineitem"));
+  int ok_build = col_idx(*filtered, "o_orderkey");
+  int ok_probe = col_idx(*lineitem, "l_orderkey");
+  PlanNodePtr joined = MakeHashJoin(std::move(filtered), std::move(lineitem),
+                                    {ok_build}, {ok_probe});
+  AggSpec sum;
+  sum.kind = AggSpec::Kind::kSum;
+  sum.arg = col(*joined, "l_extendedprice");
+  sum.name = "revenue";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  return MakeAggregate(std::move(joined), {}, {sum, cnt});
+}
+
 /// Builds the acceptance pipeline: scan(lineitem) -> filter -> group-by
 /// aggregate, the shape whose per-tuple interpretation overhead the batch
 /// engine amortizes.
@@ -97,6 +137,39 @@ ModeResult RunPlan(Database* db, const PlanNode& plan) {
   return out;
 }
 
+/// Times a host-side closure (no simulated execution): best-of wall
+/// seconds per iteration. The closure is sampled in inner batches sized
+/// so each sample is well above clock resolution/overhead (planner ops
+/// run in the microsecond range), and sampling continues until the same
+/// 0.25s budget as RunPlan is spent.
+template <typename Fn>
+double TimeHostOp(Fn&& fn) {
+  // Calibrate the inner-batch size: target ~2ms per sample.
+  auto sample = [&](int calls) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < calls; ++i) fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  int batch = 1;
+  double wall = sample(1);
+  while (wall < 2e-3 && batch < (1 << 20)) {
+    batch *= 2;
+    wall = sample(batch);
+  }
+  double best = wall / batch;
+  const int kMinSamples = 3;
+  const double kMinTotalSeconds = 0.25;
+  double total = wall;
+  for (int s = 1; s < kMinSamples || total < kMinTotalSeconds; ++s) {
+    wall = sample(batch);
+    total += wall;
+    if (wall / batch < best) best = wall / batch;
+    if (s > 500) break;
+  }
+  return best;
+}
+
 void EmitMode(const char* name, const char* mode, const ModeResult& r,
               bool trailing_comma) {
   std::printf(
@@ -151,8 +224,12 @@ int Main(int argc, char** argv) {
   add("selection_q2pct", [](const Catalog& c) {
     return tpch::BuildSelectionQuery(c, 24);
   });
+  add("join_orders_lineitem", &BuildJoinOrdersLineitem);
   add("tpch_q1", [](const Catalog& c) {
     return tpch::BuildQ1Plan(c, "1998-09-02");
+  });
+  add("tpch_q3", [](const Catalog& c) {
+    return tpch::BuildQ3Plan(c, tpch::Q3Params{});
   });
   add("tpch_q5", [](const Catalog& c) {
     return tpch::BuildQ5Plan(c, tpch::Q5Params{});
@@ -176,6 +253,70 @@ int Main(int argc, char** argv) {
                           row_r.wall_seconds_per_iter /
                               batch_r.wall_seconds_per_iter);
   }
+  std::printf("  ],\n");
+
+  // Planner/optimizer host benchmarks, ported from the seed's
+  // google-benchmark harness (SQL parse+plan, cost-model estimate,
+  // MergeSelections) so regressions there show up in this JSON too. They
+  // have no row/batch modes: each times a host-side operation only.
+  struct HostBench {
+    std::string name;
+    double secs = 0;
+  };
+  std::vector<HostBench> host;
+  {
+    std::string sql = tpch::Q5Sql(tpch::Q5Params{});
+    host.push_back({"sql_parse_plan", TimeHostOp([&] {
+                      auto plan = batch_db.PlanSql(sql);
+                      if (!plan.ok()) {
+                        std::fprintf(stderr, "sql_parse_plan failed: %s\n",
+                                     plan.status().ToString().c_str());
+                        std::exit(1);
+                      }
+                    })});
+    CostModel model(batch_db.catalog(), &batch_db.profile(),
+                    batch_db.options().machine);
+    auto q5 = tpch::BuildQ5Plan(*batch_db.catalog(), tpch::Q5Params{});
+    if (!q5.ok()) {
+      std::fprintf(stderr, "Q5 plan build failed\n");
+      return 1;
+    }
+    host.push_back({"cost_model_estimate", TimeHostOp([&] {
+                      auto cost =
+                          model.Estimate(*q5.value(), SystemSettings::Stock());
+                      if (!cost.ok()) {
+                        std::fprintf(stderr,
+                                     "cost_model_estimate failed: %s\n",
+                                     cost.status().ToString().c_str());
+                        std::exit(1);
+                      }
+                    })});
+    auto wl = tpch::MakeSelectionWorkload(*batch_db.catalog(), 50, 7);
+    if (!wl.ok()) {
+      std::fprintf(stderr, "selection workload build failed\n");
+      return 1;
+    }
+    std::vector<const PlanNode*> members;
+    for (const auto& q : wl.value().queries) members.push_back(q.get());
+    host.push_back({"merge_selections", TimeHostOp([&] {
+                      auto merged = MergeSelections(members);
+                      if (!merged.ok()) {
+                        std::fprintf(stderr, "merge_selections failed: %s\n",
+                                     merged.status().ToString().c_str());
+                        std::exit(1);
+                      }
+                    })});
+  }
+  std::printf("  \"planner_benchmarks\": [\n");
+  for (size_t i = 0; i < host.size(); ++i) {
+    std::printf(
+        "    {\"name\": \"%s\", \"wall_seconds_per_iter\": %.6e, "
+        "\"iters_per_sec\": %.6e}%s\n",
+        host[i].name.c_str(), host[i].secs,
+        host[i].secs > 0 ? 1.0 / host[i].secs : 0.0,
+        i + 1 < host.size() ? "," : "");
+  }
+
   std::printf("  ],\n  \"batch_speedup\": {");
   for (size_t i = 0; i < speedups.size(); ++i) {
     std::printf("%s\"%s\": %.2f", i ? ", " : "", speedups[i].first.c_str(),

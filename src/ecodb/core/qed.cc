@@ -59,7 +59,8 @@ Result<QedBatchReport> QedScheduler::RunComparison(
   t0 = machine->NowSeconds();
   auto ctx = db_->MakeExecContext();
   ECODB_ASSIGN_OR_RETURN(std::vector<Row> merged_rows,
-                         ExecutePlan(*merged.plan, ctx.get()));
+                         ExecutePlan(*merged.plan, ctx.get(),
+                                     db_->options().exec_mode));
   std::vector<std::vector<Row>> split =
       SplitMergedResult(merged, merged_rows, ctx.get());
   report.qed_total_s = machine->NowSeconds() - t0;
@@ -114,7 +115,8 @@ Result<QedScheduler::FlushResult> QedScheduler::Flush() {
   double t0 = machine->NowSeconds();
   auto ctx = db_->MakeExecContext();
   ECODB_ASSIGN_OR_RETURN(std::vector<Row> merged_rows,
-                         ExecutePlan(*merged.plan, ctx.get()));
+                         ExecutePlan(*merged.plan, ctx.get(),
+                                     db_->options().exec_mode));
 
   FlushResult out;
   out.per_query_rows = SplitMergedResult(merged, merged_rows, ctx.get());

@@ -73,6 +73,9 @@ void ExecContext::ChargeOutputTuples(uint64_t n, int bytes_per_tuple) {
 }
 
 void ExecContext::ChargeEvalOps() {
+  // Hot drain point (joins call it once per emitted row in row mode):
+  // skip the stats/cycle updates when nothing accumulated.
+  if (eval_.comparisons == 0 && eval_.arith_ops == 0) return;
   stats_.comparisons += eval_.comparisons;
   stats_.arith_ops += eval_.arith_ops;
   pending_cycles_ +=

@@ -1,0 +1,126 @@
+#include "ecodb/exec/hash_table.h"
+
+#include <functional>
+
+namespace ecodb {
+
+namespace {
+
+constexpr size_t kMinSlots = 64;
+
+size_t NextPow2(size_t n) {
+  size_t cap = kMinSlots;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Grow when occupancy would exceed 7/10 (linear probing degrades fast
+/// past ~0.7 load).
+bool NeedsGrow(size_t occupied, size_t capacity) {
+  return (occupied + 1) * 10 > capacity * 7;
+}
+
+}  // namespace
+
+void FlatHashIndex::Reset(size_t expected_keys) {
+  slots_.clear();
+  next_.clear();
+  count_ = 0;
+  if (expected_keys > 0) {
+    slots_.resize(NextPow2(expected_keys * 10 / 7 + 1));
+  }
+}
+
+void FlatHashIndex::Grow(size_t min_slots) {
+  const size_t cap = NextPow2(min_slots);
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(cap, Slot{});
+  const size_t mask = cap - 1;
+  for (const Slot& o : old) {
+    if (o.head == kInvalid) continue;
+    size_t s = o.hash & mask;
+    while (slots_[s].head != kInvalid) s = (s + 1) & mask;
+    slots_[s] = o;
+  }
+}
+
+void FlatHashIndex::Insert(size_t hash, uint32_t idx) {
+  if (idx >= next_.size()) next_.resize(idx + 1, kInvalid);
+  next_[idx] = kInvalid;
+  if (slots_.empty() || NeedsGrow(count_, slots_.size())) {
+    Grow(slots_.empty() ? kMinSlots : slots_.size() * 2);
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t s = hash & mask;
+  while (slots_[s].head != kInvalid && slots_[s].hash != hash) {
+    s = (s + 1) & mask;
+  }
+  Slot& slot = slots_[s];
+  if (slot.head == kInvalid) {
+    slot.hash = hash;
+    slot.head = idx;
+    ++count_;
+  } else {
+    next_[slot.tail] = idx;  // append: chains iterate in insertion order
+  }
+  slot.tail = idx;
+}
+
+uint32_t FlatHashIndex::Find(size_t hash) const {
+  if (slots_.empty()) return kInvalid;
+  const size_t mask = slots_.size() - 1;
+  size_t s = hash & mask;
+  while (slots_[s].head != kInvalid) {
+    if (slots_[s].hash == hash) return slots_[s].head;
+    s = (s + 1) & mask;
+  }
+  return kInvalid;
+}
+
+void HashKeyColumnsBatch(const RowBatch& batch,
+                         const std::vector<int>& key_cols,
+                         std::vector<size_t>* hashes) {
+  const std::vector<uint32_t>& sel = batch.sel();
+  const size_t n = sel.size();
+  hashes->assign(n, kRowKeyHashSeed);
+  size_t* h = hashes->data();
+  for (int c : key_cols) {
+    if (!batch.col_materialized(c)) {
+      const Column& col = batch.lazy_source()->column(c);
+      const size_t base = batch.lazy_start();
+      switch (col.type()) {
+        case ValueType::kInt64:
+        case ValueType::kDate:
+        case ValueType::kBool: {
+          std::hash<int64_t> hasher;
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombineKey(h[i], hasher(col.GetInt(base + sel[i])));
+          }
+          continue;
+        }
+        case ValueType::kDouble: {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombineKey(
+                h[i], Value::HashDouble(col.GetDouble(base + sel[i])));
+          }
+          continue;
+        }
+        case ValueType::kString: {
+          std::hash<std::string> hasher;
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombineKey(h[i], hasher(col.GetString(base + sel[i])));
+          }
+          continue;
+        }
+        case ValueType::kNull:
+          break;  // tables are NOT NULL; fall back to the boxed path
+      }
+    }
+    const std::vector<Value>& vals = batch.col(c);
+    for (size_t i = 0; i < n; ++i) {
+      h[i] = HashCombineKey(h[i], vals[sel[i]].Hash());
+    }
+  }
+}
+
+}  // namespace ecodb

@@ -243,10 +243,10 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
   assert(build_keys_.size() == probe_keys_.size());
 }
 
-bool HashJoinOp::KeysEqual(const Row& build_row, const Row& probe_row) {
+bool HashJoinOp::KeysEqualRow(uint32_t idx, const Row& probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
-    if (build_row[static_cast<size_t>(build_keys_[i])].Compare(
+    if (build_cols_[static_cast<size_t>(build_keys_[i])][idx].Compare(
             probe_row[static_cast<size_t>(probe_keys_[i])]) != 0) {
       return false;
     }
@@ -254,13 +254,13 @@ bool HashJoinOp::KeysEqual(const Row& build_row, const Row& probe_row) {
   return true;
 }
 
-bool HashJoinOp::KeysEqualBatch(const Row& build_row,
-                                const RowBatch& probe_batch,
+bool HashJoinOp::KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
                                 uint32_t probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
-    if (build_row[static_cast<size_t>(build_keys_[i])].Compare(
-            probe_batch.col(probe_keys_[i])[probe_row]) != 0) {
+    if (probe_batch.CompareCell(
+            build_cols_[static_cast<size_t>(build_keys_[i])][idx],
+            probe_keys_[i], probe_row) != 0) {
       return false;
     }
   }
@@ -268,8 +268,11 @@ bool HashJoinOp::KeysEqualBatch(const Row& build_row,
 }
 
 Status HashJoinOp::ConsumeBuildSide() {
-  int build_width = build_child_->schema().RowWidth();
-  table_.clear();
+  const int build_width = build_child_->schema().RowWidth();
+  const int n_cols = build_child_->schema().num_fields();
+  index_.Reset();
+  build_cols_.assign(static_cast<size_t>(n_cols), {});
+  num_build_rows_ = 0;
   build_bytes_ = 0;
   if (ctx_->exec_mode() == ExecMode::kBatch) {
     RowBatch batch;
@@ -278,15 +281,22 @@ Status HashJoinOp::ConsumeBuildSide() {
       ECODB_RETURN_NOT_OK(build_child_->NextBatch(&batch, &has));
       if (!has) break;
       ctx_->ChargeHashBuilds(batch.active(), build_width);
-      build_bytes_ +=
-          static_cast<uint64_t>(batch.active()) *
-          static_cast<uint64_t>(build_width);
-      for (uint32_t r : batch.sel()) {
-        Row row;
-        batch.MaterializeRow(r, &row);
-        size_t h = HashRowKey(row, build_keys_);
-        table_.emplace(h, std::move(row));
+      build_bytes_ += static_cast<uint64_t>(batch.active()) *
+                      static_cast<uint64_t>(build_width);
+      // Hash all selected keys up front (typed arrays for lazily-bound
+      // scan batches), then append columns to the contiguous pool; both
+      // equal HashRowKey / AppendRow over each row in order.
+      HashKeyColumnsBatch(batch, build_keys_, &build_hash_scratch_);
+      for (size_t i = 0; i < build_hash_scratch_.size(); ++i) {
+        index_.Insert(build_hash_scratch_[i],
+                      num_build_rows_ + static_cast<uint32_t>(i));
       }
+      for (int c = 0; c < n_cols; ++c) {
+        std::vector<Value>& dst = build_cols_[static_cast<size_t>(c)];
+        const std::vector<Value>& src = batch.col(c);
+        for (uint32_t r : batch.sel()) dst.push_back(src[r]);
+      }
+      num_build_rows_ += static_cast<uint32_t>(batch.active());
     }
     return Status::OK();
   }
@@ -298,7 +308,12 @@ Status HashJoinOp::ConsumeBuildSide() {
     size_t h = HashRowKey(row, build_keys_);
     ctx_->ChargeHashBuild(build_width);
     build_bytes_ += static_cast<uint64_t>(build_width);
-    table_.emplace(h, std::move(row));
+    index_.Insert(h, num_build_rows_);
+    for (int c = 0; c < n_cols; ++c) {
+      build_cols_[static_cast<size_t>(c)].push_back(
+          std::move(row[static_cast<size_t>(c)]));
+    }
+    ++num_build_rows_;
     row = Row();
   }
   return Status::OK();
@@ -321,36 +336,39 @@ Status HashJoinOp::Open() {
   probe_batch_valid_ = false;
   probe_sel_pos_ = 0;
   probe_eos_ = false;
+  match_ = FlatHashIndex::kInvalid;
   return Status::OK();
 }
 
 Status HashJoinOp::Next(Row* out, bool* has_row) {
   int probe_width = probe_child_->schema().RowWidth();
+  const size_t n_build_cols = build_cols_.size();
   for (;;) {
     if (probe_valid_) {
-      while (match_it_ != match_end_) {
-        const Row& build_row = match_it_->second;
+      while (match_ != FlatHashIndex::kInvalid) {
+        const uint32_t idx = match_;
         ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
-        if (KeysEqual(build_row, probe_row_)) {
+        match_ = index_.Next(idx);
+        if (KeysEqualRow(idx, probe_row_)) {
           out->clear();
-          out->reserve(build_row.size() + probe_row_.size());
-          out->insert(out->end(), build_row.begin(), build_row.end());
+          out->reserve(n_build_cols + probe_row_.size());
+          for (size_t c = 0; c < n_build_cols; ++c) {
+            out->push_back(build_cols_[c][idx]);
+          }
           // The probe row's values can be moved out on its last chain
           // entry: nothing reads probe_row_ again before the next child
           // pull overwrites it.
-          if (std::next(match_it_) == match_end_) {
+          if (match_ == FlatHashIndex::kInvalid) {
             out->insert(out->end(),
                         std::make_move_iterator(probe_row_.begin()),
                         std::make_move_iterator(probe_row_.end()));
           } else {
             out->insert(out->end(), probe_row_.begin(), probe_row_.end());
           }
-          ++match_it_;
           ctx_->ChargeEvalOps();
           *has_row = true;
           return Status::OK();
         }
-        ++match_it_;
       }
       probe_valid_ = false;
       ctx_->ChargeEvalOps();
@@ -363,17 +381,14 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
     }
     ++probe_rows_;
     ctx_->ChargeHashProbe(probe_width);
-    size_t h = HashRowKey(probe_row_, probe_keys_);
-    auto range = table_.equal_range(h);
-    match_it_ = range.first;
-    match_end_ = range.second;
+    match_ = index_.Find(HashRowKey(probe_row_, probe_keys_));
     probe_valid_ = true;
   }
 }
 
 Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
   const int num_cols = schema_.num_fields();
-  const int build_cols = build_child_->schema().num_fields();
+  const int n_build_cols = static_cast<int>(build_cols_.size());
   const int probe_cols = probe_child_->schema().num_fields();
   const int probe_width = probe_child_->schema().RowWidth();
   out->Reset(num_cols);
@@ -381,22 +396,24 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
   while (emitted < RowBatch::kDefaultBatchRows) {
     if (probe_valid_) {
       const uint32_t pr = probe_batch_.sel()[probe_sel_pos_];
-      while (match_it_ != match_end_ &&
+      while (match_ != FlatHashIndex::kInvalid &&
              emitted < RowBatch::kDefaultBatchRows) {
-        const Row& build_row = match_it_->second;
+        const uint32_t idx = match_;
         ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
-        if (KeysEqualBatch(build_row, probe_batch_, pr)) {
-          for (int c = 0; c < build_cols; ++c) {
-            out->col(c).push_back(build_row[static_cast<size_t>(c)]);
+        match_ = index_.Next(idx);
+        if (KeysEqualBatch(idx, probe_batch_, pr)) {
+          for (int c = 0; c < n_build_cols; ++c) {
+            out->col(c).push_back(build_cols_[static_cast<size_t>(c)][idx]);
           }
           for (int c = 0; c < probe_cols; ++c) {
-            out->col(build_cols + c).push_back(probe_batch_.col(c)[pr]);
+            // Per-cell access: only matched probe positions are boxed
+            // (col() would materialize the whole lazy column).
+            out->col(n_build_cols + c).push_back(probe_batch_.CellValue(c, pr));
           }
           ++emitted;
         }
-        ++match_it_;
       }
-      if (match_it_ != match_end_) break;  // out full; resume mid-chain
+      if (match_ != FlatHashIndex::kInvalid) break;  // out full; resume
       probe_valid_ = false;
       ++probe_sel_pos_;
     }
@@ -412,12 +429,11 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
       probe_sel_pos_ = 0;
       probe_rows_ += probe_batch_.active();
       ctx_->ChargeHashProbes(probe_batch_.active(), probe_width);
+      // Batch-at-a-time probe: hash every selected key up front, reading
+      // typed column arrays directly for lazily-bound scan batches.
+      HashKeyColumnsBatch(probe_batch_, probe_keys_, &probe_hashes_);
     }
-    const uint32_t pr = probe_batch_.sel()[probe_sel_pos_];
-    size_t h = HashBatchKey(probe_batch_, pr, probe_keys_);
-    auto range = table_.equal_range(h);
-    match_it_ = range.first;
-    match_end_ = range.second;
+    match_ = index_.Find(probe_hashes_[probe_sel_pos_]);
     probe_valid_ = true;
   }
   ctx_->ChargeEvalOps();
@@ -433,7 +449,9 @@ void HashJoinOp::Close() {
   uint64_t probe_bytes =
       probe_rows_ * static_cast<uint64_t>(probe_child_->schema().RowWidth());
   ctx_->ChargeSpill(probe_bytes).ok();  // best-effort at teardown
-  table_.clear();
+  index_.Reset();
+  build_cols_.clear();
+  num_build_rows_ = 0;
   ctx_->Flush();
 }
 
@@ -669,8 +687,9 @@ HashAggOp::Group* HashAggOp::FindOrCreateGroup(size_t hash, size_t n_keys,
                                                KeyAt&& key_at,
                                                MakeKey&& make_key,
                                                uint64_t* new_groups) {
-  std::vector<Group>& bucket = groups_[hash];
-  for (Group& g : bucket) {
+  for (uint32_t idx = group_index_.Find(hash);
+       idx != FlatHashIndex::kInvalid; idx = group_index_.Next(idx)) {
+    Group& g = groups_[idx];
     ++ctx_->eval_counters()->comparisons;
     bool equal = true;
     for (size_t i = 0; i < n_keys; ++i) {
@@ -681,10 +700,11 @@ HashAggOp::Group* HashAggOp::FindOrCreateGroup(size_t hash, size_t n_keys,
     }
     if (equal) return &g;
   }
-  bucket.push_back(
+  group_index_.Insert(hash, static_cast<uint32_t>(groups_.size()));
+  groups_.push_back(
       Group{make_key(), std::vector<Accumulator>(aggs_.size())});
   ++*new_groups;
-  return &bucket.back();
+  return &groups_.back();
 }
 
 Status HashAggOp::ConsumeChildRowMode() {
@@ -776,9 +796,10 @@ void HashAggOp::EmitResults() {
     Group g{Row{}, std::vector<Accumulator>(aggs_.size())};
     results_.push_back(GroupToRow(g));
   } else {
-    for (auto& [h, bucket] : groups_) {
-      for (Group& g : bucket) results_.push_back(GroupToRow(g));
-    }
+    // The contiguous pool is in group-creation order, so results are
+    // deterministic and identical across execution modes.
+    results_.reserve(groups_.size());
+    for (const Group& g : groups_) results_.push_back(GroupToRow(g));
   }
 }
 
@@ -812,6 +833,7 @@ Row HashAggOp::GroupToRow(const Group& g) const {
 
 Status HashAggOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
+  group_index_.Reset();
   groups_.clear();
   results_.clear();
   result_pos_ = 0;
@@ -827,6 +849,7 @@ Status HashAggOp::Open() {
   ctx_->ChargeEvalOps();
 
   EmitResults();
+  group_index_.Reset();
   groups_.clear();
   ctx_->Flush();
   return Status::OK();

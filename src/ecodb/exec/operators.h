@@ -10,11 +10,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ecodb/exec/exec_context.h"
 #include "ecodb/exec/expr.h"
+#include "ecodb/exec/hash_table.h"
 #include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/catalog.h"
 #include "ecodb/storage/schema.h"
@@ -133,6 +133,15 @@ class ProjectOp : public Operator {
 /// (right); output schema = build fields ++ probe fields. For disk-backed
 /// profiles a grace-hash spill of build+probe bytes is charged per the
 /// profile's spill_fraction.
+///
+/// The build side lives in a FlatHashIndex over a contiguous column-major
+/// payload pool (one std::vector<Value> per build column); duplicate keys
+/// chain in insertion order, preserving multimap semantics. Both execution
+/// modes probe the same table: batch mode hashes all selected probe keys
+/// of a batch up front (typed, unboxed for lazily-bound scan batches) and
+/// then drains chains into the output batch, while row mode hashes the
+/// materialized probe row — identical hashes, identical chain walks,
+/// identical bucket-compare and key-equality counts.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
@@ -146,9 +155,11 @@ class HashJoinOp : public Operator {
   std::string name() const override { return "HashJoin"; }
 
  private:
-  bool KeysEqual(const Row& build_row, const Row& probe_row);
-  /// KeysEqual against a probe row living in a batch (same counting).
-  bool KeysEqualBatch(const Row& build_row, const RowBatch& probe_batch,
+  /// Key-equality of build entry `idx` against a materialized probe row /
+  /// a probe row living in a batch. Both count one comparison per key
+  /// column compared (short-circuit), so the modes stay in lockstep.
+  bool KeysEqualRow(uint32_t idx, const Row& probe_row);
+  bool KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
                       uint32_t probe_row);
   Status ConsumeBuildSide();
 
@@ -157,16 +168,21 @@ class HashJoinOp : public Operator {
   std::vector<int> build_keys_, probe_keys_;
   Schema schema_;
 
-  std::unordered_multimap<size_t, Row> table_;
+  FlatHashIndex index_;
+  std::vector<std::vector<Value>> build_cols_;  ///< column-major build pool
+  uint32_t num_build_rows_ = 0;
+  uint32_t match_ = FlatHashIndex::kInvalid;  ///< chain cursor (both modes)
   Row probe_row_;
   bool probe_valid_ = false;
-  std::unordered_multimap<size_t, Row>::iterator match_it_, match_end_;
   uint64_t build_bytes_ = 0;
   uint64_t probe_rows_ = 0;
 
-  // Batch-mode probe state: current probe batch, the position of the
-  // in-progress probe row within its selection vector, and end-of-stream.
+  // Batch-mode probe state: current probe batch, its up-front key hashes
+  // (parallel to the selection vector), the position of the in-progress
+  // probe row within the selection, and end-of-stream.
   RowBatch probe_batch_;
+  std::vector<size_t> probe_hashes_;
+  std::vector<size_t> build_hash_scratch_;
   size_t probe_sel_pos_ = 0;
   bool probe_batch_valid_ = false;
   bool probe_eos_ = false;
@@ -236,8 +252,10 @@ class HashAggOp : public Operator {
                             uint32_t r);
   /// Finds or creates the group for a key presented via `key_at(i)` (the
   /// i-th key component); `make_key()` builds the stored Row only when a
-  /// new group is created. One implementation serves both execution modes
-  /// so bucket-compare counting stays in lockstep (the parity invariant).
+  /// new group is created. One implementation (and one flat hash table)
+  /// serves both execution modes so bucket-compare counting stays in
+  /// lockstep (the parity invariant). The returned pointer is valid only
+  /// until the next call (the contiguous group pool may reallocate).
   template <typename KeyAt, typename MakeKey>
   Group* FindOrCreateGroup(size_t hash, size_t n_keys, KeyAt&& key_at,
                            MakeKey&& make_key, uint64_t* new_groups);
@@ -251,7 +269,8 @@ class HashAggOp : public Operator {
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggs_;
   Schema schema_;
-  std::unordered_map<size_t, std::vector<Group>> groups_;
+  FlatHashIndex group_index_;
+  std::vector<Group> groups_;  ///< contiguous pool, insertion order
   std::vector<Row> results_;
   size_t result_pos_ = 0;
 };

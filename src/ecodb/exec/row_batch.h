@@ -116,6 +116,34 @@ class RowBatch {
     }
   }
 
+  /// Boxes a single cell without materializing the whole column. For a
+  /// lazily-bound batch this is how sparse consumers (join match emission)
+  /// avoid boxing the positions they never touch; for owned columns it is
+  /// a plain copy.
+  Value CellValue(int col, uint32_t r) const {
+    const size_t c = static_cast<size_t>(col);
+    if (lazy_source_ != nullptr && !lazy_filled_[c]) {
+      return lazy_source_->column(col).GetValue(lazy_start_ + r);
+    }
+    return cols_[c][r];
+  }
+
+  /// Three-way compare of `v` against cell (col, r) — exactly
+  /// v.Compare(boxed cell), but strings in a lazily-bound column compare
+  /// in place (no heap-allocating Value is constructed).
+  int CompareCell(const Value& v, int col, uint32_t r) const {
+    const size_t c = static_cast<size_t>(col);
+    if (lazy_source_ != nullptr && !lazy_filled_[c]) {
+      const Column& src = lazy_source_->column(col);
+      if (src.type() == ValueType::kString && v.type() == ValueType::kString) {
+        int cmp = v.AsString().compare(src.GetString(lazy_start_ + r));
+        return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      }
+      return v.Compare(src.GetValue(lazy_start_ + r));
+    }
+    return v.Compare(cols_[c][r]);
+  }
+
   /// Materializes physical row `r` into `out`.
   void MaterializeRow(uint32_t r, Row* out) const {
     out->clear();
@@ -171,14 +199,9 @@ class RowBatch {
   mutable std::vector<uint8_t> lazy_filled_;
 };
 
-/// Hash of a multi-column key read directly from a batch row; identical to
-/// HashRowKey over the materialized row (same combine, same Value::Hash).
-inline size_t HashBatchKey(const RowBatch& batch, uint32_t r,
-                           const std::vector<int>& key_cols) {
-  size_t h = kRowKeyHashSeed;
-  for (int c : key_cols) h = HashCombineKey(h, batch.col(c)[r].Hash());
-  return h;
-}
+// Multi-column key hashing over whole batches (typed, unboxed for lazily
+// bound scan batches) lives in exec/hash_table.h (HashKeyColumnsBatch),
+// alongside the flat hash index it feeds.
 
 }  // namespace ecodb
 

@@ -150,16 +150,8 @@ size_t Value::Hash() const {
       return 0xEC0DB0ULL;
     case ValueType::kString:
       return std::hash<std::string>{}(s_);
-    case ValueType::kDouble: {
-      // Hash doubles through their numeric value so Int(2) and Dbl(2.0)
-      // (which compare equal) hash equal when integral.
-      double d = d_;
-      int64_t as_int = static_cast<int64_t>(d);
-      if (static_cast<double>(as_int) == d) {
-        return std::hash<int64_t>{}(as_int);
-      }
-      return std::hash<double>{}(d);
-    }
+    case ValueType::kDouble:
+      return HashDouble(d_);
     default:
       return std::hash<int64_t>{}(i_);
   }

@@ -5,6 +5,7 @@
 #define ECODB_STORAGE_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,23 @@ class Value {
 
   /// Hash consistent with operator== for join/group keys.
   size_t Hash() const;
+
+  /// Hash of a double exactly as a Value holding it would hash (integral
+  /// doubles hash through int64 so Int(2) and Dbl(2.0), which compare
+  /// equal, hash equal). Exposed for typed batch key hashing, which reads
+  /// raw column arrays without boxing a Value.
+  static size_t HashDouble(double d) {
+    // The int64 cast is defined only inside (-2^63, 2^63); NaN and
+    // out-of-range magnitudes (which cannot equal an int64 anyway) go
+    // straight to the double hash.
+    if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>{}(as_int);
+      }
+    }
+    return std::hash<double>{}(d);
+  }
 
   std::string ToString() const;
 

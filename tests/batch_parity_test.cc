@@ -156,6 +156,35 @@ TEST_F(BatchParityTest, HashJoinMultiMatch) {
   ExpectParity(*MakeHashJoin(Scan("small"), Scan("big"), {2}, {2}));
 }
 
+TEST_F(BatchParityTest, HashJoinBuildResizeHeavy) {
+  // Build side (2500 rows) far exceeds the flat table's initial slot
+  // capacity, forcing several rehashes during build, with duplicate
+  // string keys chained through the resizes.
+  ExpectParity(*MakeHashJoin(Scan("big"), Scan("small"), {2}, {2}));
+}
+
+TEST_F(BatchParityTest, HashJoinMultiKeyTypedProbe) {
+  // Multi-column (int64, string) key hashed straight off lazily-bound
+  // scan batches: the typed batch hasher must agree bit-for-bit with the
+  // row-mode boxed HashRowKey.
+  ExpectParity(*MakeHashJoin(Scan("small"), Scan("big"), {0, 2}, {0, 2}));
+}
+
+TEST_F(BatchParityTest, HashJoinFilteredProbe) {
+  // Probe batches arrive with a narrowed selection: the up-front batch
+  // hashing walks sparse positions of a lazily-bound batch.
+  ExpectParity(*MakeHashJoin(
+      Scan("small"),
+      MakeFilter(Scan("big"), Cmp(CompareOp::kLt, K(), LitInt(700))),
+      {0}, {0}));
+}
+
+TEST_F(BatchParityTest, HashJoinEmptyBuildSide) {
+  ExpectParity(*MakeHashJoin(
+      MakeFilter(Scan("small"), Cmp(CompareOp::kLt, K(), LitInt(-1))),
+      Scan("big"), {0}, {0}));
+}
+
 TEST_F(BatchParityTest, NestedLoopJoinPredicate) {
   ExprPtr pred = Eq(Col(2, ValueType::kString, "ss"),
                     Col(5, ValueType::kString, "bs"));

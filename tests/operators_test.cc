@@ -124,27 +124,16 @@ TEST_F(OperatorsTest, CrossJoinProducesCartesianProduct) {
 }
 
 TEST_F(OperatorsTest, HashJoinRejectsHashCollidingKeys) {
-  // Join and group-by hash tables bucket rows by HashRowKey alone, so two
-  // *different* keys that collide on the full 64-bit hash land in the same
-  // bucket chain; correctness then depends on the full-key compare
-  // (KeysEqual). Construct a genuine collision by inverting the hash
-  // combine for the second column: find (a2, b2) != (a1, b1) with
-  // HashRowKey equal, and assert the join emits only the true match.
-  const int64_t a1 = 1, b1 = 2, a2 = 3;
-  const size_t target = HashCombineKey(
-      HashCombineKey(kRowKeyHashSeed, Value::Int(a1).Hash()),
-      Value::Int(b1).Hash());
-  const size_t h1 = HashCombineKey(kRowKeyHashSeed, Value::Int(a2).Hash());
-  // Solve HashCombineKey(h1, hb) == target for the second column's hash.
-  const size_t needed_hash =
-      (target ^ h1) - 0x9E3779B9 - (h1 << 6) - (h1 >> 2);
-  const int64_t b2 = static_cast<int64_t>(needed_hash);
-  if (Value::Int(b2).Hash() != needed_hash) {
+  // Join and group-by hash tables chain rows by HashRowKey alone, so two
+  // *different* keys that collide on the full 64-bit hash land in the
+  // same chain; correctness then depends on the full-key compare
+  // (KeysEqualRow/KeysEqualBatch). Assert the join emits only the true
+  // match.
+  Row key1, key2;
+  if (!testing::MakeCollidingKeyPair(&key1, &key2)) {
     GTEST_SKIP() << "std::hash<int64_t> is not invertible here; cannot "
                     "construct a deterministic collision";
   }
-  Row key1{Value::Int(a1), Value::Int(b1)};
-  Row key2{Value::Int(a2), Value::Int(b2)};
   ASSERT_EQ(HashRowKey(key1, {0, 1}), HashRowKey(key2, {0, 1}));
   ASSERT_NE(RowToString(key1), RowToString(key2));
 
@@ -174,23 +163,16 @@ TEST_F(OperatorsTest, HashJoinRejectsHashCollidingKeys) {
 TEST_F(OperatorsTest, HashAggSeparatesHashCollidingGroups) {
   // Same collision, via the aggregation hash table: the two keys must
   // form two groups, not be merged by their shared hash.
-  const int64_t a1 = 1, b1 = 2, a2 = 3;
-  const size_t target = HashCombineKey(
-      HashCombineKey(kRowKeyHashSeed, Value::Int(a1).Hash()),
-      Value::Int(b1).Hash());
-  const size_t h1 = HashCombineKey(kRowKeyHashSeed, Value::Int(a2).Hash());
-  const size_t needed_hash =
-      (target ^ h1) - 0x9E3779B9 - (h1 << 6) - (h1 >> 2);
-  const int64_t b2 = static_cast<int64_t>(needed_hash);
-  if (Value::Int(b2).Hash() != needed_hash) {
+  Row key1, key2;
+  if (!testing::MakeCollidingKeyPair(&key1, &key2)) {
     GTEST_SKIP() << "std::hash<int64_t> is not invertible here";
   }
   Schema schema({Field("x", ValueType::kInt64), Field("y", ValueType::kInt64)});
   Table* t = catalog_.CreateTable("collide_agg", schema).value();
   for (int rep = 0; rep < 3; ++rep) {
-    ASSERT_TRUE(t->AppendRow({Value::Int(a1), Value::Int(b1)}).ok());
+    ASSERT_TRUE(t->AppendRow({key1[0], key1[1]}).ok());
   }
-  ASSERT_TRUE(t->AppendRow({Value::Int(a2), Value::Int(b2)}).ok());
+  ASSERT_TRUE(t->AppendRow({key2[0], key2[1]}).ok());
   ASSERT_TRUE(catalog_.FinalizeLoad("collide_agg").ok());
 
   AggSpec cnt;
@@ -208,6 +190,149 @@ TEST_F(OperatorsTest, HashAggSeparatesHashCollidingGroups) {
     int64_t total = rows.value()[0][2].AsInt() + rows.value()[1][2].AsInt();
     EXPECT_EQ(total, 4);
     EXPECT_NE(rows.value()[0][2].AsInt(), rows.value()[1][2].AsInt());
+  }
+}
+
+TEST_F(OperatorsTest, FlatHashIndexChainsDuplicateHashesInInsertionOrder) {
+  FlatHashIndex idx;
+  idx.Reset(4);
+  const size_t h = 0x12345;
+  idx.Insert(h, 0);
+  idx.Insert(h, 1);
+  idx.Insert(h, 2);
+  EXPECT_EQ(idx.distinct_hashes(), 1u);
+  EXPECT_EQ(idx.size(), 3u);
+  uint32_t e = idx.Find(h);
+  EXPECT_EQ(e, 0u);
+  e = idx.Next(e);
+  EXPECT_EQ(e, 1u);
+  e = idx.Next(e);
+  EXPECT_EQ(e, 2u);
+  EXPECT_EQ(idx.Next(e), FlatHashIndex::kInvalid);
+  EXPECT_EQ(idx.Find(h + 1), FlatHashIndex::kInvalid);
+}
+
+TEST_F(OperatorsTest, FlatHashIndexResolvesSlotCollisionsByLinearProbe) {
+  // Hashes congruent modulo the capacity land on the same slot and must
+  // be kept apart by the probe sequence (distinct hashes, no chaining).
+  FlatHashIndex idx;
+  idx.Reset(4);
+  const size_t cap = idx.capacity();
+  ASSERT_GE(cap, 4u);
+  ASSERT_EQ(cap & (cap - 1), 0u) << "capacity must be a power of two";
+  const size_t h = 7;
+  idx.Insert(h, 0);
+  idx.Insert(h + cap, 1);
+  idx.Insert(h + 2 * cap, 2);
+  EXPECT_EQ(idx.distinct_hashes(), 3u);
+  EXPECT_EQ(idx.Find(h), 0u);
+  EXPECT_EQ(idx.Find(h + cap), 1u);
+  EXPECT_EQ(idx.Find(h + 2 * cap), 2u);
+  EXPECT_EQ(idx.Next(idx.Find(h)), FlatHashIndex::kInvalid);
+  // An absent hash whose probe path crosses the occupied run still
+  // terminates at the first empty slot.
+  EXPECT_EQ(idx.Find(h + 3 * cap), FlatHashIndex::kInvalid);
+}
+
+TEST_F(OperatorsTest, FlatHashIndexKeepsChainsAcrossResize) {
+  // Insert far more distinct hashes than the initial capacity while
+  // interleaving duplicates: every grow must preserve both the chains and
+  // the probe-reachability of every hash.
+  FlatHashIndex idx;
+  idx.Reset();
+  const size_t kKeys = 1000;
+  uint32_t payload = 0;
+  for (size_t k = 0; k < kKeys; ++k) {
+    size_t h = k * 0x9E3779B97F4A7C15ULL;  // spread hashes
+    idx.Insert(h, payload++);
+    idx.Insert(h, payload++);  // duplicate: chains through next-links
+  }
+  EXPECT_EQ(idx.distinct_hashes(), kKeys);
+  EXPECT_EQ(idx.size(), 2 * kKeys);
+  EXPECT_GT(idx.capacity(), kKeys);  // grew past several doublings
+  for (size_t k = 0; k < kKeys; ++k) {
+    size_t h = k * 0x9E3779B97F4A7C15ULL;
+    uint32_t e = idx.Find(h);
+    ASSERT_EQ(e, static_cast<uint32_t>(2 * k));
+    e = idx.Next(e);
+    ASSERT_EQ(e, static_cast<uint32_t>(2 * k + 1));
+    ASSERT_EQ(idx.Next(e), FlatHashIndex::kInvalid);
+  }
+}
+
+TEST_F(OperatorsTest, HashJoinDuplicateKeyChainsSurviveResizeDuringBuild) {
+  // 3000 build rows with only 10 distinct keys: the flat table grows
+  // several times during build while every key carries a 300-entry
+  // duplicate chain. Each probe row must see all 300 matches, in
+  // identical order in both execution modes.
+  Schema schema({Field("k", ValueType::kInt64), Field("tag", ValueType::kInt64)});
+  Table* build = catalog_.CreateTable("dup_build", schema).value();
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        build->AppendRow({Value::Int(i % 10), Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(catalog_.FinalizeLoad("dup_build").ok());
+  Table* probe = catalog_.CreateTable("dup_probe", schema).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(probe->AppendRow({Value::Int(i), Value::Int(-i)}).ok());
+  }
+  ASSERT_TRUE(catalog_.FinalizeLoad("dup_probe").ok());
+
+  std::vector<std::vector<Row>> results;
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    PlanNodePtr join = MakeHashJoin(Scan("dup_build"), Scan("dup_probe"),
+                                    {0}, {0});
+    auto rows = ExecutePlan(*join, &ctx_, mode);
+    ASSERT_TRUE(rows.ok()) << ToString(mode);
+    ASSERT_EQ(rows.value().size(), 3000u) << ToString(mode);
+    for (const Row& r : rows.value()) {
+      EXPECT_EQ(r[0].AsInt(), r[2].AsInt());  // key equality
+    }
+    results.push_back(std::move(rows).value());
+  }
+  // Emission order (probe order x chain insertion order) matches exactly.
+  for (size_t i = 0; i < results[0].size(); ++i) {
+    ASSERT_EQ(RowToString(results[0][i]), RowToString(results[1][i]))
+        << "row " << i;
+  }
+  // Chains iterate in build insertion order: tags ascend within a key.
+  for (size_t i = 1; i < results[0].size(); ++i) {
+    if (results[0][i][0].AsInt() == results[0][i - 1][0].AsInt()) {
+      EXPECT_GT(results[0][i][1].AsInt(), results[0][i - 1][1].AsInt());
+    }
+  }
+}
+
+TEST_F(OperatorsTest, HashJoinEmptyBuildSide) {
+  // An empty build side must leave the flat table empty (never grown) and
+  // produce zero rows in both modes while still draining the probe side.
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    PlanNodePtr empty_build = MakeFilter(
+        Scan("u"), Cmp(CompareOp::kLt, Col(0, ValueType::kInt64, "k"),
+                       LitInt(-1)));
+    PlanNodePtr join =
+        MakeHashJoin(std::move(empty_build), Scan("t"), {0}, {0});
+    auto rows = ExecutePlan(*join, &ctx_, mode);
+    ASSERT_TRUE(rows.ok()) << ToString(mode);
+    EXPECT_TRUE(rows.value().empty()) << ToString(mode);
+  }
+}
+
+TEST_F(OperatorsTest, HashAggGroupsSurviveResizeDuringBuild) {
+  // More groups than the flat table's initial capacity: grouped counts
+  // must stay exact across the resizes, in both modes.
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  testing::MakeSimpleTable(&catalog_, "many_groups", 400, 200);
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    PlanNodePtr agg = MakeAggregate(
+        Scan("many_groups"), {Col(2, ValueType::kString, "s")}, {cnt});
+    auto rows = ExecutePlan(*agg, &ctx_, mode);
+    ASSERT_TRUE(rows.ok()) << ToString(mode);
+    ASSERT_EQ(rows.value().size(), 200u) << ToString(mode);
+    for (const Row& r : rows.value()) EXPECT_EQ(r[1].AsInt(), 2);
   }
 }
 

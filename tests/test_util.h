@@ -43,6 +43,27 @@ inline Table* MakeSimpleTable(Catalog* catalog, const std::string& name,
   return t;
 }
 
+/// Constructs two *different* two-column int64 keys with an identical
+/// full 64-bit HashRowKey, by inverting the hash combine for the second
+/// column. Returns false when std::hash<int64_t> is not invertible here
+/// (callers should GTEST_SKIP). Used by the hash-collision regression
+/// tests for join and group-by tables.
+inline bool MakeCollidingKeyPair(Row* key1, Row* key2) {
+  const int64_t a1 = 1, b1 = 2, a2 = 3;
+  const size_t target = HashCombineKey(
+      HashCombineKey(kRowKeyHashSeed, Value::Int(a1).Hash()),
+      Value::Int(b1).Hash());
+  const size_t h1 = HashCombineKey(kRowKeyHashSeed, Value::Int(a2).Hash());
+  // Solve HashCombineKey(h1, hb) == target for the second column's hash.
+  const size_t needed_hash =
+      (target ^ h1) - 0x9E3779B9 - (h1 << 6) - (h1 >> 2);
+  const int64_t b2 = static_cast<int64_t>(needed_hash);
+  if (Value::Int(b2).Hash() != needed_hash) return false;
+  *key1 = Row{Value::Int(a1), Value::Int(b1)};
+  *key2 = Row{Value::Int(a2), Value::Int(b2)};
+  return true;
+}
+
 }  // namespace ecodb::testing
 
 #endif  // ECODB_TESTS_TEST_UTIL_H_
