@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Build and run the full test suite in both the default configuration and
+# the AddressSanitizer configuration, so the ASan suite actually gates
+# changes instead of rotting. This is the command CI (and any PR author)
+# should run before merging:
+#
+#   scripts/check.sh            # both configs
+#   scripts/check.sh --fast     # default config only
+#
+# Build trees: build/ (default) and build-asan/ (ECODB_SANITIZE=address).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure: ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build: ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ctest: ${dir} ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_config build
+if [[ "${FAST}" == "0" ]]; then
+  run_config build-asan -DECODB_SANITIZE=address
+fi
+
+echo "=== all checks passed ==="

@@ -124,10 +124,29 @@ Status ExecContext::FetchScanPages(uint32_t file_id, uint64_t first_page,
 }
 
 void ExecContext::MaybeFlush() {
-  if (pending_cycles_ >= kFlushCycleThreshold) Flush();
+  // Drain in *exact* threshold-sized cycle quanta (with a proportional
+  // share of the pending memory lines) instead of dumping whatever has
+  // accumulated. Flush boundaries therefore live at fixed positions in
+  // charged-cycle space — structural points (operator close, I/O) plus
+  // every kFlushCycleThreshold cycles — regardless of whether the work
+  // arrived row-at-a-time or in bulk batch charges. The machine's
+  // bus-contention model is nonlinear in the per-flush (cycles, lines)
+  // mix, so granularity-dependent boundaries would make simulated time
+  // and energy drift between execution modes on short queries.
+  while (pending_cycles_ >= kFlushCycleThreshold) {
+    const double frac = kFlushCycleThreshold / pending_cycles_;
+    const double lines = pending_lines_ * frac;
+    double cycles = kFlushCycleThreshold * cycle_inflation_;
+    stats_.cycles_charged += cycles;
+    stats_.mem_lines_charged += lines;
+    machine_->ExecuteCpu(cycles, lines);
+    pending_cycles_ -= kFlushCycleThreshold;
+    pending_lines_ -= lines;
+  }
 }
 
 void ExecContext::Flush() {
+  MaybeFlush();
   if (pending_cycles_ <= 0 && pending_lines_ <= 0) return;
   double cycles = pending_cycles_ * cycle_inflation_;
   stats_.cycles_charged += cycles;

@@ -103,8 +103,15 @@ class ExecContext {
   Status FetchScanPages(uint32_t file_id, uint64_t first_page, uint64_t count,
                         uint64_t scan_page_ordinal);
 
-  /// Flushes pending cycles/lines to the machine. Called automatically
-  /// every kFlushInterval charges and at operator Close.
+  /// Flushes pending cycles/lines to the machine. Called at structural
+  /// points (operator Close, before simulated I/O); between those points
+  /// pending work auto-drains in *exact* kFlushCycleThreshold-cycle
+  /// quanta with a proportional share of pending memory lines, so the
+  /// machine sees flush boundaries at fixed charged-cycle positions
+  /// regardless of whether operators report work row-at-a-time or in
+  /// bulk — the bus-contention model is nonlinear per flush, and
+  /// granularity-dependent boundaries would let simulated time/energy
+  /// drift between execution modes.
   void Flush();
 
   const QueryExecStats& stats() const { return stats_; }
@@ -113,7 +120,12 @@ class ExecContext {
  private:
   void MaybeFlush();
 
-  static constexpr double kFlushCycleThreshold = 2.0e6;
+  /// Quantum of the auto-drain (~6 simulated ms at 3.2 GHz): large enough
+  /// that the lines-vs-cycles mix of one quantum is insensitive to charge
+  /// arrival order (row-vs-batch energy parity on even sub-millisecond
+  /// queries), small enough that long scans still step the power
+  /// integration many times.
+  static constexpr double kFlushCycleThreshold = 2.0e7;
 
   Machine* machine_;
   const EngineProfile* profile_;

@@ -45,7 +45,8 @@ const char* ToString(ArithOp op) {
 // --- Base EvalBatch (generic fallback) ---
 
 void Expr::EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                     std::vector<Value>* out, EvalCounters* c) const {
+                     std::vector<Value>* out, EvalCounters* c,
+                     ExprScratch*) const {
   out->resize(batch.num_rows());
   Row row;
   for (uint32_t r : sel) {
@@ -55,12 +56,12 @@ void Expr::EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
 }
 
 void Expr::FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
-                       EvalCounters* c) const {
-  std::vector<Value> vals;
-  EvalBatch(batch, *sel, &vals, c);
+                       EvalCounters* c, ExprScratch* scratch) const {
+  ScratchVec<Value> vals(scratch);
+  EvalBatch(batch, *sel, vals.get(), c, scratch);
   size_t w = 0;
   for (uint32_t r : *sel) {
-    if (vals[r].IsTruthy()) (*sel)[w++] = r;
+    if ((*vals)[r].IsTruthy()) (*sel)[w++] = r;
   }
   sel->resize(w);
 }
@@ -77,7 +78,8 @@ Value ColumnExpr::Eval(const Row& row, EvalCounters*) const {
 
 void ColumnExpr::EvalBatch(const RowBatch& batch,
                            const std::vector<uint32_t>& sel,
-                           std::vector<Value>* out, EvalCounters*) const {
+                           std::vector<Value>* out, EvalCounters*,
+                           ExprScratch*) const {
   assert(index_ < batch.num_cols());
   const std::vector<Value>& src = batch.col(index_);
   out->resize(batch.num_rows());
@@ -92,7 +94,8 @@ void ColumnExpr::CollectColumns(std::vector<int>* out) const {
 
 void LiteralExpr::EvalBatch(const RowBatch& batch,
                             const std::vector<uint32_t>& sel,
-                            std::vector<Value>* out, EvalCounters*) const {
+                            std::vector<Value>* out, EvalCounters*,
+                            ExprScratch*) const {
   out->resize(batch.num_rows());
   for (uint32_t r : sel) (*out)[r] = value_;
 }
@@ -107,20 +110,35 @@ std::string LiteralExpr::ToString() const {
 // --- CompareExpr ---
 
 void BatchOperand::Resolve(const Expr& e, const RowBatch& batch,
-                           const std::vector<uint32_t>& sel,
-                           EvalCounters* c) {
+                           const std::vector<uint32_t>& sel, EvalCounters* c,
+                           ExprScratch* scratch) {
+  ReleaseStorage();
   vec_ = nullptr;
   scalar_ = nullptr;
+  batch_ = nullptr;
+  col_ = -1;
   if (e.kind() == ExprKind::kColumn) {
-    vec_ = &batch.col(static_cast<const ColumnExpr&>(e).index());
+    // Deferred column binding: view_at reads the cell in place (typed
+    // lane / lazy table array / boxed), so resolving a column never boxes.
+    batch_ = &batch;
+    col_ = static_cast<const ColumnExpr&>(e).index();
     return;
   }
   if (e.kind() == ExprKind::kLiteral) {
     scalar_ = &static_cast<const LiteralExpr&>(e).value();
     return;
   }
-  e.EvalBatch(batch, sel, &storage_, c);
-  vec_ = &storage_;
+  std::vector<Value>* storage;
+  if (scratch != nullptr) {
+    borrowed_ = scratch->Acquire<Value>();
+    scratch_ = scratch;
+    storage = borrowed_;
+  } else {
+    local_.clear();
+    storage = &local_;
+  }
+  e.EvalBatch(batch, sel, storage, c, scratch);
+  vec_ = storage;
 }
 
 namespace {
@@ -153,16 +171,27 @@ inline bool IsIntBacked(ValueType t) {
          t == ValueType::kBool;
 }
 
+}  // namespace
+
 /// Whether an arithmetic subtree can be evaluated entirely through typed
-/// double arrays: numeric columns still lazy in the batch, non-null
-/// numeric literals, and +/-/* combinations thereof (division is excluded
-/// because divide-by-zero yields NULL). Pure predicate — charges nothing.
+/// double arrays: numeric columns that are still unboxed in the batch
+/// (lazy table columns or null-free typed lanes), non-null numeric
+/// literals, and +/-/* combinations thereof (division is excluded because
+/// divide-by-zero yields NULL). Pure predicate — charges nothing.
 bool CanEvalDoubleSubtree(const Expr& e, const RowBatch& batch) {
   switch (e.kind()) {
     case ExprKind::kColumn: {
+      const int idx = static_cast<const ColumnExpr&>(e).index();
+      if (batch.lane_active(idx)) {
+        // Lanes with nulls stay on the boxed path: the scalar evaluator
+        // propagates NULL, which raw doubles cannot represent.
+        const RowBatch::TypedLane& lane = batch.lane(idx);
+        return !lane.has_nulls &&
+               (lane.kind == RowBatch::LaneKind::kInt64 ||
+                lane.kind == RowBatch::LaneKind::kDouble);
+      }
       const Table* table = batch.lazy_source();
       if (table == nullptr) return false;
-      const int idx = static_cast<const ColumnExpr&>(e).index();
       if (batch.col_materialized(idx)) return false;
       const ValueType ct = table->column(idx).type();
       return IsIntBacked(ct) || ct == ValueType::kDouble;
@@ -196,14 +225,26 @@ bool CanEvalDoubleSubtree(const Expr& e, const RowBatch& batch) {
 void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
                        const std::vector<uint32_t>& sel,
                        std::vector<double>* vec, double* scalar,
-                       bool* is_scalar, EvalCounters* c) {
+                       bool* is_scalar, EvalCounters* c,
+                       ExprScratch* scratch) {
   switch (e.kind()) {
     case ExprKind::kColumn: {
       const int idx = static_cast<const ColumnExpr&>(e).index();
-      const Column& col = batch.lazy_source()->column(idx);
-      const size_t base = batch.lazy_start();
       *is_scalar = false;
       vec->resize(batch.num_rows());
+      if (batch.lane_active(idx)) {
+        const RowBatch::TypedLane& lane = batch.lane(idx);
+        if (lane.kind == RowBatch::LaneKind::kDouble) {
+          for (uint32_t r : sel) (*vec)[r] = lane.f64[r];
+        } else {
+          for (uint32_t r : sel) {
+            (*vec)[r] = static_cast<double>(lane.i64[r]);
+          }
+        }
+        return;
+      }
+      const Column& col = batch.lazy_source()->column(idx);
+      const size_t base = batch.lazy_start();
       if (col.type() == ValueType::kDouble) {
         for (uint32_t r : sel) (*vec)[r] = col.GetDouble(base + r);
       } else {
@@ -221,11 +262,16 @@ void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
     case ExprKind::kArith:
     default: {
       const auto& a = static_cast<const ArithExpr&>(e);
-      std::vector<double> lv, rv;
+      // Child temporaries come from (and return to) the operator's pool
+      // at scope exit, so a tree of depth d holds at most 2d pooled
+      // vectors and steady-state evaluation allocates nothing.
+      ScratchVec<double> lv(scratch), rv(scratch);
       double ls = 0, rs = 0;
       bool lsc = false, rsc = false;
-      EvalDoubleSubtree(*a.left(), batch, sel, &lv, &ls, &lsc, c);
-      EvalDoubleSubtree(*a.right(), batch, sel, &rv, &rs, &rsc, c);
+      EvalDoubleSubtree(*a.left(), batch, sel, lv.get(), &ls, &lsc, c,
+                        scratch);
+      EvalDoubleSubtree(*a.right(), batch, sel, rv.get(), &rs, &rsc, c,
+                        scratch);
       if (c != nullptr) c->arith_ops += sel.size();
       auto apply = [&](double x, double y) {
         switch (a.op()) {
@@ -248,12 +294,14 @@ void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
       *is_scalar = false;
       vec->resize(batch.num_rows());
       for (uint32_t r : sel) {
-        (*vec)[r] = apply(lsc ? ls : lv[r], rsc ? rs : rv[r]);
+        (*vec)[r] = apply(lsc ? ls : (*lv)[r], rsc ? rs : (*rv)[r]);
       }
       return;
     }
   }
 }
+
+namespace {
 
 /// Typed fast path for `column <op> literal` over a lazily-bound scan
 /// batch: compares the table's columnar arrays directly, skipping the
@@ -353,7 +401,8 @@ Value CompareExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void CompareExpr::EvalBatch(const RowBatch& batch,
                             const std::vector<uint32_t>& sel,
-                            std::vector<Value>* out, EvalCounters* c) const {
+                            std::vector<Value>* out, EvalCounters* c,
+                            ExprScratch* scratch) const {
   out->resize(batch.num_rows());
   if (ForEachColumnLiteralCompare(
           op_, *left_, *right_, batch, sel, c,
@@ -361,17 +410,22 @@ void CompareExpr::EvalBatch(const RowBatch& batch,
     return;
   }
   BatchOperand lhs, rhs;
-  lhs.Resolve(*left_, batch, sel, c);
-  rhs.Resolve(*right_, batch, sel, c);
+  lhs.Resolve(*left_, batch, sel, c, scratch);
+  rhs.Resolve(*right_, batch, sel, c, scratch);
   // One comparison per evaluated row, exactly like the scalar path (which
   // counts before its null check).
   if (c != nullptr) c->comparisons += sel.size();
-  for (uint32_t r : sel) (*out)[r] = ApplyCompare(op_, lhs.at(r), rhs.at(r));
+  for (uint32_t r : sel) {
+    const CellView l = lhs.view_at(r);
+    const CellView rv = rhs.view_at(r);
+    (*out)[r] = Value::Bool(!l.is_null() && !rv.is_null() &&
+                            CompareOpHolds(op_, CompareCellViews(l, rv)));
+  }
 }
 
 void CompareExpr::FilterBatch(const RowBatch& batch,
-                              std::vector<uint32_t>* sel,
-                              EvalCounters* c) const {
+                              std::vector<uint32_t>* sel, EvalCounters* c,
+                              ExprScratch* scratch) const {
   {
     std::vector<uint32_t>& s = *sel;
     size_t w = 0;
@@ -383,16 +437,16 @@ void CompareExpr::FilterBatch(const RowBatch& batch,
     }
   }
   BatchOperand lhs, rhs;
-  lhs.Resolve(*left_, batch, *sel, c);
-  rhs.Resolve(*right_, batch, *sel, c);
+  lhs.Resolve(*left_, batch, *sel, c, scratch);
+  rhs.Resolve(*right_, batch, *sel, c, scratch);
   if (c != nullptr) c->comparisons += sel->size();
   std::vector<uint32_t>& s = *sel;
   size_t w = 0;
   for (uint32_t r : s) {
-    const Value& l = lhs.at(r);
-    const Value& rv = rhs.at(r);
+    const CellView l = lhs.view_at(r);
+    const CellView rv = rhs.view_at(r);
     if (l.is_null() || rv.is_null()) continue;
-    if (CompareOpHolds(op_, l.Compare(rv))) s[w++] = r;
+    if (CompareOpHolds(op_, CompareCellViews(l, rv))) s[w++] = r;
   }
   s.resize(w);
 }
@@ -431,25 +485,26 @@ Value LogicalExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void LogicalExpr::EvalBatch(const RowBatch& batch,
                             const std::vector<uint32_t>& sel,
-                            std::vector<Value>* out, EvalCounters* c) const {
+                            std::vector<Value>* out, EvalCounters* c,
+                            ExprScratch* scratch) const {
   // Short-circuit vectorized: each operand is evaluated only over the rows
   // still undecided after the previous operands, in operand order — the
   // same per-row laziness (and therefore the same operation counts) as the
   // scalar path, just with the operand loop hoisted outside the row loop.
   out->resize(batch.num_rows());
-  std::vector<uint32_t> active(sel);
-  std::vector<uint32_t> next;
-  std::vector<Value> vals;
+  ScratchVec<uint32_t> active(scratch), next(scratch);
+  active->assign(sel.begin(), sel.end());
+  ScratchVec<Value> vals(scratch);
   const bool is_and = (op_ == LogicalOp::kAnd);
   for (const ExprPtr& e : operands_) {
-    if (active.empty()) break;
-    e->EvalBatch(batch, active, &vals, c);
-    next.clear();
-    for (uint32_t r : active) {
-      bool truthy = vals[r].IsTruthy();
+    if (active->empty()) break;
+    e->EvalBatch(batch, *active, vals.get(), c, scratch);
+    next->clear();
+    for (uint32_t r : *active) {
+      bool truthy = (*vals)[r].IsTruthy();
       if (is_and) {
         if (truthy) {
-          next.push_back(r);  // still undecided
+          next->push_back(r);  // still undecided
         } else {
           (*out)[r] = Value::Bool(false);
         }
@@ -457,30 +512,30 @@ void LogicalExpr::EvalBatch(const RowBatch& batch,
         if (truthy) {
           (*out)[r] = Value::Bool(true);
         } else {
-          next.push_back(r);  // still undecided
+          next->push_back(r);  // still undecided
         }
       }
     }
-    active.swap(next);
+    active->swap(*next);
   }
   // Rows that survived every operand: AND -> true, OR -> false.
-  for (uint32_t r : active) (*out)[r] = Value::Bool(is_and);
+  for (uint32_t r : *active) (*out)[r] = Value::Bool(is_and);
 }
 
 void LogicalExpr::FilterBatch(const RowBatch& batch,
-                              std::vector<uint32_t>* sel,
-                              EvalCounters* c) const {
+                              std::vector<uint32_t>* sel, EvalCounters* c,
+                              ExprScratch* scratch) const {
   if (op_ == LogicalOp::kAnd) {
     // A conjunction narrows through each operand in order over the
     // survivors of the previous ones — identical laziness and counts to
     // the scalar short-circuit, with no boolean vector in between.
     for (const ExprPtr& e : operands_) {
       if (sel->empty()) return;
-      e->FilterBatch(batch, sel, c);
+      e->FilterBatch(batch, sel, c, scratch);
     }
     return;
   }
-  Expr::FilterBatch(batch, sel, c);  // OR: evaluate-and-compact
+  Expr::FilterBatch(batch, sel, c, scratch);  // OR: evaluate-and-compact
 }
 
 std::string LogicalExpr::ToString() const {
@@ -509,11 +564,12 @@ Value NotExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void NotExpr::EvalBatch(const RowBatch& batch,
                         const std::vector<uint32_t>& sel,
-                        std::vector<Value>* out, EvalCounters* c) const {
-  std::vector<Value> vals;
-  operand_->EvalBatch(batch, sel, &vals, c);
+                        std::vector<Value>* out, EvalCounters* c,
+                        ExprScratch* scratch) const {
+  ScratchVec<Value> vals(scratch);
+  operand_->EvalBatch(batch, sel, vals.get(), c, scratch);
   out->resize(batch.num_rows());
-  for (uint32_t r : sel) (*out)[r] = Value::Bool(!vals[r].IsTruthy());
+  for (uint32_t r : sel) (*out)[r] = Value::Bool(!(*vals)[r].IsTruthy());
 }
 
 std::string NotExpr::ToString() const {
@@ -579,33 +635,35 @@ Value ArithExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void ArithExpr::EvalBatch(const RowBatch& batch,
                           const std::vector<uint32_t>& sel,
-                          std::vector<Value>* out, EvalCounters* c) const {
+                          std::vector<Value>* out, EvalCounters* c,
+                          ExprScratch* scratch) const {
   if (type_ == ValueType::kDouble && CanEvalDoubleSubtree(*this, batch)) {
-    std::vector<double> vals;
+    ScratchVec<double> vals(scratch);
     double scalar = 0;
     bool is_scalar = false;
-    EvalDoubleSubtree(*this, batch, sel, &vals, &scalar, &is_scalar, c);
+    EvalDoubleSubtree(*this, batch, sel, vals.get(), &scalar, &is_scalar, c,
+                      scratch);
     out->resize(batch.num_rows());
     for (uint32_t r : sel) {
-      (*out)[r] = Value::Dbl(is_scalar ? scalar : vals[r]);
+      (*out)[r] = Value::Dbl(is_scalar ? scalar : (*vals)[r]);
     }
     return;
   }
   BatchOperand lhs, rhs;
-  lhs.Resolve(*left_, batch, sel, c);
-  rhs.Resolve(*right_, batch, sel, c);
+  lhs.Resolve(*left_, batch, sel, c, scratch);
+  rhs.Resolve(*right_, batch, sel, c, scratch);
   if (c != nullptr) c->arith_ops += sel.size();
   out->resize(batch.num_rows());
   if (type_ == ValueType::kInt64) {
     for (uint32_t r : sel) {
-      const Value& l = lhs.at(r);
-      const Value& rv = rhs.at(r);
+      const CellView l = lhs.view_at(r);
+      const CellView rv = rhs.view_at(r);
       if (l.is_null() || rv.is_null()) {
         (*out)[r] = Value::Null();
         continue;
       }
-      int64_t a = l.AsInt();
-      int64_t b = rv.AsInt();
+      int64_t a = l.i;
+      int64_t b = rv.i;
       switch (op_) {
         case ArithOp::kAdd:
           (*out)[r] = Value::Int(a + b);
@@ -624,8 +682,8 @@ void ArithExpr::EvalBatch(const RowBatch& batch,
     return;
   }
   for (uint32_t r : sel) {
-    const Value& l = lhs.at(r);
-    const Value& rv = rhs.at(r);
+    const CellView l = lhs.view_at(r);
+    const CellView rv = rhs.view_at(r);
     if (l.is_null() || rv.is_null()) {
       (*out)[r] = Value::Null();
       continue;
@@ -677,44 +735,47 @@ Value BetweenExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void BetweenExpr::EvalBatch(const RowBatch& batch,
                             const std::vector<uint32_t>& sel,
-                            std::vector<Value>* out, EvalCounters* c) const {
+                            std::vector<Value>* out, EvalCounters* c,
+                            ExprScratch* scratch) const {
   // Mirrors the scalar laziness: rows with a NULL operand are decided
   // without touching the bounds; `hi` is only evaluated (and its
   // comparison counted) for rows that pass the `lo` check.
   out->resize(batch.num_rows());
   BatchOperand vals;
-  vals.Resolve(*operand_, batch, sel, c);
-  std::vector<uint32_t> pending;
-  pending.reserve(sel.size());
+  vals.Resolve(*operand_, batch, sel, c, scratch);
+  ScratchVec<uint32_t> pending(scratch);
+  pending->reserve(sel.size());
   for (uint32_t r : sel) {
-    if (vals.at(r).is_null()) {
+    if (vals.view_at(r).is_null()) {
       (*out)[r] = Value::Bool(false);
     } else {
-      pending.push_back(r);
+      pending->push_back(r);
     }
   }
-  if (pending.empty()) return;
+  if (pending->empty()) return;
 
   BatchOperand lo_vals;
-  lo_vals.Resolve(*lo_, batch, pending, c);
-  if (c != nullptr) c->comparisons += pending.size();
-  std::vector<uint32_t> passed_lo;
-  passed_lo.reserve(pending.size());
-  for (uint32_t r : pending) {
-    if (!lo_vals.at(r).is_null() && vals.at(r).Compare(lo_vals.at(r)) < 0) {
+  lo_vals.Resolve(*lo_, batch, *pending, c, scratch);
+  if (c != nullptr) c->comparisons += pending->size();
+  ScratchVec<uint32_t> passed_lo(scratch);
+  passed_lo->reserve(pending->size());
+  for (uint32_t r : *pending) {
+    const CellView lo_v = lo_vals.view_at(r);
+    if (!lo_v.is_null() && CompareCellViews(vals.view_at(r), lo_v) < 0) {
       (*out)[r] = Value::Bool(false);
     } else {
-      passed_lo.push_back(r);
+      passed_lo->push_back(r);
     }
   }
-  if (passed_lo.empty()) return;
+  if (passed_lo->empty()) return;
 
   BatchOperand hi_vals;
-  hi_vals.Resolve(*hi_, batch, passed_lo, c);
-  if (c != nullptr) c->comparisons += passed_lo.size();
-  for (uint32_t r : passed_lo) {
-    (*out)[r] = Value::Bool(!hi_vals.at(r).is_null() &&
-                            vals.at(r).Compare(hi_vals.at(r)) <= 0);
+  hi_vals.Resolve(*hi_, batch, *passed_lo, c, scratch);
+  if (c != nullptr) c->comparisons += passed_lo->size();
+  for (uint32_t r : *passed_lo) {
+    const CellView hi_v = hi_vals.view_at(r);
+    (*out)[r] = Value::Bool(
+        !hi_v.is_null() && CompareCellViews(vals.view_at(r), hi_v) <= 0);
   }
 }
 
@@ -758,11 +819,14 @@ Value InListExpr::Eval(const Row& row, EvalCounters* c) const {
 
 void InListExpr::EvalBatch(const RowBatch& batch,
                            const std::vector<uint32_t>& sel,
-                           std::vector<Value>* out, EvalCounters* c) const {
+                           std::vector<Value>* out, EvalCounters* c,
+                           ExprScratch* scratch) const {
   out->resize(batch.num_rows());
   BatchOperand vals;
-  vals.Resolve(*operand_, batch, sel, c);
+  vals.Resolve(*operand_, batch, sel, c, scratch);
   if (hashed_) {
+    // The set lookup needs owning Values, so this path uses at() (which
+    // boxes a column operand once per batch).
     for (uint32_t r : sel) {
       if (vals.at(r).is_null()) {
         (*out)[r] = Value::Bool(false);
@@ -776,30 +840,31 @@ void InListExpr::EvalBatch(const RowBatch& batch,
   // Linear scan with per-row early exit, candidate loop hoisted outside
   // the row loop: row `r` is compared against candidates until its first
   // hit, so the total comparison count equals the scalar path's.
-  std::vector<uint32_t> remaining;
-  remaining.reserve(sel.size());
+  ScratchVec<uint32_t> remaining(scratch);
+  remaining->reserve(sel.size());
   for (uint32_t r : sel) {
-    if (vals.at(r).is_null()) {
+    if (vals.view_at(r).is_null()) {
       (*out)[r] = Value::Bool(false);
     } else {
-      remaining.push_back(r);
+      remaining->push_back(r);
     }
   }
-  std::vector<uint32_t> next;
+  ScratchVec<uint32_t> next(scratch);
   for (const Value& candidate : values_) {
-    if (remaining.empty()) break;
-    if (c != nullptr) c->comparisons += remaining.size();
-    next.clear();
-    for (uint32_t r : remaining) {
-      if (vals.at(r).Compare(candidate) == 0) {
+    if (remaining->empty()) break;
+    if (c != nullptr) c->comparisons += remaining->size();
+    const CellView cand = CellView::Of(candidate);
+    next->clear();
+    for (uint32_t r : *remaining) {
+      if (CompareCellViews(vals.view_at(r), cand) == 0) {
         (*out)[r] = Value::Bool(true);
       } else {
-        next.push_back(r);
+        next->push_back(r);
       }
     }
-    remaining.swap(next);
+    remaining->swap(*next);
   }
-  for (uint32_t r : remaining) (*out)[r] = Value::Bool(false);
+  for (uint32_t r : *remaining) (*out)[r] = Value::Bool(false);
 }
 
 std::string InListExpr::ToString() const {

@@ -10,9 +10,11 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ecodb/exec/exec_context.h"
+#include "ecodb/exec/expr_scratch.h"
 #include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/value.h"
 
@@ -52,11 +54,19 @@ class Expr {
   /// row-at-a-time Eval loop over `sel` would — including AND/OR
   /// short-circuit and IN-list early-exit laziness — so that batch and row
   /// execution report identical logical work (the Figure 6 cost shape).
+  /// `scratch` (may be null) is the driving operator's reusable temporary
+  /// pool; implementations draw every per-batch temporary from it so a
+  /// steady-state pipeline allocates O(operators), not O(batches x nodes).
   /// The base implementation materializes each selected row and calls
   /// Eval; subclasses override with tight columnar loops.
   virtual void EvalBatch(const RowBatch& batch,
                          const std::vector<uint32_t>& sel,
-                         std::vector<Value>* out, EvalCounters* c) const;
+                         std::vector<Value>* out, EvalCounters* c,
+                         ExprScratch* scratch) const;
+  void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                 std::vector<Value>* out, EvalCounters* c) const {
+    EvalBatch(batch, sel, out, c, nullptr);
+  }
 
   /// Predicate form of EvalBatch: narrows `sel` in place to the rows where
   /// this expression is truthy, charging `c` exactly as EvalBatch over the
@@ -64,7 +74,11 @@ class Expr {
   /// CompareExpr and AND-chains override to skip materializing the boolean
   /// vector entirely (the hot shape under FilterOp).
   virtual void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
-                           EvalCounters* c) const;
+                           EvalCounters* c, ExprScratch* scratch) const;
+  void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
+                   EvalCounters* c) const {
+    FilterBatch(batch, sel, c, nullptr);
+  }
 
   virtual ExprKind kind() const = 0;
   virtual ValueType type() const = 0;
@@ -81,7 +95,9 @@ class ColumnExpr : public Expr {
   ColumnExpr(int index, ValueType type, std::string name);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kColumn; }
   ValueType type() const override { return type_; }
   std::string ToString() const override { return name_; }
@@ -101,7 +117,9 @@ class LiteralExpr : public Expr {
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
   Value Eval(const Row&, EvalCounters*) const override { return value_; }
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kLiteral; }
   ValueType type() const override { return value_.type(); }
   std::string ToString() const override;
@@ -118,9 +136,12 @@ class CompareExpr : public Expr {
   CompareExpr(CompareOp op, ExprPtr left, ExprPtr right);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
-                   EvalCounters* c) const override;
+                   EvalCounters* c, ExprScratch* scratch) const override;
+  using Expr::FilterBatch;
   ExprKind kind() const override { return ExprKind::kCompare; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -141,9 +162,12 @@ class LogicalExpr : public Expr {
   LogicalExpr(LogicalOp op, std::vector<ExprPtr> operands);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   void FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel,
-                   EvalCounters* c) const override;
+                   EvalCounters* c, ExprScratch* scratch) const override;
+  using Expr::FilterBatch;
   ExprKind kind() const override { return ExprKind::kLogical; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -162,7 +186,9 @@ class NotExpr : public Expr {
   explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kNot; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -179,7 +205,9 @@ class ArithExpr : public Expr {
   ArithExpr(ArithOp op, ExprPtr left, ExprPtr right);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kArith; }
   ValueType type() const override { return type_; }
   std::string ToString() const override;
@@ -201,7 +229,9 @@ class BetweenExpr : public Expr {
   BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kBetween; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -225,7 +255,9 @@ class InListExpr : public Expr {
   InListExpr(ExprPtr operand, std::vector<Value> values, bool hashed);
   Value Eval(const Row& row, EvalCounters* c) const override;
   void EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
-                 std::vector<Value>* out, EvalCounters* c) const override;
+                 std::vector<Value>* out, EvalCounters* c,
+                 ExprScratch* scratch) const override;
+  using Expr::EvalBatch;
   ExprKind kind() const override { return ExprKind::kInList; }
   ValueType type() const override { return ValueType::kBool; }
   std::string ToString() const override;
@@ -245,24 +277,93 @@ class InListExpr : public Expr {
   std::unordered_set<Value, ValueHash> set_;
 };
 
+/// True when `e` (a ColumnExpr / LiteralExpr / +,-,* ArithExpr tree) can
+/// be evaluated entirely through raw double arrays against `batch`:
+/// numeric columns that are still unboxed (lazy table columns or
+/// null-free typed lanes) and non-null numeric literals. Division and
+/// int64-typed arithmetic are excluded (NULL results / int wrapping
+/// cannot be represented in doubles). Pure predicate — charges nothing.
+bool CanEvalDoubleSubtree(const Expr& e, const RowBatch& batch);
+
+/// Evaluates a CanEvalDoubleSubtree-approved subtree into raw doubles —
+/// no Values anywhere. Results are either one scalar (*is_scalar) or
+/// `vec` indexed by physical row. Operation counting matches the scalar
+/// evaluator exactly: one arith op per arith node per selected row,
+/// nothing for columns and literals. Internal per-node temporaries come
+/// from `scratch` when provided.
+void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
+                       const std::vector<uint32_t>& sel,
+                       std::vector<double>* vec, double* scalar,
+                       bool* is_scalar, EvalCounters* c,
+                       ExprScratch* scratch);
+
 /// Batch operand accessor that avoids materializing a Value vector for the
-/// two dominant leaf shapes: a ColumnExpr resolves to a direct reference
-/// into the batch's column (triggering lazy boxing of just that column)
-/// and a LiteralExpr to a single shared Value; anything else evaluates
-/// into local storage via EvalBatch. Counting parity holds because column
-/// and literal references charge nothing in the scalar path either.
-/// The referenced batch/expression must outlive the operand.
+/// two dominant leaf shapes: a ColumnExpr resolves to the batch column
+/// *without* boxing it (view_at reads typed lanes and lazy table arrays in
+/// place) and a LiteralExpr to a single shared Value; anything else
+/// evaluates into scratch/local storage via EvalBatch. Counting parity
+/// holds because column and literal references charge nothing in the
+/// scalar path either. The referenced batch/expression must outlive the
+/// operand. Kernels should prefer view_at (never allocates); at() boxes
+/// the whole column on first touch of a column operand and exists for the
+/// few consumers that need owning Values (hashed IN-list set lookup).
 class BatchOperand {
  public:
-  const Value& at(uint32_t r) const { return vec_ ? (*vec_)[r] : *scalar_; }
+  BatchOperand() = default;
+  ~BatchOperand() { ReleaseStorage(); }
+  BatchOperand(const BatchOperand&) = delete;
+  BatchOperand& operator=(const BatchOperand&) = delete;
+  BatchOperand(BatchOperand&& o) noexcept { *this = std::move(o); }
+  BatchOperand& operator=(BatchOperand&& o) noexcept {
+    ReleaseStorage();
+    scalar_ = o.scalar_;
+    batch_ = o.batch_;
+    col_ = o.col_;
+    borrowed_ = o.borrowed_;
+    scratch_ = o.scratch_;
+    local_ = std::move(o.local_);
+    // A fallback-storage operand points vec_ at its own local_; re-point
+    // it at *this* object's local_ or it would dangle into the
+    // moved-from shell.
+    vec_ = o.vec_ == &o.local_ ? &local_ : o.vec_;
+    o.vec_ = nullptr;
+    o.borrowed_ = nullptr;
+    o.scratch_ = nullptr;
+    return *this;
+  }
+
+  /// Unboxed view of the operand for row `r` (no allocation, ever).
+  CellView view_at(uint32_t r) const {
+    if (col_ >= 0) return batch_->ViewCell(col_, r);
+    return CellView::Of(vec_ != nullptr ? (*vec_)[r] : *scalar_);
+  }
+
+  /// Boxed access; a column operand materializes its column on first use.
+  const Value& at(uint32_t r) const {
+    if (vec_ == nullptr && col_ >= 0) vec_ = &batch_->col(col_);
+    return vec_ != nullptr ? (*vec_)[r] : *scalar_;
+  }
 
   void Resolve(const Expr& e, const RowBatch& batch,
-               const std::vector<uint32_t>& sel, EvalCounters* c);
+               const std::vector<uint32_t>& sel, EvalCounters* c,
+               ExprScratch* scratch = nullptr);
 
  private:
-  const std::vector<Value>* vec_ = nullptr;  ///< per-row values, or
-  const Value* scalar_ = nullptr;            ///< one value for every row
-  std::vector<Value> storage_;
+  void ReleaseStorage() {
+    if (scratch_ != nullptr && borrowed_ != nullptr) {
+      scratch_->Release(borrowed_);
+    }
+    borrowed_ = nullptr;
+    scratch_ = nullptr;
+  }
+
+  mutable const std::vector<Value>* vec_ = nullptr;  ///< per-row values, or
+  const Value* scalar_ = nullptr;  ///< one value for every row, or
+  const RowBatch* batch_ = nullptr;  ///< an unboxed column reference
+  int col_ = -1;
+  std::vector<Value>* borrowed_ = nullptr;  ///< scratch-pooled storage
+  ExprScratch* scratch_ = nullptr;
+  std::vector<Value> local_;  ///< fallback storage when no scratch given
 };
 
 // --- Construction helpers ---

@@ -1,0 +1,110 @@
+// Operator-owned scratch buffers for vectorized expression evaluation.
+//
+// Expression trees are shared, immutable objects (ExprPtr is a
+// shared_ptr<const Expr>), so the per-batch temporaries their batch
+// kernels need — undecided-row selections for AND/OR short-circuit,
+// pending sets for BETWEEN / IN-list laziness, double arrays for
+// arithmetic subtrees, boxed operand storage — cannot live in the nodes.
+// Before this pool existed they were stack-local std::vectors, which made
+// a scan -> filter -> aggregate pipeline heap-allocate O(batches x nodes)
+// times (hundreds of allocations per 300k-row scan).
+//
+// ExprScratch is a free-list pool owned by the *operator* driving the
+// expression (FilterOp, ProjectOp, HashAggOp, NestedLoopJoinOp) and
+// threaded through EvalBatch / FilterBatch. Acquire() hands out a cleared
+// vector whose capacity survives release, so after the first batch the
+// steady state performs zero allocations: O(operators) pools, each
+// holding at most O(expression depth) vectors.
+//
+// ScratchVec is the RAII accessor: it borrows from the pool when one is
+// supplied and falls back to a stack-local vector when `scratch` is null
+// (tests and cold paths), so kernels are written once.
+
+#ifndef ECODB_EXEC_EXPR_SCRATCH_H_
+#define ECODB_EXEC_EXPR_SCRATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+class ExprScratch {
+ public:
+  template <typename T>
+  std::vector<T>* Acquire() {
+    return pool<T>().Acquire();
+  }
+  template <typename T>
+  void Release(std::vector<T>* v) {
+    pool<T>().Release(v);
+  }
+
+ private:
+  template <typename T>
+  struct Pool {
+    std::vector<std::unique_ptr<std::vector<T>>> owned;
+    std::vector<std::vector<T>*> free_list;
+
+    std::vector<T>* Acquire() {
+      if (free_list.empty()) {
+        owned.push_back(std::make_unique<std::vector<T>>());
+        return owned.back().get();
+      }
+      std::vector<T>* v = free_list.back();
+      free_list.pop_back();
+      v->clear();
+      return v;
+    }
+    void Release(std::vector<T>* v) { free_list.push_back(v); }
+  };
+
+  template <typename T>
+  Pool<T>& pool() {
+    static_assert(std::is_same_v<T, Value> || std::is_same_v<T, uint32_t> ||
+                      std::is_same_v<T, double>,
+                  "unsupported scratch vector type");
+    if constexpr (std::is_same_v<T, Value>) {
+      return values_;
+    } else if constexpr (std::is_same_v<T, uint32_t>) {
+      return sels_;
+    } else {
+      return doubles_;
+    }
+  }
+
+  Pool<Value> values_;
+  Pool<uint32_t> sels_;
+  Pool<double> doubles_;
+};
+
+/// RAII scratch vector: pooled when `scratch` is non-null, stack-local
+/// otherwise. Always starts empty (cleared).
+template <typename T>
+class ScratchVec {
+ public:
+  explicit ScratchVec(ExprScratch* scratch) : scratch_(scratch) {
+    vec_ = scratch_ != nullptr ? scratch_->Acquire<T>() : &local_;
+  }
+  ~ScratchVec() {
+    if (scratch_ != nullptr) scratch_->Release(vec_);
+  }
+  ScratchVec(const ScratchVec&) = delete;
+  ScratchVec& operator=(const ScratchVec&) = delete;
+
+  std::vector<T>& operator*() { return *vec_; }
+  std::vector<T>* operator->() { return vec_; }
+  std::vector<T>* get() { return vec_; }
+
+ private:
+  ExprScratch* scratch_;
+  std::vector<T>* vec_;
+  std::vector<T> local_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_EXPR_SCRATCH_H_

@@ -85,7 +85,17 @@ void HashKeyColumnsBatch(const RowBatch& batch,
   hashes->assign(n, kRowKeyHashSeed);
   size_t* h = hashes->data();
   for (int c : key_cols) {
-    if (!batch.col_materialized(c)) {
+    if (batch.lane_active(c)) {
+      // Typed-lane column (join / typed-projection output): hash the
+      // cells through HashCellView — the single maintained mirror of
+      // Value::Hash — without boxing anything.
+      const RowBatch::TypedLane& lane = batch.lane(c);
+      for (size_t i = 0; i < n; ++i) {
+        h[i] = HashCombineKey(h[i], HashCellView(lane.ViewAt(sel[i])));
+      }
+      continue;
+    }
+    if (!batch.col_materialized(c) && batch.lazy_source() != nullptr) {
       const Column& col = batch.lazy_source()->column(c);
       const size_t base = batch.lazy_start();
       switch (col.type()) {

@@ -156,7 +156,8 @@ Status FilterOp::NextBatch(RowBatch* out, bool* has_rows) {
       return Status::OK();
     }
     rows_in_ += out->active();
-    predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters());
+    predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters(),
+                            &scratch_);
     ctx_->ChargeEvalOps();
     rows_out_ += out->active();
     if (!out->empty()) {
@@ -205,6 +206,87 @@ Status ProjectOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
+void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
+  const Expr& e = *exprs_[i];
+  const std::vector<uint32_t>& sel = input_batch_.sel();
+  const size_t n = input_batch_.num_rows();
+  const int oc = static_cast<int>(i);
+
+  // Column passthrough of an unboxed input column: gather into a typed
+  // lane instead of boxing. Charges nothing, like ColumnExpr::EvalBatch.
+  if (e.kind() == ExprKind::kColumn) {
+    const int idx = static_cast<const ColumnExpr&>(e).index();
+    if (input_batch_.lane_active(idx)) {
+      const RowBatch::TypedLane& src = input_batch_.lane(idx);
+      RowBatch::TypedLane* dst = out->StartLane(oc, src.type);
+      dst->has_nulls = src.has_nulls;
+      if (src.has_nulls) dst->nulls.assign(n, 0);
+      switch (src.kind) {
+        case RowBatch::LaneKind::kInt64:
+          dst->i64.resize(n);
+          for (uint32_t r : sel) dst->i64[r] = src.i64[r];
+          break;
+        case RowBatch::LaneKind::kDouble:
+          dst->f64.resize(n);
+          for (uint32_t r : sel) dst->f64[r] = src.f64[r];
+          break;
+        case RowBatch::LaneKind::kStringRef:
+          dst->str.resize(n, nullptr);
+          for (uint32_t r : sel) dst->str[r] = src.str[r];
+          break;
+        case RowBatch::LaneKind::kNone:
+          break;
+      }
+      if (src.has_nulls) {
+        for (uint32_t r : sel) dst->nulls[r] = src.nulls[r];
+      }
+      return;
+    }
+    const Table* table = input_batch_.lazy_source();
+    if (table != nullptr && !input_batch_.col_materialized(idx)) {
+      const Column& src = table->column(idx);
+      const size_t base = input_batch_.lazy_start();
+      RowBatch::TypedLane* dst = out->StartLane(oc, src.type());
+      switch (RowBatch::LaneKindFor(src.type())) {
+        case RowBatch::LaneKind::kInt64:
+          dst->i64.resize(n);
+          for (uint32_t r : sel) dst->i64[r] = src.GetInt(base + r);
+          break;
+        case RowBatch::LaneKind::kDouble:
+          dst->f64.resize(n);
+          for (uint32_t r : sel) dst->f64[r] = src.GetDouble(base + r);
+          break;
+        case RowBatch::LaneKind::kStringRef:
+          dst->str.resize(n, nullptr);
+          for (uint32_t r : sel) dst->str[r] = &src.GetString(base + r);
+          break;
+        case RowBatch::LaneKind::kNone:
+          break;
+      }
+      return;
+    }
+  }
+
+  // Double arithmetic over unboxed numeric inputs: compute straight into
+  // a double lane; identical charges to the boxed evaluator.
+  if (e.kind() == ExprKind::kArith && e.type() == ValueType::kDouble &&
+      CanEvalDoubleSubtree(e, input_batch_)) {
+    RowBatch::TypedLane* dst = out->StartLane(oc, ValueType::kDouble);
+    double scalar = 0;
+    bool is_scalar = false;
+    EvalDoubleSubtree(e, input_batch_, sel, &dst->f64, &scalar, &is_scalar,
+                      ctx_->eval_counters(), &scratch_);
+    if (is_scalar) {
+      dst->f64.resize(n);
+      for (uint32_t r : sel) dst->f64[r] = scalar;
+    }
+    return;
+  }
+
+  e.EvalBatch(input_batch_, sel, &out->col(oc), ctx_->eval_counters(),
+              &scratch_);
+}
+
 Status ProjectOp::NextBatch(RowBatch* out, bool* has_rows) {
   bool child_has = false;
   ECODB_RETURN_NOT_OK(child_->NextBatch(&input_batch_, &child_has));
@@ -214,9 +296,7 @@ Status ProjectOp::NextBatch(RowBatch* out, bool* has_rows) {
   }
   out->Reset(static_cast<int>(exprs_.size()));
   for (size_t i = 0; i < exprs_.size(); ++i) {
-    exprs_[i]->EvalBatch(input_batch_, input_batch_.sel(),
-                         &out->col(static_cast<int>(i)),
-                         ctx_->eval_counters());
+    EvalExprInto(i, out);
   }
   ctx_->ChargeEvalOps();
   out->set_num_rows(input_batch_.num_rows());
@@ -228,6 +308,66 @@ Status ProjectOp::NextBatch(RowBatch* out, bool* has_rows) {
 void ProjectOp::Close() {
   child_->Close();
   ctx_->Flush();
+}
+
+// --- BuildColumn ---
+
+void BuildColumn::Reset(ValueType declared_type) {
+  type_ = declared_type;
+  // Types with no typed representation stay boxed from the start.
+  boxed_ = RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kNone;
+  has_nulls_ = false;
+  size_ = 0;
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  nulls_.clear();
+  vals_.clear();
+}
+
+void BuildColumn::Demote() {
+  vals_.clear();
+  vals_.reserve(size_);
+  for (uint32_t i = 0; i < size_; ++i) vals_.push_back(GetValue(i));
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  nulls_.clear();
+  boxed_ = true;
+}
+
+void BuildColumn::Append(const CellView& v) {
+  if (!boxed_ && v.type != type_ && v.type != ValueType::kNull) {
+    // Exact-tag mismatch with the declared type: typed storage could not
+    // reproduce the boxed cell bit-for-bit, so fall back to Values.
+    Demote();
+  }
+  if (boxed_) {
+    vals_.push_back(BoxCellView(v));
+    ++size_;
+    return;
+  }
+  const bool null = v.type == ValueType::kNull;
+  if (null) has_nulls_ = true;
+  nulls_.push_back(null ? 1 : 0);
+  switch (RowBatch::LaneKindFor(type_)) {
+    case RowBatch::LaneKind::kInt64:
+      i64_.push_back(null ? 0 : v.i);
+      break;
+    case RowBatch::LaneKind::kDouble:
+      f64_.push_back(null ? 0.0 : v.d);
+      break;
+    case RowBatch::LaneKind::kStringRef:
+      if (null) {
+        str_.emplace_back();
+      } else {
+        str_.push_back(*v.s);
+      }
+      break;
+    case RowBatch::LaneKind::kNone:
+      break;
+  }
+  ++size_;
 }
 
 // --- HashJoinOp ---
@@ -246,8 +386,10 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
 bool HashJoinOp::KeysEqualRow(uint32_t idx, const Row& probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
-    if (build_cols_[static_cast<size_t>(build_keys_[i])][idx].Compare(
-            probe_row[static_cast<size_t>(probe_keys_[i])]) != 0) {
+    if (CompareCellViews(
+            build_cols_[static_cast<size_t>(build_keys_[i])].View(idx),
+            CellView::Of(probe_row[static_cast<size_t>(probe_keys_[i])])) !=
+        0) {
       return false;
     }
   }
@@ -258,9 +400,9 @@ bool HashJoinOp::KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
                                 uint32_t probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
-    if (probe_batch.CompareCell(
-            build_cols_[static_cast<size_t>(build_keys_[i])][idx],
-            probe_keys_[i], probe_row) != 0) {
+    if (CompareCellViews(
+            build_cols_[static_cast<size_t>(build_keys_[i])].View(idx),
+            probe_batch.ViewCell(probe_keys_[i], probe_row)) != 0) {
       return false;
     }
   }
@@ -271,7 +413,11 @@ Status HashJoinOp::ConsumeBuildSide() {
   const int build_width = build_child_->schema().RowWidth();
   const int n_cols = build_child_->schema().num_fields();
   index_.Reset();
-  build_cols_.assign(static_cast<size_t>(n_cols), {});
+  build_cols_.resize(static_cast<size_t>(n_cols));
+  for (int c = 0; c < n_cols; ++c) {
+    build_cols_[static_cast<size_t>(c)].Reset(
+        build_child_->schema().field(c).type);
+  }
   num_build_rows_ = 0;
   build_bytes_ = 0;
   if (ctx_->exec_mode() == ExecMode::kBatch) {
@@ -284,17 +430,17 @@ Status HashJoinOp::ConsumeBuildSide() {
       build_bytes_ += static_cast<uint64_t>(batch.active()) *
                       static_cast<uint64_t>(build_width);
       // Hash all selected keys up front (typed arrays for lazily-bound
-      // scan batches), then append columns to the contiguous pool; both
-      // equal HashRowKey / AppendRow over each row in order.
+      // scan batches and lane columns), then append cells to the typed
+      // contiguous pool via views — no boxing on the way in; both equal
+      // HashRowKey / AppendRow over each row in order.
       HashKeyColumnsBatch(batch, build_keys_, &build_hash_scratch_);
       for (size_t i = 0; i < build_hash_scratch_.size(); ++i) {
         index_.Insert(build_hash_scratch_[i],
                       num_build_rows_ + static_cast<uint32_t>(i));
       }
       for (int c = 0; c < n_cols; ++c) {
-        std::vector<Value>& dst = build_cols_[static_cast<size_t>(c)];
-        const std::vector<Value>& src = batch.col(c);
-        for (uint32_t r : batch.sel()) dst.push_back(src[r]);
+        BuildColumn& dst = build_cols_[static_cast<size_t>(c)];
+        for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
       }
       num_build_rows_ += static_cast<uint32_t>(batch.active());
     }
@@ -310,11 +456,10 @@ Status HashJoinOp::ConsumeBuildSide() {
     build_bytes_ += static_cast<uint64_t>(build_width);
     index_.Insert(h, num_build_rows_);
     for (int c = 0; c < n_cols; ++c) {
-      build_cols_[static_cast<size_t>(c)].push_back(
-          std::move(row[static_cast<size_t>(c)]));
+      build_cols_[static_cast<size_t>(c)].Append(
+          CellView::Of(row[static_cast<size_t>(c)]));
     }
     ++num_build_rows_;
-    row = Row();
   }
   return Status::OK();
 }
@@ -353,7 +498,7 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
           out->clear();
           out->reserve(n_build_cols + probe_row_.size());
           for (size_t c = 0; c < n_build_cols; ++c) {
-            out->push_back(build_cols_[c][idx]);
+            out->push_back(build_cols_[c].GetValue(idx));
           }
           // The probe row's values can be moved out on its last chain
           // entry: nothing reads probe_row_ again before the next child
@@ -386,12 +531,141 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
   }
 }
 
-Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
-  const int num_cols = schema_.num_fields();
+void HashJoinOp::FlushMatches(RowBatch* out) {
+  if (match_build_.empty()) return;
   const int n_build_cols = static_cast<int>(build_cols_.size());
   const int probe_cols = probe_child_->schema().num_fields();
+
+  // Build side: gather raw values from the typed pool into output lanes.
+  // The pool is frozen for the whole probe phase and out batches are
+  // consumed before Close, so string lanes can point into it.
+  for (int c = 0; c < n_build_cols; ++c) {
+    const BuildColumn& src = build_cols_[static_cast<size_t>(c)];
+    if (src.boxed()) {
+      std::vector<Value>& dst = out->col(c);
+      for (uint32_t idx : match_build_) dst.push_back(src.GetValue(idx));
+      continue;
+    }
+    RowBatch::TypedLane* lane = out->StartLaneAppend(c, src.type());
+    if (lane == nullptr) {
+      std::vector<Value>& dst = out->col(c);
+      for (uint32_t idx : match_build_) dst.push_back(src.GetValue(idx));
+      continue;
+    }
+    switch (RowBatch::LaneKindFor(src.type())) {
+      case RowBatch::LaneKind::kInt64:
+        for (uint32_t idx : match_build_) lane->i64.push_back(src.i64()[idx]);
+        break;
+      case RowBatch::LaneKind::kDouble:
+        for (uint32_t idx : match_build_) lane->f64.push_back(src.f64()[idx]);
+        break;
+      case RowBatch::LaneKind::kStringRef:
+        for (uint32_t idx : match_build_) {
+          lane->str.push_back(&src.str()[idx]);
+        }
+        break;
+      case RowBatch::LaneKind::kNone:
+        break;
+    }
+    if (src.has_nulls()) {
+      if (!lane->has_nulls) {
+        lane->has_nulls = true;
+        lane->nulls.assign(lane->LaneSize() - match_build_.size(), 0);
+      }
+      for (uint32_t idx : match_build_) {
+        lane->nulls.push_back(src.IsNullAt(idx) ? 1 : 0);
+      }
+    } else if (lane->has_nulls) {
+      lane->nulls.resize(lane->LaneSize(), 0);
+    }
+  }
+
+  // Probe side: gather per matched probe row. Unboxed sources stay
+  // unboxed — lazy table columns gather typed (strings by pointer into
+  // table storage); lane values are *copied* into the output lane, except
+  // string-ref lanes, whose pointers would dangle once this probe batch
+  // is replaced mid-call, so those emit boxed.
+  for (int c = 0; c < probe_cols; ++c) {
+    const int oc = n_build_cols + c;
+    const Table* table = probe_batch_.lazy_source();
+    if (table != nullptr && !probe_batch_.col_materialized(c)) {
+      const Column& src = table->column(c);
+      const size_t base = probe_batch_.lazy_start();
+      RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type());
+      if (lane != nullptr) {
+        switch (RowBatch::LaneKindFor(src.type())) {
+          case RowBatch::LaneKind::kInt64:
+            for (uint32_t pr : match_probe_) {
+              lane->i64.push_back(src.GetInt(base + pr));
+            }
+            break;
+          case RowBatch::LaneKind::kDouble:
+            for (uint32_t pr : match_probe_) {
+              lane->f64.push_back(src.GetDouble(base + pr));
+            }
+            break;
+          case RowBatch::LaneKind::kStringRef:
+            for (uint32_t pr : match_probe_) {
+              lane->str.push_back(&src.GetString(base + pr));
+            }
+            break;
+          case RowBatch::LaneKind::kNone:
+            break;
+        }
+        if (lane->has_nulls) lane->nulls.resize(lane->LaneSize(), 0);
+        continue;
+      }
+    }
+    if (probe_batch_.lane_active(c)) {
+      const RowBatch::TypedLane& src = probe_batch_.lane(c);
+      if (src.kind != RowBatch::LaneKind::kStringRef) {
+        RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type);
+        if (lane != nullptr) {
+          if (src.kind == RowBatch::LaneKind::kInt64) {
+            for (uint32_t pr : match_probe_) {
+              lane->i64.push_back(src.IsNullAt(pr) ? 0 : src.i64[pr]);
+            }
+          } else {
+            for (uint32_t pr : match_probe_) {
+              lane->f64.push_back(src.IsNullAt(pr) ? 0.0 : src.f64[pr]);
+            }
+          }
+          if (src.has_nulls && !lane->has_nulls) {
+            lane->has_nulls = true;
+            lane->nulls.assign(lane->LaneSize() - match_probe_.size(), 0);
+          }
+          if (lane->has_nulls) {
+            if (src.has_nulls) {
+              for (uint32_t pr : match_probe_) {
+                lane->nulls.push_back(src.nulls[pr]);
+              }
+            } else {
+              lane->nulls.resize(lane->LaneSize(), 0);
+            }
+          }
+          continue;
+        }
+      }
+    }
+    // Boxed fallback: box only the matched probe positions. If earlier
+    // flushes produced a lane for this column, box it over first.
+    if (out->lane_active(oc)) out->DemoteLaneDense(oc);
+    std::vector<Value>& dst = out->col(oc);
+    for (uint32_t pr : match_probe_) {
+      dst.push_back(probe_batch_.CellValue(c, pr));
+    }
+  }
+
+  match_build_.clear();
+  match_probe_.clear();
+}
+
+Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
+  const int num_cols = schema_.num_fields();
   const int probe_width = probe_child_->schema().RowWidth();
   out->Reset(num_cols);
+  match_build_.clear();
+  match_probe_.clear();
   size_t emitted = 0;
   while (emitted < RowBatch::kDefaultBatchRows) {
     if (probe_valid_) {
@@ -402,14 +676,9 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
         ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
         match_ = index_.Next(idx);
         if (KeysEqualBatch(idx, probe_batch_, pr)) {
-          for (int c = 0; c < n_build_cols; ++c) {
-            out->col(c).push_back(build_cols_[static_cast<size_t>(c)][idx]);
-          }
-          for (int c = 0; c < probe_cols; ++c) {
-            // Per-cell access: only matched probe positions are boxed
-            // (col() would materialize the whole lazy column).
-            out->col(n_build_cols + c).push_back(probe_batch_.CellValue(c, pr));
-          }
+          // Record the match; the columnar copy happens in FlushMatches.
+          match_build_.push_back(idx);
+          match_probe_.push_back(pr);
           ++emitted;
         }
       }
@@ -419,6 +688,9 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
     }
     if (!probe_batch_valid_ || probe_sel_pos_ >= probe_batch_.active()) {
       if (probe_eos_) break;
+      // The pending matches reference the current probe batch; gather
+      // them into `out` before the batch is overwritten.
+      FlushMatches(out);
       bool has = false;
       ECODB_RETURN_NOT_OK(probe_child_->NextBatch(&probe_batch_, &has));
       if (!has) {
@@ -436,6 +708,7 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
     match_ = index_.Find(probe_hashes_[probe_sel_pos_]);
     probe_valid_ = true;
   }
+  FlushMatches(out);
   ctx_->ChargeEvalOps();
   out->set_num_rows(emitted);
   out->ExtendIdentitySel(0);
@@ -583,7 +856,8 @@ Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
     out->set_num_rows(emitted);
     out->ExtendIdentitySel(0);
     if (predicate_ != nullptr) {
-      predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters());
+      predicate_->FilterBatch(*out, &out->sel(), ctx_->eval_counters(),
+                              &scratch_);
       ctx_->ChargeEvalOps();
     }
     if (!out->empty()) {
@@ -650,16 +924,36 @@ void HashAggOp::UpdateGroup(Group* g, const Row& row) {
   ctx_->ChargeAggUpdate(static_cast<int>(aggs_.size()));
 }
 
-void HashAggOp::UpdateGroupFromBatch(
-    Group* g, const std::vector<BatchOperand>& arg_vals, uint32_t r) {
+void HashAggOp::UpdateGroupFromBatch(Group* g,
+                                     const std::vector<BatchAggArg>& args,
+                                     uint32_t r) {
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggSpec& spec = aggs_[i];
     Accumulator& acc = g->accs[i];
-    if (spec.kind == AggSpec::Kind::kCount && !spec.arg) {
+    const BatchAggArg& arg = args[i];
+    if (arg.mode == BatchAggArg::Mode::kCountStar) {
       ++acc.count;
       continue;
     }
-    const Value& v = arg_vals[i].at(r);
+    if (arg.mode == BatchAggArg::Mode::kTypedDouble) {
+      // Null-free raw doubles (CanEvalDoubleSubtree guarantees it), so
+      // the scalar path's null check is vacuously passed.
+      switch (spec.kind) {
+        case AggSpec::Kind::kSum:
+        case AggSpec::Kind::kAvg:
+          acc.sum += arg.is_scalar ? arg.scalar : arg.doubles[r];
+          ++acc.count;
+          break;
+        case AggSpec::Kind::kCount:
+          ++acc.count;
+          break;
+        case AggSpec::Kind::kMin:
+        case AggSpec::Kind::kMax:
+          break;  // min/max stay on the operand path
+      }
+      continue;
+    }
+    const CellView v = arg.operand.view_at(r);
     if (v.is_null()) continue;
     switch (spec.kind) {
       case AggSpec::Kind::kCount:
@@ -671,11 +965,15 @@ void HashAggOp::UpdateGroupFromBatch(
         ++acc.count;
         break;
       case AggSpec::Kind::kMin:
-        if (acc.count == 0 || v.Compare(acc.min) < 0) acc.min = v;
+        if (acc.count == 0 || CompareCellViews(v, CellView::Of(acc.min)) < 0) {
+          acc.min = BoxCellView(v);
+        }
         ++acc.count;
         break;
       case AggSpec::Kind::kMax:
-        if (acc.count == 0 || v.Compare(acc.max) > 0) acc.max = v;
+        if (acc.count == 0 || CompareCellViews(v, CellView::Of(acc.max)) > 0) {
+          acc.max = BoxCellView(v);
+        }
         ++acc.count;
         break;
     }
@@ -693,7 +991,7 @@ HashAggOp::Group* HashAggOp::FindOrCreateGroup(size_t hash, size_t n_keys,
     ++ctx_->eval_counters()->comparisons;
     bool equal = true;
     for (size_t i = 0; i < n_keys; ++i) {
-      if (g.key[i].Compare(key_at(i)) != 0) {
+      if (CompareCellViews(CellView::Of(g.key[i]), key_at(i)) != 0) {
         equal = false;
         break;
       }
@@ -728,7 +1026,7 @@ Status HashAggOp::ConsumeChildRowMode() {
     ctx_->ChargeHashProbe(key_bytes);
     uint64_t new_groups = 0;
     Group* target = FindOrCreateGroup(
-        h, key.size(), [&](size_t i) -> const Value& { return key[i]; },
+        h, key.size(), [&](size_t i) { return CellView::Of(key[i]); },
         [&] { return std::move(key); }, &new_groups);
     if (new_groups > 0) ctx_->ChargeHashBuild(key_bytes);
     UpdateGroup(target, row);
@@ -741,46 +1039,64 @@ Status HashAggOp::ConsumeChildBatchMode() {
   bool has = false;
   const int key_bytes = static_cast<int>(group_by_.size()) * 8;
   std::vector<BatchOperand> key_vals(group_by_.size());
-  std::vector<BatchOperand> arg_vals(aggs_.size());
+  std::vector<BatchAggArg> args(aggs_.size());
   for (;;) {
     ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
     if (!has) break;
     // Vectorized evaluation of group keys and aggregate arguments; the
     // scalar path evaluates the same expressions over the same rows.
-    // Plain column references resolve into the batch without a copy.
+    // Plain column references resolve into the batch without boxing
+    // (unboxed CellView access), and SUM/AVG/COUNT arguments that are
+    // double arithmetic over unboxed columns are computed once per batch
+    // into raw double arrays — no Values anywhere on the hot path.
     for (size_t i = 0; i < group_by_.size(); ++i) {
       key_vals[i].Resolve(*group_by_[i], batch, batch.sel(),
-                          ctx_->eval_counters());
+                          ctx_->eval_counters(), &scratch_);
     }
     for (size_t i = 0; i < aggs_.size(); ++i) {
-      if (aggs_[i].arg) {
-        arg_vals[i].Resolve(*aggs_[i].arg, batch, batch.sel(),
-                            ctx_->eval_counters());
+      BatchAggArg& arg = args[i];
+      if (!aggs_[i].arg) {
+        arg.mode = BatchAggArg::Mode::kCountStar;
+        continue;
       }
+      const AggSpec::Kind kind = aggs_[i].kind;
+      const bool wants_double = kind == AggSpec::Kind::kSum ||
+                                kind == AggSpec::Kind::kAvg ||
+                                kind == AggSpec::Kind::kCount;
+      if (wants_double && CanEvalDoubleSubtree(*aggs_[i].arg, batch)) {
+        arg.mode = BatchAggArg::Mode::kTypedDouble;
+        arg.is_scalar = false;
+        EvalDoubleSubtree(*aggs_[i].arg, batch, batch.sel(), &arg.doubles,
+                          &arg.scalar, &arg.is_scalar, ctx_->eval_counters(),
+                          &scratch_);
+        continue;
+      }
+      arg.mode = BatchAggArg::Mode::kOperand;
+      arg.operand.Resolve(*aggs_[i].arg, batch, batch.sel(),
+                          ctx_->eval_counters(), &scratch_);
     }
     uint64_t new_groups = 0;
     const size_t n_keys = group_by_.size();
     for (uint32_t r : batch.sel()) {
-      // Hash and bucket-compare against the resolved key operands
-      // directly; the key Row is only materialized when a new group is
-      // created (the common found-case does no per-row allocation).
+      // Hash and bucket-compare against unboxed key views; the key Row is
+      // only boxed when a new group is created (the common found-case
+      // does no per-row allocation).
       size_t h = kRowKeyHashSeed;
       for (size_t i = 0; i < n_keys; ++i) {
-        h = HashCombineKey(h, key_vals[i].at(r).Hash());
+        h = HashCombineKey(h, HashCellView(key_vals[i].view_at(r)));
       }
       Group* target = FindOrCreateGroup(
-          h, n_keys,
-          [&](size_t i) -> const Value& { return key_vals[i].at(r); },
+          h, n_keys, [&](size_t i) { return key_vals[i].view_at(r); },
           [&] {
             Row key;
             key.reserve(n_keys);
             for (size_t i = 0; i < n_keys; ++i) {
-              key.push_back(key_vals[i].at(r));
+              key.push_back(BoxCellView(key_vals[i].view_at(r)));
             }
             return key;
           },
           &new_groups);
-      UpdateGroupFromBatch(target, arg_vals, r);
+      UpdateGroupFromBatch(target, args, r);
     }
     ctx_->ChargeHashProbes(batch.active(), key_bytes);
     ctx_->ChargeHashBuilds(new_groups, key_bytes);

@@ -105,6 +105,7 @@ class FilterOp : public Operator {
   ExecContext* ctx_;
   OperatorPtr child_;
   ExprPtr predicate_;
+  ExprScratch scratch_;  ///< reusable temporaries for FilterBatch
   uint64_t rows_in_ = 0;
   uint64_t rows_out_ = 0;
 };
@@ -122,11 +123,69 @@ class ProjectOp : public Operator {
   std::string name() const override { return "Project"; }
 
  private:
+  /// Evaluates exprs_[i] into column `i` of `out`, preferring typed
+  /// output: a ColumnExpr over an unboxed input column becomes a typed
+  /// lane gather, a double arithmetic subtree is computed straight into a
+  /// double lane, and everything else falls back to boxed EvalBatch.
+  void EvalExprInto(size_t i, RowBatch* out);
+
   ExecContext* ctx_;
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
   RowBatch input_batch_;  ///< batch-mode scratch
+  ExprScratch scratch_;
+};
+
+/// One column of a hash join's contiguous build pool. Stored *typed*
+/// (raw int64 / double / owned-string arrays plus a byte null mask) while
+/// every appended cell's exact type tag matches the declared schema type;
+/// the first mismatching cell demotes the column to boxed Values so that
+/// round-tripping a cell through the pool is always bit-exact. Typed
+/// columns let match emission gather raw values (strings by pointer into
+/// the pool) instead of copying boxed Values per match.
+class BuildColumn {
+ public:
+  void Reset(ValueType declared_type);
+  void Append(const CellView& v);
+  /// Unboxed view of entry `idx` (string views point into the pool).
+  CellView View(uint32_t idx) const {
+    if (boxed_) return CellView::Of(vals_[idx]);
+    if (has_nulls_ && nulls_[idx]) return CellView::Null();
+    switch (RowBatch::LaneKindFor(type_)) {
+      case RowBatch::LaneKind::kInt64:
+        return CellView::Int64(i64_[idx], type_);
+      case RowBatch::LaneKind::kDouble:
+        return CellView::Double(f64_[idx]);
+      case RowBatch::LaneKind::kStringRef:
+        return CellView::String(&str_[idx]);
+      case RowBatch::LaneKind::kNone:
+        break;
+    }
+    return CellView::Null();
+  }
+  Value GetValue(uint32_t idx) const { return BoxCellView(View(idx)); }
+
+  ValueType type() const { return type_; }
+  bool boxed() const { return boxed_; }
+  bool has_nulls() const { return has_nulls_; }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<std::string>& str() const { return str_; }
+  bool IsNullAt(uint32_t idx) const { return has_nulls_ && nulls_[idx]; }
+
+ private:
+  void Demote();
+
+  ValueType type_ = ValueType::kNull;
+  bool boxed_ = false;
+  bool has_nulls_ = false;
+  uint32_t size_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+  std::vector<uint8_t> nulls_;
+  std::vector<Value> vals_;  ///< boxed fallback
 };
 
 /// In-memory hash join (equi-join). children: build (left) and probe
@@ -135,13 +194,17 @@ class ProjectOp : public Operator {
 /// profile's spill_fraction.
 ///
 /// The build side lives in a FlatHashIndex over a contiguous column-major
-/// payload pool (one std::vector<Value> per build column); duplicate keys
-/// chain in insertion order, preserving multimap semantics. Both execution
-/// modes probe the same table: batch mode hashes all selected probe keys
-/// of a batch up front (typed, unboxed for lazily-bound scan batches) and
-/// then drains chains into the output batch, while row mode hashes the
-/// materialized probe row — identical hashes, identical chain walks,
-/// identical bucket-compare and key-equality counts.
+/// payload pool of typed BuildColumns; duplicate keys chain in insertion
+/// order, preserving multimap semantics. Both execution modes probe the
+/// same table: batch mode hashes all selected probe keys of a batch up
+/// front (typed, unboxed for lazily-bound scan batches and lane columns),
+/// accumulates the matched (build entry, probe row) pairs of a batch, and
+/// emits them with a *columnar gather* — raw values from the typed build
+/// pool and the probe batch straight into typed output lanes, with
+/// strings carried by pointer from stable storage (build pool / table)
+/// instead of copied per match. Row mode hashes the materialized probe
+/// row — identical hashes, identical chain walks, identical
+/// bucket-compare and key-equality counts.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
@@ -162,6 +225,9 @@ class HashJoinOp : public Operator {
   bool KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
                       uint32_t probe_row);
   Status ConsumeBuildSide();
+  /// Gathers the accumulated match pairs into `out` and clears them.
+  /// Must run before the probe batch they reference is replaced.
+  void FlushMatches(RowBatch* out);
 
   ExecContext* ctx_;
   OperatorPtr build_child_, probe_child_;
@@ -169,7 +235,7 @@ class HashJoinOp : public Operator {
   Schema schema_;
 
   FlatHashIndex index_;
-  std::vector<std::vector<Value>> build_cols_;  ///< column-major build pool
+  std::vector<BuildColumn> build_cols_;  ///< typed column-major build pool
   uint32_t num_build_rows_ = 0;
   uint32_t match_ = FlatHashIndex::kInvalid;  ///< chain cursor (both modes)
   Row probe_row_;
@@ -186,6 +252,11 @@ class HashJoinOp : public Operator {
   size_t probe_sel_pos_ = 0;
   bool probe_batch_valid_ = false;
   bool probe_eos_ = false;
+
+  // Gather-emission scratch: matched build entries and probe rows of the
+  // output batch under construction (flushed per probe batch).
+  std::vector<uint32_t> match_build_;
+  std::vector<uint32_t> match_probe_;
 };
 
 /// Nested-loop join with an arbitrary predicate over the concatenated row
@@ -206,6 +277,7 @@ class NestedLoopJoinOp : public Operator {
   ExecContext* ctx_;
   OperatorPtr outer_, inner_;
   ExprPtr predicate_;
+  ExprScratch scratch_;
   Schema schema_;
   std::vector<Row> inner_rows_;
   Row outer_row_;
@@ -244,18 +316,31 @@ class HashAggOp : public Operator {
     std::vector<Accumulator> accs;
   };
 
+  /// How one aggregate's argument is consumed in batch mode: COUNT(*)
+  /// needs no argument; a CanEvalDoubleSubtree-approved SUM/AVG/COUNT
+  /// argument is computed once per batch into a raw double array (or one
+  /// scalar) with no boxing anywhere; everything else resolves to a
+  /// BatchOperand and accumulates through unboxed CellViews.
+  struct BatchAggArg {
+    enum class Mode { kCountStar, kTypedDouble, kOperand };
+    Mode mode = Mode::kCountStar;
+    BatchOperand operand;
+    std::vector<double> doubles;  ///< operator-owned, reused per batch
+    double scalar = 0;
+    bool is_scalar = false;
+  };
+
   void UpdateGroup(Group* g, const Row& row);
-  /// Accumulates row `r` of a batch using resolved aggregate-argument
-  /// operands (arg_vals[i] is unused for COUNT(*)).
-  void UpdateGroupFromBatch(Group* g,
-                            const std::vector<BatchOperand>& arg_vals,
+  /// Accumulates row `r` of a batch from the prepared per-agg arguments.
+  void UpdateGroupFromBatch(Group* g, const std::vector<BatchAggArg>& args,
                             uint32_t r);
-  /// Finds or creates the group for a key presented via `key_at(i)` (the
-  /// i-th key component); `make_key()` builds the stored Row only when a
-  /// new group is created. One implementation (and one flat hash table)
-  /// serves both execution modes so bucket-compare counting stays in
-  /// lockstep (the parity invariant). The returned pointer is valid only
-  /// until the next call (the contiguous group pool may reallocate).
+  /// Finds or creates the group for a key presented via `key_at(i)` (an
+  /// unboxed CellView of the i-th key component); `make_key()` builds the
+  /// stored Row only when a new group is created. One implementation (and
+  /// one flat hash table) serves both execution modes so bucket-compare
+  /// counting stays in lockstep (the parity invariant). The returned
+  /// pointer is valid only until the next call (the contiguous group pool
+  /// may reallocate).
   template <typename KeyAt, typename MakeKey>
   Group* FindOrCreateGroup(size_t hash, size_t n_keys, KeyAt&& key_at,
                            MakeKey&& make_key, uint64_t* new_groups);
@@ -269,6 +354,7 @@ class HashAggOp : public Operator {
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggs_;
   Schema schema_;
+  ExprScratch scratch_;
   FlatHashIndex group_index_;
   std::vector<Group> groups_;  ///< contiguous pool, insertion order
   std::vector<Row> results_;

@@ -1,0 +1,106 @@
+#include "ecodb/exec/row_batch.h"
+
+namespace ecodb {
+
+CellView RowBatch::LazyView(int col, uint32_t r) const {
+  const Column& src = lazy_source_->column(col);
+  const size_t row = lazy_start_ + r;
+  switch (src.type()) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+    case ValueType::kBool:
+      return CellView::Int64(src.GetInt(row), src.type());
+    case ValueType::kDouble:
+      return CellView::Double(src.GetDouble(row));
+    case ValueType::kString:
+      return CellView::String(&src.GetString(row));
+    case ValueType::kNull:
+      break;  // tables are NOT NULL by construction
+  }
+  return CellView::Null();
+}
+
+void RowBatch::DemoteLaneDense(int i) {
+  const size_t c = static_cast<size_t>(i);
+  TypedLane& l = lanes_[c];
+  if (l.kind == LaneKind::kNone) return;
+  size_t n = 0;
+  switch (l.kind) {
+    case LaneKind::kInt64:
+      n = l.i64.size();
+      break;
+    case LaneKind::kDouble:
+      n = l.f64.size();
+      break;
+    case LaneKind::kStringRef:
+      n = l.str.size();
+      break;
+    case LaneKind::kNone:
+      break;
+  }
+  std::vector<Value>& dst = cols_[c];
+  dst.clear();
+  dst.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) dst.push_back(BoxCellView(l.ViewAt(r)));
+  l.Clear();
+  filled_[c] = 1;
+}
+
+void RowBatch::MaterializeRow(uint32_t r, Row* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  if (lazy_source_ != nullptr) {
+    // Whole-row access: box straight from the table, bypassing the
+    // per-column caches (full-width consumers touch every column once).
+    lazy_source_->GetRow(lazy_start_ + r, out);
+    return;
+  }
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    if (!filled_[c] && lanes_[c].kind != LaneKind::kNone) {
+      out->push_back(BoxCellView(lanes_[c].ViewAt(r)));
+    } else {
+      out->push_back(cols_[c][r]);
+    }
+  }
+}
+
+void RowBatch::MaterializeInto(std::vector<Row>* out) const {
+  const size_t need = out->size() + sel_.size();
+  if (out->capacity() < need) {
+    out->reserve(need > out->capacity() * 2 ? need : out->capacity() * 2);
+  }
+  for (uint32_t r : sel_) {
+    Row row;
+    MaterializeRow(r, &row);
+    out->push_back(std::move(row));
+  }
+}
+
+void RowBatch::EnsureCol(int i) const {
+  const size_t c = static_cast<size_t>(i);
+  if (filled_[c]) return;
+  if (lanes_[c].kind != LaneKind::kNone) {
+    // Box only the live positions of the lane.
+    const TypedLane& l = lanes_[c];
+    std::vector<Value>& dst = cols_[c];
+    dst.clear();
+    dst.resize(num_rows_);
+    for (uint32_t r : sel_) dst[r] = BoxCellView(l.ViewAt(r));
+    filled_[c] = 1;
+    return;
+  }
+  if (lazy_source_ == nullptr) return;  // owned boxed column
+  std::vector<Value>& dst = cols_[c];
+  const Column& src = lazy_source_->column(i);
+  dst.clear();
+  if (sel_.size() == num_rows_) {
+    src.GetValueRange(lazy_start_, num_rows_, &dst);
+  } else {
+    // Sparse selection: box only the live positions.
+    dst.resize(num_rows_);
+    for (uint32_t r : sel_) dst[r] = src.GetValue(lazy_start_ + r);
+  }
+  filled_[c] = 1;
+}
+
+}  // namespace ecodb

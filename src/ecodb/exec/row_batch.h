@@ -1,25 +1,37 @@
 // RowBatch: the unit of vectorized execution. A batch holds up to
-// kDefaultBatchRows tuples in column-major order (one std::vector<Value>
-// per output column) plus a selection vector of the row indexes that are
-// logically alive. Operators communicate by filling / narrowing batches,
-// which amortizes the per-tuple virtual-call, copy and accounting overhead
-// of the Volcano path across ~1k tuples.
+// kDefaultBatchRows tuples in column-major order plus a selection vector
+// of the row indexes that are logically alive. Operators communicate by
+// filling / narrowing batches, which amortizes the per-tuple virtual-call,
+// copy and accounting overhead of the Volcano path across ~1k tuples.
 //
-// Scan batches use *late materialization*: SeqScanOp binds the batch to a
-// table row range instead of boxing every cell up front, and a column is
-// boxed into Values only when first touched — and, once a filter has
-// narrowed the selection, only at the selected positions. A pipeline like
-// scan -> filter -> aggregate therefore boxes just the columns its
-// expressions reference instead of the full tuple width. This is purely a
-// host-side optimization: the simulated accounting still charges the scan
-// for full tuples and the same page I/O sequence.
+// A column of a batch lives in exactly one of three representations:
+//
+//  1. *Lazy*: the batch is bound to a row range of a Table (scans); the
+//     table's typed arrays are the storage and nothing is copied until a
+//     consumer asks for boxed Values.
+//  2. *Typed lane*: raw int64 / double / string-pointer arrays with a
+//     byte-per-row null mask, produced by gather-style operators (join
+//     match emission, typed projections). Kernels read and write these
+//     arrays directly; boxed Values are only manufactured if a slow-path
+//     consumer touches the column.
+//  3. *Boxed*: a std::vector<Value> (AppendRow producers, generic
+//     expression results, and the on-demand materialization of 1/2).
+//
+// ViewCell() exposes any representation as an unboxed CellView, which is
+// how typed kernels (hashing, key equality, comparisons, aggregation)
+// touch cells without allocating.
 //
 // Conventions:
 //  * `sel()` holds ascending physical row indexes; only those positions of
 //    each column are meaningful. Producers that emit dense output (scans,
 //    joins) fill an identity selection; filters narrow it in place.
-//  * Batches are reused across NextBatch calls; Reset() keeps column
-//    capacity so steady-state execution does not allocate.
+//  * Batches are reused across NextBatch calls; Reset() keeps column and
+//    lane capacity so steady-state execution does not allocate.
+//  * Lane string pointers (and lazy bindings) reference storage owned by
+//    the producing operator or the table; a batch returned by NextBatch
+//    is valid until the producer's next NextBatch or Close. Every
+//    existing operator consumes its child's batch before pulling the next
+//    one, which is what makes zero-copy string lanes safe.
 
 #ifndef ECODB_EXEC_ROW_BATCH_H_
 #define ECODB_EXEC_ROW_BATCH_H_
@@ -39,14 +51,90 @@ class RowBatch {
   /// cache-resident).
   static constexpr size_t kDefaultBatchRows = 1024;
 
+  /// Physical storage class of a typed lane.
+  enum class LaneKind : uint8_t { kNone, kInt64, kDouble, kStringRef };
+
+  /// One typed column lane. `type` is the exact Value type tag cells box
+  /// back to (kInt64/kDate/kBool share the i64 array). `nulls` is a
+  /// byte-per-row null mask, only consulted when has_nulls is set.
+  struct TypedLane {
+    LaneKind kind = LaneKind::kNone;
+    ValueType type = ValueType::kNull;
+    bool has_nulls = false;
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<const std::string*> str;
+    std::vector<uint8_t> nulls;
+
+    void Clear() {
+      kind = LaneKind::kNone;
+      type = ValueType::kNull;
+      has_nulls = false;
+      i64.clear();
+      f64.clear();
+      str.clear();
+      nulls.clear();
+    }
+    /// Number of cells appended so far (dense producers).
+    size_t LaneSize() const {
+      switch (kind) {
+        case LaneKind::kInt64:
+          return i64.size();
+        case LaneKind::kDouble:
+          return f64.size();
+        case LaneKind::kStringRef:
+          return str.size();
+        case LaneKind::kNone:
+          break;
+      }
+      return 0;
+    }
+    bool IsNullAt(uint32_t r) const { return has_nulls && nulls[r] != 0; }
+    CellView ViewAt(uint32_t r) const {
+      if (IsNullAt(r)) return CellView::Null();
+      switch (kind) {
+        case LaneKind::kInt64:
+          return CellView::Int64(i64[r], type);
+        case LaneKind::kDouble:
+          return CellView::Double(f64[r]);
+        case LaneKind::kStringRef:
+          return CellView::String(str[r]);
+        case LaneKind::kNone:
+          break;
+      }
+      return CellView::Null();
+    }
+  };
+
+  /// Lane storage class for a Value type; kNone when the type has no
+  /// typed representation (producers must stay boxed).
+  static LaneKind LaneKindFor(ValueType t) {
+    switch (t) {
+      case ValueType::kInt64:
+      case ValueType::kDate:
+      case ValueType::kBool:
+        return LaneKind::kInt64;
+      case ValueType::kDouble:
+        return LaneKind::kDouble;
+      case ValueType::kString:
+        return LaneKind::kStringRef;
+      case ValueType::kNull:
+        break;
+    }
+    return LaneKind::kNone;
+  }
+
   RowBatch() = default;
 
-  /// Clears rows, selection and any lazy binding, (re)shaping to
-  /// `num_cols` columns. Column capacity is retained so steady-state reuse
-  /// is allocation-free.
+  /// Clears rows, selection, lanes and any lazy binding, (re)shaping to
+  /// `num_cols` columns. Column and lane capacity is retained so
+  /// steady-state reuse is allocation-free.
   void Reset(int num_cols) {
     cols_.resize(static_cast<size_t>(num_cols));
     for (auto& c : cols_) c.clear();
+    lanes_.resize(static_cast<size_t>(num_cols));
+    for (auto& l : lanes_) l.Clear();
+    filled_.assign(static_cast<size_t>(num_cols), 0);
     sel_.clear();
     num_rows_ = 0;
     lazy_source_ = nullptr;
@@ -63,10 +151,10 @@ class RowBatch {
   void BindLazySource(const Table* table, size_t start_row) {
     lazy_source_ = table;
     lazy_start_ = start_row;
-    lazy_filled_.assign(cols_.size(), 0);
+    filled_.assign(cols_.size(), 0);
   }
 
-  /// Column accessors; lazy columns are boxed on first touch.
+  /// Column accessors; lazy and lane columns are boxed on first touch.
   const std::vector<Value>& col(int i) const {
     EnsureCol(i);
     return cols_[static_cast<size_t>(i)];
@@ -81,12 +169,64 @@ class RowBatch {
 
   /// Lazy-binding introspection, for typed fast paths that want to read
   /// the source table's columnar arrays directly (bypassing Value boxing).
-  /// lazy_source() is null once columns are owned/materialized.
   const Table* lazy_source() const { return lazy_source_; }
   size_t lazy_start() const { return lazy_start_; }
+
+  /// True when cols_[i] holds the authoritative boxed values (owned
+  /// producer output, or an already-boxed lazy/lane column).
   bool col_materialized(int i) const {
-    return lazy_source_ == nullptr || lazy_filled_[static_cast<size_t>(i)];
+    const size_t c = static_cast<size_t>(i);
+    return filled_[c] ||
+           (lazy_source_ == nullptr && lanes_[c].kind == LaneKind::kNone);
   }
+
+  /// True when column `i` is backed by a typed lane that has not been
+  /// boxed over (the lane arrays are authoritative).
+  bool lane_active(int i) const {
+    const size_t c = static_cast<size_t>(i);
+    return lanes_[c].kind != LaneKind::kNone && !filled_[c];
+  }
+  const TypedLane& lane(int i) const {
+    return lanes_[static_cast<size_t>(i)];
+  }
+
+  /// Producer API: claims column `i` as a typed lane for cells of exact
+  /// type `type` and returns it for direct filling (dense push_back, or
+  /// resize + scatter by physical row). Returns nullptr when `type` has
+  /// no lane representation — the producer must fill col(i) boxed.
+  TypedLane* StartLane(int i, ValueType type) {
+    const LaneKind kind = LaneKindFor(type);
+    if (kind == LaneKind::kNone) return nullptr;
+    TypedLane& l = lanes_[static_cast<size_t>(i)];
+    l.Clear();
+    l.kind = kind;
+    l.type = type;
+    return &l;
+  }
+
+  /// Producer API for append-style (dense) producers that may emit one
+  /// column across several gather flushes: returns the lane to keep
+  /// appending cells of exact type `type` to. Starts the lane if the
+  /// column is still empty; returns the active lane if the type matches;
+  /// returns nullptr — demoting any mismatched lane to boxed first — when
+  /// the producer must append boxed Values via col(i) instead.
+  TypedLane* StartLaneAppend(int i, ValueType type) {
+    const size_t c = static_cast<size_t>(i);
+    TypedLane& l = lanes_[c];
+    if (l.kind != LaneKind::kNone && !filled_[c]) {
+      if (l.type == type) return &l;
+      DemoteLaneDense(i);
+      return nullptr;
+    }
+    if (filled_[c] || !cols_[c].empty()) return nullptr;  // already boxed
+    return StartLane(i, type);
+  }
+
+  /// Producer API: boxes a densely-filled lane (rows [0, lane length))
+  /// into the boxed column and retires the lane, so the producer can
+  /// continue appending boxed values. Used when a gather source changes
+  /// representation mid-batch.
+  void DemoteLaneDense(int i);
 
   /// Number of logically-alive rows.
   size_t active() const { return sel_.size(); }
@@ -116,92 +256,59 @@ class RowBatch {
     }
   }
 
+  /// Unboxed view of cell (col, r), whatever its representation. The view
+  /// borrows from the batch / table / lane and follows the same lifetime
+  /// rule as the batch itself.
+  CellView ViewCell(int col, uint32_t r) const {
+    const size_t c = static_cast<size_t>(col);
+    if (filled_[c]) return CellView::Of(cols_[c][r]);
+    if (lanes_[c].kind != LaneKind::kNone) return lanes_[c].ViewAt(r);
+    if (lazy_source_ != nullptr) return LazyView(col, r);
+    return CellView::Of(cols_[c][r]);
+  }
+
   /// Boxes a single cell without materializing the whole column. For a
-  /// lazily-bound batch this is how sparse consumers (join match emission)
-  /// avoid boxing the positions they never touch; for owned columns it is
-  /// a plain copy.
+  /// lazily-bound batch this is how sparse consumers avoid boxing the
+  /// positions they never touch; for owned columns it is a plain copy.
   Value CellValue(int col, uint32_t r) const {
     const size_t c = static_cast<size_t>(col);
-    if (lazy_source_ != nullptr && !lazy_filled_[c]) {
-      return lazy_source_->column(col).GetValue(lazy_start_ + r);
-    }
-    return cols_[c][r];
+    if (col_materialized(col)) return cols_[c][r];
+    return BoxCellView(ViewCell(col, r));
   }
 
   /// Three-way compare of `v` against cell (col, r) — exactly
-  /// v.Compare(boxed cell), but strings in a lazily-bound column compare
-  /// in place (no heap-allocating Value is constructed).
+  /// v.Compare(boxed cell), but unmaterialized cells (lazy or lane)
+  /// compare in place with no heap-allocating Value constructed.
   int CompareCell(const Value& v, int col, uint32_t r) const {
-    const size_t c = static_cast<size_t>(col);
-    if (lazy_source_ != nullptr && !lazy_filled_[c]) {
-      const Column& src = lazy_source_->column(col);
-      if (src.type() == ValueType::kString && v.type() == ValueType::kString) {
-        int cmp = v.AsString().compare(src.GetString(lazy_start_ + r));
-        return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-      }
-      return v.Compare(src.GetValue(lazy_start_ + r));
-    }
-    return v.Compare(cols_[c][r]);
+    return CompareCellViews(CellView::Of(v), ViewCell(col, r));
   }
 
   /// Materializes physical row `r` into `out`.
-  void MaterializeRow(uint32_t r, Row* out) const {
-    out->clear();
-    out->reserve(cols_.size());
-    if (lazy_source_ != nullptr) {
-      // Whole-row access: box straight from the table, bypassing the
-      // per-column caches (full-width consumers touch every column once).
-      lazy_source_->GetRow(lazy_start_ + r, out);
-      return;
-    }
-    for (const auto& c : cols_) out->push_back(c[r]);
-  }
+  void MaterializeRow(uint32_t r, Row* out) const;
 
   /// Appends every selected row to `out` as materialized Rows. Reserves
   /// with geometric growth (an exact per-batch reserve would defeat
   /// amortized doubling and turn repeated drains quadratic).
-  void MaterializeInto(std::vector<Row>* out) const {
-    const size_t need = out->size() + sel_.size();
-    if (out->capacity() < need) {
-      out->reserve(need > out->capacity() * 2 ? need : out->capacity() * 2);
-    }
-    for (uint32_t r : sel_) {
-      Row row;
-      MaterializeRow(r, &row);
-      out->push_back(std::move(row));
-    }
-  }
+  void MaterializeInto(std::vector<Row>* out) const;
 
  private:
-  void EnsureCol(int i) const {
-    if (lazy_source_ == nullptr) return;
-    const size_t c = static_cast<size_t>(i);
-    if (lazy_filled_[c]) return;
-    std::vector<Value>& dst = cols_[c];
-    const Column& src = lazy_source_->column(i);
-    dst.clear();
-    if (sel_.size() == num_rows_) {
-      src.GetValueRange(lazy_start_, num_rows_, &dst);
-    } else {
-      // Sparse selection: box only the live positions.
-      dst.resize(num_rows_);
-      for (uint32_t r : sel_) dst[r] = src.GetValue(lazy_start_ + r);
-    }
-    lazy_filled_[c] = 1;
-  }
+  CellView LazyView(int col, uint32_t r) const;
+  void EnsureCol(int i) const;
 
   mutable std::vector<std::vector<Value>> cols_;
+  std::vector<TypedLane> lanes_;
   std::vector<uint32_t> sel_;
   size_t num_rows_ = 0;
 
   const Table* lazy_source_ = nullptr;
   size_t lazy_start_ = 0;
-  mutable std::vector<uint8_t> lazy_filled_;
+  /// filled_[c] set => cols_[c] holds the authoritative boxed values.
+  mutable std::vector<uint8_t> filled_;
 };
 
 // Multi-column key hashing over whole batches (typed, unboxed for lazily
-// bound scan batches) lives in exec/hash_table.h (HashKeyColumnsBatch),
-// alongside the flat hash index it feeds.
+// bound scan batches and lane columns) lives in exec/hash_table.h
+// (HashKeyColumnsBatch), alongside the flat hash index it feeds.
 
 }  // namespace ecodb
 

@@ -147,7 +147,7 @@ int Value::Compare(const Value& other) const {
 size_t Value::Hash() const {
   switch (type_) {
     case ValueType::kNull:
-      return 0xEC0DB0ULL;
+      return kNullValueHash;
     case ValueType::kString:
       return std::hash<std::string>{}(s_);
     case ValueType::kDouble:
@@ -173,6 +173,80 @@ std::string Value::ToString() const {
       return i_ ? "true" : "false";
   }
   return "?";
+}
+
+CellView CellView::Of(const Value& v) {
+  CellView out;
+  out.type = v.type();
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kDouble:
+      out.d = v.AsDouble();
+      break;
+    case ValueType::kString:
+      out.s = &v.AsString();
+      break;
+    default:  // int-backed: kInt64 / kDate / kBool
+      out.i = v.AsInt();
+      break;
+  }
+  return out;
+}
+
+// Mirror of Value::Compare — any change there must be replicated here.
+int CompareCellViews(const CellView& a, const CellView& b) {
+  if (a.type == ValueType::kNull || b.type == ValueType::kNull) {
+    if (a.type == b.type) return 0;
+    return a.type == ValueType::kNull ? -1 : 1;
+  }
+  if (IsNumeric(a.type) && IsNumeric(b.type)) {
+    if (a.type != ValueType::kDouble && b.type != ValueType::kDouble) {
+      if (a.i < b.i) return -1;
+      return a.i > b.i ? 1 : 0;
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    if (x < y) return -1;
+    return x > y ? 1 : 0;
+  }
+  if (a.type == ValueType::kString && b.type == ValueType::kString) {
+    int c = a.s->compare(*b.s);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return static_cast<int>(a.type) < static_cast<int>(b.type) ? -1 : 1;
+}
+
+// Mirror of Value::Hash — any change there must be replicated here.
+size_t HashCellView(const CellView& v) {
+  switch (v.type) {
+    case ValueType::kNull:
+      return kNullValueHash;
+    case ValueType::kString:
+      return std::hash<std::string>{}(*v.s);
+    case ValueType::kDouble:
+      return Value::HashDouble(v.d);
+    default:
+      return std::hash<int64_t>{}(v.i);
+  }
+}
+
+Value BoxCellView(const CellView& v) {
+  switch (v.type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64:
+      return Value::Int(v.i);
+    case ValueType::kDouble:
+      return Value::Dbl(v.d);
+    case ValueType::kString:
+      return Value::Str(*v.s);
+    case ValueType::kDate:
+      return Value::Date(static_cast<int32_t>(v.i));
+    case ValueType::kBool:
+      return Value::Bool(v.i != 0);
+  }
+  return Value::Null();
 }
 
 size_t HashRowKey(const Row& row, const std::vector<int>& key_cols) {

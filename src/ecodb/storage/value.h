@@ -88,6 +88,60 @@ class Value {
 /// A materialized tuple flowing between operators.
 using Row = std::vector<Value>;
 
+/// Hash of a NULL Value (Value::Hash keeps this in lockstep). Exposed so
+/// typed batch kernels can hash null-masked lane cells without boxing.
+inline constexpr size_t kNullValueHash = 0xEC0DB0ULL;
+
+/// Non-owning view of one cell: the exact type tag plus unboxed storage
+/// (int-backed types in `i`, doubles in `d`, strings by pointer). Typed
+/// kernels — lane gathers, join-key equality, group-key hashing — flow
+/// CellViews instead of Values so touching a cell never heap-allocates.
+/// CompareCellViews / HashCellView MUST stay bit-for-bit in lockstep with
+/// Value::Compare / Value::Hash: both execution modes and the boxed and
+/// unboxed paths of one mode must agree on every comparison and hash.
+struct CellView {
+  ValueType type = ValueType::kNull;
+  int64_t i = 0;            ///< kInt64 / kDate / kBool payload
+  double d = 0.0;           ///< kDouble payload
+  const std::string* s = nullptr;  ///< kString payload (never owned)
+
+  bool is_null() const { return type == ValueType::kNull; }
+  double AsDouble() const {
+    return type == ValueType::kDouble ? d : static_cast<double>(i);
+  }
+
+  static CellView Null() { return CellView{}; }
+  static CellView Int64(int64_t v, ValueType t = ValueType::kInt64) {
+    CellView out;
+    out.type = t;
+    out.i = v;
+    return out;
+  }
+  static CellView Double(double v) {
+    CellView out;
+    out.type = ValueType::kDouble;
+    out.d = v;
+    return out;
+  }
+  static CellView String(const std::string* v) {
+    CellView out;
+    out.type = ValueType::kString;
+    out.s = v;
+    return out;
+  }
+  static CellView Of(const Value& v);
+};
+
+/// Three-way comparison with exactly Value::Compare's semantics.
+int CompareCellViews(const CellView& a, const CellView& b);
+
+/// Hash with exactly Value::Hash's semantics.
+size_t HashCellView(const CellView& v);
+
+/// Boxes a view back into an owning Value, reproducing the exact type tag
+/// (strings are copied).
+Value BoxCellView(const CellView& v);
+
 /// Key-hash combine step (Fibonacci/boost-style). All multi-column key
 /// hashes — row keys, batch keys, group keys — MUST use this same seed and
 /// combine so build/probe sides of hash operators agree across execution

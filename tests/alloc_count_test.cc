@@ -1,0 +1,127 @@
+// Heap-allocation regression test for the vectorized hot path.
+//
+// The scratch-buffer work (ExprScratch, operator-owned probe/match
+// vectors, typed lanes with retained capacity) exists so that steady-state
+// batch execution allocates O(operators), not O(batches x expression
+// nodes). This test pins that property the only way that can't regress
+// silently: it counts global operator-new calls during query execution at
+// two data sizes ~8x apart and asserts the difference stays far below one
+// allocation per batch-node. Structures that legitimately grow with data
+// (hash-table slots, result rows, first-batch capacity) are covered by
+// the generous-but-sublinear slack.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "ecodb/ecodb.h"
+#include "test_util.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ecodb {
+namespace {
+
+/// scan(lineitem) -> filter -> group-by aggregate with an arithmetic SUM:
+/// the ROADMAP's hot pipeline, touching the filter fast path, typed
+/// double subtrees, group-key views and the agg hash table.
+Result<PlanNodePtr> BuildScanFilterAgg(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    EXPECT_GE(idx, 0) << name;
+    return Col(idx, s.field(idx).type, name);
+  };
+  ExprPtr qty = col("l_quantity");
+  ExprPtr price = col("l_extendedprice");
+  ExprPtr disc = col("l_discount");
+  ExprPtr flag = col("l_returnflag");
+  PlanNodePtr filtered =
+      MakeFilter(std::move(scan), Cmp(CompareOp::kLt, qty, LitInt(25)));
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSum;
+  revenue.arg =
+      Arith(ArithOp::kMul, price, Arith(ArithOp::kSub, LitDbl(1.0), disc));
+  revenue.name = "revenue";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  return MakeAggregate(std::move(filtered), {flag}, {revenue, cnt});
+}
+
+uint64_t CountQueryAllocations(Database* db, const PlanNode& plan) {
+  // Warm once (first-touch capacity growth, buffer-pool state), then
+  // measure a steady-state execution.
+  EXPECT_TRUE(db->ExecutePlanQuery(plan).ok());
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  auto res = db->ExecutePlanQuery(plan);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_TRUE(res.ok());
+  return after - before;
+}
+
+TEST(AllocCountTest, ScanFilterAggAllocationsScaleWithOperatorsNotBatches) {
+  auto small_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.002);
+  auto large_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.016);
+  ASSERT_NE(small_db, nullptr);
+  ASSERT_NE(large_db, nullptr);
+
+  auto small_plan = BuildScanFilterAgg(*small_db->catalog());
+  auto large_plan = BuildScanFilterAgg(*large_db->catalog());
+  ASSERT_TRUE(small_plan.ok());
+  ASSERT_TRUE(large_plan.ok());
+
+  const uint64_t small_allocs =
+      CountQueryAllocations(small_db.get(), *small_plan.value());
+  const uint64_t large_allocs =
+      CountQueryAllocations(large_db.get(), *large_plan.value());
+
+  const uint64_t small_rows =
+      small_db->catalog()->FindEntry("lineitem")->table->num_rows();
+  const uint64_t large_rows =
+      large_db->catalog()->FindEntry("lineitem")->table->num_rows();
+  const uint64_t extra_batches =
+      (large_rows - small_rows) / RowBatch::kDefaultBatchRows;
+  ASSERT_GE(extra_batches, 40u) << "test tables too close in size";
+
+  RecordProperty("small_allocs", static_cast<int>(small_allocs));
+  RecordProperty("large_allocs", static_cast<int>(large_allocs));
+  std::printf("steady-state allocations: small=%llu large=%llu (+%llu batches)\n",
+              static_cast<unsigned long long>(small_allocs),
+              static_cast<unsigned long long>(large_allocs),
+              static_cast<unsigned long long>(extra_batches));
+
+  // O(operators): ~8x the data (and ~8x the batches) must not add even
+  // one allocation per extra batch. Before the scratch-buffer work this
+  // pipeline allocated ~8 vectors per batch (EvalDoubleSubtree
+  // temporaries, operand storage, pending sets), i.e. hundreds more.
+  EXPECT_LE(large_allocs, small_allocs + extra_batches / 2)
+      << "small=" << small_allocs << " large=" << large_allocs
+      << " extra_batches=" << extra_batches;
+
+  // Absolute sanity: a steady-state execution of a 4-operator pipeline
+  // should sit in the low hundreds of allocations total (plan
+  // instantiation, per-query operator state, a handful of result rows).
+  EXPECT_LE(large_allocs, 600u) << "large=" << large_allocs;
+}
+
+}  // namespace
+}  // namespace ecodb

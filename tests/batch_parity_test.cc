@@ -185,6 +185,68 @@ TEST_F(BatchParityTest, HashJoinEmptyBuildSide) {
       Scan("big"), {0}, {0}));
 }
 
+TEST_F(BatchParityTest, HashJoinNullProducingBuildSide) {
+  // Build side is a projection whose arithmetic divides by zero at k == 5,
+  // injecting NULL cells into the typed build pool: the null masks must
+  // round-trip through gather emission bit-exactly in both modes.
+  PlanNodePtr build = MakeProject(
+      Scan("small"),
+      {K(), Arith(ArithOp::kDiv, V(), Arith(ArithOp::kSub, K(), LitInt(5))),
+       S()},
+      {"k", "vdiv", "s"});
+  ExpectParity(*MakeHashJoin(std::move(build), Scan("big"), {0}, {0}));
+}
+
+TEST_F(BatchParityTest, HashJoinBuildSideIsJoinOutput) {
+  // The inner join's typed-lane output feeds the outer build consumption
+  // (views over lanes, strings copied into the pool).
+  PlanNodePtr inner = MakeHashJoin(Scan("small"), Scan("small"), {0}, {0});
+  ExpectParity(*MakeHashJoin(std::move(inner), Scan("big"), {0}, {0}));
+}
+
+TEST_F(BatchParityTest, HashJoinProbeSideIsJoinOutput) {
+  // The inner join's lanes are the probe side of the outer join: numeric
+  // lanes gather lane-to-lane, string-ref lanes take the boxed fallback
+  // (their pointers don't survive the probe batch), and the batch key
+  // hasher reads lanes directly.
+  PlanNodePtr inner = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  ExpectParity(*MakeHashJoin(Scan("small"), std::move(inner), {2}, {2}));
+}
+
+TEST_F(BatchParityTest, FilterAndProjectOverJoinLanes) {
+  // Filter compares typed-lane columns of a join output (view-based
+  // generic path), then a projection passes lanes through and computes a
+  // double lane on top of them.
+  PlanNodePtr join = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  PlanNodePtr filtered = MakeFilter(
+      std::move(join),
+      Cmp(CompareOp::kGe, Col(4, ValueType::kDouble, "bv"),
+          Col(1, ValueType::kDouble, "sv")));
+  ExpectParity(*MakeProject(
+      std::move(filtered),
+      {Col(3, ValueType::kInt64, "bk"), Col(5, ValueType::kString, "bs"),
+       Arith(ArithOp::kMul, Col(4, ValueType::kDouble, "bv"), LitDbl(0.5))},
+      {"bk", "bs", "half"}));
+}
+
+TEST_F(BatchParityTest, AggregateOverJoinLanes) {
+  // Group keys and SUM/MIN/MAX arguments read the join's typed lanes
+  // (string lane group keys hash unboxed; the SUM argument runs through
+  // the raw-double path).
+  AggSpec sum;
+  sum.kind = AggSpec::Kind::kSum;
+  sum.arg = Arith(ArithOp::kMul, Col(4, ValueType::kDouble, "bv"),
+                  LitDbl(2.0));
+  sum.name = "sum";
+  AggSpec mn;
+  mn.kind = AggSpec::Kind::kMin;
+  mn.arg = Col(3, ValueType::kInt64, "bk");
+  mn.name = "min";
+  PlanNodePtr join = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  ExpectParity(*MakeAggregate(std::move(join),
+                              {Col(5, ValueType::kString, "bs")}, {sum, mn}));
+}
+
 TEST_F(BatchParityTest, NestedLoopJoinPredicate) {
   ExprPtr pred = Eq(Col(2, ValueType::kString, "ss"),
                     Col(5, ValueType::kString, "bs"));

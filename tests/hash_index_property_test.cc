@@ -1,0 +1,199 @@
+// Property test: FlatHashIndex against a std::unordered_multimap oracle.
+//
+// The flat open-addressing index is the backbone of both hash operators
+// (join build sides, aggregation groups), and the parity contract leans
+// on one behavioral detail hard: duplicate-key chains iterate in exact
+// insertion order, across any number of slot-array resizes. This test
+// drives random insert / probe / resize sequences — with hash
+// distributions skewed to force duplicate chains, slot collisions
+// (distinct hashes landing on the same slot modulo capacity) and
+// mid-sequence growth — and checks every observable against the oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ecodb/exec/hash_table.h"
+
+namespace ecodb {
+namespace {
+
+/// Insertion-order oracle: hash -> payload indexes in insertion order.
+class Oracle {
+ public:
+  void Insert(size_t hash, uint32_t idx) {
+    chains_[hash].push_back(idx);
+    ++size_;
+  }
+  const std::vector<uint32_t>* Find(size_t hash) const {
+    auto it = chains_.find(hash);
+    return it == chains_.end() ? nullptr : &it->second;
+  }
+  size_t distinct_hashes() const { return chains_.size(); }
+  size_t size() const { return size_; }
+  const std::unordered_map<size_t, std::vector<uint32_t>>& chains() const {
+    return chains_;
+  }
+
+ private:
+  std::unordered_map<size_t, std::vector<uint32_t>> chains_;
+  size_t size_ = 0;
+};
+
+/// Walks the index chain for `hash` and compares it to the oracle chain.
+void ExpectChainMatches(const FlatHashIndex& index, const Oracle& oracle,
+                        size_t hash) {
+  const std::vector<uint32_t>* expected = oracle.Find(hash);
+  uint32_t idx = index.Find(hash);
+  if (expected == nullptr) {
+    EXPECT_EQ(idx, FlatHashIndex::kInvalid) << "hash " << hash;
+    return;
+  }
+  for (size_t i = 0; i < expected->size(); ++i) {
+    ASSERT_NE(idx, FlatHashIndex::kInvalid)
+        << "chain for hash " << hash << " ended early at position " << i;
+    EXPECT_EQ(idx, (*expected)[i])
+        << "chain for hash " << hash << " out of insertion order at " << i;
+    idx = index.Next(idx);
+  }
+  EXPECT_EQ(idx, FlatHashIndex::kInvalid)
+      << "chain for hash " << hash << " longer than the oracle's";
+}
+
+/// One randomized scenario: `n` inserts with hashes drawn by `next_hash`,
+/// interleaved probes, then a full sweep over every present hash plus
+/// absent ones.
+template <typename NextHash>
+void RunScenario(uint64_t seed, size_t n, size_t reserve,
+                 NextHash&& next_hash) {
+  SCOPED_TRACE("seed " + std::to_string(seed) + " n " + std::to_string(n) +
+               " reserve " + std::to_string(reserve));
+  std::mt19937_64 rng(seed);
+  FlatHashIndex index;
+  index.Reset(reserve);
+  Oracle oracle;
+  std::vector<size_t> inserted_hashes;
+  for (uint32_t i = 0; i < n; ++i) {
+    size_t h = next_hash(rng);
+    index.Insert(h, i);
+    oracle.Insert(h, i);
+    inserted_hashes.push_back(h);
+    // Interleaved probe of a random previously-inserted hash: chains must
+    // be correct at every intermediate size, including mid-resize.
+    if (i % 7 == 3) {
+      ExpectChainMatches(index, oracle,
+                         inserted_hashes[rng() % inserted_hashes.size()]);
+    }
+    ASSERT_EQ(index.size(), oracle.size());
+    ASSERT_EQ(index.distinct_hashes(), oracle.distinct_hashes());
+  }
+  // Capacity invariants: power of two, load below the grow trigger.
+  const size_t cap = index.capacity();
+  EXPECT_NE(cap, 0u);
+  EXPECT_EQ(cap & (cap - 1), 0u) << "capacity not a power of two: " << cap;
+  EXPECT_LE(index.distinct_hashes() * 10, cap * 7 + 10)
+      << "load factor above the grow threshold";
+  // Full sweep: every chain, in insertion order.
+  for (const auto& [hash, chain] : oracle.chains()) {
+    (void)chain;
+    ExpectChainMatches(index, oracle, hash);
+  }
+  // Absent hashes must come back empty (and not loop forever).
+  std::unordered_set<size_t> present(inserted_hashes.begin(),
+                                     inserted_hashes.end());
+  for (int i = 0; i < 64; ++i) {
+    size_t h = rng();
+    if (present.count(h)) continue;
+    EXPECT_EQ(index.Find(h), FlatHashIndex::kInvalid);
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, UniformHashes) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunScenario(seed, 3000, 0, [](std::mt19937_64& rng) { return rng(); });
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, HeavyDuplicateChains) {
+  // ~40 distinct hashes over 2000 inserts: long chains spanning resizes.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunScenario(seed, 2000, 0, [](std::mt19937_64& rng) {
+      return static_cast<size_t>(rng() % 40) * 0x9E3779B97F4A7C15ULL;
+    });
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, SlotCollidingHashes) {
+  // Distinct hashes that are congruent modulo every capacity the table
+  // will reach (same low bits, different high bits): pure linear-probe
+  // collisions rather than duplicate chains.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunScenario(seed, 1500, 0, [](std::mt19937_64& rng) {
+      return (static_cast<size_t>(rng() % 500) << 20) | 0x5u;
+    });
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, MixedDuplicatesAndCollisions) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunScenario(seed, 2500, 0, [](std::mt19937_64& rng) -> size_t {
+      switch (rng() % 3) {
+        case 0:  // duplicate-prone
+          return static_cast<size_t>((rng() % 25) * 1315423911ULL);
+        case 1:  // slot-colliding
+          return (static_cast<size_t>(rng() % 200) << 24) | 0x13u;
+        default:  // uniform
+          return static_cast<size_t>(rng());
+      }
+    });
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, PresizedReserveNeverRehashes) {
+  // Reset(expected_keys) must pre-size so that `expected_keys` distinct
+  // hashes never trigger a grow: capacity is stable across the build.
+  std::mt19937_64 rng(77);
+  FlatHashIndex index;
+  index.Reset(1000);
+  const size_t cap0 = index.capacity();
+  Oracle oracle;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    size_t h = rng();
+    index.Insert(h, i);
+    oracle.Insert(h, i);
+  }
+  EXPECT_EQ(index.capacity(), cap0) << "pre-sized table rehashed anyway";
+  for (const auto& [hash, chain] : oracle.chains()) {
+    (void)chain;
+    ExpectChainMatches(index, oracle, hash);
+  }
+}
+
+TEST(FlatHashIndexPropertyTest, ResetClearsEverything) {
+  FlatHashIndex index;
+  for (uint32_t i = 0; i < 100; ++i) index.Insert(i * 31, i);
+  EXPECT_EQ(index.size(), 100u);
+  index.Reset();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.distinct_hashes(), 0u);
+  EXPECT_EQ(index.Find(31), FlatHashIndex::kInvalid);
+  // Reuse after Reset behaves like a fresh table.
+  Oracle oracle;
+  std::mt19937_64 rng(5);
+  for (uint32_t i = 0; i < 500; ++i) {
+    size_t h = rng() % 97;
+    index.Insert(h, i);
+    oracle.Insert(h, i);
+  }
+  for (const auto& [hash, chain] : oracle.chains()) {
+    (void)chain;
+    ExpectChainMatches(index, oracle, hash);
+  }
+}
+
+}  // namespace
+}  // namespace ecodb
