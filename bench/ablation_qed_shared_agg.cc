@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     for (const PlanNodePtr& p : plans) {
       auto r = db->ExecutePlanQuery(*p);
       if (!r.ok()) return 1;
-      seq_results.push_back(std::move(r.value().rows));
+      seq_results.push_back(r.value().TakeRows());
       seq_resp_sum += machine->NowSeconds() - t0;
     }
     double seq_s = machine->NowSeconds() - t0;

@@ -70,6 +70,28 @@ Result<PlanNodePtr> BuildJoinOrdersLineitem(const Catalog& catalog) {
   return MakeAggregate(std::move(joined), {}, {sum, cnt});
 }
 
+/// Sort-dominated bench: scan(lineitem) -> ORDER BY (l_shipdate desc,
+/// l_orderkey) with full-width output. Isolates the columnar SortOp
+/// (typed input columns, index sort over unboxed keys, lane emission)
+/// plus the columnar ResultSet drain; before PR 4 this path boxed every
+/// tuple twice (sort materialization + result materialization).
+Result<PlanNodePtr> BuildOrderByLineitem(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    if (idx < 0) {
+      std::fprintf(stderr, "lineitem field not found: %s\n", name);
+      std::exit(1);
+    }
+    return Col(idx, s.field(idx).type, name);
+  };
+  std::vector<SortKey> keys;
+  keys.push_back(SortKey{col("l_shipdate"), /*ascending=*/false});
+  keys.push_back(SortKey{col("l_orderkey"), /*ascending=*/true});
+  return MakeSort(std::move(scan), std::move(keys));
+}
+
 /// Builds the acceptance pipeline: scan(lineitem) -> filter -> group-by
 /// aggregate, the shape whose per-tuple interpretation overhead the batch
 /// engine amortizes.
@@ -125,7 +147,7 @@ ModeResult RunPlan(Database* db, const PlanNode& plan) {
     if (wall < best) {
       best = wall;
       out.rows_scanned = res.value().exec_stats.tuples_scanned;
-      out.result_rows = res.value().rows.size();
+      out.result_rows = res.value().num_rows();
       out.sim_seconds = res.value().seconds;
       out.sim_joules = res.value().wall_joules;
     }
@@ -225,6 +247,7 @@ int Main(int argc, char** argv) {
     return tpch::BuildSelectionQuery(c, 24);
   });
   add("join_orders_lineitem", &BuildJoinOrdersLineitem);
+  add("order_by_lineitem", &BuildOrderByLineitem);
   add("tpch_q1", [](const Catalog& c) {
     return tpch::BuildQ1Plan(c, "1998-09-02");
   });

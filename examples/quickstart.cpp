@@ -37,7 +37,7 @@ int main() {
                  result.status().ToString().c_str());
     return 1;
   }
-  for (const Row& row : result.value().rows) {
+  for (const Row& row : result.value().rows()) {
     std::printf("  %s\n", RowToString(row).c_str());
   }
   std::printf(

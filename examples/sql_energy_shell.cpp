@@ -51,14 +51,14 @@ int main() {
     }
     std::printf("%s", plan.value()->Explain(1).c_str());
     size_t shown = 0;
-    for (const Row& row : result.value().rows) {
+    for (const Row& row : result.value().rows()) {
       if (shown++ == 8) {
-        std::printf("  ... (%zu rows total)\n", result.value().rows.size());
+        std::printf("  ... (%zu rows total)\n", result.value().rows().size());
         break;
       }
       std::printf("  %s\n", RowToString(row).c_str());
     }
-    std::printf("  -- %zu rows, %.5f s, %.4f J CPU", result.value().rows.size(),
+    std::printf("  -- %zu rows, %.5f s, %.4f J CPU", result.value().rows().size(),
                 result.value().seconds, result.value().cpu_joules);
     if (predicted.ok()) {
       std::printf(" (predicted %.5f s, %.4f J)",

@@ -30,6 +30,12 @@ run_config() {
 }
 
 run_config build
+
+# Bench binaries have no CTest coverage; a tiny-scale smoke run keeps them
+# from silently rotting between BENCH_*.json regenerations.
+echo "=== bench smoke: micro_engine --sf=0.001 ==="
+./build/bench/micro_engine --sf=0.001 > /dev/null
+
 if [[ "${FAST}" == "0" ]]; then
   run_config build-asan -DECODB_SANITIZE=address
 fi

@@ -29,13 +29,13 @@ Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
   EnergyLedger before = machine_->ledger();
   double t0 = machine_->NowSeconds();
 
-  ECODB_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                         ExecutePlan(plan, ctx.get(), options_.exec_mode));
+  ECODB_ASSIGN_OR_RETURN(
+      ResultSet set, ExecutePlanColumnar(plan, ctx.get(), options_.exec_mode));
   ctx->Flush();
 
   const EnergyLedger& after = machine_->ledger();
   QueryResult result;
-  result.rows = std::move(rows);
+  result.result = std::move(set);
   result.schema = plan.output_schema;
   result.seconds = machine_->NowSeconds() - t0;
   result.cpu_joules = after.cpu_j - before.cpu_j;

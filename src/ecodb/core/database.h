@@ -28,14 +28,23 @@ struct DatabaseOptions {
 };
 
 /// Result of one query, with the energy/time the machine spent on it.
+/// The result itself is columnar (ResultSet: typed column arrays + null
+/// masks, identical across execution modes); `rows()` exposes the lazily
+/// built boxed row view for row-oriented callers.
 struct QueryResult {
-  std::vector<Row> rows;
+  ResultSet result;
   Schema schema;
   double seconds = 0;      ///< simulated response time
   double cpu_joules = 0;   ///< CPU package energy (what Figure 1 plots)
   double disk_joules = 0;
   double wall_joules = 0;
   QueryExecStats exec_stats;
+
+  size_t num_rows() const { return result.num_rows(); }
+  /// Boxed row view, built on first access and cached in the ResultSet.
+  const std::vector<Row>& rows() const { return result.rows(); }
+  /// Moves the boxed view out (for callers that keep per-query row sets).
+  std::vector<Row> TakeRows() { return result.TakeRows(); }
 };
 
 class Database {

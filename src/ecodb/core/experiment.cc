@@ -19,7 +19,7 @@ Result<RunMeasurement> ExperimentRunner::RunOnce(
   for (const PlanNodePtr& plan : workload.queries) {
     ECODB_ASSIGN_OR_RETURN(QueryResult r, db_->ExecutePlanQuery(*plan));
     m.query_completion_s.push_back(machine->NowSeconds() - t0);
-    m.rows_returned += r.rows.size();
+    m.rows_returned += r.num_rows();
   }
 
   const EnergyLedger& ledger = machine->ledger();

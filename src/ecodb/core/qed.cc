@@ -41,7 +41,7 @@ Result<QedBatchReport> QedScheduler::RunComparison(
     ECODB_ASSIGN_OR_RETURN(QueryResult r,
                            db_->ExecutePlanQuery(*workload.queries[i]));
     report.seq_response_s.push_back(machine->NowSeconds() - t0);
-    seq_results.push_back(std::move(r.rows));
+    seq_results.push_back(r.TakeRows());
   }
   report.seq_total_s = machine->NowSeconds() - t0;
   report.seq_cpu_j = machine->ledger().cpu_j;

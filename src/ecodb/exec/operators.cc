@@ -231,6 +231,9 @@ void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
           for (uint32_t r : sel) dst->f64[r] = src.f64[r];
           break;
         case RowBatch::LaneKind::kStringRef:
+          // The copied pointers reference whatever storage backs the
+          // input lane; keep its arenas alive for `out`'s consumers.
+          out->RetainStringStorage(input_batch_);
           dst->str.resize(n, nullptr);
           for (uint32_t r : sel) dst->str[r] = src.str[r];
           break;
@@ -310,66 +313,6 @@ void ProjectOp::Close() {
   ctx_->Flush();
 }
 
-// --- BuildColumn ---
-
-void BuildColumn::Reset(ValueType declared_type) {
-  type_ = declared_type;
-  // Types with no typed representation stay boxed from the start.
-  boxed_ = RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kNone;
-  has_nulls_ = false;
-  size_ = 0;
-  i64_.clear();
-  f64_.clear();
-  str_.clear();
-  nulls_.clear();
-  vals_.clear();
-}
-
-void BuildColumn::Demote() {
-  vals_.clear();
-  vals_.reserve(size_);
-  for (uint32_t i = 0; i < size_; ++i) vals_.push_back(GetValue(i));
-  i64_.clear();
-  f64_.clear();
-  str_.clear();
-  nulls_.clear();
-  boxed_ = true;
-}
-
-void BuildColumn::Append(const CellView& v) {
-  if (!boxed_ && v.type != type_ && v.type != ValueType::kNull) {
-    // Exact-tag mismatch with the declared type: typed storage could not
-    // reproduce the boxed cell bit-for-bit, so fall back to Values.
-    Demote();
-  }
-  if (boxed_) {
-    vals_.push_back(BoxCellView(v));
-    ++size_;
-    return;
-  }
-  const bool null = v.type == ValueType::kNull;
-  if (null) has_nulls_ = true;
-  nulls_.push_back(null ? 1 : 0);
-  switch (RowBatch::LaneKindFor(type_)) {
-    case RowBatch::LaneKind::kInt64:
-      i64_.push_back(null ? 0 : v.i);
-      break;
-    case RowBatch::LaneKind::kDouble:
-      f64_.push_back(null ? 0.0 : v.d);
-      break;
-    case RowBatch::LaneKind::kStringRef:
-      if (null) {
-        str_.emplace_back();
-      } else {
-        str_.push_back(*v.s);
-      }
-      break;
-    case RowBatch::LaneKind::kNone:
-      break;
-  }
-  ++size_;
-}
-
 // --- HashJoinOp ---
 
 HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
@@ -439,7 +382,7 @@ Status HashJoinOp::ConsumeBuildSide() {
                       num_build_rows_ + static_cast<uint32_t>(i));
       }
       for (int c = 0; c < n_cols; ++c) {
-        BuildColumn& dst = build_cols_[static_cast<size_t>(c)];
+        TypedColumn& dst = build_cols_[static_cast<size_t>(c)];
         for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
       }
       num_build_rows_ += static_cast<uint32_t>(batch.active());
@@ -537,54 +480,21 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
   const int probe_cols = probe_child_->schema().num_fields();
 
   // Build side: gather raw values from the typed pool into output lanes.
-  // The pool is frozen for the whole probe phase and out batches are
-  // consumed before Close, so string lanes can point into it.
+  // String lanes point into the pool's refcounted arena, which `out`
+  // retains — the pointers survive even the pool's own teardown.
   for (int c = 0; c < n_build_cols; ++c) {
-    const BuildColumn& src = build_cols_[static_cast<size_t>(c)];
-    if (src.boxed()) {
-      std::vector<Value>& dst = out->col(c);
-      for (uint32_t idx : match_build_) dst.push_back(src.GetValue(idx));
-      continue;
-    }
-    RowBatch::TypedLane* lane = out->StartLaneAppend(c, src.type());
-    if (lane == nullptr) {
-      std::vector<Value>& dst = out->col(c);
-      for (uint32_t idx : match_build_) dst.push_back(src.GetValue(idx));
-      continue;
-    }
-    switch (RowBatch::LaneKindFor(src.type())) {
-      case RowBatch::LaneKind::kInt64:
-        for (uint32_t idx : match_build_) lane->i64.push_back(src.i64()[idx]);
-        break;
-      case RowBatch::LaneKind::kDouble:
-        for (uint32_t idx : match_build_) lane->f64.push_back(src.f64()[idx]);
-        break;
-      case RowBatch::LaneKind::kStringRef:
-        for (uint32_t idx : match_build_) {
-          lane->str.push_back(&src.str()[idx]);
-        }
-        break;
-      case RowBatch::LaneKind::kNone:
-        break;
-    }
-    if (src.has_nulls()) {
-      if (!lane->has_nulls) {
-        lane->has_nulls = true;
-        lane->nulls.assign(lane->LaneSize() - match_build_.size(), 0);
-      }
-      for (uint32_t idx : match_build_) {
-        lane->nulls.push_back(src.IsNullAt(idx) ? 1 : 0);
-      }
-    } else if (lane->has_nulls) {
-      lane->nulls.resize(lane->LaneSize(), 0);
-    }
+    build_cols_[static_cast<size_t>(c)].GatherInto(
+        out, c, match_build_.data(), match_build_.size());
   }
 
   // Probe side: gather per matched probe row. Unboxed sources stay
   // unboxed — lazy table columns gather typed (strings by pointer into
-  // table storage); lane values are *copied* into the output lane, except
-  // string-ref lanes, whose pointers would dangle once this probe batch
-  // is replaced mid-call, so those emit boxed.
+  // table storage); lane values are copied into the output lane, with
+  // string-ref lanes carried by pointer: `out` retains the probe batch's
+  // arenas, and every lane string points into table storage, a retained
+  // arena, or an operator pool frozen until its Close, so the pointers
+  // stay valid after this probe batch is replaced mid-call.
+  out->RetainStringStorage(probe_batch_);
   for (int c = 0; c < probe_cols; ++c) {
     const int oc = n_build_cols + c;
     const Table* table = probe_batch_.lazy_source();
@@ -618,33 +528,41 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
     }
     if (probe_batch_.lane_active(c)) {
       const RowBatch::TypedLane& src = probe_batch_.lane(c);
-      if (src.kind != RowBatch::LaneKind::kStringRef) {
-        RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type);
-        if (lane != nullptr) {
-          if (src.kind == RowBatch::LaneKind::kInt64) {
+      RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type);
+      if (lane != nullptr) {
+        switch (src.kind) {
+          case RowBatch::LaneKind::kInt64:
             for (uint32_t pr : match_probe_) {
               lane->i64.push_back(src.IsNullAt(pr) ? 0 : src.i64[pr]);
             }
-          } else {
+            break;
+          case RowBatch::LaneKind::kDouble:
             for (uint32_t pr : match_probe_) {
               lane->f64.push_back(src.IsNullAt(pr) ? 0.0 : src.f64[pr]);
             }
-          }
-          if (src.has_nulls && !lane->has_nulls) {
-            lane->has_nulls = true;
-            lane->nulls.assign(lane->LaneSize() - match_probe_.size(), 0);
-          }
-          if (lane->has_nulls) {
-            if (src.has_nulls) {
-              for (uint32_t pr : match_probe_) {
-                lane->nulls.push_back(src.nulls[pr]);
-              }
-            } else {
-              lane->nulls.resize(lane->LaneSize(), 0);
+            break;
+          case RowBatch::LaneKind::kStringRef:
+            for (uint32_t pr : match_probe_) {
+              lane->str.push_back(src.IsNullAt(pr) ? nullptr : src.str[pr]);
             }
-          }
-          continue;
+            break;
+          case RowBatch::LaneKind::kNone:
+            break;
         }
+        if (src.has_nulls && !lane->has_nulls) {
+          lane->has_nulls = true;
+          lane->nulls.assign(lane->LaneSize() - match_probe_.size(), 0);
+        }
+        if (lane->has_nulls) {
+          if (src.has_nulls) {
+            for (uint32_t pr : match_probe_) {
+              lane->nulls.push_back(src.nulls[pr]);
+            }
+          } else {
+            lane->nulls.resize(lane->LaneSize(), 0);
+          }
+        }
+        continue;
       }
     }
     // Boxed fallback: box only the matched probe positions. If earlier
@@ -810,10 +728,20 @@ Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
 }
 
 Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
-  const int outer_cols = outer_->schema().num_fields();
-  const int inner_cols = inner_->schema().num_fields();
+  const Schema& outer_schema = outer_->schema();
+  const Schema& inner_schema = inner_->schema();
+  const int outer_cols = outer_schema.num_fields();
+  const int inner_cols = inner_schema.num_fields();
   for (;;) {
     out->Reset(schema_.num_fields());
+    // Candidate rows are emitted as typed lanes, not boxed copies. Outer
+    // cells gather straight out of the outer batch (strings by pointer
+    // when the source is unboxed — the arenas behind it are retained —
+    // and interned into `out`'s arena when they live in transient boxed
+    // Values, since the outer batch may be replaced mid-call). Inner
+    // cells point into inner_rows_, the operator-owned pool frozen until
+    // Close.
+    if (outer_batch_valid_) out->RetainStringStorage(outer_batch_);
     size_t emitted = 0;
     // Build a batch of concatenated candidate rows.
     while (emitted < RowBatch::kDefaultBatchRows) {
@@ -828,17 +756,22 @@ Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
         outer_batch_valid_ = true;
         outer_sel_pos_ = 0;
         inner_pos_ = 0;
+        out->RetainStringStorage(outer_batch_);
       }
       const uint32_t orow = outer_batch_.sel()[outer_sel_pos_];
       while (inner_pos_ < inner_rows_.size() &&
              emitted < RowBatch::kDefaultBatchRows) {
         const Row& inner_row = inner_rows_[inner_pos_++];
         for (int c = 0; c < outer_cols; ++c) {
-          out->col(c).push_back(outer_batch_.col(c)[orow]);
+          out->AppendCellDense(c, outer_schema.field(c).type,
+                               outer_batch_.ViewCell(c, orow),
+                               /*stable_str=*/
+                               !outer_batch_.col_materialized(c));
         }
         for (int c = 0; c < inner_cols; ++c) {
-          out->col(outer_cols + c).push_back(
-              inner_row[static_cast<size_t>(c)]);
+          out->AppendCellDense(outer_cols + c, inner_schema.field(c).type,
+                               CellView::Of(inner_row[static_cast<size_t>(c)]),
+                               /*stable_str=*/true);
         }
         ++emitted;
       }
@@ -1209,32 +1142,27 @@ SortOp::SortOp(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys)
 Status SortOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
   rows_.clear();
+  order_.clear();
+  n_rows_ = 0;
   pos_ = 0;
-  if (ctx_->exec_mode() == ExecMode::kBatch) {
-    RowBatch batch;
-    bool has = false;
-    for (;;) {
-      ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
-      if (!has) break;
-      const size_t need = rows_.size() + batch.active();
-      if (rows_.capacity() < need) {
-        rows_.reserve(std::max(need, rows_.capacity() * 2));
-      }
-      for (uint32_t r : batch.sel()) {
-        Row row;
-        batch.MaterializeRow(r, &row);
-        rows_.push_back(std::move(row));
-      }
-    }
+  columnar_ = ctx_->exec_mode() == ExecMode::kBatch;
+  if (columnar_) {
+    ECODB_RETURN_NOT_OK(ConsumeChildBatchMode());
   } else {
-    Row row;
-    bool has = false;
-    for (;;) {
-      ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
-      if (!has) break;
-      rows_.push_back(std::move(row));
-      row = Row();
-    }
+    ECODB_RETURN_NOT_OK(ConsumeChildRowMode());
+  }
+  ctx_->Flush();
+  return Status::OK();
+}
+
+Status SortOp::ConsumeChildRowMode() {
+  Row row;
+  bool has = false;
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    if (!has) break;
+    rows_.push_back(std::move(row));
+    row = Row();
   }
   child_->Close();
 
@@ -1267,11 +1195,82 @@ Status SortOp::Open() {
   sorted.reserve(rows_.size());
   for (auto& [key, idx] : decorated) sorted.push_back(std::move(rows_[idx]));
   rows_ = std::move(sorted);
-  ctx_->Flush();
+  return Status::OK();
+}
+
+Status SortOp::ConsumeChildBatchMode() {
+  const Schema& s = child_->schema();
+  const int n_cols = s.num_fields();
+  cols_.resize(static_cast<size_t>(n_cols));
+  for (int c = 0; c < n_cols; ++c) {
+    cols_[static_cast<size_t>(c)].Reset(s.field(c).type);
+  }
+  key_cols_.resize(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    key_cols_[k].Reset(keys_[k].expr->type());
+  }
+
+  // Materialize the input as typed columns (string bytes land in the
+  // columns' refcounted arenas, no Value is constructed), evaluating the
+  // sort keys vectorized per batch. Key-evaluation counts equal the
+  // row-mode decorate loop's by the EvalBatch/BatchOperand contract.
+  RowBatch batch;
+  bool has = false;
+  std::vector<BatchOperand> key_vals(keys_.size());
+  for (;;) {
+    ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
+    if (!has) break;
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      key_vals[k].Resolve(*keys_[k].expr, batch, batch.sel(),
+                          ctx_->eval_counters(), &scratch_);
+    }
+    for (int c = 0; c < n_cols; ++c) {
+      TypedColumn& dst = cols_[static_cast<size_t>(c)];
+      for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
+    }
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      TypedColumn& dst = key_cols_[k];
+      for (uint32_t r : batch.sel()) dst.Append(key_vals[k].view_at(r));
+    }
+    n_rows_ += batch.active();
+  }
+  child_->Close();
+  ctx_->ChargeEvalOps();
+
+  // Index sort over unboxed key views. Same elements in the same initial
+  // order under the same total order as the row-mode decorate sort, so
+  // std::sort performs the identical comparison sequence — one sort
+  // compare charged per comparator call in both modes.
+  order_.resize(n_rows_);
+  for (size_t i = 0; i < n_rows_; ++i) order_[i] = static_cast<uint32_t>(i);
+  uint64_t compares = 0;
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    ++compares;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      int c = CompareCellViews(key_cols_[i].View(a), key_cols_[i].View(b));
+      if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+    }
+    return a < b;  // stable tiebreak
+  });
+  ctx_->ChargeSortCompares(compares);
   return Status::OK();
 }
 
 Status SortOp::Next(Row* out, bool* has_row) {
+  // Batch-consumed state still serves row pulls (LimitOp drives its child
+  // row-at-a-time even in batch mode) by boxing from the typed columns.
+  if (columnar_) {
+    if (pos_ >= n_rows_) {
+      *has_row = false;
+      return Status::OK();
+    }
+    const uint32_t idx = order_[pos_++];
+    out->clear();
+    out->reserve(cols_.size());
+    for (const TypedColumn& c : cols_) out->push_back(c.GetValue(idx));
+    *has_row = true;
+    return Status::OK();
+  }
   if (pos_ >= rows_.size()) {
     *has_row = false;
     return Status::OK();
@@ -1283,6 +1282,24 @@ Status SortOp::Next(Row* out, bool* has_row) {
 
 Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
   out->Reset(child_->schema().num_fields());
+  if (columnar_) {
+    if (pos_ >= n_rows_) {
+      *has_rows = false;
+      return Status::OK();
+    }
+    const size_t take = std::min(RowBatch::kDefaultBatchRows, n_rows_ - pos_);
+    // Gather typed lanes in sorted order; strings go out by pointer into
+    // the columns' arenas, which `out` retains.
+    for (int c = 0; c < static_cast<int>(cols_.size()); ++c) {
+      cols_[static_cast<size_t>(c)].GatherInto(out, c, order_.data() + pos_,
+                                               take);
+    }
+    pos_ += take;
+    out->set_num_rows(take);
+    out->ExtendIdentitySel(0);
+    *has_rows = true;
+    return Status::OK();
+  }
   if (pos_ >= rows_.size()) {
     *has_rows = false;
     return Status::OK();
@@ -1298,6 +1315,10 @@ Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
 
 void SortOp::Close() {
   rows_.clear();
+  cols_.clear();
+  key_cols_.clear();
+  order_.clear();
+  n_rows_ = 0;
   ctx_->Flush();
 }
 
@@ -1350,13 +1371,15 @@ void LimitOp::Close() {
   ctx_->Flush();
 }
 
-// --- ExecuteOperator ---
+// --- ExecuteOperatorColumnar / ExecuteOperator ---
 
-Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
-                                         ExecMode mode) {
+Result<ResultSet> ExecuteOperatorColumnar(Operator* op, ExecContext* ctx,
+                                          ExecMode mode) {
   ctx->set_exec_mode(mode);
   ECODB_RETURN_NOT_OK(op->Open());
-  std::vector<Row> rows;
+  // Schemas bind at Open (scans look up the catalog), so the result shape
+  // and output width are computed here, not before.
+  ResultSet set(op->schema());
   int width = op->schema().RowWidth();
   if (mode == ExecMode::kBatch) {
     RowBatch batch;
@@ -1369,7 +1392,7 @@ Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
       }
       if (!has) break;
       ctx->ChargeOutputTuples(batch.active(), width);
-      batch.MaterializeInto(&rows);
+      set.AppendBatch(batch);
     }
   } else {
     Row row;
@@ -1382,13 +1405,18 @@ Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
       }
       if (!has) break;
       ctx->ChargeOutputTuple(width);
-      rows.push_back(std::move(row));
-      row = Row();
+      set.AppendRow(row);
     }
   }
   op->Close();
   ctx->Flush();
-  return rows;
+  return set;
+}
+
+Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
+                                         ExecMode mode) {
+  ECODB_ASSIGN_OR_RETURN(ResultSet set, ExecuteOperatorColumnar(op, ctx, mode));
+  return set.TakeRows();
 }
 
 }  // namespace ecodb

@@ -15,7 +15,9 @@
 #include "ecodb/exec/exec_context.h"
 #include "ecodb/exec/expr.h"
 #include "ecodb/exec/hash_table.h"
+#include "ecodb/exec/result_set.h"
 #include "ecodb/exec/row_batch.h"
+#include "ecodb/exec/typed_column.h"
 #include "ecodb/storage/catalog.h"
 #include "ecodb/storage/schema.h"
 #include "ecodb/util/status.h"
@@ -137,64 +139,13 @@ class ProjectOp : public Operator {
   ExprScratch scratch_;
 };
 
-/// One column of a hash join's contiguous build pool. Stored *typed*
-/// (raw int64 / double / owned-string arrays plus a byte null mask) while
-/// every appended cell's exact type tag matches the declared schema type;
-/// the first mismatching cell demotes the column to boxed Values so that
-/// round-tripping a cell through the pool is always bit-exact. Typed
-/// columns let match emission gather raw values (strings by pointer into
-/// the pool) instead of copying boxed Values per match.
-class BuildColumn {
- public:
-  void Reset(ValueType declared_type);
-  void Append(const CellView& v);
-  /// Unboxed view of entry `idx` (string views point into the pool).
-  CellView View(uint32_t idx) const {
-    if (boxed_) return CellView::Of(vals_[idx]);
-    if (has_nulls_ && nulls_[idx]) return CellView::Null();
-    switch (RowBatch::LaneKindFor(type_)) {
-      case RowBatch::LaneKind::kInt64:
-        return CellView::Int64(i64_[idx], type_);
-      case RowBatch::LaneKind::kDouble:
-        return CellView::Double(f64_[idx]);
-      case RowBatch::LaneKind::kStringRef:
-        return CellView::String(&str_[idx]);
-      case RowBatch::LaneKind::kNone:
-        break;
-    }
-    return CellView::Null();
-  }
-  Value GetValue(uint32_t idx) const { return BoxCellView(View(idx)); }
-
-  ValueType type() const { return type_; }
-  bool boxed() const { return boxed_; }
-  bool has_nulls() const { return has_nulls_; }
-  const std::vector<int64_t>& i64() const { return i64_; }
-  const std::vector<double>& f64() const { return f64_; }
-  const std::vector<std::string>& str() const { return str_; }
-  bool IsNullAt(uint32_t idx) const { return has_nulls_ && nulls_[idx]; }
-
- private:
-  void Demote();
-
-  ValueType type_ = ValueType::kNull;
-  bool boxed_ = false;
-  bool has_nulls_ = false;
-  uint32_t size_ = 0;
-  std::vector<int64_t> i64_;
-  std::vector<double> f64_;
-  std::vector<std::string> str_;
-  std::vector<uint8_t> nulls_;
-  std::vector<Value> vals_;  ///< boxed fallback
-};
-
 /// In-memory hash join (equi-join). children: build (left) and probe
 /// (right); output schema = build fields ++ probe fields. For disk-backed
 /// profiles a grace-hash spill of build+probe bytes is charged per the
 /// profile's spill_fraction.
 ///
 /// The build side lives in a FlatHashIndex over a contiguous column-major
-/// payload pool of typed BuildColumns; duplicate keys chain in insertion
+/// payload pool of TypedColumns; duplicate keys chain in insertion
 /// order, preserving multimap semantics. Both execution modes probe the
 /// same table: batch mode hashes all selected probe keys of a batch up
 /// front (typed, unboxed for lazily-bound scan batches and lane columns),
@@ -235,7 +186,7 @@ class HashJoinOp : public Operator {
   Schema schema_;
 
   FlatHashIndex index_;
-  std::vector<BuildColumn> build_cols_;  ///< typed column-major build pool
+  std::vector<TypedColumn> build_cols_;  ///< typed column-major build pool
   uint32_t num_build_rows_ = 0;
   uint32_t match_ = FlatHashIndex::kInvalid;  ///< chain cursor (both modes)
   Row probe_row_;
@@ -361,6 +312,17 @@ class HashAggOp : public Operator {
   size_t result_pos_ = 0;
 };
 
+/// Sort (pipeline breaker). Row mode keeps the classic path: materialize
+/// boxed Rows, decorate with evaluated key Rows, std::sort, emit Rows.
+/// Batch mode is columnar end to end: the input is materialized into
+/// TypedColumns (strings into refcounted arenas, no Value boxing), sort
+/// keys are evaluated vectorized into their own TypedColumns, an *index*
+/// vector is sorted comparing unboxed CellViews, and output batches
+/// gather typed lanes in sorted order (strings by pointer into the
+/// operator's arenas, retained by each emitted batch). Key-evaluation
+/// counts and the std::sort comparison sequence are identical across
+/// modes — same rows in the same initial order under the same total
+/// order — so all parity counters stay bit-exact.
 class SortOp : public Operator {
  public:
   SortOp(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys);
@@ -373,10 +335,25 @@ class SortOp : public Operator {
   std::string name() const override { return "Sort"; }
 
  private:
+  Status ConsumeChildRowMode();
+  Status ConsumeChildBatchMode();
+
   ExecContext* ctx_;
   OperatorPtr child_;
   std::vector<SortKey> keys_;
+  ExprScratch scratch_;
+
+  // Row-mode storage: materialized rows, rearranged into sorted order.
   std::vector<Row> rows_;
+
+  // Batch-mode storage: the input as typed columns, the evaluated sort
+  // keys as typed columns, and the sorted permutation of [0, n_rows_).
+  bool columnar_ = false;
+  std::vector<TypedColumn> cols_;
+  std::vector<TypedColumn> key_cols_;
+  std::vector<uint32_t> order_;
+  size_t n_rows_ = 0;
+
   size_t pos_ = 0;
 };
 
@@ -402,9 +379,16 @@ class LimitOp : public Operator {
 };
 
 /// Drains an operator tree: Open, Next/NextBatch..., Close, charging
-/// per-row output cost, and returns the rows. `mode` selects Volcano
-/// row-at-a-time or vectorized batch pulls; both produce identical rows
-/// and identical logical-work counters.
+/// per-row output cost, and returns the result *columnar*. Batch mode
+/// appends each RowBatch to the ResultSet column-at-a-time (typed lanes
+/// and lazy scan columns never box a Value); row mode boxes each Row
+/// through the same typed columns, so both modes produce an identical
+/// ResultSet and identical logical-work counters.
+Result<ResultSet> ExecuteOperatorColumnar(Operator* op, ExecContext* ctx,
+                                          ExecMode mode = ExecMode::kBatch);
+
+/// Row-oriented convenience wrapper over ExecuteOperatorColumnar (tests
+/// and callers that want std::vector<Row>).
 Result<std::vector<Row>> ExecuteOperator(Operator* op, ExecContext* ctx,
                                          ExecMode mode = ExecMode::kBatch);
 

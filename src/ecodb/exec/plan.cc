@@ -227,10 +227,16 @@ Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
   return Status::Internal("unknown plan kind");
 }
 
+Result<ResultSet> ExecutePlanColumnar(const PlanNode& node, ExecContext* ctx,
+                                      ExecMode mode) {
+  ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
+  return ExecuteOperatorColumnar(op.get(), ctx, mode);
+}
+
 Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx,
                                      ExecMode mode) {
-  ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
-  return ExecuteOperator(op.get(), ctx, mode);
+  ECODB_ASSIGN_OR_RETURN(ResultSet set, ExecutePlanColumnar(node, ctx, mode));
+  return set.TakeRows();
 }
 
 }  // namespace ecodb

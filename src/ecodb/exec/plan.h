@@ -92,9 +92,15 @@ PlanNodePtr ClonePlan(const PlanNode& node);
 /// Builds the operator tree for a plan.
 Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx);
 
-/// Convenience: instantiate + execute + drain. Defaults to vectorized
-/// batch execution; ExecMode::kRow preserves the classic Volcano pull
-/// (identical results and logical-work accounting, more host overhead).
+/// Convenience: instantiate + execute + drain into a columnar ResultSet.
+/// Defaults to vectorized batch execution; ExecMode::kRow preserves the
+/// classic Volcano pull (identical results and logical-work accounting,
+/// more host overhead — and an identical ResultSet, since row mode boxes
+/// through the same columnar surface).
+Result<ResultSet> ExecutePlanColumnar(const PlanNode& node, ExecContext* ctx,
+                                      ExecMode mode = ExecMode::kBatch);
+
+/// Row-oriented wrapper over ExecutePlanColumnar.
 Result<std::vector<Row>> ExecutePlan(const PlanNode& node, ExecContext* ctx,
                                      ExecMode mode = ExecMode::kBatch);
 

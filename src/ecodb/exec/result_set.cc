@@ -1,0 +1,110 @@
+#include "ecodb/exec/result_set.h"
+
+#include <cassert>
+
+namespace ecodb {
+
+void ResultSet::Reset(const Schema& schema) {
+  cols_.resize(static_cast<size_t>(schema.num_fields()));
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    cols_[static_cast<size_t>(c)].Reset(schema.field(c).type);
+  }
+  num_rows_ = 0;
+  row_view_.clear();
+  row_view_built_ = false;
+}
+
+void ResultSet::AppendBatch(const RowBatch& batch) {
+  assert(batch.num_cols() == num_cols() && "batch/schema arity mismatch");
+  const std::vector<uint32_t>& sel = batch.sel();
+  if (sel.empty()) return;
+  const int n_cols = num_cols();
+  const Table* table = batch.lazy_source();
+  for (int c = 0; c < n_cols; ++c) {
+    TypedColumn& dst = cols_[static_cast<size_t>(c)];
+    // Lazy scan columns: read the table's typed arrays directly when the
+    // declared types agree (they do unless an upstream demote happened),
+    // hoisting the per-cell tag dispatch out of the row loop. An active
+    // lane takes precedence over the lazy binding, mirroring ViewCell.
+    if (table != nullptr && !batch.col_materialized(c) &&
+        !batch.lane_active(c)) {
+      const Column& src = table->column(c);
+      const size_t base = batch.lazy_start();
+      if (src.type() == dst.type() && !dst.boxed()) {
+        switch (RowBatch::LaneKindFor(src.type())) {
+          case RowBatch::LaneKind::kInt64:
+            for (uint32_t r : sel) dst.AppendNonNullInt64(src.GetInt(base + r));
+            continue;
+          case RowBatch::LaneKind::kDouble:
+            for (uint32_t r : sel) {
+              dst.AppendNonNullDouble(src.GetDouble(base + r));
+            }
+            continue;
+          case RowBatch::LaneKind::kStringRef:
+            for (uint32_t r : sel) {
+              dst.AppendNonNullString(src.GetString(base + r));
+            }
+            continue;
+          case RowBatch::LaneKind::kNone:
+            break;
+        }
+      }
+    }
+    // Typed lanes with no nulls: same hoisted loops.
+    if (batch.lane_active(c)) {
+      const RowBatch::TypedLane& l = batch.lane(c);
+      if (!l.has_nulls && l.type == dst.type() && !dst.boxed()) {
+        switch (l.kind) {
+          case RowBatch::LaneKind::kInt64:
+            for (uint32_t r : sel) dst.AppendNonNullInt64(l.i64[r]);
+            continue;
+          case RowBatch::LaneKind::kDouble:
+            for (uint32_t r : sel) dst.AppendNonNullDouble(l.f64[r]);
+            continue;
+          case RowBatch::LaneKind::kStringRef:
+            for (uint32_t r : sel) dst.AppendNonNullString(*l.str[r]);
+            continue;
+          case RowBatch::LaneKind::kNone:
+            break;
+        }
+      }
+    }
+    for (uint32_t r : sel) dst.Append(batch.ViewCell(c, r));
+  }
+  num_rows_ += sel.size();
+  row_view_built_ = false;
+}
+
+void ResultSet::AppendRow(const Row& row) {
+  assert(row.size() == cols_.size() && "row/schema arity mismatch");
+  for (size_t c = 0; c < row.size(); ++c) {
+    cols_[c].Append(CellView::Of(row[c]));
+  }
+  ++num_rows_;
+  row_view_built_ = false;
+}
+
+Row ResultSet::RowAt(size_t row) const {
+  Row out;
+  out.reserve(cols_.size());
+  for (int c = 0; c < num_cols(); ++c) out.push_back(ValueAt(row, c));
+  return out;
+}
+
+const std::vector<Row>& ResultSet::rows() const {
+  if (!row_view_built_) {
+    row_view_.clear();
+    row_view_.reserve(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) row_view_.push_back(RowAt(r));
+    row_view_built_ = true;
+  }
+  return row_view_;
+}
+
+std::vector<Row> ResultSet::TakeRows() {
+  rows();  // ensure built
+  row_view_built_ = false;
+  return std::move(row_view_);
+}
+
+}  // namespace ecodb

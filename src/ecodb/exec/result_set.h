@@ -1,0 +1,90 @@
+// ResultSet: the columnar result surface of query execution.
+//
+// Until PR 4 every drained plan funneled into std::vector<Row> — one heap
+// vector of boxed Values per tuple — which made full-width result
+// materialization the dominant host cost of scan-shaped queries
+// (`scan_lineitem` sat at ~1x batch-vs-row). A ResultSet instead stores
+// the result as typed column arrays (TypedColumn: raw int64 / double /
+// arena-owned strings + null masks, boxed fallback on tag mismatch):
+//
+//  * batch pipelines append whole RowBatches column-at-a-time
+//    (AppendBatch) — lazy scan batches and typed lanes copy raw arrays
+//    and string bytes, never constructing a Value;
+//  * row mode boxes through the same surface (AppendRow), so both
+//    execution modes produce byte-identical columnar state and the
+//    parity contract extends to the result representation;
+//  * existing row-oriented callers read the lazily built boxed view
+//    (rows()), which reproduces each Value bit-for-bit from the exact
+//    type tags (the TypedColumn round-trip invariant).
+//
+// A ResultSet owns all its payload bytes (strings are copied in), so it
+// is safe to hold after the operator tree and its arenas are gone.
+
+#ifndef ECODB_EXEC_RESULT_SET_H_
+#define ECODB_EXEC_RESULT_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ecodb/exec/row_batch.h"
+#include "ecodb/exec/typed_column.h"
+#include "ecodb/storage/schema.h"
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(const Schema& schema) { Reset(schema); }
+
+  /// Clears all rows and (re)shapes the columns to `schema`.
+  void Reset(const Schema& schema);
+
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+  size_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Appends every selected row of `batch` column-at-a-time. Typed lanes
+  /// and lazily-bound scan columns append raw values (string bytes are
+  /// copied into the owned arenas); boxed columns append through unboxed
+  /// CellViews. Steady state allocates only for column growth.
+  void AppendBatch(const RowBatch& batch);
+
+  /// Appends one boxed row through the same typed columns (row mode).
+  void AppendRow(const Row& row);
+
+  /// Unboxed view of one cell (no allocation).
+  CellView At(size_t row, int col) const {
+    return cols_[static_cast<size_t>(col)].View(static_cast<uint32_t>(row));
+  }
+  /// Boxes one cell.
+  Value ValueAt(size_t row, int col) const {
+    return BoxCellView(At(row, col));
+  }
+  /// Boxes one full row.
+  Row RowAt(size_t row) const;
+
+  const TypedColumn& col(int i) const {
+    return cols_[static_cast<size_t>(i)];
+  }
+
+  /// Boxed row-oriented view for existing callers, built lazily on first
+  /// access and cached. Bit-for-bit identical to what the pre-columnar
+  /// drain produced.
+  const std::vector<Row>& rows() const;
+
+  /// Moves the boxed view out (building it first if needed), leaving the
+  /// columnar storage in place.
+  std::vector<Row> TakeRows();
+
+ private:
+  std::vector<TypedColumn> cols_;
+  size_t num_rows_ = 0;
+  mutable std::vector<Row> row_view_;
+  mutable bool row_view_built_ = false;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_RESULT_SET_H_

@@ -46,6 +46,38 @@ void RowBatch::DemoteLaneDense(int i) {
   filled_[c] = 1;
 }
 
+void RowBatch::AppendCellDense(int i, ValueType declared, const CellView& v,
+                               bool stable_str) {
+  const bool null = v.is_null();
+  TypedLane* l = nullptr;
+  if (null || v.type == declared) l = StartLaneAppend(i, declared);
+  if (l == nullptr) {
+    // Tag mismatch, unrepresentable type, or the column is already boxed.
+    if (lane_active(i)) DemoteLaneDense(i);
+    cols_[static_cast<size_t>(i)].push_back(BoxCellView(v));
+    return;
+  }
+  if (null && !l->has_nulls) {
+    l->has_nulls = true;
+    l->nulls.assign(l->LaneSize(), 0);
+  }
+  switch (l->kind) {
+    case LaneKind::kInt64:
+      l->i64.push_back(null ? 0 : v.i);
+      break;
+    case LaneKind::kDouble:
+      l->f64.push_back(null ? 0.0 : v.d);
+      break;
+    case LaneKind::kStringRef:
+      l->str.push_back(null ? nullptr
+                            : (stable_str ? v.s : arena()->Intern(*v.s)));
+      break;
+    case LaneKind::kNone:
+      break;
+  }
+  if (l->has_nulls) l->nulls.push_back(null ? 1 : 0);
+}
+
 void RowBatch::MaterializeRow(uint32_t r, Row* out) const {
   out->clear();
   out->reserve(cols_.size());
@@ -61,18 +93,6 @@ void RowBatch::MaterializeRow(uint32_t r, Row* out) const {
     } else {
       out->push_back(cols_[c][r]);
     }
-  }
-}
-
-void RowBatch::MaterializeInto(std::vector<Row>* out) const {
-  const size_t need = out->size() + sel_.size();
-  if (out->capacity() < need) {
-    out->reserve(need > out->capacity() * 2 ? need : out->capacity() * 2);
-  }
-  for (uint32_t r : sel_) {
-    Row row;
-    MaterializeRow(r, &row);
-    out->push_back(std::move(row));
   }
 }
 

@@ -28,17 +28,27 @@
 //  * Batches are reused across NextBatch calls; Reset() keeps column and
 //    lane capacity so steady-state execution does not allocate.
 //  * Lane string pointers (and lazy bindings) reference storage owned by
-//    the producing operator or the table; a batch returned by NextBatch
-//    is valid until the producer's next NextBatch or Close. Every
-//    existing operator consumes its child's batch before pulling the next
-//    one, which is what makes zero-copy string lanes safe.
+//    one of: the table (query lifetime); a refcounted StringArena — a
+//    batch that gathers string pointers out of another batch or an
+//    arena-backed column *retains* the source arenas (RetainArena /
+//    RetainStringStorage), so those bytes stay alive even after the
+//    source batch is Reset or the owning operator Closes; or an
+//    operator-owned pool frozen until that operator's Close (the
+//    nested-loop join's materialized inner rows), which is safe because
+//    every batch is consumed before the tree closes. Producers that must
+//    copy an unstable string (one living in a boxed Value of a transient
+//    batch) intern it into this batch's own arena instead of falling
+//    back to boxed output.
 
 #ifndef ECODB_EXEC_ROW_BATCH_H_
 #define ECODB_EXEC_ROW_BATCH_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "ecodb/storage/string_arena.h"
 #include "ecodb/storage/table.h"
 #include "ecodb/storage/value.h"
 
@@ -138,6 +148,14 @@ class RowBatch {
     sel_.clear();
     num_rows_ = 0;
     lazy_source_ = nullptr;
+    retained_.clear();
+    if (arena_ != nullptr) {
+      if (arena_.use_count() == 1) {
+        arena_->Clear();  // sole owner: reuse
+      } else {
+        arena_.reset();  // someone downstream retained it; start fresh
+      }
+    }
   }
 
   int num_cols() const { return static_cast<int>(cols_.size()); }
@@ -228,6 +246,45 @@ class RowBatch {
   /// representation mid-batch.
   void DemoteLaneDense(int i);
 
+  // --- String ownership (see the header comment's lifetime rule) ---
+
+  /// This batch's own arena, for producers that must copy an unstable
+  /// string payload but want to keep the column in lane form. Created on
+  /// first use; cleared or replaced by Reset().
+  StringArena* arena() {
+    if (arena_ == nullptr) arena_ = std::make_shared<StringArena>();
+    return arena_.get();
+  }
+
+  /// Keeps `a`'s strings alive for this batch's lifetime (and, through
+  /// the consumer's own RetainStringStorage call, transitively for any
+  /// batch gathered from this one).
+  void RetainArena(const StringArenaPtr& a) {
+    if (a == nullptr || a->empty()) return;
+    for (const StringArenaPtr& r : retained_) {
+      if (r == a) return;
+    }
+    retained_.push_back(a);
+  }
+
+  /// Retains every arena that keeps `src`'s string-ref lanes valid: its
+  /// own arena plus everything it retained. Producers call this before
+  /// gathering string pointers out of `src` into this batch's lanes.
+  void RetainStringStorage(const RowBatch& src) {
+    RetainArena(src.arena_);
+    for (const StringArenaPtr& r : src.retained_) RetainArena(r);
+  }
+
+  /// Appends cell `v` densely to column `i`, keeping the column in lane
+  /// form while every non-null cell's exact tag matches `declared`.
+  /// String payloads are appended by pointer when `stable_str` is true
+  /// (the caller guarantees the pointee outlives this batch, per the
+  /// retention contract) and interned into this batch's arena otherwise.
+  /// Falls back to boxed appends — demoting any existing lane — on tag
+  /// mismatch or for types with no lane representation.
+  void AppendCellDense(int i, ValueType declared, const CellView& v,
+                       bool stable_str);
+
   /// Number of logically-alive rows.
   size_t active() const { return sel_.size(); }
   bool empty() const { return sel_.empty(); }
@@ -286,11 +343,6 @@ class RowBatch {
   /// Materializes physical row `r` into `out`.
   void MaterializeRow(uint32_t r, Row* out) const;
 
-  /// Appends every selected row to `out` as materialized Rows. Reserves
-  /// with geometric growth (an exact per-batch reserve would defeat
-  /// amortized doubling and turn repeated drains quadratic).
-  void MaterializeInto(std::vector<Row>* out) const;
-
  private:
   CellView LazyView(int col, uint32_t r) const;
   void EnsureCol(int i) const;
@@ -304,6 +356,9 @@ class RowBatch {
   size_t lazy_start_ = 0;
   /// filled_[c] set => cols_[c] holds the authoritative boxed values.
   mutable std::vector<uint8_t> filled_;
+
+  StringArenaPtr arena_;  ///< owned string payloads (lazily created)
+  std::vector<StringArenaPtr> retained_;  ///< borrowed payloads kept alive
 };
 
 // Multi-column key hashing over whole batches (typed, unboxed for lazily

@@ -1,0 +1,116 @@
+#include "ecodb/exec/typed_column.h"
+
+namespace ecodb {
+
+void TypedColumn::Reset(ValueType declared_type) {
+  type_ = declared_type;
+  // Types with no typed representation stay boxed from the start.
+  boxed_ = RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kNone;
+  has_nulls_ = false;
+  size_ = 0;
+  i64_.clear();
+  f64_.clear();
+  if (RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kStringRef) {
+    // A fresh arena unless this column is the sole owner of the old one
+    // (emitted batches may still reference the previous query's strings).
+    if (str_ == nullptr || str_.use_count() > 1) {
+      str_ = std::make_shared<StringArena>();
+    } else {
+      str_->Clear();
+    }
+  } else {
+    str_.reset();
+  }
+  nulls_.clear();
+  vals_.clear();
+}
+
+void TypedColumn::Demote() {
+  vals_.clear();
+  vals_.reserve(size_);
+  for (uint32_t i = 0; i < size_; ++i) vals_.push_back(GetValue(i));
+  i64_.clear();
+  f64_.clear();
+  str_.reset();
+  nulls_.clear();
+  boxed_ = true;
+}
+
+void TypedColumn::GatherInto(RowBatch* out, int out_col,
+                             const uint32_t* indices, size_t n) const {
+  if (!boxed_) {
+    RowBatch::TypedLane* lane = out->StartLaneAppend(out_col, type_);
+    if (lane != nullptr) {
+      switch (RowBatch::LaneKindFor(type_)) {
+        case RowBatch::LaneKind::kInt64:
+          for (size_t i = 0; i < n; ++i) lane->i64.push_back(i64_[indices[i]]);
+          break;
+        case RowBatch::LaneKind::kDouble:
+          for (size_t i = 0; i < n; ++i) lane->f64.push_back(f64_[indices[i]]);
+          break;
+        case RowBatch::LaneKind::kStringRef:
+          out->RetainArena(str_);
+          for (size_t i = 0; i < n; ++i) {
+            lane->str.push_back(&str_->at(indices[i]));
+          }
+          break;
+        case RowBatch::LaneKind::kNone:
+          break;
+      }
+      if (has_nulls_ && !lane->has_nulls) {
+        lane->has_nulls = true;
+        lane->nulls.assign(lane->LaneSize() - n, 0);
+      }
+      if (lane->has_nulls) {
+        if (has_nulls_) {
+          for (size_t i = 0; i < n; ++i) {
+            lane->nulls.push_back(nulls_[indices[i]]);
+          }
+        } else {
+          lane->nulls.resize(lane->LaneSize(), 0);
+        }
+      }
+      return;
+    }
+  }
+  // Boxed source, or the output column is already boxed.
+  if (out->lane_active(out_col)) out->DemoteLaneDense(out_col);
+  std::vector<Value>& dst = out->col(out_col);
+  for (size_t i = 0; i < n; ++i) dst.push_back(GetValue(indices[i]));
+}
+
+void TypedColumn::Append(const CellView& v) {
+  if (!boxed_ && v.type != type_ && v.type != ValueType::kNull) {
+    // Exact-tag mismatch with the declared type: typed storage could not
+    // reproduce the boxed cell bit-for-bit, so fall back to Values.
+    Demote();
+  }
+  if (boxed_) {
+    vals_.push_back(BoxCellView(v));
+    ++size_;
+    return;
+  }
+  const bool null = v.type == ValueType::kNull;
+  if (null) has_nulls_ = true;
+  nulls_.push_back(null ? 1 : 0);
+  switch (RowBatch::LaneKindFor(type_)) {
+    case RowBatch::LaneKind::kInt64:
+      i64_.push_back(null ? 0 : v.i);
+      break;
+    case RowBatch::LaneKind::kDouble:
+      f64_.push_back(null ? 0.0 : v.d);
+      break;
+    case RowBatch::LaneKind::kStringRef:
+      if (null) {
+        str_->Intern(std::string());
+      } else {
+        str_->Intern(*v.s);
+      }
+      break;
+    case RowBatch::LaneKind::kNone:
+      break;
+  }
+  ++size_;
+}
+
+}  // namespace ecodb

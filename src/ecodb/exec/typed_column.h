@@ -1,0 +1,103 @@
+// TypedColumn: one column of a contiguous column-major pool — the hash
+// join's build side, SortOp's materialized input, and the ResultSet's
+// storage all use it. Cells are stored *typed* (raw int64 / double /
+// arena-owned string entries plus a byte null mask) while every appended
+// cell's exact type tag matches the declared schema type; the first
+// mismatching cell demotes the column to boxed Values so that
+// round-tripping a cell through the pool is always bit-exact. Typed
+// columns let gather-style emission read raw values (strings by pointer
+// into the refcounted arena) instead of copying boxed Values per cell.
+
+#ifndef ECODB_EXEC_TYPED_COLUMN_H_
+#define ECODB_EXEC_TYPED_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ecodb/exec/row_batch.h"
+#include "ecodb/storage/string_arena.h"
+#include "ecodb/storage/value.h"
+
+namespace ecodb {
+
+class TypedColumn {
+ public:
+  void Reset(ValueType declared_type);
+  void Append(const CellView& v);
+  /// Unboxed view of entry `idx` (string views point into the arena).
+  CellView View(uint32_t idx) const {
+    if (boxed_) return CellView::Of(vals_[idx]);
+    if (has_nulls_ && nulls_[idx]) return CellView::Null();
+    switch (RowBatch::LaneKindFor(type_)) {
+      case RowBatch::LaneKind::kInt64:
+        return CellView::Int64(i64_[idx], type_);
+      case RowBatch::LaneKind::kDouble:
+        return CellView::Double(f64_[idx]);
+      case RowBatch::LaneKind::kStringRef:
+        return CellView::String(&str_->at(idx));
+      case RowBatch::LaneKind::kNone:
+        break;
+    }
+    return CellView::Null();
+  }
+  Value GetValue(uint32_t idx) const { return BoxCellView(View(idx)); }
+
+  /// Typed non-null appends for dense bulk gathers, hoisting the per-cell
+  /// tag dispatch out of the row loop. Legal only while the column is
+  /// unboxed and the value matches the declared type's storage class
+  /// (callers check boxed() and type() once per run).
+  void AppendNonNullInt64(int64_t v) {
+    nulls_.push_back(0);
+    i64_.push_back(v);
+    ++size_;
+  }
+  void AppendNonNullDouble(double v) {
+    nulls_.push_back(0);
+    f64_.push_back(v);
+    ++size_;
+  }
+  void AppendNonNullString(const std::string& v) {
+    nulls_.push_back(0);
+    str_->Intern(v);
+    ++size_;
+  }
+
+  /// Gathers entries `indices[0..n)` into column `out_col` of `out`,
+  /// append-style: typed lanes when possible (strings by pointer into
+  /// this column's arena, which `out` retains; null masks backfilled
+  /// against whatever the lane already holds), boxed Values otherwise.
+  /// The shared emission path of hash-join match flushing and columnar
+  /// sort output.
+  void GatherInto(RowBatch* out, int out_col, const uint32_t* indices,
+                  size_t n) const;
+
+  ValueType type() const { return type_; }
+  uint32_t size() const { return size_; }
+  bool boxed() const { return boxed_; }
+  bool has_nulls() const { return has_nulls_; }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::string& str_at(uint32_t idx) const { return str_->at(idx); }
+  /// Refcounted handle to the string payload; batches that gather string
+  /// pointers out of this column retain it (RowBatch::RetainArena) so the
+  /// bytes outlive the owning operator.
+  const StringArenaPtr& strings() const { return str_; }
+  bool IsNullAt(uint32_t idx) const { return has_nulls_ && nulls_[idx]; }
+
+ private:
+  void Demote();
+
+  ValueType type_ = ValueType::kNull;
+  bool boxed_ = false;
+  bool has_nulls_ = false;
+  uint32_t size_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  StringArenaPtr str_;  ///< one entry per row for string columns
+  std::vector<uint8_t> nulls_;
+  std::vector<Value> vals_;  ///< boxed fallback
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_TYPED_COLUMN_H_

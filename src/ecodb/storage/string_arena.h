@@ -1,0 +1,59 @@
+// StringArena: address-stable owned string storage for columnar payloads.
+//
+// Typed string lanes and columnar pools carry `const std::string*` instead
+// of copying bytes per cell. Those pointers are only safe while the bytes
+// they reference stay alive and at the same address. The arena provides
+// both properties: strings live in a deque (appending never moves existing
+// elements), and the arena itself is shared via `std::shared_ptr` so any
+// batch / result that references its bytes can *retain* the arena and keep
+// the payload alive past the producer's own lifetime (a probe batch being
+// replaced mid-call, an operator Close clearing its pool).
+//
+// Ownership contract (see docs/architecture.md "String ownership"): every
+// string a lane points at is owned by (a) Table storage, which outlives
+// the query, or (b) a StringArena retained — directly or transitively —
+// by every RowBatch that references it.
+
+#ifndef ECODB_STORAGE_STRING_ARENA_H_
+#define ECODB_STORAGE_STRING_ARENA_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ecodb {
+
+class StringArena {
+ public:
+  /// Copies `s` into the arena and returns its stable address.
+  const std::string* Intern(const std::string& s) {
+    strings_.push_back(s);
+    return &strings_.back();
+  }
+  const std::string* Intern(std::string&& s) {
+    strings_.push_back(std::move(s));
+    return &strings_.back();
+  }
+
+  /// Indexed access for pool-style columns that append one entry per row
+  /// (TypedColumn); entry `i` is the i-th interned string.
+  const std::string& at(size_t i) const { return strings_[i]; }
+
+  size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+  /// Drops all strings. Only legal for an arena with a single owner (a
+  /// shared arena may still be referenced by lanes elsewhere); callers
+  /// check `use_count` on their handle before reusing.
+  void Clear() { strings_.clear(); }
+
+ private:
+  std::deque<std::string> strings_;  ///< stable addresses across appends
+};
+
+using StringArenaPtr = std::shared_ptr<StringArena>;
+
+}  // namespace ecodb
+
+#endif  // ECODB_STORAGE_STRING_ARENA_H_

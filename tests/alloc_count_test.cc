@@ -78,6 +78,68 @@ uint64_t CountQueryAllocations(Database* db, const PlanNode& plan) {
   return after - before;
 }
 
+/// scan(lineitem) -> project(l_orderkey, revenue): a result-heavy plan
+/// (every input row reaches the ResultSet) over numeric columns, pinning
+/// the columnar result-append path: AppendBatch must not allocate per
+/// batch or per row beyond geometric column growth — no boxed Row (one
+/// heap vector per tuple) is ever built.
+Result<PlanNodePtr> BuildProjectAll(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    EXPECT_GE(idx, 0) << name;
+    return Col(idx, s.field(idx).type, name);
+  };
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(col("l_orderkey"));
+  exprs.push_back(Arith(ArithOp::kMul, col("l_extendedprice"),
+                        Arith(ArithOp::kSub, LitDbl(1.0), col("l_discount"))));
+  return MakeProject(std::move(scan), std::move(exprs),
+                     {"l_orderkey", "revenue"});
+}
+
+TEST(AllocCountTest, ResultSetAppendAllocatesOnlyForColumnGrowth) {
+  auto small_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.002);
+  auto large_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.016);
+  ASSERT_NE(small_db, nullptr);
+  ASSERT_NE(large_db, nullptr);
+
+  auto small_plan = BuildProjectAll(*small_db->catalog());
+  auto large_plan = BuildProjectAll(*large_db->catalog());
+  ASSERT_TRUE(small_plan.ok());
+  ASSERT_TRUE(large_plan.ok());
+
+  const uint64_t small_allocs =
+      CountQueryAllocations(small_db.get(), *small_plan.value());
+  const uint64_t large_allocs =
+      CountQueryAllocations(large_db.get(), *large_plan.value());
+
+  const uint64_t small_rows =
+      small_db->catalog()->FindEntry("lineitem")->table->num_rows();
+  const uint64_t large_rows =
+      large_db->catalog()->FindEntry("lineitem")->table->num_rows();
+  const uint64_t extra_batches =
+      (large_rows - small_rows) / RowBatch::kDefaultBatchRows;
+  ASSERT_GE(extra_batches, 40u) << "test tables too close in size";
+
+  std::printf(
+      "result-append allocations: small=%llu large=%llu (+%llu batches, "
+      "+%llu result rows)\n",
+      static_cast<unsigned long long>(small_allocs),
+      static_cast<unsigned long long>(large_allocs),
+      static_cast<unsigned long long>(extra_batches),
+      static_cast<unsigned long long>(large_rows - small_rows));
+
+  // ~8x the result rows may only add geometric column-growth allocations
+  // (a few doublings per typed array), far below one per extra batch —
+  // and nowhere near the one-Row-per-tuple of the boxed drain.
+  EXPECT_LE(large_allocs, small_allocs + extra_batches / 2)
+      << "small=" << small_allocs << " large=" << large_allocs
+      << " extra_batches=" << extra_batches;
+  EXPECT_LE(large_allocs, 600u) << "large=" << large_allocs;
+}
+
 TEST(AllocCountTest, ScanFilterAggAllocationsScaleWithOperatorsNotBatches) {
   auto small_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.002);
   auto large_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.016);

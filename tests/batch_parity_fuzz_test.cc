@@ -273,6 +273,66 @@ class PlanFuzzer {
     return joined;
   }
 
+  /// A projection that passes every field of `sp` through by column
+  /// reference — in batch mode this re-emits typed lanes over the child's
+  /// lanes, stacking another producer between a join and its consumer.
+  void ApplyPassthroughProject(SubPlan* sp) {
+    const int n = sp->node->output_schema.num_fields();
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (int c = 0; c < n; ++c) {
+      exprs.push_back(ColOf(*sp, c));
+      names.push_back(sp->node->output_schema.field(c).name);
+    }
+    sp->node = MakeProject(std::move(sp->node), std::move(exprs),
+                           std::move(names));
+  }
+
+  /// String-keyed hash join whose probe child is itself a join (and,
+  /// half the time, a typed projection over that join): the probe-side
+  /// string key and payload reach the outer join through string-ref
+  /// lanes whose backing batch is replaced mid-call — the arena-retention
+  /// path that replaced the demote-to-boxed fallback. n_name / r_name
+  /// are unique, so output stays linear in the probe cardinality.
+  SubPlan GenerateStringKeyJoin() {
+    const bool via_region = Coin(0.4);
+    SubPlan inner_build = ScanOf(via_region ? "region" : "nation");
+    MaybeFilter(&inner_build, 0.4);
+    static const char* kNationChildren[] = {"customer", "supplier"};
+    SubPlan inner_probe =
+        ScanOf(via_region ? "nation" : kNationChildren[Roll(2)]);
+    MaybeFilter(&inner_probe, 0.4);
+    const char* parent_key = via_region ? "r_regionkey" : "n_nationkey";
+    const char* child_key = via_region ? "n_regionkey"
+                                       : (inner_probe.node->output_schema
+                                                  .FindField("c_nationkey") >= 0
+                                              ? "c_nationkey"
+                                              : "s_nationkey");
+    int ibk = inner_build.node->output_schema.FindField(parent_key);
+    int ipk = inner_probe.node->output_schema.FindField(child_key);
+    SubPlan probe;
+    probe.sources = inner_build.sources;
+    probe.sources.insert(probe.sources.end(), inner_probe.sources.begin(),
+                         inner_probe.sources.end());
+    probe.node = MakeHashJoin(std::move(inner_build.node),
+                              std::move(inner_probe.node), {ibk}, {ipk});
+    if (Coin(0.5)) ApplyPassthroughProject(&probe);
+    MaybeFilter(&probe, 0.3);
+
+    const char* str_key = via_region ? "r_name" : "n_name";
+    SubPlan build = ScanOf(via_region ? "region" : "nation");
+    MaybeFilter(&build, 0.4);
+    int bk = build.node->output_schema.FindField(str_key);
+    int pk = probe.node->output_schema.FindField(str_key);
+    SubPlan joined;
+    joined.sources = build.sources;
+    joined.sources.insert(joined.sources.end(), probe.sources.begin(),
+                          probe.sources.end());
+    joined.node = MakeHashJoin(std::move(build.node), std::move(probe.node),
+                               {bk}, {pk});
+    return joined;
+  }
+
   SubPlan GenerateNestedLoop() {
     SubPlan outer = ScanOf("nation");
     SubPlan inner = ScanOf("region");
@@ -299,13 +359,14 @@ class PlanFuzzer {
 
   SubPlan GenerateBase() {
     const size_t shape = Roll(100);
-    if (shape < 45) {  // single table
+    if (shape < 40) {  // single table
       static const char* kTables[] = {"lineitem", "orders",   "customer",
                                       "supplier", "nation",   "region"};
       return ScanOf(kTables[Roll(6)]);
     }
-    if (shape < 75) return GenerateJoin(1);
-    if (shape < 90) return GenerateJoin(2);
+    if (shape < 65) return GenerateJoin(1);
+    if (shape < 78) return GenerateJoin(2);
+    if (shape < 92) return GenerateStringKeyJoin();
     return GenerateNestedLoop();
   }
 
@@ -375,10 +436,15 @@ class PlanFuzzer {
   void ApplySort(SubPlan* sp) {
     const int n = sp->node->output_schema.num_fields();
     std::vector<SortKey> keys;
+    // Bias the leading key toward a string column when one exists: the
+    // columnar sort's string arenas and unboxed string compares are the
+    // freshest surface.
+    std::vector<int> strs = FieldsOfClass(*sp, /*numeric=*/false);
     const size_t n_keys = 1 + Roll(2);
     for (size_t i = 0; i < n_keys; ++i) {
-      keys.push_back(SortKey{ColOf(*sp, static_cast<int>(Roll(n))),
-                             Coin(0.5)});
+      int f = static_cast<int>(Roll(static_cast<size_t>(n)));
+      if (i == 0 && !strs.empty() && Coin(0.5)) f = strs[Roll(strs.size())];
+      keys.push_back(SortKey{ColOf(*sp, f), Coin(0.5)});
     }
     sp->node = MakeSort(std::move(sp->node), std::move(keys));
   }
@@ -387,7 +453,7 @@ class PlanFuzzer {
     MaybeFilter(sp, 0.55);
     if (Coin(0.35)) ApplyProject(sp);
     if (Coin(0.45)) ApplyAggregate(sp);
-    if (Coin(0.3)) ApplySort(sp);
+    if (Coin(0.4)) ApplySort(sp);
     if (Coin(0.25)) {
       sp->node = MakeLimit(std::move(sp->node),
                            static_cast<int64_t>(Roll(400)));
@@ -437,9 +503,9 @@ class BatchParityFuzzTest : public ::testing::Test {
 
     const QueryResult& r = row_res.value();
     const QueryResult& b = batch_res.value();
-    ASSERT_EQ(r.rows.size(), b.rows.size());
-    for (size_t i = 0; i < r.rows.size(); ++i) {
-      ASSERT_EQ(RowToString(r.rows[i]), RowToString(b.rows[i]))
+    ASSERT_EQ(r.rows().size(), b.rows().size());
+    for (size_t i = 0; i < r.rows().size(); ++i) {
+      ASSERT_EQ(RowToString(r.rows()[i]), RowToString(b.rows()[i]))
           << "row " << i;
     }
     EXPECT_EQ(r.exec_stats.tuples_scanned, b.exec_stats.tuples_scanned);

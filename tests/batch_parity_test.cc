@@ -206,9 +206,10 @@ TEST_F(BatchParityTest, HashJoinBuildSideIsJoinOutput) {
 
 TEST_F(BatchParityTest, HashJoinProbeSideIsJoinOutput) {
   // The inner join's lanes are the probe side of the outer join: numeric
-  // lanes gather lane-to-lane, string-ref lanes take the boxed fallback
-  // (their pointers don't survive the probe batch), and the batch key
-  // hasher reads lanes directly.
+  // lanes gather lane-to-lane, string-ref lanes gather zero-copy (the
+  // output batch retains the probe batch's arenas, so the pointers
+  // survive the probe batch's replacement), and the batch key hasher
+  // reads lanes directly.
   PlanNodePtr inner = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
   ExpectParity(*MakeHashJoin(Scan("small"), std::move(inner), {2}, {2}));
 }
@@ -299,6 +300,32 @@ TEST_F(BatchParityTest, SortMultiKey) {
                          {SortKey{S(), true}, SortKey{K(), false}}));
 }
 
+TEST_F(BatchParityTest, SortOverJoinLanes) {
+  // Columnar sort consumes the join's typed lanes (string bytes into the
+  // sort columns' arenas) and emits sorted lanes; row mode decorates
+  // boxed Rows. Results and every counter must agree.
+  PlanNodePtr join = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  ExpectParity(*MakeSort(std::move(join),
+                         {SortKey{S(), false}, SortKey{V(), true}}));
+}
+
+TEST_F(BatchParityTest, SortNullProducingKey) {
+  // A sort key whose arithmetic divides by zero at k == 5: NULL keys ride
+  // the key column's null mask in batch mode and must order exactly like
+  // boxed Value::Null (less than everything) in row mode.
+  ExprPtr key =
+      Arith(ArithOp::kDiv, V(), Arith(ArithOp::kSub, K(), LitInt(5)));
+  ExpectParity(*MakeSort(Scan("small"), {SortKey{key, true}}));
+}
+
+TEST_F(BatchParityTest, LimitOverSortOverJoinLanes) {
+  // LimitOp pulls row-at-a-time even in batch mode, so the batch-consumed
+  // columnar sort serves Next() by boxing from its typed columns.
+  PlanNodePtr join = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  ExpectParity(
+      *MakeLimit(MakeSort(std::move(join), {SortKey{S(), true}}), 9));
+}
+
 TEST_F(BatchParityTest, LimitOverScan) {
   // Limit drives its child row-at-a-time in batch mode, so even the
   // early-termination tuple counts match exactly.
@@ -363,7 +390,7 @@ TEST_P(TpchBatchParityTest, AllBenchmarkQueriesMatch) {
     ASSERT_TRUE(row_res.ok()) << row_res.status().ToString();
     ASSERT_TRUE(batch_res.ok()) << batch_res.status().ToString();
 
-    ExpectRowsEqual(row_res.value().rows, batch_res.value().rows);
+    ExpectRowsEqual(row_res.value().rows(), batch_res.value().rows());
     ExpectStatsParity(row_res.value().exec_stats,
                       batch_res.value().exec_stats);
     // Simulated time and energy: the paper-facing outputs.

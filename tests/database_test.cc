@@ -20,7 +20,7 @@ TEST(DatabaseTest, ExecutePlanMeasuresTimeAndEnergy) {
   EXPECT_GT(r.value().exec_stats.tuples_scanned, 0u);
   // ~2 % of lineitem.
   double rows = db->catalog()->FindTable("lineitem")->num_rows();
-  EXPECT_NEAR(r.value().rows.size() / (0.02 * rows), 1.0, 0.4);
+  EXPECT_NEAR(r.value().rows().size() / (0.02 * rows), 1.0, 0.4);
 }
 
 TEST(DatabaseTest, MemoryEngineDoesNoDiskIo) {
@@ -83,7 +83,7 @@ TEST(DatabaseTest, ExecuteSqlEndToEnd) {
   ASSERT_NE(db, nullptr);
   auto r = db->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(static_cast<uint64_t>(r.value().rows[0][0].AsInt()),
+  EXPECT_EQ(static_cast<uint64_t>(r.value().rows()[0][0].AsInt()),
             db->catalog()->FindTable("lineitem")->num_rows());
 }
 

@@ -115,7 +115,7 @@ TEST(IntegrationTest, GeneratedDataSupportsAllFourExampleQueries) {
   for (const auto& q : wl.value().queries) {
     auto r = db->ExecutePlanQuery(*q);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
-    EXPECT_FALSE(r.value().rows.empty());
+    EXPECT_FALSE(r.value().rows().empty());
   }
 }
 

@@ -105,7 +105,7 @@ TEST_P(SplitCorrectnessTest, SplitResultsEqualSequentialResults) {
   for (int i = 0; i < n; ++i) {
     auto seq = db->ExecutePlanQuery(*wl.queries[static_cast<size_t>(i)]);
     ASSERT_TRUE(seq.ok());
-    const auto& expect = seq.value().rows;
+    const auto& expect = seq.value().rows();
     const auto& got = split[static_cast<size_t>(i)];
     ASSERT_EQ(got.size(), expect.size()) << "query " << i;
     for (size_t r = 0; r < got.size(); ++r) {
@@ -150,9 +150,9 @@ TEST_P(SharedAggTest, SharedScanEqualsSequentialAggregation) {
     auto seq = db->ExecutePlanQuery(*plans[static_cast<size_t>(i)]);
     ASSERT_TRUE(seq.ok());
     const auto& got = shared.value()[static_cast<size_t>(i)];
-    ASSERT_EQ(got.size(), seq.value().rows.size());
+    ASSERT_EQ(got.size(), seq.value().rows().size());
     for (size_t c = 0; c < got[0].size(); ++c) {
-      EXPECT_EQ(got[0][c].Compare(seq.value().rows[0][c]), 0) << "query " << i;
+      EXPECT_EQ(got[0][c].Compare(seq.value().rows()[0][c]), 0) << "query " << i;
     }
   }
 }

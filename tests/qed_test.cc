@@ -96,7 +96,7 @@ TEST_F(QedTest, QueueApiFlushesAtThreshold) {
       *tpch::BuildSelectionQuery(*db_->catalog(), 11).value());
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(flush.value().per_query_rows[1].size(),
-            direct.value().rows.size());
+            direct.value().rows().size());
 }
 
 TEST_F(QedTest, FlushOnEmptyQueueFails) {

@@ -124,8 +124,8 @@ class SqlEquivalenceTest : public ::testing::Test {
       return s;
     };
     std::vector<std::string> a, b;
-    for (const Row& r : sql_result.value().rows) a.push_back(key(r));
-    for (const Row& r : hand_result.value().rows) b.push_back(key(r));
+    for (const Row& r : sql_result.value().rows()) a.push_back(key(r));
+    for (const Row& r : hand_result.value().rows()) b.push_back(key(r));
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     EXPECT_EQ(a, b) << "SQL: " << sql;
@@ -164,24 +164,24 @@ TEST_F(SqlEquivalenceTest, SelectionMatchesHandPlan) {
 TEST_F(SqlEquivalenceTest, SelectStarAndLimit) {
   auto r = db_->ExecuteSql("SELECT * FROM region ORDER BY r_name LIMIT 3");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r.value().rows.size(), 3u);
-  EXPECT_EQ(r.value().rows[0][1].AsString(), "AFRICA");
-  EXPECT_EQ(r.value().rows[1][1].AsString(), "AMERICA");
+  ASSERT_EQ(r.value().rows().size(), 3u);
+  EXPECT_EQ(r.value().rows()[0][1].AsString(), "AFRICA");
+  EXPECT_EQ(r.value().rows()[1][1].AsString(), "AMERICA");
 }
 
 TEST_F(SqlEquivalenceTest, InListQuery) {
   auto r = db_->ExecuteSql(
       "SELECT n_name FROM nation WHERE n_regionkey IN (2) ORDER BY n_name");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r.value().rows.size(), 5u);  // 5 ASIA nations
-  EXPECT_EQ(r.value().rows[0][0].AsString(), "CHINA");
+  ASSERT_EQ(r.value().rows().size(), 5u);  // 5 ASIA nations
+  EXPECT_EQ(r.value().rows()[0][0].AsString(), "CHINA");
 }
 
 TEST_F(SqlEquivalenceTest, CountStarAndAliases) {
   auto r = db_->ExecuteSql("SELECT COUNT(*) AS n FROM nation");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r.value().rows.size(), 1u);
-  EXPECT_EQ(r.value().rows[0][0].AsInt(), 25);
+  ASSERT_EQ(r.value().rows().size(), 1u);
+  EXPECT_EQ(r.value().rows()[0][0].AsInt(), 25);
   EXPECT_EQ(r.value().schema.field(0).name, "n");
 }
 
@@ -202,8 +202,8 @@ TEST_F(SqlEquivalenceTest, QualifiedColumnNames) {
   auto r = db_->ExecuteSql(
       "SELECT nation.n_name FROM nation WHERE nation.n_nationkey = 8");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r.value().rows.size(), 1u);
-  EXPECT_EQ(r.value().rows[0][0].AsString(), "INDIA");
+  ASSERT_EQ(r.value().rows().size(), 1u);
+  EXPECT_EQ(r.value().rows()[0][0].AsString(), "INDIA");
 }
 
 }  // namespace

@@ -64,6 +64,41 @@ const char* const kQ6Expected[] = {
     "(245657.4596)",
 };
 
+// String-returning ORDER BY: region |x| nation (string payloads cross a
+// join), projected to (n_name, r_name), sorted descending on n_name,
+// LIMIT 10 (which drives SortOp row-at-a-time even in batch mode). Nation
+// and region contents are fixed by the TPC-H spec, so these rows are
+// stable at any scale factor. Pins sort order and string payload bytes
+// end to end — drift here is invisible to the parity suite, which only
+// compares the modes to each other.
+const char* const kStringOrderByExpected[] = {
+    "(VIETNAM, ASIA)",        "(UNITED STATES, AMERICA)",
+    "(UNITED KINGDOM, EUROPE)", "(SAUDI ARABIA, MIDDLE EAST)",
+    "(RUSSIA, EUROPE)",       "(ROMANIA, EUROPE)",
+    "(PERU, AMERICA)",        "(MOZAMBIQUE, AFRICA)",
+    "(MOROCCO, AFRICA)",      "(KENYA, AFRICA)",
+};
+
+Result<PlanNodePtr> BuildStringOrderByPlan(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr region, MakeScan(catalog, "region"));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr nation, MakeScan(catalog, "nation"));
+  const int rk = region->output_schema.FindField("r_regionkey");
+  const int nk = nation->output_schema.FindField("n_regionkey");
+  PlanNodePtr joined =
+      MakeHashJoin(std::move(region), std::move(nation), {rk}, {nk});
+  const int n_name = joined->output_schema.FindField("n_name");
+  const int r_name = joined->output_schema.FindField("r_name");
+  std::vector<ExprPtr> exprs{Col(n_name, ValueType::kString, "n_name"),
+                             Col(r_name, ValueType::kString, "r_name")};
+  PlanNodePtr projected = MakeProject(std::move(joined), std::move(exprs),
+                                      {"n_name", "r_name"});
+  std::vector<SortKey> keys;
+  keys.push_back(
+      SortKey{Col(0, ValueType::kString, "n_name"), /*ascending=*/false});
+  PlanNodePtr sorted = MakeSort(std::move(projected), std::move(keys));
+  return MakeLimit(std::move(sorted), 10);
+}
+
 class TpchGoldenTest : public ::testing::TestWithParam<ExecMode> {
  protected:
   static std::unique_ptr<Database> MakeDb(ExecMode mode) {
@@ -84,7 +119,7 @@ class TpchGoldenTest : public ::testing::TestWithParam<ExecMode> {
     ASSERT_TRUE(plan.ok()) << plan.status().ToString();
     auto res = db->ExecutePlanQuery(*plan.value());
     ASSERT_TRUE(res.ok()) << res.status().ToString();
-    const std::vector<Row>& rows = res.value().rows;
+    const std::vector<Row>& rows = res.value().rows();
     ASSERT_EQ(rows.size(), N);
     for (size_t i = 0; i < N; ++i) {
       EXPECT_EQ(RowToString(rows[i]), expected[i]) << "row " << i;
@@ -108,6 +143,12 @@ TEST_P(TpchGoldenTest, Q5) {
   auto db = MakeDb(GetParam());
   ExpectGolden(db.get(), tpch::BuildQ5Plan(*db->catalog(), tpch::Q5Params{}),
                kQ5Expected);
+}
+
+TEST_P(TpchGoldenTest, StringOrderBy) {
+  auto db = MakeDb(GetParam());
+  ExpectGolden(db.get(), BuildStringOrderByPlan(*db->catalog()),
+               kStringOrderByExpected);
 }
 
 TEST_P(TpchGoldenTest, Q6) {

@@ -163,11 +163,11 @@ TEST_P(Q5ResultTest, GroupsAreNationsOfTheRegion) {
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   auto r = db->ExecutePlanQuery(*plan.value());
   ASSERT_TRUE(r.ok());
-  EXPECT_LE(r.value().rows.size(), 5u);  // at most 5 nations per region
+  EXPECT_LE(r.value().rows().size(), 5u);  // at most 5 nations per region
   // Revenue sorted descending.
-  for (size_t i = 1; i < r.value().rows.size(); ++i) {
-    EXPECT_GE(r.value().rows[i - 1][1].AsDouble(),
-              r.value().rows[i][1].AsDouble());
+  for (size_t i = 1; i < r.value().rows().size(); ++i) {
+    EXPECT_GE(r.value().rows()[i - 1][1].AsDouble(),
+              r.value().rows()[i][1].AsDouble());
   }
 }
 
