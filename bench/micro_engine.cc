@@ -30,38 +30,42 @@ struct ModeResult {
   double sim_joules = 0;
 };
 
+/// Field lookup that dies loudly on a schema mismatch (these are fixed
+/// TPC-H plans; a missing field is a build bug, not a runtime state).
+int FieldIndexOrDie(const Schema& s, const char* name) {
+  int idx = s.FindField(name);
+  if (idx < 0) {
+    std::fprintf(stderr, "field not found: %s\n", name);
+    std::exit(1);
+  }
+  return idx;
+}
+
+ExprPtr FieldCol(const Schema& s, const char* name) {
+  int idx = FieldIndexOrDie(s, name);
+  return Col(idx, s.field(idx).type, name);
+}
+
 /// Join-heavy microbench: orders (one-year date filter) |x| lineitem on
 /// orderkey, then a global aggregate so the timing isolates hash build,
 /// batch-at-a-time probe and match emission rather than result
 /// materialization. ~14% of probe rows match, the selective-join shape
 /// where boxing only matched probe positions pays off.
 Result<PlanNodePtr> BuildJoinOrdersLineitem(const Catalog& catalog) {
-  auto col_idx = [](const PlanNode& node, const char* name) {
-    int idx = node.output_schema.FindField(name);
-    if (idx < 0) {
-      std::fprintf(stderr, "field not found: %s\n", name);
-      std::exit(1);
-    }
-    return idx;
-  };
-  auto col = [&](const PlanNode& node, const char* name) {
-    int idx = col_idx(node, name);
-    return Col(idx, node.output_schema.field(idx).type, name);
-  };
   ECODB_ASSIGN_OR_RETURN(PlanNodePtr orders, MakeScan(catalog, "orders"));
-  ExprPtr odate_col = col(*orders, "o_orderdate");
+  ExprPtr odate_col = FieldCol(orders->output_schema, "o_orderdate");
   PlanNodePtr filtered = MakeFilter(
       std::move(orders),
       And({Cmp(CompareOp::kGe, odate_col, LitDate("1994-01-01")),
            Cmp(CompareOp::kLt, odate_col, LitDate("1995-01-01"))}));
   ECODB_ASSIGN_OR_RETURN(PlanNodePtr lineitem, MakeScan(catalog, "lineitem"));
-  int ok_build = col_idx(*filtered, "o_orderkey");
-  int ok_probe = col_idx(*lineitem, "l_orderkey");
+  int ok_build = FieldIndexOrDie(filtered->output_schema, "o_orderkey");
+  int ok_probe = FieldIndexOrDie(lineitem->output_schema, "l_orderkey");
   PlanNodePtr joined = MakeHashJoin(std::move(filtered), std::move(lineitem),
                                     {ok_build}, {ok_probe});
   AggSpec sum;
   sum.kind = AggSpec::Kind::kSum;
-  sum.arg = col(*joined, "l_extendedprice");
+  sum.arg = FieldCol(joined->output_schema, "l_extendedprice");
   sum.name = "revenue";
   AggSpec cnt;
   cnt.kind = AggSpec::Kind::kCount;
@@ -78,18 +82,57 @@ Result<PlanNodePtr> BuildJoinOrdersLineitem(const Catalog& catalog) {
 Result<PlanNodePtr> BuildOrderByLineitem(const Catalog& catalog) {
   ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
   const Schema& s = scan->output_schema;
-  auto col = [&](const char* name) {
-    int idx = s.FindField(name);
-    if (idx < 0) {
-      std::fprintf(stderr, "lineitem field not found: %s\n", name);
-      std::exit(1);
-    }
-    return Col(idx, s.field(idx).type, name);
-  };
   std::vector<SortKey> keys;
-  keys.push_back(SortKey{col("l_shipdate"), /*ascending=*/false});
-  keys.push_back(SortKey{col("l_orderkey"), /*ascending=*/true});
+  keys.push_back(SortKey{FieldCol(s, "l_shipdate"), /*ascending=*/false});
+  keys.push_back(SortKey{FieldCol(s, "l_orderkey"), /*ascending=*/true});
   return MakeSort(std::move(scan), std::move(keys));
+}
+
+/// Limit-topped aggregate: scan(lineitem) -> group by l_orderkey (many
+/// groups) -> SUM/COUNT -> LIMIT 100. Isolates the columnar HashAgg
+/// emission + truncating batched LimitOp: before PR 5 the aggregate
+/// boxed every group into result Rows and the limit row-pulled them.
+Result<PlanNodePtr> BuildLimitOverAgg(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSum;
+  revenue.arg = FieldCol(s, "l_extendedprice");
+  revenue.name = "revenue";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  PlanNodePtr agg = MakeAggregate(std::move(scan),
+                                  {FieldCol(s, "l_orderkey")},
+                                  {revenue, cnt});
+  return MakeLimit(std::move(agg), 100);
+}
+
+/// String-heavy group-by: scan(lineitem) -> group by (l_shipmode,
+/// l_returnflag, l_linestatus) -> SUM/COUNT/MIN(l_shipinstruct).
+/// Exercises unboxed string group-key hashing, the string MIN
+/// accumulator, columnar string-key emission and the result-string
+/// dedup/handoff path.
+Result<PlanNodePtr> BuildGroupByStrings(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  AggSpec sum;
+  sum.kind = AggSpec::Kind::kSum;
+  sum.arg = FieldCol(s, "l_quantity");
+  sum.name = "qty";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  AggSpec mn;
+  mn.kind = AggSpec::Kind::kMin;
+  mn.arg = FieldCol(s, "l_shipinstruct");
+  mn.name = "min_instruct";
+  return MakeAggregate(std::move(scan),
+                       {FieldCol(s, "l_shipmode"), FieldCol(s, "l_returnflag"),
+                        FieldCol(s, "l_linestatus")},
+                       {sum, cnt, mn});
 }
 
 /// Builds the acceptance pipeline: scan(lineitem) -> filter -> group-by
@@ -98,18 +141,10 @@ Result<PlanNodePtr> BuildOrderByLineitem(const Catalog& catalog) {
 Result<PlanNodePtr> BuildScanFilterAgg(const Catalog& catalog) {
   ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
   const Schema& s = scan->output_schema;
-  auto col = [&](const char* name) {
-    int idx = s.FindField(name);
-    if (idx < 0) {
-      std::fprintf(stderr, "lineitem field not found: %s\n", name);
-      std::exit(1);
-    }
-    return Col(idx, s.field(idx).type, name);
-  };
-  ExprPtr qty = col("l_quantity");
-  ExprPtr price = col("l_extendedprice");
-  ExprPtr disc = col("l_discount");
-  ExprPtr flag = col("l_returnflag");
+  ExprPtr qty = FieldCol(s, "l_quantity");
+  ExprPtr price = FieldCol(s, "l_extendedprice");
+  ExprPtr disc = FieldCol(s, "l_discount");
+  ExprPtr flag = FieldCol(s, "l_returnflag");
   PlanNodePtr filtered = MakeFilter(
       std::move(scan), Cmp(CompareOp::kLt, qty, LitInt(25)));
   AggSpec revenue;
@@ -248,6 +283,8 @@ int Main(int argc, char** argv) {
   });
   add("join_orders_lineitem", &BuildJoinOrdersLineitem);
   add("order_by_lineitem", &BuildOrderByLineitem);
+  add("limit_over_agg", &BuildLimitOverAgg);
+  add("group_by_strings", &BuildGroupByStrings);
   add("tpch_q1", [](const Catalog& c) {
     return tpch::BuildQ1Plan(c, "1998-09-02");
   });

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Build and run the full test suite in both the default configuration and
-# the AddressSanitizer configuration, so the ASan suite actually gates
-# changes instead of rotting. This is the command CI (and any PR author)
-# should run before merging:
+# Build and run the full test suite in the default configuration plus the
+# Address- and UndefinedBehaviorSanitizer configurations, so the
+# sanitizer suites actually gate changes instead of rotting. This is the
+# command CI (and any PR author) should run before merging:
 #
-#   scripts/check.sh            # both configs
+#   scripts/check.sh            # all configs
 #   scripts/check.sh --fast     # default config only
 #
-# Build trees: build/ (default) and build-asan/ (ECODB_SANITIZE=address).
+# Build trees: build/ (default), build-asan/ (ECODB_SANITIZE=address) and
+# build-ubsan/ (ECODB_SANITIZE=undefined).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,6 +39,7 @@ echo "=== bench smoke: micro_engine --sf=0.001 ==="
 
 if [[ "${FAST}" == "0" ]]; then
   run_config build-asan -DECODB_SANITIZE=address
+  run_config build-ubsan -DECODB_SANITIZE=undefined
 fi
 
 echo "=== all checks passed ==="

@@ -31,6 +31,13 @@ struct DatabaseOptions {
 /// The result itself is columnar (ResultSet: typed column arrays + null
 /// masks, identical across execution modes); `rows()` exposes the lazily
 /// built boxed row view for row-oriented callers.
+///
+/// Lifetime: the result outlives the operator tree, but its string
+/// columns may borrow Table storage (the PR 5 dedup contract — see
+/// exec/result_set.h), so a QueryResult must not be read after the
+/// Database that produced it is destroyed. Callers that need a
+/// free-standing copy should TakeRows() (boxed Values own their bytes)
+/// while the Database is alive.
 struct QueryResult {
   ResultSet result;
   Schema schema;

@@ -40,6 +40,18 @@ Status Operator::NextBatch(RowBatch* out, bool* has_rows) {
   return Status::OK();
 }
 
+Status Operator::NextBatchCapped(RowBatch* out, bool* has_rows,
+                                 size_t max_rows) {
+  // Operators with materialized emission MUST override the capped form:
+  // their parents (LimitOp) rely on the bound being honored, and this
+  // adapter ignores it. Catch a forgotten override the first time any
+  // capped pull reaches it, not only when a limit truncates rows.
+  assert(!MaterializedEmission() &&
+         "MaterializedEmission operators must override NextBatchCapped");
+  (void)max_rows;  // streaming callers truncate themselves
+  return NextBatch(out, has_rows);
+}
+
 // --- SeqScanOp ---
 
 SeqScanOp::SeqScanOp(ExecContext* ctx, const std::string& table_name)
@@ -375,15 +387,29 @@ Status HashJoinOp::ConsumeBuildSide() {
       // Hash all selected keys up front (typed arrays for lazily-bound
       // scan batches and lane columns), then append cells to the typed
       // contiguous pool via views — no boxing on the way in; both equal
-      // HashRowKey / AppendRow over each row in order.
+      // HashRowKey / AppendRow over each row in order. String cells
+      // whose bytes outlive this pull (table storage, arena-backed
+      // lanes) enter the pool by pointer — the pool retains the arenas —
+      // instead of being re-interned; only transient boxed values and
+      // pool-backed lanes are copied.
       HashKeyColumnsBatch(batch, build_keys_, &build_hash_scratch_);
       for (size_t i = 0; i < build_hash_scratch_.size(); ++i) {
         index_.Insert(build_hash_scratch_[i],
                       num_build_rows_ + static_cast<uint32_t>(i));
       }
+      const bool stable_strings = !batch.strings_pool_backed();
       for (int c = 0; c < n_cols; ++c) {
         TypedColumn& dst = build_cols_[static_cast<size_t>(c)];
-        for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
+        if (stable_strings && !batch.col_materialized(c) &&
+            RowBatch::LaneKindFor(dst.type()) ==
+                RowBatch::LaneKind::kStringRef) {
+          dst.RetainStorageOf(batch);
+          for (uint32_t r : batch.sel()) {
+            dst.AppendStable(batch.ViewCell(c, r));
+          }
+        } else {
+          for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
+        }
       }
       num_build_rows_ += static_cast<uint32_t>(batch.active());
     }
@@ -687,6 +713,12 @@ Status NestedLoopJoinOp::Open() {
   inner_->Close();
   ECODB_RETURN_NOT_OK(outer_->Open());
   schema_ = Schema::Concat(outer_->schema(), inner_->schema());
+  inner_strings_pool_ = false;
+  for (int c = 0; c < inner_->schema().num_fields(); ++c) {
+    if (inner_->schema().field(c).type == ValueType::kString) {
+      inner_strings_pool_ = true;
+    }
+  }
   outer_valid_ = false;
   inner_pos_ = 0;
   outer_batch_valid_ = false;
@@ -740,7 +772,8 @@ Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
     // and interned into `out`'s arena when they live in transient boxed
     // Values, since the outer batch may be replaced mid-call). Inner
     // cells point into inner_rows_, the operator-owned pool frozen until
-    // Close.
+    // Close — so string-bearing output is marked pool-backed.
+    if (inner_strings_pool_) out->MarkStringsPoolBacked();
     if (outer_batch_valid_) out->RetainStringStorage(outer_batch_);
     size_t emitted = 0;
     // Build a batch of concatenated candidate rows.
@@ -1039,52 +1072,77 @@ Status HashAggOp::ConsumeChildBatchMode() {
   return Status::OK();
 }
 
-void HashAggOp::EmitResults() {
-  if (groups_.empty() && group_by_.empty()) {
-    // Global aggregate over empty input still yields one row.
-    Group g{Row{}, std::vector<Accumulator>(aggs_.size())};
-    results_.push_back(GroupToRow(g));
-  } else {
-    // The contiguous pool is in group-creation order, so results are
-    // deterministic and identical across execution modes.
-    results_.reserve(groups_.size());
-    for (const Group& g : groups_) results_.push_back(GroupToRow(g));
+void HashAggOp::MaterializeResults() {
+  const int n_fields = schema_.num_fields();
+  result_cols_.resize(static_cast<size_t>(n_fields));
+  for (int c = 0; c < n_fields; ++c) {
+    result_cols_[static_cast<size_t>(c)].Reset(schema_.field(c).type);
   }
-}
 
-Row HashAggOp::GroupToRow(const Group& g) const {
-  Row out = g.key;
+  // Global aggregate over empty input still yields one row (SQL
+  // semantics): emit from a synthetic zero-count group.
+  std::vector<Group> synthetic;
+  const std::vector<Group>* src = &groups_;
+  if (groups_.empty() && group_by_.empty()) {
+    synthetic.push_back(Group{Row{}, std::vector<Accumulator>(aggs_.size())});
+    src = &synthetic;
+  }
+  n_results_ = src->size();
+
+  // Column-at-a-time fill, pool in group-creation order (deterministic
+  // and identical across execution modes). Group keys leave the pool as
+  // unboxed CellViews of the stored key Rows (string bytes interned into
+  // the column's arena — the pool is cleared right after this); SUM /
+  // AVG / COUNT accumulators finalize straight into double / int64
+  // lanes, never constructing a Value.
+  for (size_t k = 0; k < group_by_.size(); ++k) {
+    TypedColumn& col = result_cols_[k];
+    for (const Group& g : *src) col.Append(CellView::Of(g.key[k]));
+  }
   for (size_t i = 0; i < aggs_.size(); ++i) {
-    const AggSpec& spec = aggs_[i];
-    const Accumulator& acc = g.accs[i];
-    switch (spec.kind) {
+    // COUNT/SUM/AVG columns are declared kInt64/kDouble (AggSpec::
+    // ResultType) and nothing else is ever appended, so the typed
+    // non-null appends are legal throughout.
+    TypedColumn& col = result_cols_[group_by_.size() + i];
+    const AggSpec::Kind kind = aggs_[i].kind;
+    switch (kind) {
       case AggSpec::Kind::kCount:
-        out.push_back(Value::Int(static_cast<int64_t>(acc.count)));
+        for (const Group& g : *src) {
+          col.AppendNonNullInt64(static_cast<int64_t>(g.accs[i].count));
+        }
         break;
       case AggSpec::Kind::kSum:
-        out.push_back(acc.count ? Value::Dbl(acc.sum) : Value::Null());
-        break;
       case AggSpec::Kind::kAvg:
-        out.push_back(acc.count
-                          ? Value::Dbl(acc.sum / static_cast<double>(acc.count))
-                          : Value::Null());
+        for (const Group& g : *src) {
+          const Accumulator& acc = g.accs[i];
+          if (acc.count == 0) {
+            col.Append(CellView::Null());
+          } else {
+            col.AppendNonNullDouble(
+                kind == AggSpec::Kind::kSum
+                    ? acc.sum
+                    : acc.sum / static_cast<double>(acc.count));
+          }
+        }
         break;
       case AggSpec::Kind::kMin:
-        out.push_back(acc.count ? acc.min : Value::Null());
-        break;
       case AggSpec::Kind::kMax:
-        out.push_back(acc.count ? acc.max : Value::Null());
+        for (const Group& g : *src) {
+          const Accumulator& acc = g.accs[i];
+          const Value& v =
+              kind == AggSpec::Kind::kMin ? acc.min : acc.max;
+          col.Append(acc.count ? CellView::Of(v) : CellView::Null());
+        }
         break;
     }
   }
-  return out;
 }
 
 Status HashAggOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
   group_index_.Reset();
   groups_.clear();
-  results_.clear();
+  n_results_ = 0;
   result_pos_ = 0;
 
   if (ctx_->exec_mode() == ExecMode::kBatch) {
@@ -1097,7 +1155,7 @@ Status HashAggOp::Open() {
   // per-row drain above only covers work up to the previous row).
   ctx_->ChargeEvalOps();
 
-  EmitResults();
+  MaterializeResults();
   group_index_.Reset();
   groups_.clear();
   ctx_->Flush();
@@ -1105,32 +1163,55 @@ Status HashAggOp::Open() {
 }
 
 Status HashAggOp::Next(Row* out, bool* has_row) {
-  if (result_pos_ >= results_.size()) {
+  if (result_pos_ >= n_results_) {
     *has_row = false;
     return Status::OK();
   }
-  *out = results_[result_pos_++];
+  const uint32_t idx = static_cast<uint32_t>(result_pos_++);
+  out->clear();
+  out->reserve(result_cols_.size());
+  for (const TypedColumn& c : result_cols_) out->push_back(c.GetValue(idx));
   *has_row = true;
   return Status::OK();
 }
 
 Status HashAggOp::NextBatch(RowBatch* out, bool* has_rows) {
+  return NextBatchCapped(out, has_rows, RowBatch::kDefaultBatchRows);
+}
+
+Status HashAggOp::NextBatchCapped(RowBatch* out, bool* has_rows,
+                                  size_t max_rows) {
   out->Reset(schema_.num_fields());
-  if (result_pos_ >= results_.size()) {
+  if (result_pos_ >= n_results_) {
     *has_rows = false;
     return Status::OK();
   }
-  const size_t take = std::min(RowBatch::kDefaultBatchRows,
-                               results_.size() - result_pos_);
-  for (size_t i = 0; i < take; ++i) {
-    out->AppendRowMove(std::move(results_[result_pos_++]));
+  const size_t take = std::min({RowBatch::kDefaultBatchRows, max_rows,
+                                n_results_ - result_pos_});
+  if (take == 0) {
+    *has_rows = false;
+    return Status::OK();
   }
+  emit_idx_.resize(take);
+  for (size_t i = 0; i < take; ++i) {
+    emit_idx_[i] = static_cast<uint32_t>(result_pos_ + i);
+  }
+  // Typed-lane gather from the immutable result columns (strings by
+  // pointer into the columns' arenas, retained by `out`).
+  for (int c = 0; c < static_cast<int>(result_cols_.size()); ++c) {
+    result_cols_[static_cast<size_t>(c)].GatherInto(out, c, emit_idx_.data(),
+                                                    take);
+  }
+  result_pos_ += take;
+  out->set_num_rows(take);
+  out->ExtendIdentitySel(0);
   *has_rows = true;
   return Status::OK();
 }
 
 void HashAggOp::Close() {
-  results_.clear();
+  result_cols_.clear();
+  n_results_ = 0;
   ctx_->Flush();
 }
 
@@ -1210,10 +1291,13 @@ Status SortOp::ConsumeChildBatchMode() {
     key_cols_[k].Reset(keys_[k].expr->type());
   }
 
-  // Materialize the input as typed columns (string bytes land in the
-  // columns' refcounted arenas, no Value is constructed), evaluating the
-  // sort keys vectorized per batch. Key-evaluation counts equal the
-  // row-mode decorate loop's by the EvalBatch/BatchOperand contract.
+  // Materialize the input as typed columns, evaluating the sort keys
+  // vectorized per batch. String payload cells whose bytes outlive this
+  // operator (table storage, arena-backed lanes — everything except
+  // transient boxed values and pool-backed lanes) enter the columns by
+  // pointer, with the backing arenas retained; no Value is constructed
+  // and no byte is copied. Key-evaluation counts equal the row-mode
+  // decorate loop's by the EvalBatch/BatchOperand contract.
   RowBatch batch;
   bool has = false;
   std::vector<BatchOperand> key_vals(keys_.size());
@@ -1224,9 +1308,17 @@ Status SortOp::ConsumeChildBatchMode() {
       key_vals[k].Resolve(*keys_[k].expr, batch, batch.sel(),
                           ctx_->eval_counters(), &scratch_);
     }
+    const bool stable_strings = !batch.strings_pool_backed();
     for (int c = 0; c < n_cols; ++c) {
       TypedColumn& dst = cols_[static_cast<size_t>(c)];
-      for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
+      if (stable_strings && !batch.col_materialized(c) &&
+          RowBatch::LaneKindFor(dst.type()) ==
+              RowBatch::LaneKind::kStringRef) {
+        dst.RetainStorageOf(batch);
+        for (uint32_t r : batch.sel()) dst.AppendStable(batch.ViewCell(c, r));
+      } else {
+        for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
+      }
     }
     for (size_t k = 0; k < keys_.size(); ++k) {
       TypedColumn& dst = key_cols_[k];
@@ -1257,8 +1349,9 @@ Status SortOp::ConsumeChildBatchMode() {
 }
 
 Status SortOp::Next(Row* out, bool* has_row) {
-  // Batch-consumed state still serves row pulls (LimitOp drives its child
-  // row-at-a-time even in batch mode) by boxing from the typed columns.
+  // Batch-consumed state still serves row pulls (a streaming parent in a
+  // limited pipeline, or a row pull following a batch pull — both share
+  // pos_ over the immutable columns) by boxing from the typed columns.
   if (columnar_) {
     if (pos_ >= n_rows_) {
       *has_row = false;
@@ -1281,15 +1374,21 @@ Status SortOp::Next(Row* out, bool* has_row) {
 }
 
 Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
+  return NextBatchCapped(out, has_rows, RowBatch::kDefaultBatchRows);
+}
+
+Status SortOp::NextBatchCapped(RowBatch* out, bool* has_rows,
+                               size_t max_rows) {
   out->Reset(child_->schema().num_fields());
   if (columnar_) {
-    if (pos_ >= n_rows_) {
+    if (pos_ >= n_rows_ || max_rows == 0) {
       *has_rows = false;
       return Status::OK();
     }
-    const size_t take = std::min(RowBatch::kDefaultBatchRows, n_rows_ - pos_);
+    const size_t take =
+        std::min({RowBatch::kDefaultBatchRows, max_rows, n_rows_ - pos_});
     // Gather typed lanes in sorted order; strings go out by pointer into
-    // the columns' arenas, which `out` retains.
+    // the columns' arenas (own and borrowed), which `out` retains.
     for (int c = 0; c < static_cast<int>(cols_.size()); ++c) {
       cols_[static_cast<size_t>(c)].GatherInto(out, c, order_.data() + pos_,
                                                take);
@@ -1300,12 +1399,12 @@ Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
     *has_rows = true;
     return Status::OK();
   }
-  if (pos_ >= rows_.size()) {
+  if (pos_ >= rows_.size() || max_rows == 0) {
     *has_rows = false;
     return Status::OK();
   }
   const size_t take =
-      std::min(RowBatch::kDefaultBatchRows, rows_.size() - pos_);
+      std::min({RowBatch::kDefaultBatchRows, max_rows, rows_.size() - pos_});
   for (size_t i = 0; i < take; ++i) {
     out->AppendRowMove(std::move(rows_[pos_++]));
   }
@@ -1349,11 +1448,54 @@ Status LimitOp::Next(Row* out, bool* has_row) {
 }
 
 Status LimitOp::NextBatch(RowBatch* out, bool* has_rows) {
+  return NextBatchCapped(out, has_rows, RowBatch::kDefaultBatchRows);
+}
+
+Status LimitOp::NextBatchCapped(RowBatch* out, bool* has_rows,
+                                size_t max_rows) {
+  // Materialized child (sort/aggregation/limit thereover): pull capped
+  // batches straight through — typed lanes, arena retention and the
+  // pool-backed marker all ride `out` untouched — and truncate with the
+  // selection vector. Parity-safe: all work below happened at the
+  // child's Open, identically in both modes, and its emission charges
+  // nothing, so stopping early perturbs no counter.
+  if (child_->MaterializedEmission()) {
+    if (limit_ >= 0 && produced_ >= limit_) {
+      out->Reset(child_->schema().num_fields());
+      *has_rows = false;
+      return Status::OK();
+    }
+    size_t want = max_rows;
+    if (limit_ >= 0) {
+      want = std::min(want, static_cast<size_t>(limit_ - produced_));
+    }
+    bool has = false;
+    ECODB_RETURN_NOT_OK(child_->NextBatchCapped(out, &has, want));
+    if (!has) {
+      *has_rows = false;
+      return Status::OK();
+    }
+    // A materialized child must honor the cap (every in-tree override
+    // does; the base adapter that ignores it belongs to streaming
+    // operators, which never reach this branch). An over-emitting child
+    // would mean rows its cursor already consumed get dropped here, so
+    // treat it as a contract violation, with release-mode truncation as
+    // the containment.
+    assert(out->active() <= want &&
+           "MaterializedEmission child ignored NextBatchCapped bound");
+    if (out->active() > want) out->sel().resize(want);
+    produced_ += static_cast<int64_t>(out->active());
+    *has_rows = !out->empty();
+    return Status::OK();
+  }
+
+  // Streaming child: row-at-a-time pulls, so the subtree never reads (or
+  // charges) ahead of the limit.
   out->Reset(child_->schema().num_fields());
   Row row;
   bool has = false;
   size_t emitted = 0;
-  while (emitted < RowBatch::kDefaultBatchRows &&
+  while (emitted < max_rows && emitted < RowBatch::kDefaultBatchRows &&
          (limit_ < 0 || produced_ < limit_)) {
     ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
     if (!has) break;

@@ -39,6 +39,24 @@ class Operator {
   /// adapts row-at-a-time Next.
   virtual Status NextBatch(RowBatch* out, bool* has_rows);
 
+  /// Bounded vectorized pull: like NextBatch, but emits at most
+  /// `max_rows` selected rows. Only meaningful on operators whose
+  /// emission is materialized (see MaterializedEmission) — they MUST
+  /// override it to gather exactly the requested slice (the base
+  /// implementation asserts it is never reached on one, then forwards
+  /// to NextBatch ignoring the bound).
+  virtual Status NextBatchCapped(RowBatch* out, bool* has_rows,
+                                 size_t max_rows);
+
+  /// True when this operator emits from operator-local materialized state
+  /// — Next/NextBatch perform no child pulls and no ExecContext charges.
+  /// A parent (LimitOp) may then pull batches and stop early without
+  /// perturbing any counter the simulation sees: all the work below
+  /// happened at Open, identically in both execution modes. Pipeline
+  /// breakers (sort, aggregation) return true; LimitOp forwards its
+  /// child's answer (its own emission adds no charges).
+  virtual bool MaterializedEmission() const { return false; }
+
   virtual void Close() = 0;
   virtual const Schema& schema() const = 0;
   virtual std::string name() const = 0;
@@ -231,6 +249,10 @@ class NestedLoopJoinOp : public Operator {
   ExprScratch scratch_;
   Schema schema_;
   std::vector<Row> inner_rows_;
+  /// True when inner_rows_ holds string cells: emitted batches then carry
+  /// pointers into this pool (valid until Close, not arena-retained) and
+  /// are marked pool-backed so cross-Close borrowers copy instead.
+  bool inner_strings_pool_ = false;
   Row outer_row_;
   bool outer_valid_ = false;
   size_t inner_pos_ = 0;
@@ -244,6 +266,15 @@ class NestedLoopJoinOp : public Operator {
 
 /// Hash group-by aggregation. With no group-by expressions produces a
 /// single global-aggregate row (even for empty input, SQL semantics).
+///
+/// Emission is columnar in both modes: Open materializes the group pool
+/// into one TypedColumn per output field — group keys gathered unboxed
+/// from the stored key Rows, SUM/AVG/COUNT accumulators finalized
+/// straight into double/int64 lanes — and then drops the pool. NextBatch
+/// gathers typed lanes out of those columns (strings by pointer into the
+/// columns' arenas, retained by each emitted batch); Next boxes from the
+/// same columns, so mixed Next/NextBatch pulls read one immutable store
+/// through one cursor.
 class HashAggOp : public Operator {
  public:
   HashAggOp(ExecContext* ctx, OperatorPtr child,
@@ -252,6 +283,9 @@ class HashAggOp : public Operator {
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
   Status NextBatch(RowBatch* out, bool* has_rows) override;
+  Status NextBatchCapped(RowBatch* out, bool* has_rows,
+                         size_t max_rows) override;
+  bool MaterializedEmission() const override { return true; }
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "HashAgg"; }
@@ -297,8 +331,9 @@ class HashAggOp : public Operator {
                            MakeKey&& make_key, uint64_t* new_groups);
   Status ConsumeChildRowMode();
   Status ConsumeChildBatchMode();
-  void EmitResults();
-  Row GroupToRow(const Group& g) const;
+  /// Materializes the group pool into result_cols_ (column-at-a-time,
+  /// hoisted per-column dispatch) and sets n_results_.
+  void MaterializeResults();
 
   ExecContext* ctx_;
   OperatorPtr child_;
@@ -308,7 +343,12 @@ class HashAggOp : public Operator {
   ExprScratch scratch_;
   FlatHashIndex group_index_;
   std::vector<Group> groups_;  ///< contiguous pool, insertion order
-  std::vector<Row> results_;
+
+  // Columnar result store: one TypedColumn per output field, shared by
+  // both emission paths; emit_idx_ is NextBatch's gather-index scratch.
+  std::vector<TypedColumn> result_cols_;
+  std::vector<uint32_t> emit_idx_;
+  size_t n_results_ = 0;
   size_t result_pos_ = 0;
 };
 
@@ -330,6 +370,9 @@ class SortOp : public Operator {
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
   Status NextBatch(RowBatch* out, bool* has_rows) override;
+  Status NextBatchCapped(RowBatch* out, bool* has_rows,
+                         size_t max_rows) override;
+  bool MaterializedEmission() const override { return true; }
   void Close() override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "Sort"; }
@@ -363,10 +406,19 @@ class LimitOp : public Operator {
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
-  /// Pulls its child row-at-a-time even in batch mode, so a limited
-  /// pipeline never reads ahead of the limit: counters stay identical to
-  /// row mode (pipeline breakers below still batch internally).
+  /// Batched when the child's emission is materialized (sort,
+  /// aggregation, limit thereover): pulls capped batches and truncates
+  /// the final one with the selection vector — parity-safe because all
+  /// the work below such a child happened at its Open, identically in
+  /// both modes, and its emission charges nothing. Streaming children
+  /// (scan/filter/join/project) are still pulled row-at-a-time so a
+  /// limited pipeline never reads (or charges) ahead of the limit.
   Status NextBatch(RowBatch* out, bool* has_rows) override;
+  Status NextBatchCapped(RowBatch* out, bool* has_rows,
+                         size_t max_rows) override;
+  bool MaterializedEmission() const override {
+    return child_->MaterializedEmission();
+  }
   void Close() override;
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "Limit"; }

@@ -7,7 +7,12 @@ namespace ecodb {
 void ResultSet::Reset(const Schema& schema) {
   cols_.resize(static_cast<size_t>(schema.num_fields()));
   for (int c = 0; c < schema.num_fields(); ++c) {
-    cols_[static_cast<size_t>(c)].Reset(schema.field(c).type);
+    TypedColumn& col = cols_[static_cast<size_t>(c)];
+    col.Reset(schema.field(c).type);
+    // Copied result strings (boxed producers, row mode, pool-backed
+    // lanes) dedup through the arena dictionary: low-cardinality columns
+    // (flags, modes, names) store one copy per distinct value.
+    if (schema.field(c).type == ValueType::kString) col.EnableDictDedup();
   }
   num_rows_ = 0;
   row_view_.clear();
@@ -20,6 +25,11 @@ void ResultSet::AppendBatch(const RowBatch& batch) {
   if (sel.empty()) return;
   const int n_cols = num_cols();
   const Table* table = batch.lazy_source();
+  // Pool-backed string lanes (nested-loop-join inner rows) die at that
+  // operator's Close; everything else a lane can point at is table
+  // storage or a refcounted arena the batch holds — safe to borrow once
+  // the column retains those arenas.
+  const bool stable_lanes = !batch.strings_pool_backed();
   for (int c = 0; c < n_cols; ++c) {
     TypedColumn& dst = cols_[static_cast<size_t>(c)];
     // Lazy scan columns: read the table's typed arrays directly when the
@@ -41,8 +51,10 @@ void ResultSet::AppendBatch(const RowBatch& batch) {
             }
             continue;
           case RowBatch::LaneKind::kStringRef:
+            // Arena handoff's sibling: borrow table storage outright —
+            // the bytes outlive every query against this Database.
             for (uint32_t r : sel) {
-              dst.AppendNonNullString(src.GetString(base + r));
+              dst.AppendNonNullStringPtr(&src.GetString(base + r));
             }
             continue;
           case RowBatch::LaneKind::kNone:
@@ -62,11 +74,26 @@ void ResultSet::AppendBatch(const RowBatch& batch) {
             for (uint32_t r : sel) dst.AppendNonNullDouble(l.f64[r]);
             continue;
           case RowBatch::LaneKind::kStringRef:
-            for (uint32_t r : sel) dst.AppendNonNullString(*l.str[r]);
+            if (stable_lanes) {
+              // Arena handoff: keep the producer's arenas alive and take
+              // the pointers instead of copying the bytes.
+              dst.RetainStorageOf(batch);
+              for (uint32_t r : sel) dst.AppendNonNullStringPtr(l.str[r]);
+            } else {
+              for (uint32_t r : sel) dst.AppendNonNullString(*l.str[r]);
+            }
             continue;
           case RowBatch::LaneKind::kNone:
             break;
         }
+      }
+      // Null-carrying string lanes borrow per-cell through the generic
+      // loop below; retain up front so AppendStable is legal.
+      if (stable_lanes && l.kind == RowBatch::LaneKind::kStringRef &&
+          !dst.boxed()) {
+        dst.RetainStorageOf(batch);
+        for (uint32_t r : sel) dst.AppendStable(batch.ViewCell(c, r));
+        continue;
       }
     }
     for (uint32_t r : sel) dst.Append(batch.ViewCell(c, r));

@@ -5,20 +5,34 @@
 // materialization the dominant host cost of scan-shaped queries
 // (`scan_lineitem` sat at ~1x batch-vs-row). A ResultSet instead stores
 // the result as typed column arrays (TypedColumn: raw int64 / double /
-// arena-owned strings + null masks, boxed fallback on tag mismatch):
+// string pointers + null masks, boxed fallback on tag mismatch):
 //
 //  * batch pipelines append whole RowBatches column-at-a-time
-//    (AppendBatch) — lazy scan batches and typed lanes copy raw arrays
-//    and string bytes, never constructing a Value;
+//    (AppendBatch) — lazy scan batches and typed lanes copy raw arrays,
+//    never constructing a Value;
 //  * row mode boxes through the same surface (AppendRow), so both
-//    execution modes produce byte-identical columnar state and the
+//    execution modes produce row-for-row identical results and the
 //    parity contract extends to the result representation;
 //  * existing row-oriented callers read the lazily built boxed view
 //    (rows()), which reproduces each Value bit-for-bit from the exact
 //    type tags (the TypedColumn round-trip invariant).
 //
-// A ResultSet owns all its payload bytes (strings are copied in), so it
-// is safe to hold after the operator tree and its arenas are gone.
+// String payload ownership (the PR 5 dedup contract): a result string is
+// stored as one pointer per row, backed by one of
+//
+//  1. the producing batch's refcounted StringArenas, *retained* by the
+//     result column (arena handoff — zero copy; sort/join/aggregate
+//     emission arenas live exactly as long as the result does);
+//  2. Table storage, borrowed directly for lazily-bound scan columns and
+//     table-backed lanes — valid for the Database's lifetime (tables are
+//     never dropped while the catalog lives);
+//  3. the column's own arena, for payloads that had to be copied
+//     (transient boxed Values, pool-backed lanes) — deduplicated through
+//     the arena's small dictionary for low-cardinality columns.
+//
+// A ResultSet is therefore safe to hold after the operator tree is gone,
+// and — like every other string borrower — must not outlive the Database
+// whose tables it may reference.
 
 #ifndef ECODB_EXEC_RESULT_SET_H_
 #define ECODB_EXEC_RESULT_SET_H_
@@ -46,9 +60,11 @@ class ResultSet {
   bool empty() const { return num_rows_ == 0; }
 
   /// Appends every selected row of `batch` column-at-a-time. Typed lanes
-  /// and lazily-bound scan columns append raw values (string bytes are
-  /// copied into the owned arenas); boxed columns append through unboxed
-  /// CellViews. Steady state allocates only for column growth.
+  /// and lazily-bound scan columns append raw values; string payloads are
+  /// taken by pointer (retaining the batch's arenas / borrowing table
+  /// storage) whenever the producer owns stable bytes, and copied —
+  /// dictionary-deduplicated — only when it does not. Steady state
+  /// allocates only for column growth.
   void AppendBatch(const RowBatch& batch);
 
   /// Appends one boxed row through the same typed columns (row mode).

@@ -149,6 +149,7 @@ class RowBatch {
     num_rows_ = 0;
     lazy_source_ = nullptr;
     retained_.clear();
+    strings_pool_backed_ = false;
     if (arena_ != nullptr) {
       if (arena_.use_count() == 1) {
         arena_->Clear();  // sole owner: reuse
@@ -270,9 +271,30 @@ class RowBatch {
   /// Retains every arena that keeps `src`'s string-ref lanes valid: its
   /// own arena plus everything it retained. Producers call this before
   /// gathering string pointers out of `src` into this batch's lanes.
+  /// Also propagates `src`'s pool-backed marker: a batch gathered from a
+  /// pool-backed batch may carry the same pool pointers.
   void RetainStringStorage(const RowBatch& src) {
     RetainArena(src.arena_);
     for (const StringArenaPtr& r : src.retained_) RetainArena(r);
+    strings_pool_backed_ |= src.strings_pool_backed_;
+  }
+
+  /// Marks this batch's string lanes as (possibly) referencing an
+  /// operator-owned pool frozen only until that operator's Close (the
+  /// nested-loop join's materialized inner rows). Such pointers are safe
+  /// for pipeline consumption — every batch is consumed before the tree
+  /// closes — but must NOT be borrowed across an operator Close or into a
+  /// query result: cross-Close borrowers (sort/build-pool materialization,
+  /// ResultSet arena handoff) check this flag and fall back to copying.
+  void MarkStringsPoolBacked() { strings_pool_backed_ = true; }
+  bool strings_pool_backed() const { return strings_pool_backed_; }
+
+  /// The arena handles behind this batch's string lanes, for columnar
+  /// pools (TypedColumn) that borrow string pointers out of the batch and
+  /// must keep the bytes alive past the batch's own lifetime.
+  const StringArenaPtr& own_arena_handle() const { return arena_; }
+  const std::vector<StringArenaPtr>& retained_arenas() const {
+    return retained_;
   }
 
   /// Appends cell `v` densely to column `i`, keeping the column in lane
@@ -359,6 +381,9 @@ class RowBatch {
 
   StringArenaPtr arena_;  ///< owned string payloads (lazily created)
   std::vector<StringArenaPtr> retained_;  ///< borrowed payloads kept alive
+  /// Set when string lanes may point into an operator pool that dies at
+  /// that operator's Close (not covered by arena retention).
+  bool strings_pool_backed_ = false;
 };
 
 // Multi-column key hashing over whole batches (typed, unboxed for lazily

@@ -7,9 +7,11 @@ void TypedColumn::Reset(ValueType declared_type) {
   // Types with no typed representation stay boxed from the start.
   boxed_ = RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kNone;
   has_nulls_ = false;
+  dict_dedup_ = false;
   size_ = 0;
   i64_.clear();
   f64_.clear();
+  strp_.clear();
   if (RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kStringRef) {
     // A fresh arena unless this column is the sole owner of the old one
     // (emitted batches may still reference the previous query's strings).
@@ -21,6 +23,7 @@ void TypedColumn::Reset(ValueType declared_type) {
   } else {
     str_.reset();
   }
+  retained_.clear();
   nulls_.clear();
   vals_.clear();
 }
@@ -31,7 +34,9 @@ void TypedColumn::Demote() {
   for (uint32_t i = 0; i < size_; ++i) vals_.push_back(GetValue(i));
   i64_.clear();
   f64_.clear();
+  strp_.clear();
   str_.reset();
+  retained_.clear();
   nulls_.clear();
   boxed_ = true;
 }
@@ -49,9 +54,12 @@ void TypedColumn::GatherInto(RowBatch* out, int out_col,
           for (size_t i = 0; i < n; ++i) lane->f64.push_back(f64_[indices[i]]);
           break;
         case RowBatch::LaneKind::kStringRef:
+          // The emitted pointers target this column's own arena, borrowed
+          // arenas, or table storage; hand `out` every refcounted handle.
           out->RetainArena(str_);
+          for (const StringArenaPtr& a : retained_) out->RetainArena(a);
           for (size_t i = 0; i < n; ++i) {
-            lane->str.push_back(&str_->at(indices[i]));
+            lane->str.push_back(strp_[indices[i]]);
           }
           break;
         case RowBatch::LaneKind::kNone:
@@ -79,7 +87,7 @@ void TypedColumn::GatherInto(RowBatch* out, int out_col,
   for (size_t i = 0; i < n; ++i) dst.push_back(GetValue(indices[i]));
 }
 
-void TypedColumn::Append(const CellView& v) {
+void TypedColumn::AppendImpl(const CellView& v, bool stable_str) {
   if (!boxed_ && v.type != type_ && v.type != ValueType::kNull) {
     // Exact-tag mismatch with the declared type: typed storage could not
     // reproduce the boxed cell bit-for-bit, so fall back to Values.
@@ -102,9 +110,12 @@ void TypedColumn::Append(const CellView& v) {
       break;
     case RowBatch::LaneKind::kStringRef:
       if (null) {
-        str_->Intern(std::string());
+        strp_.push_back(nullptr);
+      } else if (stable_str) {
+        strp_.push_back(v.s);
       } else {
-        str_->Intern(*v.s);
+        strp_.push_back(dict_dedup_ ? str_->InternDedup(*v.s)
+                                    : str_->Intern(*v.s));
       }
       break;
     case RowBatch::LaneKind::kNone:

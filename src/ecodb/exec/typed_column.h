@@ -1,12 +1,19 @@
 // TypedColumn: one column of a contiguous column-major pool — the hash
-// join's build side, SortOp's materialized input, and the ResultSet's
-// storage all use it. Cells are stored *typed* (raw int64 / double /
-// arena-owned string entries plus a byte null mask) while every appended
-// cell's exact type tag matches the declared schema type; the first
-// mismatching cell demotes the column to boxed Values so that
-// round-tripping a cell through the pool is always bit-exact. Typed
-// columns let gather-style emission read raw values (strings by pointer
-// into the refcounted arena) instead of copying boxed Values per cell.
+// join's build side, SortOp's materialized input, HashAgg's result
+// columns and the ResultSet's storage all use it. Cells are stored
+// *typed* (raw int64 / double / string pointers plus a byte null mask)
+// while every appended cell's exact type tag matches the declared schema
+// type; the first mismatching cell demotes the column to boxed Values so
+// that round-tripping a cell through the pool is always bit-exact.
+//
+// String cells are one `const std::string*` per row. The pointee is
+// either (a) bytes this column interned into its own refcounted arena
+// (`Append`, the copy path — optionally deduplicated through the arena's
+// low-cardinality dictionary), or (b) *borrowed* storage — table columns
+// or other arenas the column retained via RetainStorageOf(batch) before
+// calling `AppendStable` (the zero-copy handoff path). Gather-style
+// emission hands the same pointers to output batches, which retain the
+// column's own arena plus everything it borrowed.
 
 #ifndef ECODB_EXEC_TYPED_COLUMN_H_
 #define ECODB_EXEC_TYPED_COLUMN_H_
@@ -23,8 +30,19 @@ namespace ecodb {
 class TypedColumn {
  public:
   void Reset(ValueType declared_type);
-  void Append(const CellView& v);
-  /// Unboxed view of entry `idx` (string views point into the arena).
+
+  /// Appends a cell, copying string payloads into this column's arena
+  /// (through the dedup dictionary when EnableDictDedup was called).
+  void Append(const CellView& v) { AppendImpl(v, /*stable_str=*/false); }
+
+  /// Appends a cell whose string payload (if any) is guaranteed by the
+  /// caller to stay alive and at the same address for this column's
+  /// lifetime: table storage, or an arena the caller retained into this
+  /// column via RetainStorageOf. Stores the pointer, copies nothing.
+  void AppendStable(const CellView& v) { AppendImpl(v, /*stable_str=*/true); }
+
+  /// Unboxed view of entry `idx` (string views point into the arena /
+  /// borrowed storage).
   CellView View(uint32_t idx) const {
     if (boxed_) return CellView::Of(vals_[idx]);
     if (has_nulls_ && nulls_[idx]) return CellView::Null();
@@ -34,7 +52,7 @@ class TypedColumn {
       case RowBatch::LaneKind::kDouble:
         return CellView::Double(f64_[idx]);
       case RowBatch::LaneKind::kStringRef:
-        return CellView::String(&str_->at(idx));
+        return CellView::String(strp_[idx]);
       case RowBatch::LaneKind::kNone:
         break;
     }
@@ -56,18 +74,43 @@ class TypedColumn {
     f64_.push_back(v);
     ++size_;
   }
+  /// Copy form: interns the bytes into this column's arena.
   void AppendNonNullString(const std::string& v) {
     nulls_.push_back(0);
-    str_->Intern(v);
+    strp_.push_back(dict_dedup_ ? str_->InternDedup(v) : str_->Intern(v));
+    ++size_;
+  }
+  /// Borrow form: stores the pointer; the caller guarantees stability
+  /// (table storage, or arenas retained via RetainStorageOf).
+  void AppendNonNullStringPtr(const std::string* v) {
+    nulls_.push_back(0);
+    strp_.push_back(v);
     ++size_;
   }
 
+  /// Retains every arena that keeps `batch`'s string pointers valid, so
+  /// AppendStable may borrow them. A no-op for batches with no arenas
+  /// (lazy scan batches — their strings live in table storage). Callers
+  /// must NOT borrow from a pool-backed batch
+  /// (RowBatch::strings_pool_backed()); those bytes die at an operator
+  /// Close no retention can see.
+  void RetainStorageOf(const RowBatch& batch) {
+    RetainArena(batch.own_arena_handle());
+    for (const StringArenaPtr& a : batch.retained_arenas()) RetainArena(a);
+  }
+
+  /// Deduplicate copied strings through the arena's low-cardinality
+  /// dictionary (ResultSet columns; pointless for pools whose strings are
+  /// distinct by construction).
+  void EnableDictDedup() { dict_dedup_ = true; }
+
   /// Gathers entries `indices[0..n)` into column `out_col` of `out`,
-  /// append-style: typed lanes when possible (strings by pointer into
-  /// this column's arena, which `out` retains; null masks backfilled
-  /// against whatever the lane already holds), boxed Values otherwise.
-  /// The shared emission path of hash-join match flushing and columnar
-  /// sort output.
+  /// append-style: typed lanes when possible (strings by pointer; `out`
+  /// retains this column's own arena plus everything it borrowed, so the
+  /// pointers survive even the owning operator's teardown; null masks
+  /// backfilled against whatever the lane already holds), boxed Values
+  /// otherwise. The shared emission path of hash-join match flushing,
+  /// columnar sort output and columnar aggregate emission.
   void GatherInto(RowBatch* out, int out_col, const uint32_t* indices,
                   size_t n) const;
 
@@ -77,23 +120,40 @@ class TypedColumn {
   bool has_nulls() const { return has_nulls_; }
   const std::vector<int64_t>& i64() const { return i64_; }
   const std::vector<double>& f64() const { return f64_; }
-  const std::string& str_at(uint32_t idx) const { return str_->at(idx); }
-  /// Refcounted handle to the string payload; batches that gather string
-  /// pointers out of this column retain it (RowBatch::RetainArena) so the
-  /// bytes outlive the owning operator.
+  /// Refcounted handle to this column's own interned-string payload;
+  /// borrowed arenas are in retained_arenas().
   const StringArenaPtr& strings() const { return str_; }
+  const std::vector<StringArenaPtr>& retained_arenas() const {
+    return retained_;
+  }
   bool IsNullAt(uint32_t idx) const { return has_nulls_ && nulls_[idx]; }
 
  private:
+  void AppendImpl(const CellView& v, bool stable_str);
+  // Linear-scan dedup: in-tree producers expose a handful of
+  // query-lifetime arenas (a join pool's, a sort column's own), so the
+  // retained list stays O(1) per column. A producer minting a fresh
+  // arena per batch would make this quadratic over the consume loop —
+  // switch to a hash set if one ever appears.
+  void RetainArena(const StringArenaPtr& a) {
+    if (a == nullptr || a->empty()) return;
+    for (const StringArenaPtr& r : retained_) {
+      if (r == a) return;
+    }
+    retained_.push_back(a);
+  }
   void Demote();
 
   ValueType type_ = ValueType::kNull;
   bool boxed_ = false;
   bool has_nulls_ = false;
+  bool dict_dedup_ = false;
   uint32_t size_ = 0;
   std::vector<int64_t> i64_;
   std::vector<double> f64_;
-  StringArenaPtr str_;  ///< one entry per row for string columns
+  std::vector<const std::string*> strp_;  ///< one pointer per row
+  StringArenaPtr str_;                    ///< owned (interned) bytes
+  std::vector<StringArenaPtr> retained_;  ///< borrowed bytes kept alive
   std::vector<uint8_t> nulls_;
   std::vector<Value> vals_;  ///< boxed fallback
 };

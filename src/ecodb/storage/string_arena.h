@@ -20,12 +20,19 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 namespace ecodb {
 
 class StringArena {
  public:
+  /// InternDedup stops tracking distinct strings past this many entries:
+  /// the dictionary exists for genuinely low-cardinality columns (flags,
+  /// modes, nation names), not to index arbitrary payloads.
+  static constexpr size_t kDedupMaxEntries = 64;
+
   /// Copies `s` into the arena and returns its stable address.
   const std::string* Intern(const std::string& s) {
     strings_.push_back(s);
@@ -36,9 +43,24 @@ class StringArena {
     return &strings_.back();
   }
 
-  /// Indexed access for pool-style columns that append one entry per row
-  /// (TypedColumn); entry `i` is the i-th interned string.
-  const std::string& at(size_t i) const { return strings_[i]; }
+  /// Deduplicating intern for low-cardinality columns: returns the
+  /// address of an already-interned equal string when the dictionary
+  /// knows one, so a column of n rows over k distinct values stores k
+  /// copies, not n. The dictionary stops *growing* past kDedupMaxEntries
+  /// distinct strings (this is for flags/modes/names, not for indexing
+  /// arbitrary payloads) but keeps serving hits for the values it
+  /// already indexed — a column with a few hot values plus a long tail
+  /// still dedups the hot ones at one bounded hash probe per append.
+  const std::string* InternDedup(const std::string& s) {
+    auto it = dedup_.find(std::string_view(s));
+    if (it != dedup_.end()) return it->second;
+    if (dedup_.size() < kDedupMaxEntries) {
+      const std::string* p = Intern(s);
+      dedup_.emplace(std::string_view(*p), p);  // keys view arena bytes
+      return p;
+    }
+    return Intern(s);
+  }
 
   size_t size() const { return strings_.size(); }
   bool empty() const { return strings_.empty(); }
@@ -46,10 +68,16 @@ class StringArena {
   /// Drops all strings. Only legal for an arena with a single owner (a
   /// shared arena may still be referenced by lanes elsewhere); callers
   /// check `use_count` on their handle before reusing.
-  void Clear() { strings_.clear(); }
+  void Clear() {
+    strings_.clear();
+    dedup_.clear();
+  }
 
  private:
   std::deque<std::string> strings_;  ///< stable addresses across appends
+  /// Content -> interned address; keys are views into `strings_` entries,
+  /// which never move or die before Clear().
+  std::unordered_map<std::string_view, const std::string*> dedup_;
 };
 
 using StringArenaPtr = std::shared_ptr<StringArena>;

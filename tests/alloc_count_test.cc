@@ -99,14 +99,20 @@ Result<PlanNodePtr> BuildProjectAll(const Catalog& catalog) {
                      {"l_orderkey", "revenue"});
 }
 
-TEST(AllocCountTest, ResultSetAppendAllocatesOnlyForColumnGrowth) {
+/// Shared small-vs-large scaffold: runs `builder`'s plan at two data
+/// sizes ~8x apart and asserts the allocation count is flat up to
+/// geometric column growth — no per-batch, per-row or per-string
+/// allocation in steady state (and nowhere near the one-Row-per-tuple
+/// of the boxed drain).
+void ExpectSublinearAllocs(const char* what,
+                           Result<PlanNodePtr> (*builder)(const Catalog&)) {
   auto small_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.002);
   auto large_db = testing::MakeTestDb(EngineProfile::MySqlMemory(), 0.016);
   ASSERT_NE(small_db, nullptr);
   ASSERT_NE(large_db, nullptr);
 
-  auto small_plan = BuildProjectAll(*small_db->catalog());
-  auto large_plan = BuildProjectAll(*large_db->catalog());
+  auto small_plan = builder(*small_db->catalog());
+  auto large_plan = builder(*large_db->catalog());
   ASSERT_TRUE(small_plan.ok());
   ASSERT_TRUE(large_plan.ok());
 
@@ -123,21 +129,73 @@ TEST(AllocCountTest, ResultSetAppendAllocatesOnlyForColumnGrowth) {
       (large_rows - small_rows) / RowBatch::kDefaultBatchRows;
   ASSERT_GE(extra_batches, 40u) << "test tables too close in size";
 
-  std::printf(
-      "result-append allocations: small=%llu large=%llu (+%llu batches, "
-      "+%llu result rows)\n",
-      static_cast<unsigned long long>(small_allocs),
-      static_cast<unsigned long long>(large_allocs),
-      static_cast<unsigned long long>(extra_batches),
-      static_cast<unsigned long long>(large_rows - small_rows));
+  std::printf("%s allocations: small=%llu large=%llu (+%llu batches)\n",
+              what, static_cast<unsigned long long>(small_allocs),
+              static_cast<unsigned long long>(large_allocs),
+              static_cast<unsigned long long>(extra_batches));
 
-  // ~8x the result rows may only add geometric column-growth allocations
-  // (a few doublings per typed array), far below one per extra batch —
-  // and nowhere near the one-Row-per-tuple of the boxed drain.
   EXPECT_LE(large_allocs, small_allocs + extra_batches / 2)
       << "small=" << small_allocs << " large=" << large_allocs
       << " extra_batches=" << extra_batches;
   EXPECT_LE(large_allocs, 600u) << "large=" << large_allocs;
+}
+
+TEST(AllocCountTest, ResultSetAppendAllocatesOnlyForColumnGrowth) {
+  ExpectSublinearAllocs("result-append", &BuildProjectAll);
+}
+
+/// scan(lineitem) -> project(l_orderkey, l_shipinstruct, l_shipmode):
+/// a result-heavy plan whose string columns reach the ResultSet through
+/// the arena-handoff / table-borrow path. Before PR 5 every string was
+/// copied into the result's arena (one heap string + deque growth per
+/// row); now the result stores pointers into table storage, so ~8x the
+/// rows may only add geometric pointer-array growth.
+Result<PlanNodePtr> BuildProjectStrings(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    EXPECT_GE(idx, 0) << name;
+    return Col(idx, s.field(idx).type, name);
+  };
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(col("l_orderkey"));
+  exprs.push_back(col("l_shipinstruct"));
+  exprs.push_back(col("l_shipmode"));
+  return MakeProject(std::move(scan), std::move(exprs),
+                     {"l_orderkey", "l_shipinstruct", "l_shipmode"});
+}
+
+/// scan(lineitem) -> group by (l_shipmode, l_returnflag) -> SUM/COUNT:
+/// low-cardinality string group keys. Pins the columnar HashAgg emission
+/// (typed result columns, no boxed result Rows) plus the ResultSet
+/// adopting the aggregate's emitted lanes by arena handoff.
+Result<PlanNodePtr> BuildGroupByStrings(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr scan, MakeScan(catalog, "lineitem"));
+  const Schema& s = scan->output_schema;
+  auto col = [&](const char* name) {
+    int idx = s.FindField(name);
+    EXPECT_GE(idx, 0) << name;
+    return Col(idx, s.field(idx).type, name);
+  };
+  AggSpec sum;
+  sum.kind = AggSpec::Kind::kSum;
+  sum.arg = col("l_quantity");
+  sum.name = "qty";
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  return MakeAggregate(std::move(scan),
+                       {col("l_shipmode"), col("l_returnflag")}, {sum, cnt});
+}
+
+TEST(AllocCountTest, ResultSetStringHandoffAllocatesOnlyForColumnGrowth) {
+  ExpectSublinearAllocs("string-handoff", &BuildProjectStrings);
+}
+
+TEST(AllocCountTest, HashAggTypedEmissionAllocatesOnlyForColumnGrowth) {
+  ExpectSublinearAllocs("agg-emission", &BuildGroupByStrings);
 }
 
 TEST(AllocCountTest, ScanFilterAggAllocationsScaleWithOperatorsNotBatches) {

@@ -5,7 +5,10 @@
 // chains, column-vs-column and column-vs-sampled-literal), projections
 // with arithmetic (including NULL-producing division), FK hash-join
 // chains, nested-loop joins, group-by aggregation, sort and limit — and
-// executes every plan in BOTH ExecModes, asserting:
+// executes every plan in BOTH ExecModes — limit-over-aggregate and
+// limit-over-sort take the truncating batched LimitOp, limit-over-join /
+// scan the row-pull fallback, with limits below, at and far above the
+// child cardinality, including 0 — asserting:
 //
 //   * identical result rows, in order;
 //   * bit-exact integer logical-work counters (the parity contract every
@@ -449,14 +452,42 @@ class PlanFuzzer {
     sp->node = MakeSort(std::move(sp->node), std::move(keys));
   }
 
+  /// Limits spanning every truncation regime: 0, a handful (smaller than
+  /// most child cardinalities), around the group-count scale of the
+  /// aggregate shapes, mid-scale, and far above any child cardinality
+  /// (the no-truncation case).
+  int64_t RandomLimitValue() {
+    switch (Roll(5)) {
+      case 0:
+        return 0;
+      case 1:
+        return static_cast<int64_t>(1 + Roll(5));
+      case 2:
+        return static_cast<int64_t>(Roll(60));
+      case 3:
+        return static_cast<int64_t>(Roll(400));
+      default:
+        return static_cast<int64_t>(100000 + Roll(100000));
+    }
+  }
+
   void ApplyUnaries(SubPlan* sp) {
     MaybeFilter(sp, 0.55);
     if (Coin(0.35)) ApplyProject(sp);
-    if (Coin(0.45)) ApplyAggregate(sp);
-    if (Coin(0.4)) ApplySort(sp);
-    if (Coin(0.25)) {
-      sp->node = MakeLimit(std::move(sp->node),
-                           static_cast<int64_t>(Roll(400)));
+    bool breaker = false;  // sort/aggregate tail => batched-LimitOp path
+    if (Coin(0.45)) {
+      ApplyAggregate(sp);
+      breaker = true;
+    }
+    if (Coin(0.4)) {
+      ApplySort(sp);
+      breaker = true;
+    }
+    // LIMIT over aggregate / sort exercises the truncating batched
+    // LimitOp (capped pulls from materialized emission); LIMIT straight
+    // over joins/scans/filters gates the row-pull fallback.
+    if (Coin(breaker ? 0.4 : 0.3)) {
+      sp->node = MakeLimit(std::move(sp->node), RandomLimitValue());
     }
   }
 

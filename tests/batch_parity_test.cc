@@ -338,6 +338,104 @@ TEST_F(BatchParityTest, LimitOverSort) {
   ExpectParity(*MakeLimit(MakeSort(Scan("big"), {SortKey{K(), false}}), 10));
 }
 
+TEST_F(BatchParityTest, LimitOverAggregate) {
+  // The truncating batched LimitOp path: the aggregate's materialized
+  // emission is pulled in capped batches. Limits below, at, and far
+  // above the group count (7 distinct strings), plus 0.
+  auto plan = [&](int64_t limit) {
+    AggSpec sum;
+    sum.kind = AggSpec::Kind::kSum;
+    sum.arg = V();
+    sum.name = "sum";
+    AggSpec cnt;
+    cnt.kind = AggSpec::Kind::kCount;
+    cnt.arg = nullptr;
+    cnt.name = "n";
+    return MakeLimit(MakeAggregate(Scan("big"), {S()}, {sum, cnt}), limit);
+  };
+  ExpectParity(*plan(3));
+  ExpectParity(*plan(7));
+  ExpectParity(*plan(0));
+  ExpectParity(*plan(1000000));
+}
+
+TEST_F(BatchParityTest, LimitOverAggregateManyGroups) {
+  // More groups than one batch (2500 int64 keys), limit mid-emission:
+  // the capped gather crosses a batch boundary before truncating.
+  AggSpec mx;
+  mx.kind = AggSpec::Kind::kMax;
+  mx.arg = S();
+  mx.name = "max_s";
+  ExpectParity(*MakeLimit(MakeAggregate(Scan("big"), {K()}, {mx}), 1500));
+}
+
+TEST_F(BatchParityTest, LimitOverLimitOverSort) {
+  // Stacked limits over a materialized child: both LimitOps report
+  // materialized emission and forward capped pulls.
+  ExpectParity(*MakeLimit(
+      MakeLimit(MakeSort(Scan("big"), {SortKey{S(), true}}), 100), 12));
+}
+
+TEST_F(BatchParityTest, RowPullsAfterBatchPullOnMaterializedStacks) {
+  // A batch-mode parent can fall back to row pulls mid-stream (the
+  // pre-PR-5 LimitOp always did; the current one still does over
+  // streaming children). Aggregate, sort and limit emission must serve
+  // Next() after NextBatch() from one cursor over immutable state — no
+  // moved-from rows, no skipped or repeated positions.
+  auto check = [&](const PlanNodePtr& plan) {
+    ExecContext row_ctx(&machine_, &profile_, &catalog_, &pool_);
+    auto expect = ExecutePlan(*plan, &row_ctx, ExecMode::kRow);
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+
+    ExecContext ctx(&machine_, &profile_, &catalog_, &pool_);
+    ctx.set_exec_mode(ExecMode::kBatch);
+    auto op = InstantiatePlan(*plan, &ctx);
+    ASSERT_TRUE(op.ok()) << op.status().ToString();
+    ASSERT_TRUE(op.value()->Open().ok());
+    std::vector<Row> got;
+    RowBatch batch;
+    bool has = false;
+    ASSERT_TRUE(op.value()->NextBatch(&batch, &has).ok());
+    if (has) {
+      for (uint32_t r : batch.sel()) {
+        Row row;
+        batch.MaterializeRow(r, &row);
+        got.push_back(std::move(row));
+      }
+    }
+    Row row;
+    for (;;) {
+      ASSERT_TRUE(op.value()->Next(&row, &has).ok());
+      if (!has) break;
+      got.push_back(row);
+    }
+    op.value()->Close();
+    ExpectRowsEqual(expect.value(), got);
+  };
+
+  AggSpec sum;
+  sum.kind = AggSpec::Kind::kSum;
+  sum.arg = V();
+  sum.name = "sum";
+  // > 1024 groups, so row pulls continue past the first emitted batch.
+  check(MakeAggregate(Scan("big"), {K()}, {sum}));
+  // Sort with string payloads: Next() boxes from the typed columns the
+  // batch pull gathered from.
+  check(MakeSort(Scan("big"), {SortKey{S(), false}, SortKey{K(), true}}));
+  // Limit over sort: produced_ is shared between the batch and row paths.
+  check(MakeLimit(MakeSort(Scan("big"), {SortKey{K(), false}}), 1500));
+  // Limit over aggregate over a join: lanes all the way up.
+  AggSpec cnt;
+  cnt.kind = AggSpec::Kind::kCount;
+  cnt.arg = nullptr;
+  cnt.name = "n";
+  PlanNodePtr join = MakeHashJoin(Scan("small"), Scan("big"), {0}, {0});
+  check(MakeLimit(
+      MakeAggregate(std::move(join), {Col(5, ValueType::kString, "bs")},
+                    {cnt}),
+      2));
+}
+
 TEST_F(BatchParityTest, ScanFilterAggPipeline) {
   AggSpec sum;
   sum.kind = AggSpec::Kind::kSum;

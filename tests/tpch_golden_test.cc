@@ -66,11 +66,13 @@ const char* const kQ6Expected[] = {
 
 // String-returning ORDER BY: region |x| nation (string payloads cross a
 // join), projected to (n_name, r_name), sorted descending on n_name,
-// LIMIT 10 (which drives SortOp row-at-a-time even in batch mode). Nation
-// and region contents are fixed by the TPC-H spec, so these rows are
-// stable at any scale factor. Pins sort order and string payload bytes
-// end to end — drift here is invisible to the parity suite, which only
-// compares the modes to each other.
+// LIMIT 10 — in batch mode the LimitOp pulls capped batches from the
+// columnar sort and truncates with the selection vector, so this golden
+// pins string-ref lifetime across that truncation path. Nation and
+// region contents are fixed by the TPC-H spec, so these rows are stable
+// at any scale factor. Pins sort order and string payload bytes end to
+// end — drift here is invisible to the parity suite, which only compares
+// the modes to each other.
 const char* const kStringOrderByExpected[] = {
     "(VIETNAM, ASIA)",        "(UNITED STATES, AMERICA)",
     "(UNITED KINGDOM, EUROPE)", "(SAUDI ARABIA, MIDDLE EAST)",
@@ -78,6 +80,35 @@ const char* const kStringOrderByExpected[] = {
     "(PERU, AMERICA)",        "(MOZAMBIQUE, AFRICA)",
     "(MOROCCO, AFRICA)",      "(KENYA, AFRICA)",
 };
+
+// LIMIT directly over a string-bearing join (no sort between): in batch
+// mode the LimitOp row-pulls the streaming projection, moving boxed rows
+// whose string payloads must arrive intact — the lifetime edge the PR 5
+// LimitOp rework could have disturbed. Nation/region contents are fixed
+// by the TPC-H spec; the join is probe-driven, so output follows nation
+// insertion order.
+const char* const kLimitOverJoinStringsExpected[] = {
+    "(AFRICA, ALGERIA)",      "(AMERICA, ARGENTINA)",
+    "(AMERICA, BRAZIL)",      "(AMERICA, CANADA)",
+    "(MIDDLE EAST, EGYPT)",   "(AFRICA, ETHIOPIA)",
+    "(EUROPE, FRANCE)",
+};
+
+Result<PlanNodePtr> BuildLimitOverJoinStringsPlan(const Catalog& catalog) {
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr region, MakeScan(catalog, "region"));
+  ECODB_ASSIGN_OR_RETURN(PlanNodePtr nation, MakeScan(catalog, "nation"));
+  const int rk = region->output_schema.FindField("r_regionkey");
+  const int nk = nation->output_schema.FindField("n_regionkey");
+  PlanNodePtr joined =
+      MakeHashJoin(std::move(region), std::move(nation), {rk}, {nk});
+  const int r_name = joined->output_schema.FindField("r_name");
+  const int n_name = joined->output_schema.FindField("n_name");
+  std::vector<ExprPtr> exprs{Col(r_name, ValueType::kString, "r_name"),
+                             Col(n_name, ValueType::kString, "n_name")};
+  PlanNodePtr projected = MakeProject(std::move(joined), std::move(exprs),
+                                      {"r_name", "n_name"});
+  return MakeLimit(std::move(projected), 7);
+}
 
 Result<PlanNodePtr> BuildStringOrderByPlan(const Catalog& catalog) {
   ECODB_ASSIGN_OR_RETURN(PlanNodePtr region, MakeScan(catalog, "region"));
@@ -149,6 +180,12 @@ TEST_P(TpchGoldenTest, StringOrderBy) {
   auto db = MakeDb(GetParam());
   ExpectGolden(db.get(), BuildStringOrderByPlan(*db->catalog()),
                kStringOrderByExpected);
+}
+
+TEST_P(TpchGoldenTest, LimitOverJoinStrings) {
+  auto db = MakeDb(GetParam());
+  ExpectGolden(db.get(), BuildLimitOverJoinStringsPlan(*db->catalog()),
+               kLimitOverJoinStringsExpected);
 }
 
 TEST_P(TpchGoldenTest, Q6) {
