@@ -10,6 +10,7 @@
 //
 // Usage: micro_engine [--sf=0.02]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -375,6 +376,85 @@ int Main(int argc, char** argv) {
         host[i].name.c_str(), host[i].secs,
         host[i].secs > 0 ? 1.0 / host[i].secs : 0.0,
         i + 1 < host.size() ? "," : "");
+  }
+
+  std::printf("  ],\n");
+
+  // Fault-injected retry benchmarks: cold full scans of lineitem on the
+  // disk-backed Commercial profile at increasing transient-fault rates.
+  // These are *simulated* metrics — each faulted read attempt charges the
+  // full disk-read cost plus an energy-accounted idle backoff, so mean
+  // joules/query must grow monotonically with the fault rate while the
+  // zero-rate row stays bit-identical to a run with no injector at all.
+  struct FaultBench {
+    double rate = 0;
+    int iters = 0;
+    double mean_sim_joules = 0;
+    double mean_sim_seconds = 0;
+    double p99_sim_seconds = 0;
+    uint64_t transient_faults = 0;
+    uint64_t retries = 0;
+    uint64_t persistent_faults = 0;
+  };
+  std::vector<FaultBench> fault_rows;
+  for (double rate : {0.0, 1e-4, 1e-3}) {
+    DatabaseOptions opt;
+    opt.profile = EngineProfile::Commercial();
+    opt.exec_mode = ExecMode::kBatch;
+    opt.fault_injection.seed = 0xEC0FA17;
+    opt.fault_injection.transient_fault_rate = rate;
+    Database db(opt);
+    if (!db.LoadTpch(gen).ok()) {
+      std::fprintf(stderr, "TPC-H load failed (fault bench)\n");
+      return 1;
+    }
+    auto scan = MakeScan(*db.catalog(), "lineitem");
+    if (!scan.ok()) {
+      std::fprintf(stderr, "fault bench plan build failed\n");
+      return 1;
+    }
+    FaultBench fb;
+    fb.rate = rate;
+    fb.iters = 120;
+    std::vector<double> lat;
+    lat.reserve(fb.iters);
+    for (int it = 0; it < fb.iters; ++it) {
+      db.ColdRestart();  // evict so every iteration re-reads from disk
+      auto res = db.ExecutePlanQuery(*scan.value());
+      if (!res.ok()) {
+        std::fprintf(stderr, "fault bench query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      lat.push_back(res.value().seconds);
+      fb.mean_sim_joules += res.value().wall_joules;
+      fb.mean_sim_seconds += res.value().seconds;
+    }
+    fb.mean_sim_joules /= fb.iters;
+    fb.mean_sim_seconds /= fb.iters;
+    std::sort(lat.begin(), lat.end());
+    fb.p99_sim_seconds =
+        lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+    fb.transient_faults = db.buffer_pool()->stats().transient_faults;
+    fb.retries = db.buffer_pool()->stats().retries;
+    fb.persistent_faults = db.buffer_pool()->stats().persistent_faults;
+    fault_rows.push_back(fb);
+  }
+  std::printf("  \"fault_retry_benchmarks\": [\n");
+  for (size_t i = 0; i < fault_rows.size(); ++i) {
+    const FaultBench& f = fault_rows[i];
+    std::printf(
+        "    {\"name\": \"cold_scan_lineitem\", "
+        "\"transient_fault_rate\": %g, \"iters\": %d, "
+        "\"sim_joules_per_query\": %.9e, \"sim_seconds_mean\": %.9e, "
+        "\"sim_seconds_p99\": %.9e, \"transient_faults\": %llu, "
+        "\"retries\": %llu, \"persistent_faults\": %llu}%s\n",
+        f.rate, f.iters, f.mean_sim_joules, f.mean_sim_seconds,
+        f.p99_sim_seconds,
+        static_cast<unsigned long long>(f.transient_faults),
+        static_cast<unsigned long long>(f.retries),
+        static_cast<unsigned long long>(f.persistent_faults),
+        i + 1 < fault_rows.size() ? "," : "");
   }
 
   std::printf("  ],\n  \"batch_speedup\": {");

@@ -27,7 +27,7 @@ run_config() {
   echo "=== build: ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== ctest: ${dir} ==="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  (cd "${dir}" && ctest --output-on-failure --timeout 120 -j "${JOBS}")
 }
 
 run_config build
@@ -39,6 +39,12 @@ echo "=== bench smoke: micro_engine --sf=0.001 ==="
 
 if [[ "${FAST}" == "0" ]]; then
   run_config build-asan -DECODB_SANITIZE=address
+  # Fault-injection fuzz smoke under ASan: a short random fault-schedule
+  # sweep on top of the suite's default run, so the retry/cancel teardown
+  # paths get a leak-checked pass with a second seed base.
+  echo "=== fault fuzz smoke (asan): 50 fault schedules ==="
+  ECODB_GOVFUZZ_SEED=0xFA57 ECODB_GOVFUZZ_PLANS=0 ECODB_GOVFUZZ_FAULT_PLANS=50 \
+    ./build-asan/governor_fuzz_test --gtest_filter='GovernorFaultFuzzTest.*'
   run_config build-ubsan -DECODB_SANITIZE=undefined
 fi
 

@@ -9,6 +9,10 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   machine_->SetLoadClass(options_.profile.load_class);
   buffer_pool_ = std::make_unique<BufferPool>(
       machine_.get(), options_.profile.buffer_pool_pages);
+  if (options_.fault_injection.enabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
+    buffer_pool_->set_fault_injector(fault_injector_.get());
+  }
 }
 
 Status Database::LoadTpch(const tpch::DbGenOptions& options) {
@@ -26,6 +30,14 @@ std::unique_ptr<ExecContext> Database::MakeExecContext() {
 
 Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
   auto ctx = MakeExecContext();
+  // The governor lives on this frame for exactly one query; limits are
+  // re-read per query so set_query_limits takes effect immediately.
+  std::unique_ptr<QueryGovernor> governor;
+  if (!options_.query_limits.None()) {
+    governor = std::make_unique<QueryGovernor>(options_.query_limits,
+                                               machine_->NowSeconds());
+    ctx->set_governor(governor.get());
+  }
   EnergyLedger before = machine_->ledger();
   double t0 = machine_->NowSeconds();
 

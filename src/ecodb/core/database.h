@@ -11,6 +11,8 @@
 
 #include "ecodb/core/engine_profile.h"
 #include "ecodb/exec/plan.h"
+#include "ecodb/exec/query_governor.h"
+#include "ecodb/sim/fault_injection.h"
 #include "ecodb/sim/machine.h"
 #include "ecodb/storage/buffer_pool.h"
 #include "ecodb/storage/catalog.h"
@@ -25,6 +27,14 @@ struct DatabaseOptions {
   /// How query plans are executed. Batch (vectorized) by default; row
   /// mode keeps the Volcano pull loop for comparison/parity runs.
   ExecMode exec_mode = ExecMode::kBatch;
+  /// Per-query limits applied by the governor (default: none — queries
+  /// run ungoverned exactly as before). Adjustable between queries via
+  /// Database::set_query_limits.
+  QueryLimits query_limits;
+  /// Deterministic disk-fault schedule. Rates of zero (the default)
+  /// disable injection entirely; the buffer pool's read path is then
+  /// unchanged.
+  FaultInjectorConfig fault_injection;
 };
 
 /// Result of one query, with the energy/time the machine spent on it.
@@ -38,6 +48,15 @@ struct DatabaseOptions {
 /// Database that produced it is destroyed. Callers that need a
 /// free-standing copy should TakeRows() (boxed Values own their bytes)
 /// while the Database is alive.
+///
+/// Failed queries produce no QueryResult at all: ExecutePlanQuery
+/// returns a bare error Status, every operator has been Close()d, the
+/// partially-built result set (and everything it retained) has been
+/// destroyed, and the Database is immediately reusable — a governed
+/// kill or an injected hardware fault never leaves dangling state
+/// behind. The machine's energy ledger keeps whatever the query charged
+/// before it died (for a governor trip, frozen at the last flush-quantum
+/// boundary; energy is spent even when no answer comes back).
 struct QueryResult {
   ResultSet result;
   Schema schema;
@@ -88,6 +107,17 @@ class Database {
   const EngineProfile& profile() const { return options_.profile; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// Replaces the per-query limits for subsequent queries (pass a
+  /// default-constructed QueryLimits to lift them).
+  void set_query_limits(const QueryLimits& limits) {
+    options_.query_limits = limits;
+  }
+  const QueryLimits& query_limits() const { return options_.query_limits; }
+
+  /// The fault injector attached at construction, or null when fault
+  /// injection is disabled (test/bench introspection).
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
   /// Fresh ExecContext bound to this database's machine/profile/pool.
   std::unique_ptr<ExecContext> MakeExecContext();
 
@@ -96,6 +126,7 @@ class Database {
   std::unique_ptr<Machine> machine_;
   Catalog catalog_;
   std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<FaultInjector> fault_injector_;  ///< null when disabled
 };
 
 }  // namespace ecodb

@@ -15,6 +15,22 @@ ExecContext::ExecContext(Machine* machine, const EngineProfile* profile,
   double uc = machine_->settings().underclock;
   cycle_inflation_ = 1.0 + profile_->underclock_cpi_penalty * uc * uc * uc;
   machine_->SetLoadClass(profile_->load_class);
+  tracker_.BindPeakMirror(&stats_.peak_memory_bytes);
+}
+
+Status ExecContext::CheckGovernor() {
+  if (governor_ == nullptr) return Status::OK();
+  if (governor_->tripped()) return governor_->trip_status();
+  if (governor_->CancelRequested()) {
+    governor_->Trip(Status::Cancelled("query cancelled by caller"));
+  } else if (governor_->BudgetExceeded(tracker_.current_bytes())) {
+    governor_->Trip(
+        Status::ResourceExhausted("query memory budget exceeded"));
+  } else if (governor_->DeadlinePassed(machine_->NowSeconds())) {
+    governor_->Trip(
+        Status::DeadlineExceeded("query deadline exceeded (simulated time)"));
+  }
+  return governor_->trip_status();
 }
 
 void ExecContext::ChargeScanTuples(uint64_t n, uint64_t total_bytes) {
@@ -92,6 +108,12 @@ void ExecContext::ChargeCycles(double cycles, double mem_lines) {
 }
 
 Status ExecContext::ChargeSpill(uint64_t bytes) {
+  // A tripped query charges no further I/O: spill volume depends on
+  // mode-specific in-flight state after a trip, and the ledger must
+  // freeze at the same point in both modes.
+  if (governor_ != nullptr && governor_->tripped()) {
+    return governor_->trip_status();
+  }
   if (!profile_->disk_backed || profile_->spill_fraction <= 0.0 || bytes == 0) {
     return Status::OK();
   }
@@ -110,6 +132,11 @@ Status ExecContext::ChargeSpill(uint64_t bytes) {
 Status ExecContext::FetchScanPages(uint32_t file_id, uint64_t first_page,
                                    uint64_t count,
                                    uint64_t scan_page_ordinal) {
+  // Page boundaries are identical pull positions in both execution modes
+  // (scans fetch one page at a time in either), so this check keeps
+  // governed kills — including deadline trips advanced by I/O time —
+  // mode-aligned, and stops a tripped query from issuing further I/O.
+  ECODB_RETURN_NOT_OK(CheckGovernor());
   if (!profile_->disk_backed || buffer_pool_ == nullptr) return Status::OK();
   Flush();  // keep machine time ordered: CPU work before the I/O wait
   int period = profile_->cold_random_page_period;
@@ -133,6 +160,18 @@ void ExecContext::MaybeFlush() {
   // bus-contention model is nonlinear in the per-flush (cycles, lines)
   // mix, so granularity-dependent boundaries would make simulated time
   // and energy drift between execution modes on short queries.
+  //
+  // Governor interplay: once tripped, the query charges nothing further —
+  // pending work is discarded, freezing cycles_charged and the machine
+  // ledger at the last quantum boundary. Because quanta live at fixed
+  // charged-cycle positions in both execution modes, a charged-cycle
+  // cancellation (and a CPU-time deadline) trips at a bit-exact
+  // cycles_charged value whether the work arrived per-row or per-batch.
+  if (governor_ != nullptr && governor_->tripped()) {
+    pending_cycles_ = 0;
+    pending_lines_ = 0;
+    return;
+  }
   while (pending_cycles_ >= kFlushCycleThreshold) {
     const double frac = kFlushCycleThreshold / pending_cycles_;
     const double lines = pending_lines_ * frac;
@@ -142,11 +181,25 @@ void ExecContext::MaybeFlush() {
     machine_->ExecuteCpu(cycles, lines);
     pending_cycles_ -= kFlushCycleThreshold;
     pending_lines_ -= lines;
+    if (governor_ != nullptr) {
+      if (governor_->CyclesTriggerHit(stats_.cycles_charged)) {
+        governor_->Trip(
+            Status::Cancelled("query cancelled at charged-cycle trigger"));
+      } else if (governor_->DeadlinePassed(machine_->NowSeconds())) {
+        governor_->Trip(Status::DeadlineExceeded(
+            "query deadline exceeded (simulated time)"));
+      }
+      if (governor_->tripped()) {
+        pending_cycles_ = 0;
+        pending_lines_ = 0;
+        return;
+      }
+    }
   }
 }
 
 void ExecContext::Flush() {
-  MaybeFlush();
+  MaybeFlush();  // discards everything when the governor has tripped
   if (pending_cycles_ <= 0 && pending_lines_ <= 0) return;
   double cycles = pending_cycles_ * cycle_inflation_;
   stats_.cycles_charged += cycles;
@@ -159,6 +212,7 @@ void ExecContext::Flush() {
 void ExecContext::ResetStats() {
   stats_ = QueryExecStats();
   eval_ = EvalCounters();
+  tracker_.ResetPeak();  // re-mirrors the peak into the fresh stats
 }
 
 }  // namespace ecodb

@@ -10,9 +10,11 @@
 #include <cstdint>
 
 #include "ecodb/core/engine_profile.h"
+#include "ecodb/exec/query_governor.h"
 #include "ecodb/sim/machine.h"
 #include "ecodb/storage/buffer_pool.h"
 #include "ecodb/storage/catalog.h"
+#include "ecodb/util/memory_tracker.h"
 #include "ecodb/util/status.h"
 
 namespace ecodb {
@@ -46,6 +48,9 @@ struct QueryExecStats {
   double cycles_charged = 0;
   double mem_lines_charged = 0;
   uint64_t spill_bytes = 0;
+  /// High-water mark of the query's tracked logical scratch bytes (see
+  /// MemoryTracker); mirrored live from the context's tracker.
+  uint64_t peak_memory_bytes = 0;
 };
 
 class ExecContext {
@@ -117,6 +122,28 @@ class ExecContext {
   const QueryExecStats& stats() const { return stats_; }
   void ResetStats();
 
+  // --- Query governor (optional; null = unlimited, zero-overhead) ---
+
+  /// Attaches a per-query governor. The context does not own it; the
+  /// caller (Database::ExecutePlanQuery) keeps it alive for the query.
+  void set_governor(QueryGovernor* governor) { governor_ = governor; }
+  QueryGovernor* governor() { return governor_; }
+
+  /// Cooperative limit check, called by operators at pull/consume
+  /// boundaries. Observes (in this order, for cross-mode determinism):
+  /// an already-latched trip, the external cancel flag, the logical
+  /// memory budget, and the simulated-time deadline. Returns the trip
+  /// status once tripped; OK otherwise. The charged-cycle cancellation
+  /// trigger and the CPU-time deadline additionally trip *inside*
+  /// MaybeFlush at exact quantum boundaries (see Flush), which is what
+  /// makes a governed kill land at a bit-exact charged-cycle position in
+  /// both execution modes.
+  Status CheckGovernor();
+
+  /// The query's logical-byte scratch accounting (always present; cheap
+  /// when nothing attaches to it). Operators hand this to their pools.
+  MemoryTracker* memory_tracker() { return &tracker_; }
+
  private:
   void MaybeFlush();
 
@@ -135,6 +162,8 @@ class ExecContext {
   EvalCounters eval_;
   QueryExecStats stats_;
   ExecMode exec_mode_ = ExecMode::kBatch;
+  QueryGovernor* governor_ = nullptr;  ///< not owned; null = no limits
+  MemoryTracker tracker_;
 
   double pending_cycles_ = 0;
   double pending_lines_ = 0;

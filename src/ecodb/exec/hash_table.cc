@@ -29,6 +29,19 @@ void FlatHashIndex::Reset(size_t expected_keys) {
   if (expected_keys > 0) {
     slots_.resize(NextPow2(expected_keys * 10 / 7 + 1));
   }
+  UpdateTracked();
+}
+
+void FlatHashIndex::UpdateTracked() {
+  if (tracker_ == nullptr) return;
+  const uint64_t now = slots_.size() * sizeof(Slot) +
+                       next_.size() * sizeof(uint32_t);
+  if (now > tracked_bytes_) {
+    tracker_->Charge(now - tracked_bytes_);
+  } else {
+    tracker_->Release(tracked_bytes_ - now);
+  }
+  tracked_bytes_ = now;
 }
 
 void FlatHashIndex::Grow(size_t min_slots) {
@@ -64,6 +77,7 @@ void FlatHashIndex::Insert(size_t hash, uint32_t idx) {
     next_[slot.tail] = idx;  // append: chains iterate in insertion order
   }
   slot.tail = idx;
+  UpdateTracked();
 }
 
 uint32_t FlatHashIndex::Find(size_t hash) const {

@@ -28,6 +28,7 @@
 
 #include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/value.h"
+#include "ecodb/util/memory_tracker.h"
 
 namespace ecodb {
 
@@ -62,6 +63,15 @@ class FlatHashIndex {
   /// Current slot-array capacity (a power of two, or 0 before first use).
   size_t capacity() const { return slots_.size(); }
 
+  /// Optional accounting: slot + next-link array footprints are charged
+  /// to the tracker as they grow and released on Reset. Host bytes here
+  /// (not logical cell bytes): both execution modes build identical
+  /// tables, so the charge is still mode-deterministic.
+  void set_memory_tracker(MemoryTracker* tracker) {
+    tracker_ = tracker;
+    UpdateTracked();
+  }
+
  private:
   struct Slot {
     size_t hash = 0;
@@ -73,9 +83,15 @@ class FlatHashIndex {
   /// two). Chains are untouched: only the slot positions move.
   void Grow(size_t min_slots);
 
+  /// Re-derives the tracked footprint from the current array sizes and
+  /// charges/releases the delta.
+  void UpdateTracked();
+
   std::vector<Slot> slots_;
   std::vector<uint32_t> next_;
   size_t count_ = 0;
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t tracked_bytes_ = 0;
 };
 
 /// Hashes the key columns of every *selected* row of `batch` into

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <iterator>
 
+#include "ecodb/exec/query_governor.h"
 #include "ecodb/util/strings.h"
 
 namespace ecodb {
@@ -72,6 +73,7 @@ Status SeqScanOp::Open() {
 }
 
 Status SeqScanOp::Next(Row* out, bool* has_row) {
+  ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
   if (next_row_ >= table_->num_rows()) {
     *has_row = false;
     return Status::OK();
@@ -91,6 +93,7 @@ Status SeqScanOp::Next(Row* out, bool* has_row) {
 }
 
 Status SeqScanOp::NextBatch(RowBatch* out, bool* has_rows) {
+  ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
   const int num_cols = schema_.num_fields();
   out->Reset(num_cols);
   const uint64_t total = table_->num_rows();
@@ -367,11 +370,14 @@ bool HashJoinOp::KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
 Status HashJoinOp::ConsumeBuildSide() {
   const int build_width = build_child_->schema().RowWidth();
   const int n_cols = build_child_->schema().num_fields();
+  index_.set_memory_tracker(ctx_->memory_tracker());
   index_.Reset();
   build_cols_.resize(static_cast<size_t>(n_cols));
   for (int c = 0; c < n_cols; ++c) {
     build_cols_[static_cast<size_t>(c)].Reset(
         build_child_->schema().field(c).type);
+    build_cols_[static_cast<size_t>(c)].set_memory_tracker(
+        ctx_->memory_tracker());
   }
   num_build_rows_ = 0;
   build_bytes_ = 0;
@@ -379,6 +385,7 @@ Status HashJoinOp::ConsumeBuildSide() {
     RowBatch batch;
     bool has = false;
     for (;;) {
+      ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
       ECODB_RETURN_NOT_OK(build_child_->NextBatch(&batch, &has));
       if (!has) break;
       ctx_->ChargeHashBuilds(batch.active(), build_width);
@@ -418,6 +425,7 @@ Status HashJoinOp::ConsumeBuildSide() {
   Row row;
   bool has = false;
   for (;;) {
+    ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
     ECODB_RETURN_NOT_OK(build_child_->Next(&row, &has));
     if (!has) break;
     size_t h = HashRowKey(row, build_keys_);
@@ -435,7 +443,13 @@ Status HashJoinOp::ConsumeBuildSide() {
 
 Status HashJoinOp::Open() {
   ECODB_RETURN_NOT_OK(build_child_->Open());
-  ECODB_RETURN_NOT_OK(ConsumeBuildSide());
+  Status consume = ConsumeBuildSide();
+  if (!consume.ok()) {
+    // The build child is open mid-stream; release its resources before
+    // propagating (our own Close only closes the probe side).
+    build_child_->Close();
+    return consume;
+  }
   build_child_->Close();
   probe_rows_ = 0;
   // Grace-hash spill of the build side (commercial profile).
@@ -681,13 +695,12 @@ NestedLoopJoinOp::NestedLoopJoinOp(ExecContext* ctx, OperatorPtr outer,
       inner_(std::move(inner)),
       predicate_(std::move(predicate)) {}
 
-Status NestedLoopJoinOp::Open() {
-  ECODB_RETURN_NOT_OK(inner_->Open());
-  inner_rows_.clear();
+Status NestedLoopJoinOp::ConsumeInnerSide() {
   if (ctx_->exec_mode() == ExecMode::kBatch) {
     RowBatch batch;
     bool has = false;
     for (;;) {
+      ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
       ECODB_RETURN_NOT_OK(inner_->NextBatch(&batch, &has));
       if (!has) break;
       const size_t need = inner_rows_.size() + batch.active();
@@ -697,6 +710,9 @@ Status NestedLoopJoinOp::Open() {
       for (uint32_t r : batch.sel()) {
         Row row;
         batch.MaterializeRow(r, &row);
+        const uint64_t b = LogicalRowBytes(row);
+        ctx_->memory_tracker()->Charge(b);
+        inner_pool_bytes_ += b;
         inner_rows_.push_back(std::move(row));
       }
     }
@@ -704,11 +720,28 @@ Status NestedLoopJoinOp::Open() {
     Row row;
     bool has = false;
     for (;;) {
+      ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
       ECODB_RETURN_NOT_OK(inner_->Next(&row, &has));
       if (!has) break;
+      const uint64_t b = LogicalRowBytes(row);
+      ctx_->memory_tracker()->Charge(b);
+      inner_pool_bytes_ += b;
       inner_rows_.push_back(std::move(row));
       row = Row();
     }
+  }
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Open() {
+  ECODB_RETURN_NOT_OK(inner_->Open());
+  inner_rows_.clear();
+  ctx_->memory_tracker()->Release(inner_pool_bytes_);
+  inner_pool_bytes_ = 0;
+  Status consume = ConsumeInnerSide();
+  if (!consume.ok()) {
+    inner_->Close();
+    return consume;
   }
   inner_->Close();
   ECODB_RETURN_NOT_OK(outer_->Open());
@@ -837,6 +870,8 @@ Status NestedLoopJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
 void NestedLoopJoinOp::Close() {
   outer_->Close();
   inner_rows_.clear();
+  ctx_->memory_tracker()->Release(inner_pool_bytes_);
+  inner_pool_bytes_ = 0;
   ctx_->Flush();
 }
 
@@ -968,6 +1003,13 @@ HashAggOp::Group* HashAggOp::FindOrCreateGroup(size_t hash, size_t n_keys,
   groups_.push_back(
       Group{make_key(), std::vector<Accumulator>(aggs_.size())});
   ++*new_groups;
+  // Logical pool accounting: key bytes plus a fixed per-accumulator
+  // footprint (sum/count/min/max slots), identical across exec modes.
+  constexpr uint64_t kAccumulatorBytes = 48;
+  const uint64_t bytes =
+      LogicalRowBytes(groups_.back().key) + aggs_.size() * kAccumulatorBytes;
+  ctx_->memory_tracker()->Charge(bytes);
+  group_pool_bytes_ += bytes;
   return &groups_.back();
 }
 
@@ -980,6 +1022,7 @@ Status HashAggOp::ConsumeChildRowMode() {
   }
   const int key_bytes = static_cast<int>(group_by_.size()) * 8;
   for (;;) {
+    ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
     ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
     if (!has) break;
     Row key;
@@ -1007,6 +1050,7 @@ Status HashAggOp::ConsumeChildBatchMode() {
   std::vector<BatchOperand> key_vals(group_by_.size());
   std::vector<BatchAggArg> args(aggs_.size());
   for (;;) {
+    ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
     ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
     if (!has) break;
     // Vectorized evaluation of group keys and aggregate arguments; the
@@ -1077,6 +1121,8 @@ void HashAggOp::MaterializeResults() {
   result_cols_.resize(static_cast<size_t>(n_fields));
   for (int c = 0; c < n_fields; ++c) {
     result_cols_[static_cast<size_t>(c)].Reset(schema_.field(c).type);
+    result_cols_[static_cast<size_t>(c)].set_memory_tracker(
+        ctx_->memory_tracker());
   }
 
   // Global aggregate over empty input still yields one row (SQL
@@ -1140,15 +1186,20 @@ void HashAggOp::MaterializeResults() {
 
 Status HashAggOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
+  group_index_.set_memory_tracker(ctx_->memory_tracker());
   group_index_.Reset();
   groups_.clear();
+  ctx_->memory_tracker()->Release(group_pool_bytes_);
+  group_pool_bytes_ = 0;
   n_results_ = 0;
   result_pos_ = 0;
 
-  if (ctx_->exec_mode() == ExecMode::kBatch) {
-    ECODB_RETURN_NOT_OK(ConsumeChildBatchMode());
-  } else {
-    ECODB_RETURN_NOT_OK(ConsumeChildRowMode());
+  Status consume = ctx_->exec_mode() == ExecMode::kBatch
+                       ? ConsumeChildBatchMode()
+                       : ConsumeChildRowMode();
+  if (!consume.ok()) {
+    child_->Close();
+    return consume;
   }
   child_->Close();
   // Drain the trailing bucket-compare / aggregate-argument counters (the
@@ -1156,8 +1207,15 @@ Status HashAggOp::Open() {
   ctx_->ChargeEvalOps();
 
   MaterializeResults();
+  // Governor check at the high-water point — group pool and result
+  // columns both live — before the pool is released, so a memory budget
+  // below this operator's peak latches here in both exec modes (the
+  // consume loops above only check at pull granularity).
+  ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
   group_index_.Reset();
   groups_.clear();
+  ctx_->memory_tracker()->Release(group_pool_bytes_);
+  group_pool_bytes_ = 0;
   ctx_->Flush();
   return Status::OK();
 }
@@ -1210,6 +1268,12 @@ Status HashAggOp::NextBatchCapped(RowBatch* out, bool* has_rows,
 }
 
 void HashAggOp::Close() {
+  // The group pool is normally released at the end of Open; a governed
+  // kill mid-consume leaves it populated, so release here too.
+  group_index_.Reset();
+  groups_.clear();
+  ctx_->memory_tracker()->Release(group_pool_bytes_);
+  group_pool_bytes_ = 0;
   result_cols_.clear();
   n_results_ = 0;
   ctx_->Flush();
@@ -1223,10 +1287,14 @@ SortOp::SortOp(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys)
 Status SortOp::Open() {
   ECODB_RETURN_NOT_OK(child_->Open());
   rows_.clear();
+  ctx_->memory_tracker()->Release(row_pool_bytes_);
+  row_pool_bytes_ = 0;
   order_.clear();
   n_rows_ = 0;
   pos_ = 0;
   columnar_ = ctx_->exec_mode() == ExecMode::kBatch;
+  // The consume methods close the child themselves (on success and on
+  // error) because the row path interleaves the close with decoration.
   if (columnar_) {
     ECODB_RETURN_NOT_OK(ConsumeChildBatchMode());
   } else {
@@ -1240,8 +1308,16 @@ Status SortOp::ConsumeChildRowMode() {
   Row row;
   bool has = false;
   for (;;) {
-    ECODB_RETURN_NOT_OK(child_->Next(&row, &has));
+    Status st = ctx_->CheckGovernor();
+    if (st.ok()) st = child_->Next(&row, &has);
+    if (!st.ok()) {
+      child_->Close();
+      return st;
+    }
     if (!has) break;
+    const uint64_t b = LogicalRowBytes(row);
+    ctx_->memory_tracker()->Charge(b);
+    row_pool_bytes_ += b;
     rows_.push_back(std::move(row));
     row = Row();
   }
@@ -1250,15 +1326,29 @@ Status SortOp::ConsumeChildRowMode() {
   // Decorate: evaluate sort keys once per row.
   std::vector<std::pair<Row, size_t>> decorated;
   decorated.reserve(rows_.size());
+  uint64_t key_bytes = 0;
   for (size_t i = 0; i < rows_.size(); ++i) {
     Row key;
     key.reserve(keys_.size());
     for (const SortKey& k : keys_) {
       key.push_back(k.expr->Eval(rows_[i], ctx_->eval_counters()));
     }
+    const uint64_t kb = LogicalRowBytes(key);
+    ctx_->memory_tracker()->Charge(kb);
+    key_bytes += kb;
     decorated.emplace_back(std::move(key), i);
   }
   ctx_->ChargeEvalOps();
+
+  // High-water check — input pool plus decorated keys both live. The
+  // batch path's post-consume check sees the same logical total (typed
+  // columns plus key columns), so a budget below this peak latches in
+  // both modes.
+  Status key_check = ctx_->CheckGovernor();
+  if (!key_check.ok()) {
+    ctx_->memory_tracker()->Release(key_bytes);
+    return key_check;
+  }
 
   uint64_t compares = 0;
   std::sort(decorated.begin(), decorated.end(),
@@ -1271,6 +1361,9 @@ Status SortOp::ConsumeChildRowMode() {
               return a.second < b.second;  // stable tiebreak
             });
   ctx_->ChargeSortCompares(compares);
+  // Decorated keys die with this frame; mirror that in the tracker (the
+  // batch path clears its key columns at the same point).
+  ctx_->memory_tracker()->Release(key_bytes);
 
   std::vector<Row> sorted;
   sorted.reserve(rows_.size());
@@ -1285,10 +1378,12 @@ Status SortOp::ConsumeChildBatchMode() {
   cols_.resize(static_cast<size_t>(n_cols));
   for (int c = 0; c < n_cols; ++c) {
     cols_[static_cast<size_t>(c)].Reset(s.field(c).type);
+    cols_[static_cast<size_t>(c)].set_memory_tracker(ctx_->memory_tracker());
   }
   key_cols_.resize(keys_.size());
   for (size_t k = 0; k < keys_.size(); ++k) {
     key_cols_[k].Reset(keys_[k].expr->type());
+    key_cols_[k].set_memory_tracker(ctx_->memory_tracker());
   }
 
   // Materialize the input as typed columns, evaluating the sort keys
@@ -1302,7 +1397,12 @@ Status SortOp::ConsumeChildBatchMode() {
   bool has = false;
   std::vector<BatchOperand> key_vals(keys_.size());
   for (;;) {
-    ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
+    Status st = ctx_->CheckGovernor();
+    if (st.ok()) st = child_->NextBatch(&batch, &has);
+    if (!st.ok()) {
+      child_->Close();
+      return st;
+    }
     if (!has) break;
     for (size_t k = 0; k < keys_.size(); ++k) {
       key_vals[k].Resolve(*keys_[k].expr, batch, batch.sel(),
@@ -1329,6 +1429,10 @@ Status SortOp::ConsumeChildBatchMode() {
   child_->Close();
   ctx_->ChargeEvalOps();
 
+  // High-water check — input columns plus key columns both live;
+  // mirrors the row path's post-decorate check (same logical total).
+  ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
+
   // Index sort over unboxed key views. Same elements in the same initial
   // order under the same total order as the row-mode decorate sort, so
   // std::sort performs the identical comparison sequence — one sort
@@ -1345,6 +1449,10 @@ Status SortOp::ConsumeChildBatchMode() {
     return a < b;  // stable tiebreak
   });
   ctx_->ChargeSortCompares(compares);
+  // The key columns are only read by the comparator; release them here
+  // so the tracker matches the row path, whose decorated keys die at
+  // the same point.
+  key_cols_.clear();
   return Status::OK();
 }
 
@@ -1414,8 +1522,10 @@ Status SortOp::NextBatchCapped(RowBatch* out, bool* has_rows,
 
 void SortOp::Close() {
   rows_.clear();
-  cols_.clear();
-  key_cols_.clear();
+  ctx_->memory_tracker()->Release(row_pool_bytes_);
+  row_pool_bytes_ = 0;
+  cols_.clear();      // TypedColumn destructors release their tracked bytes
+  key_cols_.clear();  // (already cleared after the sort on the normal path)
   order_.clear();
   n_rows_ = 0;
   ctx_->Flush();
@@ -1518,38 +1628,62 @@ void LimitOp::Close() {
 Result<ResultSet> ExecuteOperatorColumnar(Operator* op, ExecContext* ctx,
                                           ExecMode mode) {
   ctx->set_exec_mode(mode);
-  ECODB_RETURN_NOT_OK(op->Open());
+  Status open = op->Open();
+  if (!open.ok()) {
+    // Close the partially-opened stack: Open failures (governor trips,
+    // injected faults) can leave materialized pools populated, and every
+    // operator's Close releases its own state idempotently.
+    op->Close();
+    return open;
+  }
   // Schemas bind at Open (scans look up the catalog), so the result shape
   // and output width are computed here, not before.
   ResultSet set(op->schema());
-  int width = op->schema().RowWidth();
+  const int width = op->schema().RowWidth();
+  // The accumulating result counts against the query's memory budget
+  // (logical schema width per row, identical across modes); the charge
+  // is dropped once the set is handed to the caller — tracker lifetime
+  // ends with the query, the result outlives it.
+  MemoryTracker* tracker = ctx->memory_tracker();
+  uint64_t result_bytes = 0;
   if (mode == ExecMode::kBatch) {
     RowBatch batch;
     for (;;) {
       bool has = false;
-      Status st = op->NextBatch(&batch, &has);
+      Status st = ctx->CheckGovernor();
+      if (st.ok()) st = op->NextBatch(&batch, &has);
       if (!st.ok()) {
+        tracker->Release(result_bytes);
         op->Close();
         return st;
       }
       if (!has) break;
       ctx->ChargeOutputTuples(batch.active(), width);
+      const uint64_t rb =
+          static_cast<uint64_t>(batch.active()) * static_cast<uint64_t>(width);
+      tracker->Charge(rb);
+      result_bytes += rb;
       set.AppendBatch(batch);
     }
   } else {
     Row row;
     bool has = false;
     for (;;) {
-      Status st = op->Next(&row, &has);
+      Status st = ctx->CheckGovernor();
+      if (st.ok()) st = op->Next(&row, &has);
       if (!st.ok()) {
+        tracker->Release(result_bytes);
         op->Close();
         return st;
       }
       if (!has) break;
       ctx->ChargeOutputTuple(width);
+      tracker->Charge(static_cast<uint64_t>(width));
+      result_bytes += static_cast<uint64_t>(width);
       set.AppendRow(row);
     }
   }
+  tracker->Release(result_bytes);
   op->Close();
   ctx->Flush();
   return set;

@@ -243,12 +243,17 @@ class NestedLoopJoinOp : public Operator {
   std::string name() const override { return "NestedLoopJoin"; }
 
  private:
+  /// Materializes the inner side into inner_rows_ (both modes), checking
+  /// the governor per pull and charging the pool to the memory tracker.
+  Status ConsumeInnerSide();
+
   ExecContext* ctx_;
   OperatorPtr outer_, inner_;
   ExprPtr predicate_;
   ExprScratch scratch_;
   Schema schema_;
   std::vector<Row> inner_rows_;
+  uint64_t inner_pool_bytes_ = 0;  ///< tracked logical bytes of inner_rows_
   /// True when inner_rows_ holds string cells: emitted batches then carry
   /// pointers into this pool (valid until Close, not arena-retained) and
   /// are marked pool-backed so cross-Close borrowers copy instead.
@@ -343,6 +348,7 @@ class HashAggOp : public Operator {
   ExprScratch scratch_;
   FlatHashIndex group_index_;
   std::vector<Group> groups_;  ///< contiguous pool, insertion order
+  uint64_t group_pool_bytes_ = 0;  ///< tracked logical bytes of groups_
 
   // Columnar result store: one TypedColumn per output field, shared by
   // both emission paths; emit_idx_ is NextBatch's gather-index scratch.
@@ -388,6 +394,7 @@ class SortOp : public Operator {
 
   // Row-mode storage: materialized rows, rearranged into sorted order.
   std::vector<Row> rows_;
+  uint64_t row_pool_bytes_ = 0;  ///< tracked logical bytes of rows_
 
   // Batch-mode storage: the input as typed columns, the evaluated sort
   // keys as typed columns, and the sorted permutation of [0, n_rows_).

@@ -172,6 +172,159 @@ PlanNodePtr ClonePlan(const PlanNode& node) {
   return out;
 }
 
+namespace {
+
+/// All column references of `e` must land inside a child schema with
+/// `num_fields` fields.
+Status CheckExprColumns(const Expr* e, int num_fields, const char* what) {
+  if (e == nullptr) {
+    return Status::InvalidArgument(StrFormat("%s expression is null", what));
+  }
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  for (int c : cols) {
+    if (c < 0 || c >= num_fields) {
+      return Status::InvalidArgument(
+          StrFormat("%s references column %d, input has %d columns", what, c,
+                    num_fields));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckChildCount(const PlanNode& node, size_t expected) {
+  if (node.children.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("%s node expects %zu child(ren), got %zu",
+                  ToString(node.kind), expected, node.children.size()));
+  }
+  for (const auto& c : node.children) {
+    if (c == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("%s node has a null child", ToString(node.kind)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 0));
+      if (node.table_name.empty()) {
+        return Status::InvalidArgument("Scan node has no table name");
+      }
+      break;
+    case PlanKind::kFilter: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 1));
+      const int n = node.children[0]->output_schema.num_fields();
+      ECODB_RETURN_NOT_OK(
+          CheckExprColumns(node.predicate.get(), n, "Filter predicate"));
+      break;
+    }
+    case PlanKind::kProject: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 1));
+      if (node.exprs.empty()) {
+        return Status::InvalidArgument(
+            "Project node has no output columns (zero-column projection)");
+      }
+      if (node.names.size() != node.exprs.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "Project node has %zu expressions but %zu names",
+            node.exprs.size(), node.names.size()));
+      }
+      const int n = node.children[0]->output_schema.num_fields();
+      for (const ExprPtr& e : node.exprs) {
+        ECODB_RETURN_NOT_OK(
+            CheckExprColumns(e.get(), n, "Project expression"));
+      }
+      break;
+    }
+    case PlanKind::kHashJoin: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 2));
+      if (node.build_keys.empty() ||
+          node.build_keys.size() != node.probe_keys.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "HashJoin key arity mismatch: %zu build keys vs %zu probe keys",
+            node.build_keys.size(), node.probe_keys.size()));
+      }
+      const int nb = node.children[0]->output_schema.num_fields();
+      const int np = node.children[1]->output_schema.num_fields();
+      for (int k : node.build_keys) {
+        if (k < 0 || k >= nb) {
+          return Status::InvalidArgument(StrFormat(
+              "HashJoin build key %d out of range (build has %d columns)", k,
+              nb));
+        }
+      }
+      for (int k : node.probe_keys) {
+        if (k < 0 || k >= np) {
+          return Status::InvalidArgument(StrFormat(
+              "HashJoin probe key %d out of range (probe has %d columns)", k,
+              np));
+        }
+      }
+      break;
+    }
+    case PlanKind::kNestedLoopJoin: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 2));
+      if (node.predicate != nullptr) {  // null = cross join, legal
+        const int n = node.children[0]->output_schema.num_fields() +
+                      node.children[1]->output_schema.num_fields();
+        ECODB_RETURN_NOT_OK(CheckExprColumns(node.predicate.get(), n,
+                                             "NestedLoopJoin predicate"));
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 1));
+      if (node.group_by.empty() && node.aggs.empty()) {
+        return Status::InvalidArgument(
+            "Aggregate node has no group-by keys and no aggregates "
+            "(zero-column output)");
+      }
+      const int n = node.children[0]->output_schema.num_fields();
+      for (const ExprPtr& e : node.group_by) {
+        ECODB_RETURN_NOT_OK(CheckExprColumns(e.get(), n, "group-by key"));
+      }
+      for (const AggSpec& a : node.aggs) {
+        if (a.arg == nullptr) {
+          if (a.kind != AggSpec::Kind::kCount) {
+            return Status::InvalidArgument(StrFormat(
+                "aggregate %s requires an argument (only COUNT(*) may omit "
+                "it)",
+                a.name.c_str()));
+          }
+          continue;
+        }
+        ECODB_RETURN_NOT_OK(
+            CheckExprColumns(a.arg.get(), n, "aggregate argument"));
+      }
+      break;
+    }
+    case PlanKind::kSort: {
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 1));
+      const int n = node.children[0]->output_schema.num_fields();
+      for (const SortKey& k : node.sort_keys) {
+        ECODB_RETURN_NOT_OK(CheckExprColumns(k.expr.get(), n, "sort key"));
+      }
+      break;
+    }
+    case PlanKind::kLimit:
+      ECODB_RETURN_NOT_OK(CheckChildCount(node, 1));
+      if (node.limit < 0) {
+        return Status::InvalidArgument(
+            StrFormat("Limit node has negative limit %lld",
+                      static_cast<long long>(node.limit)));
+      }
+      break;
+  }
+  for (const auto& c : node.children) ECODB_RETURN_NOT_OK(ValidatePlan(*c));
+  return Status::OK();
+}
+
 Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
   switch (node.kind) {
     case PlanKind::kScan:
@@ -229,6 +382,7 @@ Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
 
 Result<ResultSet> ExecutePlanColumnar(const PlanNode& node, ExecContext* ctx,
                                       ExecMode mode) {
+  ECODB_RETURN_NOT_OK(ValidatePlan(node));
   ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
   return ExecuteOperatorColumnar(op.get(), ctx, mode);
 }

@@ -89,6 +89,15 @@ PlanNodePtr MakeLimit(PlanNodePtr child, int64_t limit);
 /// Deep copy (plans are templates reused across runs; QED rewrites copies).
 PlanNodePtr ClonePlan(const PlanNode& node);
 
+/// Structural validation of a (possibly hand-built) plan tree: child
+/// counts per node kind, non-null predicates/expressions, non-empty
+/// projections, join-key arity and range, expression column indexes in
+/// range of the child schema, non-negative limits. Returns
+/// InvalidArgument naming the offending node. ExecutePlanColumnar runs
+/// this before instantiating operators, so a malformed plan is a clean
+/// error instead of an assert deep inside an operator.
+Status ValidatePlan(const PlanNode& node);
+
 /// Builds the operator tree for a plan.
 Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx);
 

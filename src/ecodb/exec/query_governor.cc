@@ -1,0 +1,13 @@
+#include "ecodb/exec/query_governor.h"
+
+namespace ecodb {
+
+QueryGovernor::QueryGovernor(const QueryLimits& limits,
+                             double query_start_seconds)
+    : limits_(limits) {
+  if (limits_.deadline_seconds > 0.0) {
+    deadline_abs_seconds_ = query_start_seconds + limits_.deadline_seconds;
+  }
+}
+
+}  // namespace ecodb

@@ -1,8 +1,51 @@
 #include "ecodb/exec/typed_column.h"
 
+#include <utility>
+
+#include "ecodb/exec/query_governor.h"
+
 namespace ecodb {
 
+TypedColumn::TypedColumn(TypedColumn&& o) noexcept { *this = std::move(o); }
+
+TypedColumn& TypedColumn::operator=(TypedColumn&& o) noexcept {
+  if (this == &o) return *this;
+  // Drop our own state first (releases tracked bytes, detaches our arena).
+  if (str_ != nullptr) str_->DetachMemoryTracker();
+  TrackReleaseAll();
+  type_ = o.type_;
+  boxed_ = o.boxed_;
+  has_nulls_ = o.has_nulls_;
+  dict_dedup_ = o.dict_dedup_;
+  size_ = o.size_;
+  i64_ = std::move(o.i64_);
+  f64_ = std::move(o.f64_);
+  strp_ = std::move(o.strp_);
+  str_ = std::move(o.str_);
+  retained_ = std::move(o.retained_);
+  nulls_ = std::move(o.nulls_);
+  vals_ = std::move(o.vals_);
+  tracker_ = o.tracker_;
+  tracked_bytes_ = o.tracked_bytes_;
+  // The source must not release the bytes we now own.
+  o.tracker_ = nullptr;
+  o.tracked_bytes_ = 0;
+  o.size_ = 0;
+  o.boxed_ = false;
+  o.has_nulls_ = false;
+  return *this;
+}
+
+TypedColumn::~TypedColumn() {
+  // The arena may be retained by emitted batches that outlive the query's
+  // ExecContext (and thus the tracker) — sever its tracker link before it
+  // escapes our control.
+  if (str_ != nullptr) str_->DetachMemoryTracker();
+  TrackReleaseAll();
+}
+
 void TypedColumn::Reset(ValueType declared_type) {
+  TrackReleaseAll();
   type_ = declared_type;
   // Types with no typed representation stay boxed from the start.
   boxed_ = RowBatch::LaneKindFor(declared_type) == RowBatch::LaneKind::kNone;
@@ -16,11 +59,14 @@ void TypedColumn::Reset(ValueType declared_type) {
     // A fresh arena unless this column is the sole owner of the old one
     // (emitted batches may still reference the previous query's strings).
     if (str_ == nullptr || str_.use_count() > 1) {
+      if (str_ != nullptr) str_->DetachMemoryTracker();
       str_ = std::make_shared<StringArena>();
     } else {
       str_->Clear();
     }
+    if (tracker_ != nullptr) str_->set_memory_tracker(tracker_);
   } else {
+    if (str_ != nullptr) str_->DetachMemoryTracker();
     str_.reset();
   }
   retained_.clear();
@@ -35,10 +81,17 @@ void TypedColumn::Demote() {
   i64_.clear();
   f64_.clear();
   strp_.clear();
+  if (str_ != nullptr) str_->DetachMemoryTracker();
   str_.reset();
   retained_.clear();
   nulls_.clear();
   boxed_ = true;
+  // Re-derive the charge from the boxed cells: the arena just released
+  // its payload bytes, and borrowed-payload charges no longer apply.
+  TrackReleaseAll();
+  if (tracker_ != nullptr) {
+    for (const Value& v : vals_) TrackCharge(LogicalValueBytes(v));
+  }
 }
 
 void TypedColumn::GatherInto(RowBatch* out, int out_col,
@@ -96,6 +149,7 @@ void TypedColumn::AppendImpl(const CellView& v, bool stable_str) {
   if (boxed_) {
     vals_.push_back(BoxCellView(v));
     ++size_;
+    TrackCharge(LogicalValueBytes(vals_.back()));
     return;
   }
   const bool null = v.type == ValueType::kNull;
@@ -104,18 +158,23 @@ void TypedColumn::AppendImpl(const CellView& v, bool stable_str) {
   switch (RowBatch::LaneKindFor(type_)) {
     case RowBatch::LaneKind::kInt64:
       i64_.push_back(null ? 0 : v.i);
+      TrackCharge(null ? 1 : 8);
       break;
     case RowBatch::LaneKind::kDouble:
       f64_.push_back(null ? 0.0 : v.d);
+      TrackCharge(null ? 1 : 8);
       break;
     case RowBatch::LaneKind::kStringRef:
       if (null) {
         strp_.push_back(nullptr);
+        TrackCharge(1);
       } else if (stable_str) {
         strp_.push_back(v.s);
+        TrackCharge(8 + v.s->size());  // borrowed payload, not in our arena
       } else {
         strp_.push_back(dict_dedup_ ? str_->InternDedup(*v.s)
                                     : str_->Intern(*v.s));
+        TrackCharge(8);  // payload charged by the arena's tracker
       }
       break;
     case RowBatch::LaneKind::kNone:

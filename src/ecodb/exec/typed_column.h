@@ -24,12 +24,33 @@
 #include "ecodb/exec/row_batch.h"
 #include "ecodb/storage/string_arena.h"
 #include "ecodb/storage/value.h"
+#include "ecodb/util/memory_tracker.h"
 
 namespace ecodb {
 
 class TypedColumn {
  public:
+  TypedColumn() = default;
+  // Move-only once accounting entered the picture: a copy would double-
+  // release its tracked bytes. Nothing in-tree copies columns.
+  TypedColumn(TypedColumn&& o) noexcept;
+  TypedColumn& operator=(TypedColumn&& o) noexcept;
+  TypedColumn(const TypedColumn&) = delete;
+  TypedColumn& operator=(const TypedColumn&) = delete;
+  ~TypedColumn();
+
   void Reset(ValueType declared_type);
+
+  /// Optional logical-byte accounting (operator scratch pools only —
+  /// never ResultSet columns, which outlive the query's ExecContext).
+  /// Every appended cell charges its LogicalCellBytes: 8 per cell slot
+  /// plus string payload, the latter through the arena's own tracker for
+  /// copied strings and directly for borrowed ones, so the total is the
+  /// same on either path. Call after Reset (the tracker survives Reset).
+  void set_memory_tracker(MemoryTracker* tracker) {
+    tracker_ = tracker;
+    if (str_ != nullptr) str_->set_memory_tracker(tracker);
+  }
 
   /// Appends a cell, copying string payloads into this column's arena
   /// (through the dedup dictionary when EnableDictDedup was called).
@@ -68,17 +89,20 @@ class TypedColumn {
     nulls_.push_back(0);
     i64_.push_back(v);
     ++size_;
+    TrackCharge(8);
   }
   void AppendNonNullDouble(double v) {
     nulls_.push_back(0);
     f64_.push_back(v);
     ++size_;
+    TrackCharge(8);
   }
   /// Copy form: interns the bytes into this column's arena.
   void AppendNonNullString(const std::string& v) {
     nulls_.push_back(0);
     strp_.push_back(dict_dedup_ ? str_->InternDedup(v) : str_->Intern(v));
     ++size_;
+    TrackCharge(8);  // payload charged by the arena's tracker
   }
   /// Borrow form: stores the pointer; the caller guarantees stability
   /// (table storage, or arenas retained via RetainStorageOf).
@@ -86,6 +110,7 @@ class TypedColumn {
     nulls_.push_back(0);
     strp_.push_back(v);
     ++size_;
+    TrackCharge(8 + v->size());  // borrowed payload never hits our arena
   }
 
   /// Retains every arena that keeps `batch`'s string pointers valid, so
@@ -144,6 +169,21 @@ class TypedColumn {
   }
   void Demote();
 
+  void TrackCharge(uint64_t bytes) {
+    if (tracker_ != nullptr) {
+      tracker_->Charge(bytes);
+      tracked_bytes_ += bytes;
+    }
+  }
+  /// Releases this column's own tracked bytes (not the arena's — the
+  /// arena releases its payload charges itself on Clear/Detach).
+  void TrackReleaseAll() {
+    if (tracker_ != nullptr) {
+      tracker_->Release(tracked_bytes_);
+    }
+    tracked_bytes_ = 0;
+  }
+
   ValueType type_ = ValueType::kNull;
   bool boxed_ = false;
   bool has_nulls_ = false;
@@ -156,6 +196,8 @@ class TypedColumn {
   std::vector<StringArenaPtr> retained_;  ///< borrowed bytes kept alive
   std::vector<uint8_t> nulls_;
   std::vector<Value> vals_;  ///< boxed fallback
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t tracked_bytes_ = 0;  ///< column-side charges (excludes arena's)
 };
 
 }  // namespace ecodb

@@ -1,0 +1,41 @@
+#include "ecodb/sim/fault_injection.h"
+
+namespace ecodb {
+
+namespace {
+
+// SplitMix64 finalizer: a high-quality 64-bit mix, used here as a
+// counter-based generator so decision k depends only on (seed, k).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config) {}
+
+FaultInjector::Outcome FaultInjector::NextReadOutcome() {
+  if (!config_.enabled()) return Outcome::kOk;
+  const uint64_t draw = Mix64(config_.seed ^ Mix64(counter_));
+  ++counter_;
+  const double u = ToUnit(draw);
+  // Threshold order matters for the per-seed monotonicity property:
+  // raising either rate only adds fault events to the schedule (until
+  // retry draws shift the stream).
+  if (u < config_.persistent_fault_rate) return Outcome::kPersistent;
+  if (u < config_.persistent_fault_rate + config_.transient_fault_rate) {
+    return Outcome::kTransient;
+  }
+  return Outcome::kOk;
+}
+
+}  // namespace ecodb

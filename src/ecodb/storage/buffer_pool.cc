@@ -5,6 +5,37 @@ namespace ecodb {
 BufferPool::BufferPool(Machine* machine, uint64_t capacity_pages)
     : machine_(machine), capacity_pages_(capacity_pages) {}
 
+Status BufferPool::DiskReadWithFaults(uint64_t bytes, uint64_t n_requests,
+                                      bool random) {
+  if (fault_injector_ == nullptr) {
+    return machine_->DiskRead(bytes, n_requests, random);
+  }
+  const FaultInjectorConfig& cfg = fault_injector_->config();
+  double backoff_s = cfg.initial_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    const FaultInjector::Outcome outcome = fault_injector_->NextReadOutcome();
+    if (outcome == FaultInjector::Outcome::kPersistent) {
+      ++stats_.persistent_faults;
+      return Status::HardwareFault("persistent disk fault (injected)");
+    }
+    // The read runs to completion before the fault is detected, so a
+    // faulted attempt costs exactly as much time and energy as a good
+    // one — and the machine's own injected-fault path can still fire.
+    ECODB_RETURN_NOT_OK(machine_->DiskRead(bytes, n_requests, random));
+    if (outcome == FaultInjector::Outcome::kOk) return Status::OK();
+    ++stats_.transient_faults;
+    if (attempt >= cfg.max_retries) {
+      return Status::HardwareFault(
+          "transient disk faults exhausted retry budget");
+    }
+    // Energy-accounted backoff: the machine idles (system on, CPU in its
+    // idle state) for the wait, then the read is re-issued.
+    machine_->Idle(backoff_s);
+    backoff_s *= cfg.backoff_multiplier;
+    ++stats_.retries;
+  }
+}
+
 bool BufferPool::Contains(PageId pid) const {
   return frames_.find(pid) != frames_.end();
 }
@@ -40,7 +71,7 @@ Status BufferPool::FetchPage(PageId pid, AccessHint hint) {
   } else {
     ++stats_.sequential_misses;
   }
-  ECODB_RETURN_NOT_OK(machine_->DiskRead(kPageSizeBytes, 1, random));
+  ECODB_RETURN_NOT_OK(DiskReadWithFaults(kPageSizeBytes, 1, random));
   Admit(pid);
   return Status::OK();
 }
@@ -63,12 +94,12 @@ Status BufferPool::FetchRange(uint32_t file_id, uint64_t first, uint64_t count,
   if (random) {
     stats_.random_misses += missing;
     ECODB_RETURN_NOT_OK(
-        machine_->DiskRead(missing * kPageSizeBytes, missing, true));
+        DiskReadWithFaults(missing * kPageSizeBytes, missing, true));
   } else {
     stats_.sequential_misses += missing;
     // Readahead: one positioning for the whole run.
     ECODB_RETURN_NOT_OK(
-        machine_->DiskRead(missing * kPageSizeBytes, missing, false));
+        DiskReadWithFaults(missing * kPageSizeBytes, missing, false));
   }
   for (uint64_t i = 0; i < count; ++i) {
     PageId pid{file_id, first + i};

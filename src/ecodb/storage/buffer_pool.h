@@ -12,6 +12,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "ecodb/sim/fault_injection.h"
 #include "ecodb/sim/machine.h"
 #include "ecodb/storage/heap_file.h"
 #include "ecodb/util/status.h"
@@ -31,6 +32,10 @@ struct BufferPoolStats {
   uint64_t sequential_misses = 0;
   uint64_t random_misses = 0;
   uint64_t evictions = 0;
+  /// Fault-injection outcomes (zero when no injector is attached).
+  uint64_t transient_faults = 0;   ///< individual read attempts that faulted
+  uint64_t retries = 0;            ///< re-issued reads after a transient fault
+  uint64_t persistent_faults = 0;  ///< reads escalated to kHardwareFault
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -66,13 +71,29 @@ class BufferPool {
   uint64_t capacity_pages() const { return capacity_pages_; }
   uint64_t resident_pages() const { return frames_.size(); }
 
+  /// Attaches a deterministic fault schedule (not owned; null disables —
+  /// the read path is then byte-for-byte the old one). See
+  /// FaultInjectorConfig for the retry/backoff policy.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() { return fault_injector_; }
+
  private:
   /// Inserts pid as most-recently-used, evicting LRU if full.
   void Admit(PageId pid);
   void Touch(PageId pid);
 
+  /// DiskRead with the injector's fault schedule applied: a transient
+  /// fault charges the failed read's full time + energy, idles the
+  /// machine through an exponential backoff (robustness costs joules),
+  /// and re-reads; attempts past max_retries — and any persistent
+  /// fault — escalate to kHardwareFault.
+  Status DiskReadWithFaults(uint64_t bytes, uint64_t n_requests, bool random);
+
   Machine* machine_;
   uint64_t capacity_pages_;
+  FaultInjector* fault_injector_ = nullptr;  ///< not owned; null = off
   // LRU list: front = most recent. Map points into the list.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> frames_;

@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "ecodb/util/memory_tracker.h"
+
 namespace ecodb {
 
 class StringArena {
@@ -33,13 +35,20 @@ class StringArena {
   /// modes, nation names), not to index arbitrary payloads.
   static constexpr size_t kDedupMaxEntries = 64;
 
+  StringArena() = default;
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+  ~StringArena() { DetachMemoryTracker(); }
+
   /// Copies `s` into the arena and returns its stable address.
   const std::string* Intern(const std::string& s) {
     strings_.push_back(s);
+    TrackIntern(strings_.back().size());
     return &strings_.back();
   }
   const std::string* Intern(std::string&& s) {
     strings_.push_back(std::move(s));
+    TrackIntern(strings_.back().size());
     return &strings_.back();
   }
 
@@ -69,15 +78,46 @@ class StringArena {
   /// shared arena may still be referenced by lanes elsewhere); callers
   /// check `use_count` on their handle before reusing.
   void Clear() {
+    if (tracker_ != nullptr) {
+      tracker_->Release(tracked_bytes_);
+      tracked_bytes_ = 0;
+    }
     strings_.clear();
     dedup_.clear();
   }
 
+  /// Optional logical-byte accounting: once attached, every interned
+  /// payload charges its length to the tracker. The attaching TypedColumn
+  /// owns the tracker's lifetime contract: an arena can be *retained* by
+  /// emitted batches and result sets that outlive the query's ExecContext
+  /// (and thus the tracker), so whoever relinquishes a tracked arena MUST
+  /// call DetachMemoryTracker() first — after detach the arena never
+  /// touches the tracker again.
+  void set_memory_tracker(MemoryTracker* tracker) { tracker_ = tracker; }
+
+  /// Releases everything this arena charged and forgets the tracker.
+  void DetachMemoryTracker() {
+    if (tracker_ != nullptr) {
+      tracker_->Release(tracked_bytes_);
+      tracker_ = nullptr;
+    }
+    tracked_bytes_ = 0;
+  }
+
  private:
+  void TrackIntern(size_t payload_bytes) {
+    if (tracker_ != nullptr) {
+      tracker_->Charge(payload_bytes);
+      tracked_bytes_ += payload_bytes;
+    }
+  }
+
   std::deque<std::string> strings_;  ///< stable addresses across appends
   /// Content -> interned address; keys are views into `strings_` entries,
   /// which never move or die before Clear().
   std::unordered_map<std::string_view, const std::string*> dedup_;
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t tracked_bytes_ = 0;
 };
 
 using StringArenaPtr = std::shared_ptr<StringArena>;

@@ -2,9 +2,7 @@
 
 namespace ecodb {
 
-namespace {
-
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -26,15 +24,29 @@ const char* CodeName(StatusCode code) {
       return "HardwareFault";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
 
-}  // namespace
+bool StatusCodeFromName(std::string_view name, StatusCode* out) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (name == StatusCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -29,7 +29,41 @@ enum class StatusCode {
   kHardwareFault,
   /// SQL text could not be lexed/parsed/bound.
   kParseError,
+  /// The query governor's simulated-time deadline passed before the
+  /// query finished.
+  kDeadlineExceeded,
+  /// The query was cancelled cooperatively (external cancel flag or a
+  /// charged-cycle cancellation point).
+  kCancelled,
+  /// The query exceeded its logical memory budget.
+  kResourceExhausted,
 };
+
+/// Every StatusCode, in declaration order. Lets tests and diagnostics
+/// enumerate codes without hand-maintaining a parallel list (the old
+/// ToString switch silently lagged behind enum growth).
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,
+    StatusCode::kAlreadyExists,
+    StatusCode::kOutOfRange,
+    StatusCode::kUnimplemented,
+    StatusCode::kInternal,
+    StatusCode::kUnstableSettings,
+    StatusCode::kHardwareFault,
+    StatusCode::kParseError,
+    StatusCode::kDeadlineExceeded,
+    StatusCode::kCancelled,
+    StatusCode::kResourceExhausted,
+};
+
+/// Canonical name of a code ("InvalidArgument", "DeadlineExceeded", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName. Returns false (and leaves `*out` untouched)
+/// for an unrecognized name.
+bool StatusCodeFromName(std::string_view name, StatusCode* out);
 
 /// Value-type status. Cheap to copy for the OK case.
 class Status {
@@ -64,6 +98,15 @@ class Status {
   static Status ParseError(std::string_view msg) {
     return Status(StatusCode::kParseError, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +121,13 @@ class Status {
   }
   bool IsHardwareFault() const { return code_ == StatusCode::kHardwareFault; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,339 @@
+// Query governor: deadlines, budgets, cooperative cancellation, and the
+// fault-injected retry path.
+//
+// The charged-cycle cancellation trigger trips inside the flush-quantum
+// loop, whose boundaries live at fixed charged-cycle positions in both
+// execution modes — so a query killed mid-stream freezes cycles_charged
+// at a bit-exact value whether the work arrived per-row or per-batch.
+// One cancellation case per operator family (scan, join, aggregate,
+// sort, limit) proves Close() is safe on a partially-consumed stack
+// (the ASan configuration turns any leak into a failure).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "ecodb/ecodb.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+// Large enough that every family's plan charges several flush quanta
+// (the trigger only fires at quantum boundaries).
+constexpr double kGovSf = 0.01;
+
+struct GovernedRun {
+  Status status;
+  QueryExecStats stats;
+  EnergyLedger ledger_delta;
+};
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeTestDb(EngineProfile::MySqlMemory(), kGovSf).release();
+    ASSERT_NE(db_, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static PlanNodePtr Plan(const std::string& sql) {
+    auto r = db_->PlanSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  /// Executes `plan` under `limits` in the given mode on a fresh context,
+  /// returning the status, the (possibly partial) exec stats and the
+  /// machine-ledger delta of the run.
+  static GovernedRun Run(const PlanNode& plan, const QueryLimits& limits,
+                         ExecMode mode) {
+    auto ctx = db_->MakeExecContext();
+    std::unique_ptr<QueryGovernor> gov;
+    if (!limits.None()) {
+      gov = std::make_unique<QueryGovernor>(limits,
+                                            db_->machine()->NowSeconds());
+      ctx->set_governor(gov.get());
+    }
+    EnergyLedger before = db_->machine()->ledger();
+    auto res = ExecutePlanColumnar(plan, ctx.get(), mode);
+    ctx->Flush();
+    EnergyLedger after = db_->machine()->ledger();
+    GovernedRun out;
+    out.status = res.status();
+    out.stats = ctx->stats();
+    out.ledger_delta.cpu_j = after.cpu_j - before.cpu_j;
+    out.ledger_delta.wall_j = after.wall_j - before.wall_j;
+    out.ledger_delta.busy_s = after.busy_s - before.busy_s;
+    out.ledger_delta.io_s = after.io_s - before.io_s;
+    out.ledger_delta.idle_s = after.idle_s - before.idle_s;
+    return out;
+  }
+
+  static void ExpectLedgerSane(const GovernedRun& r) {
+    for (double v : {r.ledger_delta.cpu_j, r.ledger_delta.wall_j,
+                     r.ledger_delta.busy_s, r.ledger_delta.io_s,
+                     r.ledger_delta.idle_s}) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+    EXPECT_GE(r.ledger_delta.wall_j, r.ledger_delta.cpu_j);
+  }
+
+  /// The per-family contract: cancelling at half the query's charged
+  /// cycles yields kCancelled in both modes with *bit-exact* partial
+  /// cycles_charged (frozen at the same quantum boundary), a sane
+  /// ledger, and a Database that executes the next query normally.
+  void CheckCancelMidStream(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    PlanNodePtr plan = Plan(sql);
+    ASSERT_NE(plan, nullptr);
+
+    GovernedRun full = Run(*plan, QueryLimits{}, ExecMode::kRow);
+    ASSERT_TRUE(full.status.ok()) << full.status.ToString();
+    const double total = full.stats.cycles_charged;
+    ASSERT_GT(total, 4.0e7) << "plan too small to cross flush quanta";
+
+    QueryLimits limits;
+    limits.cancel_at_charged_cycles = total / 2;
+    GovernedRun row = Run(*plan, limits, ExecMode::kRow);
+    GovernedRun batch = Run(*plan, limits, ExecMode::kBatch);
+
+    EXPECT_TRUE(row.status.IsCancelled()) << row.status.ToString();
+    EXPECT_TRUE(batch.status.IsCancelled()) << batch.status.ToString();
+    // Frozen at the same quantum boundary in charged-cycle space.
+    EXPECT_EQ(row.stats.cycles_charged, batch.stats.cycles_charged);
+    EXPECT_GE(row.stats.cycles_charged, limits.cancel_at_charged_cycles);
+    EXPECT_LT(row.stats.cycles_charged, total);
+    ExpectLedgerSane(row);
+    ExpectLedgerSane(batch);
+
+    // The kill leaves no residue: the same Database answers the next
+    // query (both a fresh governed success and an ungoverned run).
+    auto ok = db_->ExecuteSql("SELECT COUNT(*) AS n FROM region");
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(ok.value().rows()[0][0].AsInt(), 5);
+  }
+
+  static Database* db_;
+};
+
+Database* GovernorTest::db_ = nullptr;
+
+TEST_F(GovernorTest, CancelMidScan) {
+  CheckCancelMidStream("SELECT l_orderkey, l_extendedprice FROM lineitem");
+}
+
+TEST_F(GovernorTest, CancelMidJoin) {
+  CheckCancelMidStream(
+      "SELECT o_orderkey, l_extendedprice FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey");
+}
+
+TEST_F(GovernorTest, CancelMidAggregate) {
+  CheckCancelMidStream(
+      "SELECT l_orderkey, SUM(l_extendedprice) AS s, COUNT(*) AS n "
+      "FROM lineitem GROUP BY l_orderkey");
+}
+
+TEST_F(GovernorTest, CancelMidSort) {
+  CheckCancelMidStream(
+      "SELECT * FROM lineitem ORDER BY l_extendedprice, l_orderkey");
+}
+
+TEST_F(GovernorTest, CancelMidLimitedPipeline) {
+  CheckCancelMidStream(
+      "SELECT o_orderkey, l_extendedprice FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey LIMIT 1000000");
+}
+
+TEST_F(GovernorTest, DeadlineExceededMidQuery) {
+  PlanNodePtr plan = Plan("SELECT * FROM lineitem ORDER BY l_extendedprice");
+  GovernedRun full = Run(*plan, QueryLimits{}, ExecMode::kRow);
+  ASSERT_TRUE(full.status.ok());
+  const double dur = full.ledger_delta.busy_s + full.ledger_delta.io_s +
+                     full.ledger_delta.idle_s;
+  ASSERT_GT(dur, 0.0);
+
+  QueryLimits limits;
+  limits.deadline_seconds = dur / 2;
+  GovernedRun row = Run(*plan, limits, ExecMode::kRow);
+  GovernedRun batch = Run(*plan, limits, ExecMode::kBatch);
+  EXPECT_TRUE(row.status.IsDeadlineExceeded()) << row.status.ToString();
+  EXPECT_TRUE(batch.status.IsDeadlineExceeded()) << batch.status.ToString();
+  ExpectLedgerSane(row);
+  ExpectLedgerSane(batch);
+  // The killed run charged less simulated time than the full one.
+  const double row_dur = row.ledger_delta.busy_s + row.ledger_delta.io_s +
+                         row.ledger_delta.idle_s;
+  EXPECT_LT(row_dur, dur);
+}
+
+TEST_F(GovernorTest, MemoryBudgetExceededInBothModes) {
+  // Sort of the full lineitem table peaks in the megabytes; a 256 KiB
+  // budget must kill it in both modes with the same status.
+  PlanNodePtr plan = Plan("SELECT * FROM lineitem ORDER BY l_extendedprice");
+  QueryLimits limits;
+  limits.memory_budget_bytes = 256 * 1024;
+  GovernedRun row = Run(*plan, limits, ExecMode::kRow);
+  GovernedRun batch = Run(*plan, limits, ExecMode::kBatch);
+  EXPECT_TRUE(row.status.IsResourceExhausted()) << row.status.ToString();
+  EXPECT_TRUE(batch.status.IsResourceExhausted()) << batch.status.ToString();
+  ExpectLedgerSane(row);
+  ExpectLedgerSane(batch);
+  // A budget above the query's peak does not fire.
+  QueryLimits roomy;
+  roomy.memory_budget_bytes = 1ull << 30;
+  EXPECT_TRUE(Run(*plan, roomy, ExecMode::kBatch).status.ok());
+}
+
+TEST_F(GovernorTest, ExternalCancelFlagStopsTheQuery) {
+  PlanNodePtr plan = Plan("SELECT COUNT(*) AS n FROM lineitem");
+  QueryLimits limits;
+  limits.cancel_flag = std::make_shared<std::atomic<bool>>(true);
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    GovernedRun r = Run(*plan, limits, mode);
+    EXPECT_TRUE(r.status.IsCancelled()) << r.status.ToString();
+  }
+  // Un-set flag: the same limits object no longer cancels.
+  limits.cancel_flag->store(false);
+  EXPECT_TRUE(Run(*plan, limits, ExecMode::kBatch).status.ok());
+}
+
+TEST_F(GovernorTest, PeakMemoryIsReportedAndModeConsistent) {
+  PlanNodePtr plan = Plan(
+      "SELECT l_orderkey, SUM(l_extendedprice) AS s FROM lineitem "
+      "GROUP BY l_orderkey");
+  GovernedRun row = Run(*plan, QueryLimits{}, ExecMode::kRow);
+  GovernedRun batch = Run(*plan, QueryLimits{}, ExecMode::kBatch);
+  ASSERT_TRUE(row.status.ok());
+  ASSERT_TRUE(batch.status.ok());
+  EXPECT_GT(row.stats.peak_memory_bytes, 0u);
+  // Logical-byte accounting is mode-identical by construction.
+  EXPECT_EQ(row.stats.peak_memory_bytes, batch.stats.peak_memory_bytes);
+}
+
+TEST_F(GovernorTest, DatabaseLevelLimitsApplyAndLift) {
+  QueryLimits limits;
+  limits.memory_budget_bytes = 64 * 1024;
+  db_->set_query_limits(limits);
+  auto killed =
+      db_->ExecuteSql("SELECT * FROM lineitem ORDER BY l_extendedprice");
+  EXPECT_TRUE(killed.status().IsResourceExhausted())
+      << killed.status().ToString();
+  db_->set_query_limits(QueryLimits{});
+  auto ok = db_->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_GT(ok.value().rows()[0][0].AsInt(), 0);
+}
+
+// --- Fault injection ---
+
+std::unique_ptr<Database> MakeFaultyDb(double transient, double persistent,
+                                       uint64_t seed = 0xFA17) {
+  DatabaseOptions opt;
+  opt.profile = EngineProfile::Commercial();
+  opt.fault_injection.seed = seed;
+  opt.fault_injection.transient_fault_rate = transient;
+  opt.fault_injection.persistent_fault_rate = persistent;
+  auto db = std::make_unique<Database>(opt);
+  tpch::DbGenOptions gen;
+  gen.scale_factor = testing::kTestSf;
+  if (!db->LoadTpch(gen).ok()) return nullptr;
+  return db;
+}
+
+TEST(FaultInjectionTest, PersistentFaultPropagatesCleanly) {
+  auto db = MakeFaultyDb(/*transient=*/0.0, /*persistent=*/1.0);
+  ASSERT_NE(db, nullptr);
+  auto res = db->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsHardwareFault()) << res.status().ToString();
+  EXPECT_GE(db->buffer_pool()->stats().persistent_faults, 1u);
+  EXPECT_EQ(db->buffer_pool()->stats().retries, 0u);
+}
+
+TEST(FaultInjectionTest, TransientFaultsExhaustRetryBudget) {
+  auto db = MakeFaultyDb(/*transient=*/1.0, /*persistent=*/0.0);
+  ASSERT_NE(db, nullptr);
+  const EnergyLedger before = db->machine()->ledger();
+  auto res = db->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsHardwareFault()) << res.status().ToString();
+  const BufferPoolStats& st = db->buffer_pool()->stats();
+  const int max_retries = db->options().fault_injection.max_retries;
+  EXPECT_EQ(st.retries, static_cast<uint64_t>(max_retries));
+  EXPECT_EQ(st.transient_faults, static_cast<uint64_t>(max_retries) + 1);
+  // The faulted attempts and backoff waits charged real simulated time
+  // and energy (reads run to completion before the fault is detected;
+  // backoff idles the machine).
+  const EnergyLedger& after = db->machine()->ledger();
+  EXPECT_GT(after.io_s, before.io_s);
+  EXPECT_GT(after.idle_s, before.idle_s);
+  EXPECT_GT(after.wall_j, before.wall_j);
+}
+
+TEST(FaultInjectionTest, TransientRetriesSucceedAndChargeEnergy) {
+  // Moderate transient rate: reads retry and eventually succeed; the
+  // same query costs measurably more energy than on a fault-free pool,
+  // monotonically in the fault rate.
+  const char* kSql = "SELECT COUNT(*) AS n FROM lineitem";
+  double prev_joules = -1.0;
+  uint64_t prev_retries = 0;
+  for (double rate : {0.0, 0.05, 0.2}) {
+    SCOPED_TRACE(rate);
+    auto db = MakeFaultyDb(rate, /*persistent=*/0.0);
+    ASSERT_NE(db, nullptr);
+    db->ColdRestart();
+    auto res = db->ExecuteSql(kSql);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    const uint64_t retries =
+        db->fault_injector() ? db->buffer_pool()->stats().retries : 0;
+    EXPECT_GT(res.value().wall_joules, prev_joules);
+    EXPECT_GE(retries, prev_retries);
+    prev_joules = res.value().wall_joules;
+    prev_retries = retries;
+  }
+}
+
+TEST(FaultInjectionTest, DisabledInjectorLeavesReadPathUntouched) {
+  auto plain = testing::MakeTestDb(EngineProfile::Commercial());
+  auto zero = MakeFaultyDb(/*transient=*/0.0, /*persistent=*/0.0);
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(zero->fault_injector(), nullptr);  // rates of zero => disabled
+  plain->ColdRestart();
+  zero->ColdRestart();
+  auto a = plain->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  auto b = zero->ExecuteSql("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().wall_joules, b.value().wall_joules);
+  EXPECT_EQ(a.value().seconds, b.value().seconds);
+}
+
+TEST(FaultInjectionTest, SameSeedSameSchedule) {
+  FaultInjectorConfig cfg;
+  cfg.seed = 123;
+  cfg.transient_fault_rate = 0.1;
+  cfg.persistent_fault_rate = 0.01;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextReadOutcome(), b.NextReadOutcome()) << i;
+  }
+  EXPECT_EQ(a.decisions(), 1000u);
+  a.Reset();
+  b.Reset();
+  EXPECT_EQ(a.decisions(), 0u);
+  EXPECT_EQ(a.NextReadOutcome(), b.NextReadOutcome());
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -1,0 +1,146 @@
+// Malformed input is a clean Status, never an assert: ValidatePlan over
+// hand-built plan trees, and the SQL front-end on degenerate text.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "ecodb/ecodb.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class PlanValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = testing::MakeTestDb().release(); }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  PlanNodePtr Scan(const char* table) {
+    auto r = MakeScan(*db_->catalog(), table);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  static Database* db_;
+};
+
+Database* PlanValidationTest::db_ = nullptr;
+
+TEST_F(PlanValidationTest, ValidPlanPasses) {
+  PlanNodePtr plan = Scan("nation");
+  EXPECT_TRUE(ValidatePlan(*plan).ok());
+  auto res = db_->ExecutePlanQuery(*plan);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().num_rows(), 25u);
+}
+
+TEST_F(PlanValidationTest, ZeroColumnProjectionIsInvalidArgument) {
+  PlanNodePtr plan = MakeProject(Scan("nation"), {}, {});
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  auto res = db_->ExecutePlanQuery(*plan);
+  EXPECT_TRUE(res.status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, NullFilterPredicateIsInvalidArgument) {
+  PlanNodePtr plan = MakeFilter(Scan("nation"), nullptr);
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, OutOfRangeColumnIsInvalidArgument) {
+  // n_nationkey reinterpreted over a narrower schema: column index 99
+  // does not exist in nation's 4 fields.
+  PlanNodePtr plan =
+      MakeFilter(Scan("nation"), Eq(Col(99, ValueType::kInt64, "bogus"),
+                                    LitInt(0)));
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, JoinKeyArityMismatchIsInvalidArgument) {
+  PlanNodePtr plan =
+      MakeHashJoin(Scan("region"), Scan("nation"), {0, 1}, {2});
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, JoinKeyOutOfRangeIsInvalidArgument) {
+  PlanNodePtr plan = MakeHashJoin(Scan("region"), Scan("nation"), {7}, {0});
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, NegativeLimitIsInvalidArgument) {
+  PlanNodePtr plan = MakeLimit(Scan("nation"), -3);
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, EmptyAggregateIsInvalidArgument) {
+  PlanNodePtr plan = MakeAggregate(Scan("nation"), {}, {});
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, NullAggregateArgOutsideCountIsInvalidArgument) {
+  std::vector<AggSpec> aggs;
+  AggSpec a;
+  a.kind = AggSpec::Kind::kSum;
+  a.arg = nullptr;  // SUM with no argument — only COUNT(*) may omit it
+  a.name = "bad_sum";
+  aggs.push_back(std::move(a));
+  PlanNodePtr plan = MakeAggregate(Scan("nation"), {}, std::move(aggs));
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(db_->ExecutePlanQuery(*plan).status().IsInvalidArgument());
+}
+
+TEST_F(PlanValidationTest, ErrorsSurfaceFromNestedNodes) {
+  // The malformed node sits under two healthy unaries; validation recurses.
+  PlanNodePtr bad = MakeFilter(Scan("nation"), nullptr);
+  PlanNodePtr plan = MakeLimit(std::move(bad), 5);
+  Status st = ValidatePlan(*plan);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(PlanValidationTest, DatabaseStaysUsableAfterRejectedPlan) {
+  PlanNodePtr bad = MakeLimit(Scan("nation"), -1);
+  EXPECT_FALSE(db_->ExecutePlanQuery(*bad).ok());
+  auto res = db_->ExecuteSql("SELECT COUNT(*) AS n FROM region");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().rows()[0][0].AsInt(), 5);
+}
+
+TEST_F(PlanValidationTest, DegenerateSqlIsParseErrorNotAbort) {
+  for (const char* sql : {"", "   ", "\n\t", ";", "SELECT", "SELECT FROM",
+                          "FROM lineitem", "SELECT * FROM"}) {
+    auto res = db_->ExecuteSql(sql);
+    ASSERT_FALSE(res.ok()) << "sql: \"" << sql << '"';
+    EXPECT_TRUE(res.status().IsParseError() ||
+                res.status().IsInvalidArgument())
+        << "sql: \"" << sql << "\" -> " << res.status().ToString();
+  }
+}
+
+TEST_F(PlanValidationTest, BadDateLiteralIsParseError) {
+  auto res = db_->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate < "
+      "DATE '1995-13-99'");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsParseError()) << res.status().ToString();
+}
+
+}  // namespace
+}  // namespace ecodb
