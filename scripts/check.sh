@@ -36,6 +36,8 @@ run_config build
 # from silently rotting between BENCH_*.json regenerations.
 echo "=== bench smoke: micro_engine --sf=0.001 ==="
 ./build/bench/micro_engine --sf=0.001 > /dev/null
+echo "=== bench smoke: workload_scheduler --sf=0.001 ==="
+./build/bench/workload_scheduler --sf=0.001 > /dev/null
 
 if [[ "${FAST}" == "0" ]]; then
   run_config build-asan -DECODB_SANITIZE=address
@@ -45,6 +47,12 @@ if [[ "${FAST}" == "0" ]]; then
   echo "=== fault fuzz smoke (asan): 50 fault schedules ==="
   ECODB_GOVFUZZ_SEED=0xFA57 ECODB_GOVFUZZ_PLANS=0 ECODB_GOVFUZZ_FAULT_PLANS=50 \
     ./build-asan/governor_fuzz_test --gtest_filter='GovernorFaultFuzzTest.*'
+  # Scheduler fuzz smoke under ASan with a second seed base: admission,
+  # QED merge/split, retry and breaker teardown paths get a leak-checked
+  # pass beyond the suite's default seeds.
+  echo "=== scheduler fuzz smoke (asan): 8 configs ==="
+  ECODB_SCHEDFUZZ_SEED=0x5A5A ECODB_SCHEDFUZZ_ITERS=8 \
+    ./build-asan/scheduler_fuzz_test
   run_config build-ubsan -DECODB_SANITIZE=undefined
 fi
 

@@ -9,6 +9,7 @@
 #ifndef ECODB_CORE_ADAPTIVE_H_
 #define ECODB_CORE_ADAPTIVE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "ecodb/core/database.h"
@@ -47,6 +48,44 @@ class AdaptiveController {
  private:
   Database* db_;
   AdaptiveOptions options_;
+};
+
+/// Exponentially weighted per-query service-time estimate, the adaptation
+/// signal shared by mid-flight controllers: the workload scheduler feeds
+/// it completed queries' simulated service times and asks for the
+/// projected wait of a newly arrived query behind the current queue —
+/// the "projected wait exceeds the class deadline" shed test.
+class ServiceEstimator {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation in (0, 1].
+  explicit ServiceEstimator(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Observe(double service_seconds) {
+    if (count_ == 0) {
+      ewma_s_ = service_seconds;
+    } else {
+      ewma_s_ = alpha_ * service_seconds + (1.0 - alpha_) * ewma_s_;
+    }
+    ++count_;
+  }
+
+  bool HasEstimate() const { return count_ > 0; }
+  double EstimateSeconds() const { return ewma_s_; }
+  uint64_t observations() const { return count_; }
+
+  /// Expected wait before a query behind `queued_ahead` others starts,
+  /// with `workers` queries draining concurrently. 0 until the first
+  /// observation (no evidence, no shedding).
+  double ProjectedWaitSeconds(size_t queued_ahead, int workers) const {
+    if (count_ == 0 || workers < 1) return 0.0;
+    return ewma_s_ * static_cast<double>(queued_ahead) /
+           static_cast<double>(workers);
+  }
+
+ private:
+  double alpha_;
+  double ewma_s_ = 0.0;
+  uint64_t count_ = 0;
 };
 
 }  // namespace ecodb

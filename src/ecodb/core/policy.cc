@@ -36,6 +36,22 @@ Result<OperatingPoint> SelectOperatingPoint(const TradeoffCurve& curve,
   return *best;
 }
 
+QueryLimits DeriveQueryLimits(const SlaPolicy& policy,
+                              double baseline_seconds,
+                              uint64_t memory_budget_bytes) {
+  QueryLimits limits;
+  double deadline = policy.max_seconds;
+  if (baseline_seconds > 0.0 &&
+      policy.max_time_ratio < std::numeric_limits<double>::infinity()) {
+    deadline = std::min(deadline, policy.max_time_ratio * baseline_seconds);
+  }
+  if (deadline < std::numeric_limits<double>::infinity()) {
+    limits.deadline_seconds = deadline;
+  }
+  limits.memory_budget_bytes = memory_budget_bytes;
+  return limits;
+}
+
 std::vector<RatioPoint> EnergyTimeFrontier(const TradeoffCurve& curve) {
   std::vector<RatioPoint> all;
   all.push_back(curve.stock.ratio);

@@ -10,10 +10,12 @@
 #ifndef ECODB_CORE_POLICY_H_
 #define ECODB_CORE_POLICY_H_
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "ecodb/core/pvc.h"
+#include "ecodb/exec/query_governor.h"
 
 namespace ecodb {
 
@@ -43,6 +45,17 @@ Result<OperatingPoint> SelectOperatingPoint(const TradeoffCurve& curve,
 /// is a viable SLA parameterization: "if you can afford time ratio T, you
 /// can have energy ratio E". Sorted by time ratio ascending.
 std::vector<RatioPoint> EnergyTimeFrontier(const TradeoffCurve& curve);
+
+/// Turns a class-level SLA into the per-query governor limits the
+/// workload scheduler grants queries of that class. The deadline is the
+/// tighter of the policy's absolute bound (`max_seconds`) and its
+/// relative bound applied to `baseline_seconds` (the class's measured
+/// solo response time; pass <= 0 when unknown — the relative bound is
+/// then ignored). An unconstrained policy yields limits with no deadline.
+/// `memory_budget_bytes` passes through untouched (0 = unlimited).
+QueryLimits DeriveQueryLimits(const SlaPolicy& policy,
+                              double baseline_seconds,
+                              uint64_t memory_budget_bytes);
 
 }  // namespace ecodb
 

@@ -100,6 +100,19 @@ Status QedScheduler::Submit(PlanNodePtr plan) {
   return Status::OK();
 }
 
+Result<MergedSelection> QedScheduler::MergeQueued() {
+  if (queue_.empty()) {
+    return Status::InvalidArgument("QED queue is empty");
+  }
+  std::vector<const PlanNode*> members;
+  members.reserve(queue_.size());
+  for (const PlanNodePtr& p : queue_) members.push_back(p.get());
+  Result<MergedSelection> merged =
+      MergeSelections(members, options_.hashed_in_list);
+  queue_.clear();
+  return merged;
+}
+
 Result<QedScheduler::FlushResult> QedScheduler::Flush() {
   if (queue_.empty()) {
     return Status::InvalidArgument("QED queue is empty");

@@ -83,6 +83,21 @@ class QedScheduler {
   }
   int pending() const { return static_cast<int>(queue_.size()); }
 
+  /// Adjusts the flush threshold mid-stream (clamped to >= 1). The
+  /// workload scheduler escalates this under overload — a bigger merge
+  /// batch trades per-query response time for joules/query, the paper's
+  /// Figure 6 knob, before any query is shed.
+  void set_batch_size(int n) { options_.batch_size = n < 1 ? 1 : n; }
+  int batch_size() const { return options_.batch_size; }
+
+  /// Merges the queued batch into one plan *without executing it*,
+  /// consuming the queue either way (a failed merge discards the batch —
+  /// callers keep their own handles on the member plans). Callers that
+  /// schedule execution themselves (the workload scheduler runs the
+  /// merged plan as one interleavable task) split the result with
+  /// SplitMergedResult afterwards.
+  Result<MergedSelection> MergeQueued();
+
   struct FlushResult {
     std::vector<std::vector<Row>> per_query_rows;
     double total_s = 0;

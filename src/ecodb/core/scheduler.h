@@ -1,0 +1,349 @@
+// WorkloadScheduler: admission-controlled concurrent query scheduling on
+// the simulated machine, with retry, shedding, and graceful degradation.
+//
+// The paper's energy knobs (PVC operating points, QED batching) are
+// evaluated on one query or one batch at a time; a deployed eco-DBMS
+// faces a *stream*: queries arrive on their own schedule, contend for
+// worker slots, hit injected hardware faults, and carry per-class SLAs.
+// This scheduler closes that gap deterministically — every run is a pure
+// function of (seed, workload, options) on the simulated clock, so
+// latency distributions, joules/query and shed counts are bit-exact
+// run-to-run.
+//
+// Mechanics:
+//  * Arrivals. An ArrivalProcess drives submissions: open-loop (Poisson
+//    arrivals at `rate_qps`, load independent of completions) or
+//    closed-loop (`num_clients` clients, each thinking an exponential
+//    `think_seconds` between its completions and next submission).
+//  * Admission. A bounded FIFO queue feeds `worker_slots` concurrently
+//    executing QueryTasks, interleaved round-robin one governor-
+//    checkpointed step at a time so their service intervals overlap on
+//    the shared clock. Each admitted query gets governor limits derived
+//    from its class SLA (DeriveQueryLimits), deadline anchored at
+//    admission — queue wait and interference count against it.
+//  * Degradation ladder (the robustness core). Overload pressure first
+//    spends the paper's energy/latency knobs, and sheds only when they
+//    are exhausted: levels 1..qed_levels escalate the QED merge batch
+//    (queued mergeable selections are merged into one task and split on
+//    completion); levels above that apply eco operating points to the
+//    whole machine (in-flight queries refresh mid-stream). Only at the
+//    top of the ladder are arrivals shed with kUnavailable — queue full,
+//    or projected wait (ServiceEstimator) already exceeding the class
+//    deadline. `sheds_below_max_level` in the report must stay 0.
+//  * Retry. A query killed by a *transient* storm (kHardwareFault after
+//    the buffer pool's own bounded retries) is re-queued after a
+//    deterministic-jitter exponential backoff (util/backoff.h), up to
+//    its class retry budget. Retries bypass the admission bound — the
+//    query was already admitted. Deadline/budget/cancel kills are not
+//    retried.
+//  * Circuit breaker. Consecutive *persistent*-fault failures open the
+//    breaker: new arrivals fail fast with kUnavailable for
+//    `open_seconds`, then half-open probes decide between closing and
+//    re-opening. Retry wake-ups during the open window are deferred to
+//    its end.
+
+#ifndef ECODB_CORE_SCHEDULER_H_
+#define ECODB_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecodb/core/adaptive.h"
+#include "ecodb/core/database.h"
+#include "ecodb/core/policy.h"
+#include "ecodb/core/qed.h"
+#include "ecodb/exec/query_task.h"
+#include "ecodb/sim/event_queue.h"
+#include "ecodb/tpch/workloads.h"
+#include "ecodb/util/backoff.h"
+
+namespace ecodb {
+
+/// One SLA class: queries of the class share governor limits and a retry
+/// budget. (Paper Section 5: "Factors such as SLAs may restrict the
+/// choices" — here they decide each query's deadline and how hard the
+/// scheduler fights for it.)
+struct SchedulerClass {
+  std::string name = "default";
+  SlaPolicy sla;
+  /// Measured solo response time feeding the SLA's relative bound and
+  /// the projected-wait shed test; <= 0 = unknown (bounds off).
+  double baseline_seconds = 0.0;
+  /// Per-query logical memory budget (0 = unlimited).
+  uint64_t memory_budget_bytes = 0;
+  /// Transient-fault retries granted per query of this class.
+  int retry_budget = 2;
+};
+
+struct CircuitBreakerOptions {
+  /// Consecutive persistent-fault failures that open the breaker.
+  int failure_threshold = 3;
+  /// Open (fail-fast) window before probing, simulated seconds.
+  double open_seconds = 0.05;
+  /// Successes required in half-open before closing.
+  int half_open_probes = 1;
+};
+
+/// Storage-outage fail-fast state machine, time-driven on the simulated
+/// clock (no wall time, no threads): closed -> open after
+/// `failure_threshold` consecutive persistent-fault failures; open ->
+/// half-open once `open_seconds` elapse; half-open -> closed after
+/// `half_open_probes` successes, or straight back to open on any
+/// persistent failure. Successes and transient outcomes never open it.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options)
+      : options_(options) {}
+
+  State state(double now_seconds) const {
+    if (!open_) return State::kClosed;
+    return now_seconds < open_until_s_ ? State::kOpen : State::kHalfOpen;
+  }
+  /// False only while open: half-open admits (admissions are the probes).
+  bool AllowAdmission(double now_seconds) const {
+    return state(now_seconds) != State::kOpen;
+  }
+
+  void RecordSuccess(double now_seconds) {
+    switch (state(now_seconds)) {
+      case State::kHalfOpen:
+        if (++half_open_successes_ >= options_.half_open_probes) {
+          open_ = false;
+          half_open_successes_ = 0;
+          consecutive_failures_ = 0;
+        }
+        break;
+      case State::kClosed:
+        consecutive_failures_ = 0;
+        break;
+      case State::kOpen:
+        break;  // straggler from before the trip; ignore
+    }
+  }
+
+  void RecordPersistentFailure(double now_seconds) {
+    switch (state(now_seconds)) {
+      case State::kHalfOpen:
+        Open(now_seconds);  // failed probe: immediate re-open
+        break;
+      case State::kOpen:
+        open_until_s_ = now_seconds + options_.open_seconds;  // extend
+        break;
+      case State::kClosed:
+        if (++consecutive_failures_ >= options_.failure_threshold) {
+          Open(now_seconds);
+        }
+        break;
+    }
+  }
+
+  /// End of the current open window (meaningful while open_/half-open).
+  double open_until_seconds() const { return open_until_s_; }
+  /// Times the breaker transitioned into open (including re-opens).
+  uint64_t opens() const { return opens_; }
+
+ private:
+  void Open(double now_seconds) {
+    open_ = true;
+    open_until_s_ = now_seconds + options_.open_seconds;
+    half_open_successes_ = 0;
+    consecutive_failures_ = 0;
+    ++opens_;
+  }
+
+  CircuitBreakerOptions options_;
+  bool open_ = false;
+  double open_until_s_ = 0.0;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  uint64_t opens_ = 0;
+};
+
+/// The overload ladder: what the scheduler spends before it sheds.
+/// Level 0 is normal operation. Levels 1..qed_levels merge queued
+/// mergeable selections in batches of qed_base_batch << (level-1).
+/// Levels qed_levels+1 .. qed_levels+eco_points.size() additionally apply
+/// eco_points[level - qed_levels - 1] to the machine. Shedding is legal
+/// only at the top level.
+struct DegradationOptions {
+  /// Queue pressure (size / max_queue_depth) at or above which the
+  /// ladder escalates one level...
+  double high_watermark = 0.75;
+  /// ...and at or below which it relaxes one level (hysteresis band).
+  double low_watermark = 0.25;
+
+  int qed_levels = 2;
+  int qed_base_batch = 2;
+
+  /// Eco operating points, mild to aggressive. Empty = no eco rungs.
+  std::vector<SystemSettings> eco_points = {
+      SystemSettings{0.05, VoltageDowngrade::kSmall},
+      SystemSettings{0.05, VoltageDowngrade::kMedium},
+  };
+
+  int MaxLevel() const {
+    return qed_levels + static_cast<int>(eco_points.size());
+  }
+};
+
+struct ArrivalProcess {
+  enum class Kind {
+    kOpenLoop,    ///< Poisson arrivals at rate_qps, completion-independent
+    kClosedLoop,  ///< num_clients clients with exponential think times
+  };
+  Kind kind = Kind::kOpenLoop;
+  double rate_qps = 50.0;    ///< open loop: mean arrival rate
+  int num_clients = 8;       ///< closed loop: concurrent clients
+  double think_seconds = 0;  ///< closed loop: mean think time
+
+  static ArrivalProcess OpenLoop(double qps) {
+    ArrivalProcess p;
+    p.kind = Kind::kOpenLoop;
+    p.rate_qps = qps;
+    return p;
+  }
+  static ArrivalProcess ClosedLoop(int clients, double think_s) {
+    ArrivalProcess p;
+    p.kind = Kind::kClosedLoop;
+    p.num_clients = clients;
+    p.think_seconds = think_s;
+    return p;
+  }
+};
+
+struct SchedulerOptions {
+  uint64_t seed = 0x5ECD5ECDULL;
+  /// Queries executing concurrently (interleaved round-robin).
+  int worker_slots = 4;
+  /// Admission queue bound; pressure is measured against it.
+  size_t max_queue_depth = 16;
+  /// Pathological safety net: even below the top ladder level the queue
+  /// never grows past max_queue_depth * hard_cap_multiplier (such sheds
+  /// count as sheds_below_max_level).
+  size_t hard_cap_multiplier = 8;
+
+  /// SLA classes; QuerySpec::class_id indexes this. Empty = one default.
+  std::vector<SchedulerClass> classes;
+
+  /// Retry-layer backoff. jitter_seed is overridden with `seed` so one
+  /// knob reproduces the whole run.
+  BackoffPolicy retry_backoff{/*max_retries=*/4,
+                              /*initial_delay_seconds=*/2e-3,
+                              /*multiplier=*/2.0,
+                              /*max_delay_seconds=*/0.5,
+                              /*jitter_fraction=*/0.25,
+                              /*jitter_seed=*/0};
+
+  CircuitBreakerOptions breaker;
+  DegradationOptions degradation;
+
+  /// Keep completed queries' rows in their outcomes (tests compare them
+  /// against solo runs; benchmarks turn this off).
+  bool keep_rows = true;
+};
+
+/// One query submission. The plan is borrowed and must outlive Run().
+struct QuerySpec {
+  const PlanNode* plan = nullptr;
+  int class_id = 0;
+  /// >= 0 marks a QED-mergeable selection carrying its predicate literal
+  /// (see tpch::Workload::merge_keys); the scheduler only co-merges
+  /// distinct keys. tpch::kNotMergeable = never merged.
+  int64_t merge_key = tpch::kNotMergeable;
+};
+
+/// Terminal record of one submitted query, in submission order.
+struct QueryOutcome {
+  int class_id = 0;
+  /// OK = completed; kUnavailable = shed (never started); anything else
+  /// = admitted but failed (governor kill or exhausted retries).
+  Status status = Status::OK();
+  /// Execution attempts started (0 for shed queries, 1 for clean runs).
+  int attempts = 0;
+  bool merged = false;  ///< completed as part of a QED-merged task
+  double arrival_seconds = 0.0;
+  double finish_seconds = 0.0;
+  /// finish - arrival for completed queries (includes queue wait and
+  /// retry backoff); 0 otherwise.
+  double latency_seconds = 0.0;
+  /// Wall energy attributed to this query's execution steps (merged
+  /// steps split evenly among members). Idle/shed overhead excluded.
+  double attributed_wall_j = 0.0;
+  std::vector<Row> rows;  ///< kept when options.keep_rows and completed
+};
+
+struct ScheduleReport {
+  std::vector<QueryOutcome> outcomes;
+
+  // Conservation: submitted == admitted + shed_queue_full +
+  // shed_projected_wait + breaker_rejected, and admitted == completed +
+  // failed. Checked by tests, not enforced here.
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_projected_wait = 0;
+  uint64_t breaker_rejected = 0;
+
+  uint64_t retries = 0;         ///< re-queued after transient kills
+  uint64_t merged_batches = 0;  ///< QED-merged tasks run
+  uint64_t merged_members = 0;  ///< queries inside those tasks
+  uint64_t breaker_opens = 0;
+
+  uint64_t escalations = 0;
+  uint64_t deescalations = 0;
+  int max_level_reached = 0;
+  /// Sheds that happened while the degradation ladder still had rungs
+  /// left. The ladder-before-shedding contract keeps this at 0 (only the
+  /// hard cap can break it).
+  uint64_t sheds_below_max_level = 0;
+
+  // Completed-query latency distribution (arrival -> finish), seconds.
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+
+  double makespan_seconds = 0.0;  ///< first arrival scheduled -> all done
+  /// Machine wall energy over the makespan (idle included) / completed.
+  double wall_j_per_completed = 0.0;
+  double total_wall_j = 0.0;
+};
+
+class WorkloadScheduler {
+ public:
+  WorkloadScheduler(Database* db, const SchedulerOptions& options);
+
+  /// Runs the whole simulated experiment: specs[i] arrives according to
+  /// `arrivals` (open loop: pre-scheduled Poisson instants, in order;
+  /// closed loop: the first num_clients at once, the rest as clients
+  /// free up). Returns when every spec has a terminal outcome. Restores
+  /// the machine's operating point before returning. Deterministic for
+  /// fixed (specs, arrivals, options, database state).
+  Result<ScheduleReport> Run(const std::vector<QuerySpec>& specs,
+                             const ArrivalProcess& arrivals);
+
+  /// Convenience: specs from a workload's plans + merge keys, classes
+  /// assigned round-robin over `num_classes` (<= 1: all class 0).
+  static std::vector<QuerySpec> SpecsFromWorkload(
+      const tpch::Workload& workload, int num_classes = 1);
+
+ private:
+  struct Job;          // one spec's scheduling lifetime
+  struct RunningTask;  // one occupied worker slot (1..n member jobs)
+  struct Event;        // arrival / retry wake-up
+
+  class RunState;  // per-Run mutable state (scheduler.cc)
+
+  Database* db_;
+  SchedulerOptions options_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_CORE_SCHEDULER_H_

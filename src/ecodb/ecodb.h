@@ -16,6 +16,7 @@
 #include "ecodb/core/policy.h"
 #include "ecodb/core/pvc.h"
 #include "ecodb/core/qed.h"
+#include "ecodb/core/scheduler.h"
 #include "ecodb/optimizer/cost_model.h"
 #include "ecodb/optimizer/mqo.h"
 #include "ecodb/sim/machine.h"

@@ -18,6 +18,12 @@ ExecContext::ExecContext(Machine* machine, const EngineProfile* profile,
   tracker_.BindPeakMirror(&stats_.peak_memory_bytes);
 }
 
+void ExecContext::RefreshSettings() {
+  Flush();
+  double uc = machine_->settings().underclock;
+  cycle_inflation_ = 1.0 + profile_->underclock_cpi_penalty * uc * uc * uc;
+}
+
 Status ExecContext::CheckGovernor() {
   if (governor_ == nullptr) return Status::OK();
   if (governor_->tripped()) return governor_->trip_status();

@@ -144,6 +144,14 @@ class ExecContext {
   /// when nothing attaches to it). Operators hand this to their pools.
   MemoryTracker* memory_tracker() { return &tracker_; }
 
+  /// Re-derives settings-dependent cached state (the underclock CPI
+  /// inflation) from the machine's *current* operating point, flushing
+  /// pending work first so cycles charged before the switch are inflated
+  /// at the old point. The workload scheduler calls this on every
+  /// in-flight query's context after a degradation-ladder eco/stock
+  /// transition; single-query execution never changes settings mid-run.
+  void RefreshSettings();
+
  private:
   void MaybeFlush();
 

@@ -1,0 +1,72 @@
+// SimEventQueue: deterministic future-event schedule on the simulated
+// clock.
+//
+// The workload scheduler juggles three kinds of timed events — query
+// arrivals, retry wake-ups after backoff, circuit-breaker probe timers —
+// against one shared machine clock that only moves when work is charged
+// or the machine idles. This queue arbitrates that clock: events are
+// ordered by due time with FIFO sequence numbers breaking ties, so two
+// events due at the same simulated instant always pop in insertion
+// order, and a run is a pure function of its seed. When nothing is
+// runnable, the event loop advances the clock to `next_due_seconds()`
+// with an energy-accounted Machine::Idle instead of time-warping.
+
+#ifndef ECODB_SIM_EVENT_QUEUE_H_
+#define ECODB_SIM_EVENT_QUEUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace ecodb {
+
+template <typename T>
+class SimEventQueue {
+ public:
+  /// Schedules `payload` at absolute simulated time `due_seconds`.
+  void Push(double due_seconds, T payload) {
+    heap_.push(Entry{due_seconds, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Due time of the earliest pending event. Requires !empty().
+  double next_due_seconds() const {
+    assert(!heap_.empty());
+    return heap_.top().due_s;
+  }
+
+  /// Pops the earliest event (ties: insertion order). Requires !empty().
+  T Pop() {
+    assert(!heap_.empty());
+    // std::priority_queue::top is const; the payload is moved out via a
+    // const_cast, which is safe because pop() immediately removes it.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    T payload = std::move(top.payload);
+    heap_.pop();
+    return payload;
+  }
+
+ private:
+  struct Entry {
+    double due_s;
+    uint64_t seq;
+    T payload;
+    /// std::priority_queue is a max-heap; invert so the earliest (and,
+    /// among equals, the first-inserted) entry surfaces at top().
+    bool operator<(const Entry& o) const {
+      if (due_s != o.due_s) return due_s > o.due_s;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_SIM_EVENT_QUEUE_H_

@@ -1,5 +1,7 @@
 #include "ecodb/storage/buffer_pool.h"
 
+#include "ecodb/util/backoff.h"
+
 namespace ecodb {
 
 BufferPool::BufferPool(Machine* machine, uint64_t capacity_pages)
@@ -11,8 +13,14 @@ Status BufferPool::DiskReadWithFaults(uint64_t bytes, uint64_t n_requests,
     return machine_->DiskRead(bytes, n_requests, random);
   }
   const FaultInjectorConfig& cfg = fault_injector_->config();
-  double backoff_s = cfg.initial_backoff_seconds;
-  for (int attempt = 0;; ++attempt) {
+  BackoffPolicy policy;
+  policy.max_retries = cfg.max_retries;
+  policy.initial_delay_seconds = cfg.initial_backoff_seconds;
+  policy.multiplier = cfg.backoff_multiplier;
+  // No jitter: the read-retry delay schedule stays a pure function of the
+  // injector config, bit-identical to the pre-extraction loop.
+  Backoff backoff(policy);
+  for (;;) {
     const FaultInjector::Outcome outcome = fault_injector_->NextReadOutcome();
     if (outcome == FaultInjector::Outcome::kPersistent) {
       ++stats_.persistent_faults;
@@ -24,14 +32,12 @@ Status BufferPool::DiskReadWithFaults(uint64_t bytes, uint64_t n_requests,
     ECODB_RETURN_NOT_OK(machine_->DiskRead(bytes, n_requests, random));
     if (outcome == FaultInjector::Outcome::kOk) return Status::OK();
     ++stats_.transient_faults;
-    if (attempt >= cfg.max_retries) {
+    // Energy-accounted backoff: the machine idles (system on, CPU in its
+    // idle state) for the wait, then the read is re-issued.
+    if (!backoff.StepOrExhaust([this](double s) { machine_->Idle(s); })) {
       return Status::HardwareFault(
           "transient disk faults exhausted retry budget");
     }
-    // Energy-accounted backoff: the machine idles (system on, CPU in its
-    // idle state) for the wait, then the read is re-issued.
-    machine_->Idle(backoff_s);
-    backoff_s *= cfg.backoff_multiplier;
     ++stats_.retries;
   }
 }

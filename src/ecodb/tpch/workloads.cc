@@ -45,6 +45,60 @@ Result<Workload> MakeSelectionWorkload(const Catalog& catalog, int n,
     ECODB_ASSIGN_OR_RETURN(PlanNodePtr plan, BuildSelectionQuery(catalog, v));
     w.queries.push_back(std::move(plan));
     w.selection_values.push_back(v);
+    w.merge_keys.push_back(v);
+  }
+  return w;
+}
+
+Result<Workload> MakeSchedulerMixWorkload(const Catalog& catalog, int n,
+                                          uint64_t seed,
+                                          double selection_fraction) {
+  if (n < 1) {
+    return Status::InvalidArgument(
+        StrFormat("scheduler mix size %d must be >= 1", n));
+  }
+  if (selection_fraction < 0.0 || selection_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("selection fraction %g outside [0, 1]", selection_fraction));
+  }
+  Rng rng(seed);
+  Workload w;
+  w.name = StrFormat("scheduler-mix-x%d", n);
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(selection_fraction)) {
+      int64_t v = rng.UniformInt(1, kQuantityValues);
+      ECODB_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             BuildSelectionQuery(catalog, v));
+      w.queries.push_back(std::move(plan));
+      w.selection_values.push_back(v);
+      w.merge_keys.push_back(v);
+      continue;
+    }
+    // Heavies, cheap-biased so a mix stays drainable at high arrival
+    // rates: Q6 twice as likely as each join query.
+    PlanNodePtr plan;
+    switch (rng.NextBelow(5)) {
+      case 0:
+      case 1: {
+        ECODB_ASSIGN_OR_RETURN(plan, BuildQ6Plan(catalog, Q6Params{}));
+        break;
+      }
+      case 2: {
+        ECODB_ASSIGN_OR_RETURN(plan, BuildQ1Plan(catalog, "1998-09-02"));
+        break;
+      }
+      case 3: {
+        ECODB_ASSIGN_OR_RETURN(plan, BuildQ3Plan(catalog, Q3Params{}));
+        break;
+      }
+      default: {
+        ECODB_ASSIGN_OR_RETURN(plan, BuildQ5Plan(catalog, Q5Params{}));
+        break;
+      }
+    }
+    w.queries.push_back(std::move(plan));
+    w.selection_values.push_back(0);
+    w.merge_keys.push_back(kNotMergeable);
   }
   return w;
 }

@@ -19,7 +19,16 @@ struct Workload {
   /// For selection workloads: the predicate value of each query (used by
   /// QED's result splitter and the analytical model).
   std::vector<int64_t> selection_values;
+  /// QED-mergeability tag per query, parallel to `queries` (empty: no
+  /// query is mergeable). Entry >= 0 marks a Project(Filter(Scan))
+  /// selection and carries its predicate literal; the workload scheduler
+  /// only co-merges queries with *distinct* keys, because the merged
+  /// result splitter assigns each row to the first member testing its
+  /// value. -1 = not mergeable.
+  std::vector<int64_t> merge_keys;
 };
+
+inline constexpr int64_t kNotMergeable = -1;
 
 /// The paper's PVC workload (Section 3.3): ten TPC-H Q5 instances with
 /// regions ASIA and AMERICA crossed with the five one-year date windows
@@ -34,6 +43,17 @@ Result<Workload> MakeSelectionWorkload(const Catalog& catalog, int n,
 
 /// Extra mixed workload used by examples/ablations: Q1 + Q3 + Q6 + Q5.
 Result<Workload> MakeMixedWorkload(const Catalog& catalog);
+
+/// Sustained-traffic mix for the workload scheduler: `n` queries drawn
+/// deterministically from (seed) — a `selection_fraction` share of QED-
+/// mergeable l_quantity selections (values uniform in 1..50, merge_keys
+/// set) interleaved with Q6/Q1/Q3/Q5 heavies for the rest. Unlike
+/// MakeSelectionWorkload, selection values may repeat across the stream
+/// (real traffic repeats queries); the scheduler's merge grouping keeps
+/// duplicates out of any single QED batch.
+Result<Workload> MakeSchedulerMixWorkload(const Catalog& catalog, int n,
+                                          uint64_t seed,
+                                          double selection_fraction = 0.7);
 
 }  // namespace ecodb::tpch
 

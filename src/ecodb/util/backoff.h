@@ -1,0 +1,110 @@
+// Deterministic bounded exponential backoff.
+//
+// One Backoff instance tracks the retry state of one fallible operation:
+// how many attempts have failed, and how long to wait before the next
+// one. Delays grow geometrically from `initial_delay_seconds` by
+// `multiplier`, saturate at `max_delay_seconds`, and can be spread by
+// *deterministic* jitter — a pure function of (jitter_seed, stream,
+// attempt), so the same seed always produces the same delay schedule.
+// Nothing here reads a real clock or a global RNG; simulated-time users
+// (the fault-injected buffer pool, the workload scheduler's retry layer)
+// stay bit-reproducible.
+//
+// Waiting itself is the caller's business: in this codebase a backoff
+// wait is energy-accounted simulated idle time (Machine::Idle), so the
+// delay is handed back (or passed through StepOrExhaust's hook) rather
+// than slept here.
+
+#ifndef ECODB_UTIL_BACKOFF_H_
+#define ECODB_UTIL_BACKOFF_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace ecodb {
+
+struct BackoffPolicy {
+  /// Failed attempts tolerated *after* the first one; the (max_retries+1)-th
+  /// failure exhausts the budget. 0 disables retrying entirely.
+  int max_retries = 4;
+
+  double initial_delay_seconds = 1e-3;
+  double multiplier = 2.0;
+
+  /// Upper bound on a single delay (applied before jitter). Infinity by
+  /// default: pure geometric growth, as the PR 6 buffer-pool retry loop had.
+  double max_delay_seconds = std::numeric_limits<double>::infinity();
+
+  /// Fraction of each delay randomized away: the k-th delay becomes
+  /// base_k * (1 - jitter_fraction * u) with u uniform in [0, 1) drawn
+  /// deterministically from (jitter_seed, stream, k). 0 disables jitter
+  /// (delays are exactly base_k); must lie in [0, 1].
+  double jitter_fraction = 0.0;
+  uint64_t jitter_seed = 0;
+};
+
+class Backoff {
+ public:
+  /// `stream` decorrelates jitter between instances sharing one policy
+  /// (the scheduler uses the query tag, so two queries retrying at the
+  /// same simulated instant do not wake in lockstep).
+  explicit Backoff(const BackoffPolicy& policy, uint64_t stream = 0)
+      : policy_(policy), stream_(stream) {}
+
+  /// True once the retry budget is spent: attempts() == max_retries.
+  bool Exhausted() const { return attempts_ >= policy_.max_retries; }
+
+  /// Delay to wait before the next retry; advances the attempt counter.
+  /// The k-th call (k = 0-based attempts() before the call) returns
+  /// min(initial * multiplier^k, max_delay) shrunk by jitter.
+  double NextDelaySeconds() {
+    double base = policy_.initial_delay_seconds;
+    for (int i = 0; i < attempts_ && base < policy_.max_delay_seconds; ++i) {
+      base *= policy_.multiplier;
+    }
+    if (base > policy_.max_delay_seconds) base = policy_.max_delay_seconds;
+    if (policy_.jitter_fraction > 0.0) {
+      base *= 1.0 - policy_.jitter_fraction *
+                        UnitUniform(policy_.jitter_seed, stream_,
+                                    static_cast<uint64_t>(attempts_));
+    }
+    ++attempts_;
+    return base;
+  }
+
+  /// One retry step through the caller's energy-charging hook: returns
+  /// false when the budget is exhausted; otherwise computes the next
+  /// delay, hands it to `idle` (e.g. `[&](double s) { machine->Idle(s); }`)
+  /// and returns true.
+  template <typename IdleFn>
+  bool StepOrExhaust(IdleFn&& idle) {
+    if (Exhausted()) return false;
+    std::forward<IdleFn>(idle)(NextDelaySeconds());
+    return true;
+  }
+
+  int attempts() const { return attempts_; }
+  const BackoffPolicy& policy() const { return policy_; }
+  void Reset() { attempts_ = 0; }
+
+ private:
+  /// SplitMix64 over the mixed key — the same generator family the fault
+  /// injector uses for its counter-seeded decision stream.
+  static double UnitUniform(uint64_t seed, uint64_t stream, uint64_t k) {
+    uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (stream + 1) + k;
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+
+  BackoffPolicy policy_;
+  uint64_t stream_;
+  int attempts_ = 0;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_BACKOFF_H_

@@ -43,6 +43,20 @@ double Median(const std::vector<double>& xs) {
   return 0.5 * (sorted[mid - 1] + sorted[mid]);
 }
 
+double Percentile(const std::vector<double>& xs, double pct) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  // Nearest-rank: the smallest value with at least pct% of the sample at
+  // or below it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
 double Min(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   return *std::min_element(xs.begin(), xs.end());

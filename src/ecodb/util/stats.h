@@ -26,6 +26,11 @@ double TrimmedMean(const std::vector<double>& xs, size_t trim);
 /// Median (average of middle two for even sizes); 0 for empty input.
 double Median(const std::vector<double>& xs);
 
+/// Nearest-rank percentile (pct in [0, 100]) over a sorted copy; 0 for
+/// empty input. Percentile(xs, 50) is the lower median; Percentile(xs,
+/// 100) the max. Used for the workload scheduler's latency tails.
+double Percentile(const std::vector<double>& xs, double pct);
+
 double Min(const std::vector<double>& xs);
 double Max(const std::vector<double>& xs);
 

@@ -37,6 +37,12 @@ enum class StatusCode {
   kCancelled,
   /// The query exceeded its logical memory budget.
   kResourceExhausted,
+  /// The system refused to take the work on at all: admission queue
+  /// full, projected wait beyond the class deadline, or circuit breaker
+  /// open. Distinct from kResourceExhausted (which means an *admitted*
+  /// query blew its own budget) so callers can tell "retry elsewhere /
+  /// later" from "your query is too big".
+  kUnavailable,
 };
 
 /// Every StatusCode, in declaration order. Lets tests and diagnostics
@@ -56,6 +62,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kDeadlineExceeded,
     StatusCode::kCancelled,
     StatusCode::kResourceExhausted,
+    StatusCode::kUnavailable,
 };
 
 /// Canonical name of a code ("InvalidArgument", "DeadlineExceeded", ...).
@@ -107,6 +114,9 @@ class Status {
   static Status ResourceExhausted(std::string_view msg) {
     return Status(StatusCode::kResourceExhausted, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -128,6 +138,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

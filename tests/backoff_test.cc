@@ -1,0 +1,127 @@
+// util/backoff.h: deterministic delay schedules, saturation, jitter, and
+// the retry-budget ("Exhausted") contract shared by the buffer pool's
+// transient-fault loop and the workload scheduler's retry layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ecodb/util/backoff.h"
+
+namespace ecodb {
+namespace {
+
+TEST(BackoffTest, GeometricDelaysWithoutJitter) {
+  BackoffPolicy p;
+  p.max_retries = 4;
+  p.initial_delay_seconds = 1e-3;
+  p.multiplier = 2.0;
+  Backoff b(p);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 2e-3);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 4e-3);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 8e-3);
+  EXPECT_EQ(b.attempts(), 4);
+}
+
+TEST(BackoffTest, DelaySaturatesAtCap) {
+  BackoffPolicy p;
+  p.max_retries = 10;
+  p.initial_delay_seconds = 1e-3;
+  p.multiplier = 10.0;
+  p.max_delay_seconds = 5e-2;
+  Backoff b(p);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 1e-2);
+  // 1e-1 would exceed the cap.
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 5e-2);
+  EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), 5e-2);
+}
+
+TEST(BackoffTest, ExhaustedAfterBudgetAndResettable) {
+  BackoffPolicy p;
+  p.max_retries = 2;
+  Backoff b(p);
+  EXPECT_FALSE(b.Exhausted());
+  b.NextDelaySeconds();
+  EXPECT_FALSE(b.Exhausted());
+  b.NextDelaySeconds();
+  EXPECT_TRUE(b.Exhausted());
+  b.Reset();
+  EXPECT_FALSE(b.Exhausted());
+  EXPECT_EQ(b.attempts(), 0);
+}
+
+TEST(BackoffTest, ZeroRetriesIsExhaustedImmediately) {
+  BackoffPolicy p;
+  p.max_retries = 0;
+  Backoff b(p);
+  EXPECT_TRUE(b.Exhausted());
+  int calls = 0;
+  EXPECT_FALSE(b.StepOrExhaust([&](double) { ++calls; }));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BackoffTest, StepOrExhaustChargesExactDelaysThenStops) {
+  BackoffPolicy p;
+  p.max_retries = 3;
+  p.initial_delay_seconds = 1e-3;
+  p.multiplier = 2.0;
+  Backoff b(p);
+  std::vector<double> charged;
+  while (b.StepOrExhaust([&](double s) { charged.push_back(s); })) {
+  }
+  ASSERT_EQ(charged.size(), 3u);
+  EXPECT_DOUBLE_EQ(charged[0], 1e-3);
+  EXPECT_DOUBLE_EQ(charged[1], 2e-3);
+  EXPECT_DOUBLE_EQ(charged[2], 4e-3);
+  EXPECT_TRUE(b.Exhausted());
+}
+
+TEST(BackoffTest, JitterIsDeterministicBoundedAndStreamDecorrelated) {
+  BackoffPolicy p;
+  p.max_retries = 6;
+  p.initial_delay_seconds = 1e-3;
+  p.multiplier = 2.0;
+  p.jitter_fraction = 0.5;
+  p.jitter_seed = 0xFEED;
+
+  Backoff a1(p, /*stream=*/7), a2(p, /*stream=*/7), other(p, /*stream=*/8);
+  bool streams_differ = false;
+  double base = p.initial_delay_seconds;
+  for (int k = 0; k < 6; ++k) {
+    const double d1 = a1.NextDelaySeconds();
+    const double d2 = a2.NextDelaySeconds();
+    const double d3 = other.NextDelaySeconds();
+    EXPECT_DOUBLE_EQ(d1, d2) << k;  // pure function of (seed, stream, k)
+    // Jitter only shrinks, bounded by the fraction.
+    EXPECT_LE(d1, base);
+    EXPECT_GT(d1, base * (1.0 - p.jitter_fraction) - 1e-15);
+    if (d1 != d3) streams_differ = true;
+    base *= p.multiplier;
+  }
+  EXPECT_TRUE(streams_differ);
+}
+
+// The exact sequence the PR 6 buffer-pool loop produced — extracting the
+// loop into Backoff must not change any fault-injected run bit-for-bit.
+TEST(BackoffTest, ReproducesBufferPoolRetrySchedule) {
+  const int max_retries = 4;
+  const double initial = 1e-3, mult = 2.0;
+  BackoffPolicy p;
+  p.max_retries = max_retries;
+  p.initial_delay_seconds = initial;
+  p.multiplier = mult;
+  Backoff b(p);
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    // Old loop: after failed attempt k, idle initial * mult^k.
+    double expected = initial * std::pow(mult, attempt);
+    ASSERT_FALSE(b.Exhausted());
+    EXPECT_DOUBLE_EQ(b.NextDelaySeconds(), expected) << attempt;
+  }
+  EXPECT_TRUE(b.Exhausted());  // attempt max_retries escalates instead
+}
+
+}  // namespace
+}  // namespace ecodb

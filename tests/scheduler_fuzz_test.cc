@@ -1,0 +1,205 @@
+// Seeded scheduler fuzz: random (arrival rate x fault rate x class mix
+// x loop kind) configurations of the workload scheduler must always
+// terminate with a clean report — every query reaches a terminal
+// outcome, the conservation identities hold, statuses come only from
+// the scheduler's taxonomy, and re-running the same seed reproduces the
+// report bit-for-bit (including latency tails and energy).
+//
+// Knobs (env):
+//   ECODB_SCHEDFUZZ_ITERS  fuzz configurations       (default 12)
+//   ECODB_SCHEDFUZZ_SEED   base seed                 (default 0x5C4ED)
+//   ECODB_SCHEDFUZZ_SF     TPC-H scale factor        (default 0.002)
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecodb/core/scheduler.h"
+#include "ecodb/ecodb.h"
+#include "ecodb/util/rng.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  if (const char* s = std::getenv(name)) return std::strtoull(s, nullptr, 0);
+  return def;
+}
+
+double EnvDouble(const char* name, double def) {
+  if (const char* s = std::getenv(name)) return std::strtod(s, nullptr);
+  return def;
+}
+
+struct FuzzConfig {
+  uint64_t seed = 0;
+  double arrival_qps = 0;
+  bool closed_loop = false;
+  int num_clients = 0;
+  double transient_rate = 0;
+  double persistent_rate = 0;
+  int num_queries = 0;
+  double selection_fraction = 0;
+  int num_classes = 1;
+  int worker_slots = 1;
+  size_t queue_depth = 4;
+};
+
+FuzzConfig DrawConfig(Rng* rng, uint64_t seed) {
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.arrival_qps = rng->UniformDouble(10.0, 2000.0);
+  cfg.closed_loop = rng->Bernoulli(0.3);
+  cfg.num_clients = static_cast<int>(rng->UniformInt(1, 6));
+  const int fault_kind = static_cast<int>(rng->NextBelow(4));
+  cfg.transient_rate = fault_kind == 1 || fault_kind == 3
+                           ? rng->UniformDouble(1e-4, 2e-2)
+                           : 0.0;
+  cfg.persistent_rate =
+      fault_kind >= 2 ? rng->UniformDouble(1e-4, 5e-3) : 0.0;
+  cfg.num_queries = static_cast<int>(rng->UniformInt(8, 32));
+  cfg.selection_fraction = rng->UniformDouble(0.0, 1.0);
+  cfg.num_classes = static_cast<int>(rng->UniformInt(1, 3));
+  cfg.worker_slots = static_cast<int>(rng->UniformInt(1, 4));
+  cfg.queue_depth = static_cast<size_t>(rng->UniformInt(2, 12));
+  return cfg;
+}
+
+SchedulerOptions OptionsFor(const FuzzConfig& cfg) {
+  SchedulerOptions opt;
+  opt.seed = cfg.seed;
+  opt.worker_slots = cfg.worker_slots;
+  opt.max_queue_depth = cfg.queue_depth;
+  opt.keep_rows = false;
+  for (int c = 0; c < cfg.num_classes; ++c) {
+    SchedulerClass cls;
+    cls.name = "class" + std::to_string(c);
+    // Class 1 gets a deadline (loose enough that light loads pass, tight
+    // enough that overload trips it); class 2 a memory budget.
+    if (c == 1) cls.sla.max_seconds = 5.0;
+    if (c == 2) cls.memory_budget_bytes = 512 * 1024;
+    cls.retry_budget = c;  // 0, 1, 2: exercise the no-retry path too
+    opt.classes.push_back(cls);
+  }
+  return opt;
+}
+
+/// Statuses the scheduler is allowed to leave behind.
+bool IsCleanTerminalStatus(const Status& st) {
+  return st.ok() || st.IsUnavailable() || st.IsHardwareFault() ||
+         st.IsDeadlineExceeded() || st.IsResourceExhausted();
+}
+
+struct RunDigest {
+  uint64_t completed, failed, sheds, rejected, retries, merged, opens;
+  double p50, p99, wall_j;
+  std::vector<int> codes;
+  std::vector<double> latencies;
+
+  bool operator==(const RunDigest& o) const {
+    return completed == o.completed && failed == o.failed &&
+           sheds == o.sheds && rejected == o.rejected &&
+           retries == o.retries && merged == o.merged && opens == o.opens &&
+           p50 == o.p50 && p99 == o.p99 && wall_j == o.wall_j &&
+           codes == o.codes && latencies == o.latencies;
+  }
+};
+
+RunDigest Digest(const ScheduleReport& r) {
+  RunDigest d{r.completed,
+              r.failed,
+              r.shed_queue_full + r.shed_projected_wait,
+              r.breaker_rejected,
+              r.retries,
+              r.merged_batches,
+              r.breaker_opens,
+              r.p50_latency_s,
+              r.p99_latency_s,
+              r.total_wall_j,
+              {},
+              {}};
+  for (const QueryOutcome& out : r.outcomes) {
+    d.codes.push_back(static_cast<int>(out.status.code()));
+    d.latencies.push_back(out.latency_seconds);
+  }
+  return d;
+}
+
+Result<ScheduleReport> RunOnce(const FuzzConfig& cfg, double sf) {
+  DatabaseOptions dopt;
+  dopt.profile = EngineProfile::Commercial();
+  dopt.profile.buffer_pool_pages = 64;  // thrash: faults fire per disk read
+  dopt.fault_injection.seed = cfg.seed ^ 0xFA17;
+  dopt.fault_injection.transient_fault_rate = cfg.transient_rate;
+  dopt.fault_injection.persistent_fault_rate = cfg.persistent_rate;
+  dopt.fault_injection.max_retries = 1;  // escalate fast: scheduler retries
+  auto db = std::make_unique<Database>(dopt);
+  tpch::DbGenOptions gen;
+  gen.scale_factor = sf;
+  ECODB_RETURN_NOT_OK(db->LoadTpch(gen));
+  db->ColdRestart();  // injected fault rates only fire on real disk reads
+
+  ECODB_ASSIGN_OR_RETURN(
+      tpch::Workload wl,
+      tpch::MakeSchedulerMixWorkload(*db->catalog(), cfg.num_queries,
+                                     cfg.seed, cfg.selection_fraction));
+  auto specs =
+      WorkloadScheduler::SpecsFromWorkload(wl, cfg.num_classes);
+  WorkloadScheduler sched(db.get(), OptionsFor(cfg));
+  ArrivalProcess arrivals =
+      cfg.closed_loop
+          ? ArrivalProcess::ClosedLoop(cfg.num_clients, /*think_s=*/0.005)
+          : ArrivalProcess::OpenLoop(cfg.arrival_qps);
+  return sched.Run(specs, arrivals);
+}
+
+TEST(SchedulerFuzzTest, RandomConfigsTerminateCleanlyAndReproduce) {
+  const uint64_t iters = EnvU64("ECODB_SCHEDFUZZ_ITERS", 12);
+  const uint64_t base = EnvU64("ECODB_SCHEDFUZZ_SEED", 0x5C4ED);
+  const double sf = EnvDouble("ECODB_SCHEDFUZZ_SF", testing::kTestSf);
+
+  Rng meta(base);
+  for (uint64_t it = 0; it < iters; ++it) {
+    const FuzzConfig cfg = DrawConfig(&meta, base + it * 7919);
+    SCOPED_TRACE("iter " + std::to_string(it) + " seed " +
+                 std::to_string(cfg.seed) +
+                 (cfg.closed_loop ? " closed" : " open"));
+
+    auto first = RunOnce(cfg, sf);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    const ScheduleReport& r = first.value();
+
+    // Every query terminal, conservation holds.
+    ASSERT_EQ(r.outcomes.size(), static_cast<size_t>(cfg.num_queries));
+    EXPECT_EQ(r.submitted, static_cast<uint64_t>(cfg.num_queries));
+    EXPECT_EQ(r.submitted, r.admitted + r.shed_queue_full +
+                               r.shed_projected_wait + r.breaker_rejected);
+    EXPECT_EQ(r.admitted, r.completed + r.failed);
+    EXPECT_EQ(r.sheds_below_max_level, 0u);
+
+    for (size_t i = 0; i < r.outcomes.size(); ++i) {
+      const QueryOutcome& out = r.outcomes[i];
+      EXPECT_TRUE(IsCleanTerminalStatus(out.status))
+          << i << ": " << out.status.ToString();
+      if (out.status.ok()) {
+        EXPECT_GE(out.attempts, 1) << i;
+        EXPECT_GE(out.latency_seconds, 0.0) << i;
+      }
+      if (out.status.IsUnavailable()) {
+        EXPECT_EQ(out.attempts, 0) << i;
+      }
+    }
+
+    // Same seed, bit-identical replay (fresh database and all).
+    auto second = RunOnce(cfg, sf);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_TRUE(Digest(r) == Digest(second.value())) << "nondeterministic";
+  }
+}
+
+}  // namespace
+}  // namespace ecodb

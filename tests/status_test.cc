@@ -41,6 +41,8 @@ Status MakeStatus(StatusCode code, std::string_view msg) {
       return Status::Cancelled(msg);
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(msg);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
   }
   return Status::Internal("unreachable");
 }
@@ -89,6 +91,17 @@ TEST(StatusTest, GovernorPredicatesMatchOnlyTheirCode) {
   EXPECT_FALSE(Status::DeadlineExceeded("d").IsResourceExhausted());
   EXPECT_FALSE(Status::ResourceExhausted("r").IsCancelled());
   EXPECT_FALSE(Status::OK().IsCancelled());
+}
+
+TEST(StatusTest, UnavailableIsDistinctFromResourceExhausted) {
+  // Shed/rejected queries (kUnavailable: try again later, the system is
+  // protecting itself) must be distinguishable from per-query budget
+  // kills (kResourceExhausted: this query asked for too much).
+  Status shed = Status::Unavailable("queue full");
+  EXPECT_TRUE(shed.IsUnavailable());
+  EXPECT_FALSE(shed.IsResourceExhausted());
+  EXPECT_FALSE(Status::ResourceExhausted("budget").IsUnavailable());
+  EXPECT_FALSE(Status::OK().IsUnavailable());
 }
 
 }  // namespace

@@ -142,6 +142,22 @@ TEST(StatsTest, MedianEvenOdd) {
   EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
 }
 
+TEST(StatsTest, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7}, 50), 7.0);
+  std::vector<double> xs{5, 1, 4, 2, 3};  // unsorted input is fine
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);  // lower median
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  // Nearest-rank on 10 values: p95 -> ceil(9.5) = rank 10, p99 the same.
+  std::vector<double> ten{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(ten, 90), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile(ten, 95), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(ten, 99), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(ten, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(ten, 11), 2.0);
+}
+
 TEST(StatsTest, RunningStatsMatchesBatch) {
   RunningStats rs;
   std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};

@@ -1,0 +1,135 @@
+// tpch/workloads.h: generator bounds, determinism, plan validity, and
+// the merge-key contract the workload scheduler's QED batching relies
+// on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "ecodb/ecodb.h"
+#include "test_util.h"
+
+namespace ecodb {
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeTestDb().release();
+    ASSERT_NE(db_, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* WorkloadsTest::db_ = nullptr;
+
+TEST_F(WorkloadsTest, SelectionWorkloadBoundsChecked) {
+  EXPECT_FALSE(tpch::MakeSelectionWorkload(*db_->catalog(), 0, 1).ok());
+  EXPECT_FALSE(tpch::MakeSelectionWorkload(*db_->catalog(), -3, 1).ok());
+  EXPECT_FALSE(tpch::MakeSelectionWorkload(*db_->catalog(), 51, 1).ok());
+  EXPECT_TRUE(tpch::MakeSelectionWorkload(*db_->catalog(), 50, 1).ok());
+}
+
+TEST_F(WorkloadsTest, SelectionWorkloadDistinctValuesAndDeterminism) {
+  auto w1 = tpch::MakeSelectionWorkload(*db_->catalog(), 20, 0xABC);
+  auto w2 = tpch::MakeSelectionWorkload(*db_->catalog(), 20, 0xABC);
+  auto w3 = tpch::MakeSelectionWorkload(*db_->catalog(), 20, 0xDEF);
+  ASSERT_TRUE(w1.ok() && w2.ok() && w3.ok());
+  ASSERT_EQ(w1.value().queries.size(), 20u);
+  ASSERT_EQ(w1.value().selection_values.size(), 20u);
+  ASSERT_EQ(w1.value().merge_keys.size(), 20u);
+
+  std::set<int64_t> seen;
+  for (size_t i = 0; i < 20; ++i) {
+    const int64_t v = w1.value().selection_values[i];
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate value " << v;
+    // Selections are QED-mergeable: merge key == predicate literal.
+    EXPECT_EQ(w1.value().merge_keys[i], v);
+  }
+  EXPECT_EQ(w1.value().selection_values, w2.value().selection_values);
+  EXPECT_NE(w1.value().selection_values, w3.value().selection_values);
+}
+
+TEST_F(WorkloadsTest, AllGeneratorsProduceValidPlans) {
+  auto q5 = tpch::MakeQ5Workload(*db_->catalog());
+  ASSERT_TRUE(q5.ok()) << q5.status().ToString();
+  EXPECT_EQ(q5.value().queries.size(), 10u);
+
+  auto mixed = tpch::MakeMixedWorkload(*db_->catalog());
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_EQ(mixed.value().queries.size(), 4u);
+
+  auto sel = tpch::MakeSelectionWorkload(*db_->catalog(), 10, 7);
+  ASSERT_TRUE(sel.ok());
+
+  auto mix = tpch::MakeSchedulerMixWorkload(*db_->catalog(), 30, 7);
+  ASSERT_TRUE(mix.ok()) << mix.status().ToString();
+
+  for (const auto* w : {&q5.value(), &mixed.value(), &sel.value(),
+                        &mix.value()}) {
+    for (const auto& plan : w->queries) {
+      Status st = ValidatePlan(*plan);
+      EXPECT_TRUE(st.ok()) << w->name << ": " << st.ToString();
+    }
+  }
+}
+
+TEST_F(WorkloadsTest, SchedulerMixHonorsFractionAndTagsMergeables) {
+  auto mix = tpch::MakeSchedulerMixWorkload(*db_->catalog(), 100, 0x5EED,
+                                            /*selection_fraction=*/0.7);
+  ASSERT_TRUE(mix.ok());
+  const tpch::Workload& w = mix.value();
+  ASSERT_EQ(w.queries.size(), 100u);
+  ASSERT_EQ(w.merge_keys.size(), 100u);
+  ASSERT_EQ(w.selection_values.size(), 100u);
+
+  int mergeable = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (w.merge_keys[i] >= 0) {
+      ++mergeable;
+      EXPECT_GE(w.merge_keys[i], 1);
+      EXPECT_LE(w.merge_keys[i], 50);
+      EXPECT_EQ(w.merge_keys[i], w.selection_values[i]);
+    } else {
+      EXPECT_EQ(w.merge_keys[i], tpch::kNotMergeable);
+    }
+  }
+  // Bernoulli(0.7) over 100 draws: generous 3-sigma-ish band.
+  EXPECT_GE(mergeable, 50);
+  EXPECT_LE(mergeable, 90);
+
+  // Same seed, same stream.
+  auto again = tpch::MakeSchedulerMixWorkload(*db_->catalog(), 100, 0x5EED);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().merge_keys, w.merge_keys);
+  EXPECT_EQ(again.value().selection_values, w.selection_values);
+}
+
+TEST_F(WorkloadsTest, SchedulerMixRejectsBadArguments) {
+  EXPECT_FALSE(tpch::MakeSchedulerMixWorkload(*db_->catalog(), 0, 1).ok());
+  EXPECT_FALSE(
+      tpch::MakeSchedulerMixWorkload(*db_->catalog(), 10, 1, -0.1).ok());
+  EXPECT_FALSE(
+      tpch::MakeSchedulerMixWorkload(*db_->catalog(), 10, 1, 1.5).ok());
+}
+
+// The merged-selection contract: mergeable entries really can be merged
+// and split back, as long as keys are distinct.
+TEST_F(WorkloadsTest, MergeableEntriesSatisfyMergeContract) {
+  auto sel = tpch::MakeSelectionWorkload(*db_->catalog(), 5, 0x11);
+  ASSERT_TRUE(sel.ok());
+  std::vector<const PlanNode*> members;
+  for (const auto& q : sel.value().queries) members.push_back(q.get());
+  auto merged = MergeSelections(members);
+  EXPECT_TRUE(merged.ok()) << merged.status().ToString();
+}
+
+}  // namespace
+}  // namespace ecodb
