@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -302,8 +303,10 @@ int Main(int argc, char** argv) {
   std::printf("{\n  \"bench\": \"micro_engine\",\n  \"sf\": %g,\n", sf);
   std::printf("  \"batch_rows\": %zu,\n",
               static_cast<size_t>(RowBatch::kDefaultBatchRows));
+  std::printf("  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
   std::printf("  \"benchmarks\": [\n");
   std::vector<std::pair<std::string, double>> speedups;
+  std::vector<std::pair<std::string, double>> batch_walls;
   for (size_t i = 0; i < plans.size(); ++i) {
     ModeResult row_r = RunPlan(&row_db, *plans[i].row_plan);
     ModeResult batch_r = RunPlan(&batch_db, *plans[i].batch_plan);
@@ -313,8 +316,107 @@ int Main(int argc, char** argv) {
     speedups.emplace_back(plans[i].name,
                           row_r.wall_seconds_per_iter /
                               batch_r.wall_seconds_per_iter);
+    batch_walls.emplace_back(plans[i].name, batch_r.wall_seconds_per_iter);
   }
   std::printf("  ],\n");
+
+  // Morsel-parallel workers sweep: the same batch plans on the parallel
+  // engine at increasing worker counts. Wall time is host time; the
+  // simulated metrics are replayed deterministically and must agree with
+  // the sequential batch run (the parity suite enforces it). One database
+  // is reused across worker counts — exec_workers is a per-query knob.
+  //
+  // Two speedups are reported per point. "speedup_vs_batch" is host wall
+  // time and depends on the machine running this bench (on a single-CPU
+  // host it cannot exceed 1 for any implementation — see "host_cpus" in
+  // the header). "sim_core_speedup" is the simulator's own concurrency
+  // view: after one run with fresh core ledgers, the sum of per-core busy
+  // seconds (the work one core would serialize) over the phase makespan
+  // (the slowest core). It is deterministic, host-independent, and capped
+  // by the simulated machine's core count.
+  DatabaseOptions par_opt;
+  par_opt.profile = EngineProfile::MySqlMemory();
+  par_opt.exec_mode = ExecMode::kBatch;
+  Database par_db(par_opt);
+  if (!par_db.LoadTpch(gen).ok()) {
+    std::fprintf(stderr, "TPC-H load failed (parallel sweep)\n");
+    return 1;
+  }
+  const char* kSweepNames[] = {"scan_filter_agg", "tpch_q1", "tpch_q3",
+                               "tpch_q5"};
+  const int kWorkerCounts[] = {1, 2, 4, 8};
+  auto batch_wall_of = [&](const std::string& name) {
+    for (const auto& bw : batch_walls) {
+      if (bw.first == name) return bw.second;
+    }
+    return 0.0;
+  };
+  std::vector<std::pair<std::string, double>> par_speedups;
+  std::printf("  \"parallel_benchmarks\": [\n");
+  for (size_t ni = 0; ni < std::size(kSweepNames); ++ni) {
+    const std::string name = kSweepNames[ni];
+    Result<PlanNodePtr> plan =
+        name == "scan_filter_agg"
+            ? BuildScanFilterAgg(*par_db.catalog())
+            : name == "tpch_q1"
+                  ? tpch::BuildQ1Plan(*par_db.catalog(), "1998-09-02")
+                  : name == "tpch_q3"
+                        ? tpch::BuildQ3Plan(*par_db.catalog(), tpch::Q3Params{})
+                        : tpch::BuildQ5Plan(*par_db.catalog(),
+                                            tpch::Q5Params{});
+    if (!plan.ok()) {
+      std::fprintf(stderr, "parallel sweep plan build failed for %s\n",
+                   name.c_str());
+      return 1;
+    }
+    double base_wall = batch_wall_of(name);
+    double best_speedup = 0.0;
+    for (size_t wi = 0; wi < std::size(kWorkerCounts); ++wi) {
+      par_db.set_exec_workers(kWorkerCounts[wi]);
+      ModeResult r = RunPlan(&par_db, *plan.value());
+      double host_speedup =
+          r.wall_seconds_per_iter > 0 ? base_wall / r.wall_seconds_per_iter
+                                      : 0.0;
+      // Simulated core speedup from one run with fresh core ledgers.
+      par_db.machine()->ResetCoreLedgers();
+      auto res = par_db.ExecutePlanQuery(*plan.value());
+      if (!res.ok()) {
+        std::fprintf(stderr, "parallel sweep query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      double busy_sum = 0.0;
+      for (const CoreLedger& c : par_db.machine()->core_ledgers()) {
+        busy_sum += c.busy_s;
+      }
+      ParallelPhaseSummary ph = par_db.machine()->SummarizeCorePhase();
+      par_db.machine()->ResetCoreLedgers();
+      double sim_speedup =
+          ph.makespan_s > 0 ? busy_sum / ph.makespan_s : 1.0;
+      if (sim_speedup > best_speedup) best_speedup = sim_speedup;
+      bool last = ni + 1 == std::size(kSweepNames) &&
+                  wi + 1 == std::size(kWorkerCounts);
+      std::printf(
+          "    {\"name\": \"%s\", \"workers\": %d, "
+          "\"wall_seconds_per_iter\": %.6e, \"rows_per_sec\": %.6e, "
+          "\"sim_seconds\": %.9e, \"sim_joules_per_query\": %.9e, "
+          "\"speedup_vs_batch\": %.2f, \"sim_makespan_s\": %.9e, "
+          "\"sim_core_speedup\": %.2f}%s\n",
+          name.c_str(), kWorkerCounts[wi], r.wall_seconds_per_iter,
+          r.rows_per_sec, r.sim_seconds, r.sim_joules, host_speedup,
+          ph.makespan_s, sim_speedup, last ? "" : ",");
+    }
+    par_db.set_exec_workers(1);
+    par_speedups.emplace_back(name, best_speedup);
+  }
+  std::printf("  ],\n");
+  // Best simulated core speedup per plan across the worker counts.
+  std::printf("  \"parallel_sim_core_speedup\": {");
+  for (size_t i = 0; i < par_speedups.size(); ++i) {
+    std::printf("%s\"%s\": %.2f", i ? ", " : "",
+                par_speedups[i].first.c_str(), par_speedups[i].second);
+  }
+  std::printf("},\n");
 
   // Planner/optimizer host benchmarks, ported from the seed's
   // google-benchmark harness (SQL parse+plan, cost-model estimate,

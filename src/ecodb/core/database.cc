@@ -38,6 +38,16 @@ Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
                                                machine_->NowSeconds());
     ctx->set_governor(governor.get());
   }
+  // Morsel workers only drive ungoverned, memory-resident batch
+  // pipelines: row mode is the parity oracle, disk-backed scans serialize
+  // on the buffer pool/clock mid-pipeline, and governed queries must trip
+  // at machine-state checkpoints the worker trees never see.
+  int workers = options_.exec_workers;
+  if (options_.exec_mode != ExecMode::kBatch || options_.profile.disk_backed ||
+      governor != nullptr) {
+    workers = 1;
+  }
+  ctx->set_exec_workers(workers);
   EnergyLedger before = machine_->ledger();
   double t0 = machine_->NowSeconds();
 

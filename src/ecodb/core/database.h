@@ -27,6 +27,13 @@ struct DatabaseOptions {
   /// How query plans are executed. Batch (vectorized) by default; row
   /// mode keeps the Volcano pull loop for comparison/parity runs.
   ExecMode exec_mode = ExecMode::kBatch;
+  /// Morsel-driven worker threads for eligible batch pipelines. 1 (the
+  /// default) keeps execution single-threaded. Clamped to 1 per query
+  /// when the mode is kRow, the profile is disk-backed, or a governor is
+  /// attached — those paths interleave machine state mid-pipeline and
+  /// stay on the sequential engine. Results and logical-work counters are
+  /// bit-exact vs. single-threaded at any worker count.
+  int exec_workers = 1;
   /// Per-query limits applied by the governor (default: none — queries
   /// run ungoverned exactly as before). Adjustable between queries via
   /// Database::set_query_limits.
@@ -83,6 +90,17 @@ class Database {
   /// Applies a PVC operating point (validated for stability).
   Status ApplySettings(const SystemSettings& settings);
   const SystemSettings& settings() const { return machine_->settings(); }
+
+  /// Applies a PVC operating point to one core only (per-core knob; see
+  /// Machine::ApplyCoreSettings).
+  Status ApplyCoreSettings(int core, const SystemSettings& settings) {
+    return machine_->ApplyCoreSettings(core, settings);
+  }
+
+  /// Replaces the worker count for subsequent queries (same clamping
+  /// rules as DatabaseOptions::exec_workers).
+  void set_exec_workers(int n) { options_.exec_workers = n < 1 ? 1 : n; }
+  int exec_workers() const { return options_.exec_workers; }
 
   /// Executes a physical plan, measuring the query's time and energy.
   Result<QueryResult> ExecutePlanQuery(const PlanNode& plan);

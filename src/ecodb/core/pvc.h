@@ -32,6 +32,22 @@ struct TradeoffCurve {
   std::vector<OperatingPoint> points;
 };
 
+/// One per-core settings assignment (the per-core PVC knob) and its
+/// phase-level pricing from the core ledgers.
+struct CoreOperatingPoint {
+  std::vector<SystemSettings> core_settings;  ///< one entry per core
+  ParallelPhaseSummary summary;
+  double makespan_ratio = 1.0;   ///< vs. the all-stock assignment
+  double dc_energy_ratio = 1.0;
+  double edp_ratio = 1.0;        ///< dc_j * makespan, vs. all-stock
+};
+
+/// Per-core sweep: the all-stock assignment + alternatives.
+struct CoreTradeoffCurve {
+  CoreOperatingPoint stock;
+  std::vector<CoreOperatingPoint> points;
+};
+
 class PvcController {
  public:
   explicit PvcController(Database* db) : db_(db) {}
@@ -50,6 +66,23 @@ class PvcController {
   /// fields carry predicted seconds/cpu_j/edp; per-query times are empty.
   Result<TradeoffCurve> PredictCurve(const tpch::Workload& workload,
                                      const std::vector<SystemSettings>& grid);
+
+  /// Per-core assignment grid: for every MediumGrid() point, one
+  /// symmetric assignment (all cores at that point — slow-and-wide) and
+  /// one asymmetric assignment (all cores stock except the last — one
+  /// "eco core" absorbing the overflow morsels).
+  static std::vector<std::vector<SystemSettings>> PerCoreGrid(int num_cores);
+
+  /// The per-core PVC knob. Runs `workload` once in parallel
+  /// (exec_workers = num_cores) at the machine's current settings to
+  /// capture each core's raw morsel work (cycles, cache lines) from the
+  /// core ledgers, then re-prices that captured work under every
+  /// assignment in `grid` on a scratch machine — answering "what if core
+  /// i ran at settings s" without re-running the workload. Ratios are
+  /// against the all-stock assignment priced from the same capture.
+  Result<CoreTradeoffCurve> MeasureCorePhaseCurve(
+      const tpch::Workload& workload,
+      const std::vector<std::vector<SystemSettings>>& grid);
 
  private:
   double TheoreticalEdp(const SystemSettings& s) const;

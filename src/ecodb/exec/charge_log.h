@@ -1,0 +1,43 @@
+// ChargeRecord/ChargeLog: a replayable trace of logical-work charges.
+//
+// Morsel workers execute their per-morsel operator trees against
+// *recording* ExecContexts (see ExecContext::BeginRecording): every
+// Charge* call appends one record here instead of touching the shared
+// Machine. The coordinator later replays each morsel's log — in global
+// morsel order — through its own (normal) context, so the machine sees
+// the exact charge sequence single-threaded execution would have
+// produced: bit-exact integer counters, identical flush-quantum
+// boundaries, identical energy integration.
+
+#ifndef ECODB_EXEC_CHARGE_LOG_H_
+#define ECODB_EXEC_CHARGE_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ecodb {
+
+struct ChargeRecord {
+  enum class Kind : uint8_t {
+    kScanTuples,    ///< a = n, b = total_bytes
+    kHashBuilds,    ///< a = n, b = key_bytes
+    kHashProbes,    ///< a = n, b = key_bytes
+    kAggUpdates,    ///< a = n, b = n_aggregates
+    kSortCompares,  ///< a = n
+    kOutputTuples,  ///< a = n, b = bytes_per_tuple
+    kEvalOps,       ///< a = comparisons, b = arith_ops (drained together)
+    kCycles,        ///< x = cycles, y = mem_lines
+  };
+
+  Kind kind;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+using ChargeLog = std::vector<ChargeRecord>;
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_CHARGE_LOG_H_

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "ecodb/core/engine_profile.h"
+#include "ecodb/exec/charge_log.h"
 #include "ecodb/exec/query_governor.h"
 #include "ecodb/sim/machine.h"
 #include "ecodb/storage/buffer_pool.h"
@@ -71,6 +72,33 @@ class ExecContext {
   /// they consume their children.
   ExecMode exec_mode() const { return exec_mode_; }
   void set_exec_mode(ExecMode m) { exec_mode_ = m; }
+
+  /// Worker count the morsel layer may use for eligible pipelines; 1 means
+  /// single-threaded (the default and the parity oracle). Set by
+  /// Database::ExecutePlanQuery after clamping (batch mode only,
+  /// memory-resident profile, no governor).
+  int exec_workers() const { return exec_workers_; }
+  void set_exec_workers(int n) { exec_workers_ = n < 1 ? 1 : n; }
+
+  /// How this query's work loads the CPU. Captured from the profile at
+  /// construction so two contexts with different profiles can charge the
+  /// same Machine concurrently without stomping a shared global.
+  LoadClass load_class() const { return load_class_; }
+
+  // --- Charge recording (morsel workers) ---
+
+  /// Routes subsequent charges into `log` instead of the machine: Charge*
+  /// calls update stats_ and append one ChargeRecord each; Flush folds
+  /// pending cycles/lines into stats_ without machine contact (the worker
+  /// totals feed per-core accrual). The coordinator replays the log later
+  /// for the parity account. Pass nullptr to stop recording.
+  void BeginRecording(ChargeLog* log) { recording_ = log; }
+  bool recording() const { return recording_ != nullptr; }
+
+  /// Re-applies a recorded charge stream through this context's normal
+  /// charge path (stats, flush quanta, machine, governor) — the
+  /// deterministic fold of worker charges into the shared ledger.
+  void ReplayChargeLog(const ChargeLog& log);
 
   // --- Logical work reporting (called by operators) ---
   //
@@ -155,6 +183,10 @@ class ExecContext {
  private:
   void MaybeFlush();
 
+  void Record(const ChargeRecord& rec) {
+    if (recording_ != nullptr) recording_->push_back(rec);
+  }
+
   /// Quantum of the auto-drain (~6 simulated ms at 3.2 GHz): large enough
   /// that the lines-vs-cycles mix of one quantum is insensitive to charge
   /// arrival order (row-vs-batch energy parity on even sub-millisecond
@@ -170,7 +202,10 @@ class ExecContext {
   EvalCounters eval_;
   QueryExecStats stats_;
   ExecMode exec_mode_ = ExecMode::kBatch;
+  int exec_workers_ = 1;
+  LoadClass load_class_ = LoadClass::kSustained;
   QueryGovernor* governor_ = nullptr;  ///< not owned; null = no limits
+  ChargeLog* recording_ = nullptr;     ///< not owned; null = charge machine
   MemoryTracker tracker_;
 
   double pending_cycles_ = 0;

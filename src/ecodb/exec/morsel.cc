@@ -1,0 +1,439 @@
+#include "ecodb/exec/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ecodb/util/strings.h"
+
+namespace ecodb {
+
+namespace {
+
+/// One queue entry from a worker: either a batch (with the charge-log
+/// segment recorded while producing it) or a morsel-done marker (whose
+/// segment carries the trailing charges of the final, empty pull). An
+/// error status terminates the worker's stream at that morsel.
+struct MorselItem {
+  RowBatch batch;
+  ChargeLog charges;
+  bool has_batch = false;
+  bool morsel_done = false;
+  Status status;
+};
+
+/// Bounded MPSC-free queue: exactly one worker pushes, the coordinator
+/// pops. Push blocks while full (backpressure keeps memory bounded) and
+/// bails out when the stream is cancelled; Pop blocks while empty —
+/// safe because a live worker always delivers either the next item or
+/// an error marker before exiting.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  bool Push(MorselItem item, const std::atomic<bool>& cancel) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_push_.wait(lock, [&] {
+      return items_.size() < capacity_ || cancel.load(std::memory_order_relaxed);
+    });
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  MorselItem Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_pop_.wait(lock, [&] { return !items_.empty(); });
+    MorselItem item = std::move(items_.front());
+    items_.pop_front();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  /// Wakes a producer blocked in Push after `cancel` was set.
+  void WakeProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_push_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<MorselItem> items_;
+  size_t capacity_;
+};
+
+Result<OperatorPtr> InstantiateParallel(const PlanNode& node, ExecContext* ctx,
+                                        bool full_drain);
+
+/// Builds a worker's operator tree for one morsel of a spine: the scan
+/// leaf restricted to [begin_row, end_row), joins in probe-only mode
+/// over the coordinator-built shared state. `next_build` walks `builds`
+/// in the same top-down order ExecuteSpineBuilds produced it.
+Result<OperatorPtr> BuildMorselTree(
+    const PlanNode& node, ExecContext* ctx, uint64_t begin_row,
+    uint64_t end_row, const std::vector<JoinBuildStatePtr>& builds,
+    size_t* next_build) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return OperatorPtr(std::make_unique<SeqScanOp>(ctx, node.table_name,
+                                                     begin_row, end_row));
+    case PlanKind::kFilter: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          BuildMorselTree(*node.children[0], ctx, begin_row, end_row, builds,
+                          next_build));
+      return OperatorPtr(
+          std::make_unique<FilterOp>(ctx, std::move(child), node.predicate));
+    }
+    case PlanKind::kProject: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          BuildMorselTree(*node.children[0], ctx, begin_row, end_row, builds,
+                          next_build));
+      return OperatorPtr(std::make_unique<ProjectOp>(
+          ctx, std::move(child), node.exprs, node.names));
+    }
+    case PlanKind::kHashJoin: {
+      if (*next_build >= builds.size()) {
+        return Status::Internal("morsel spine build-state underflow");
+      }
+      JoinBuildStatePtr build = builds[(*next_build)++];
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr probe,
+          BuildMorselTree(*node.children[1], ctx, begin_row, end_row, builds,
+                          next_build));
+      return OperatorPtr(std::make_unique<HashJoinOp>(
+          ctx, std::move(build), std::move(probe), node.build_keys,
+          node.probe_keys));
+    }
+    default:
+      return Status::Internal(
+          StrFormat("non-spine node %s in morsel tree", ToString(node.kind)));
+  }
+}
+
+/// Runs every hash-join build subtree of the spine on the coordinator,
+/// outermost join first — the order a single-threaded Open cascade
+/// consumes them in, so the coordinator's charge stream matches. Build
+/// subtrees are full-drain slots and may themselves be parallelized
+/// (a nested morsel stream feeding the sequential insert loop).
+Status ExecuteSpineBuilds(const PlanNode& node, ExecContext* ctx,
+                          std::vector<JoinBuildStatePtr>* builds) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return Status::OK();
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+      return ExecuteSpineBuilds(*node.children[0], ctx, builds);
+    case PlanKind::kHashJoin: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr build_child,
+          InstantiateParallel(*node.children[0], ctx, /*full_drain=*/true));
+      ECODB_ASSIGN_OR_RETURN(
+          JoinBuildStatePtr state,
+          HashJoinOp::ExecuteBuild(ctx, build_child.get(), node.build_keys));
+      builds->push_back(std::move(state));
+      return ExecuteSpineBuilds(*node.children[1], ctx, builds);
+    }
+    default:
+      return Status::Internal(
+          StrFormat("non-spine node %s in morsel spine", ToString(node.kind)));
+  }
+}
+
+/// The parallel spine operator. Open builds shared join state, carves
+/// the base table into morsels and spawns workers; NextBatch re-emits
+/// worker batches in global morsel order, replaying each batch's
+/// recorded charges into the coordinator context first; Close joins the
+/// pool, folds worker totals into the per-core ledgers and tears down
+/// the shared build state (the single-threaded Close position).
+class MorselStreamOp : public Operator {
+ public:
+  MorselStreamOp(ExecContext* ctx, const PlanNode& spine, int workers)
+      : ctx_(ctx),
+        spine_(ClonePlan(spine)),
+        schema_(spine.output_schema),
+        requested_workers_(workers < 1 ? 1 : workers) {}
+
+  ~MorselStreamOp() override { StopWorkers(); }
+
+  Status Open() override {
+    ECODB_RETURN_NOT_OK(ExecuteSpineBuilds(*spine_, ctx_, &builds_));
+    const PlanNode* leaf = spine_.get();
+    while (leaf->kind != PlanKind::kScan) {
+      leaf = leaf->children[leaf->kind == PlanKind::kHashJoin ? 1 : 0].get();
+    }
+    const Table* table = ctx_->catalog()->FindTable(leaf->table_name);
+    if (table == nullptr) {
+      return Status::NotFound(
+          StrFormat("table not found: %s", leaf->table_name.c_str()));
+    }
+    total_rows_ = table->num_rows();
+    num_morsels_ = (total_rows_ + kMorselRows - 1) / kMorselRows;
+    next_morsel_ = 0;
+    if (num_morsels_ > 0) {
+      num_workers_ = static_cast<size_t>(std::min<uint64_t>(
+          static_cast<uint64_t>(requested_workers_), num_morsels_));
+      queues_.reserve(num_workers_);
+      worker_ctxs_.reserve(num_workers_);
+      for (size_t w = 0; w < num_workers_; ++w) {
+        queues_.push_back(std::make_unique<BoundedQueue>(kQueueCapacity));
+        // No governor, no buffer pool: workers only drive ungoverned,
+        // memory-resident pipelines (Database clamps exec_workers).
+        worker_ctxs_.push_back(std::make_unique<ExecContext>(
+            ctx_->machine(), &ctx_->profile(), ctx_->catalog(), nullptr));
+        worker_ctxs_.back()->set_exec_mode(ExecMode::kBatch);
+      }
+      threads_.reserve(num_workers_);
+      for (size_t w = 0; w < num_workers_; ++w) {
+        threads_.emplace_back(&MorselStreamOp::WorkerLoop, this, w);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Next(Row* out, bool* has_row) override {
+    (void)out;
+    *has_row = false;
+    return Status::Internal("MorselStream has no row-at-a-time pull");
+  }
+
+  Status NextBatch(RowBatch* out, bool* has_rows) override {
+    *has_rows = false;
+    while (next_morsel_ < num_morsels_) {
+      MorselItem item = queues_[next_morsel_ % num_workers_]->Pop();
+      // Replay before inspecting: whatever the worker charged up to this
+      // point (including a partial morsel before an error) lands in the
+      // coordinator's ledger at the single-threaded position.
+      if (!item.charges.empty()) ctx_->ReplayChargeLog(item.charges);
+      if (!item.status.ok()) return item.status;
+      if (item.morsel_done) {
+        ++next_morsel_;
+        continue;
+      }
+      *out = std::move(item.batch);
+      *has_rows = true;
+      return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    StopWorkers();
+    // Fold each worker's charged totals into its core's ledger — the
+    // additive concurrency view for per-core P-state experiments. The
+    // shared EnergyLedger already received this work via replay.
+    Machine* machine = ctx_->machine();
+    for (size_t w = 0; w < worker_ctxs_.size(); ++w) {
+      const QueryExecStats& s = worker_ctxs_[w]->stats();
+      machine->AccrueCoreWork(static_cast<int>(w % machine->num_cores()),
+                              s.cycles_charged, s.mem_lines_charged,
+                              ctx_->load_class());
+    }
+    worker_ctxs_.clear();
+    queues_.clear();
+    for (JoinBuildStatePtr& b : builds_) {
+      if (b != nullptr) b->Clear();
+    }
+    builds_.clear();
+    ctx_->Flush();
+  }
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override {
+    return StrFormat("MorselStream(workers=%d)", requested_workers_);
+  }
+
+ private:
+  // Per-worker queue headroom, in batch items. A morsel is 16 batches, so
+  // this lets each worker run two full morsels ahead of the in-order
+  // coordinator; anything much smaller (an early revision used 4) lets the
+  // producers stall on a quarter-morsel of buffering and serializes the
+  // pipeline behind the coordinator's drain.
+  static constexpr size_t kQueueCapacity =
+      2 * kMorselRows / RowBatch::kDefaultBatchRows;
+
+  void StopWorkers() {
+    cancel_.store(true, std::memory_order_relaxed);
+    for (auto& q : queues_) q->WakeProducer();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  /// Worker w processes morsels w, w + W, w + 2W, ... in order, each
+  /// with a fresh spine clone, recording charges instead of touching
+  /// the machine. One ExecContext per worker accumulates its totals
+  /// across morsels (per-core accrual reads them at Close).
+  void WorkerLoop(size_t w) {
+    ExecContext* ctx = worker_ctxs_[w].get();
+    ChargeLog log;
+    ctx->BeginRecording(&log);
+    for (uint64_t m = w; m < num_morsels_; m += num_workers_) {
+      if (cancel_.load(std::memory_order_relaxed)) break;
+      const uint64_t begin = m * kMorselRows;
+      const uint64_t end = std::min(begin + kMorselRows, total_rows_);
+      OperatorPtr op;
+      size_t next_build = 0;
+      Status st;
+      {
+        Result<OperatorPtr> tree =
+            BuildMorselTree(*spine_, ctx, begin, end, builds_, &next_build);
+        if (tree.ok()) {
+          op = std::move(tree).value();
+          st = op->Open();
+        } else {
+          st = tree.status();
+        }
+      }
+      while (st.ok()) {
+        RowBatch batch;
+        bool has = false;
+        st = op->NextBatch(&batch, &has);
+        if (!st.ok() || !has) break;
+        MorselItem item;
+        item.batch = std::move(batch);
+        item.has_batch = true;
+        item.charges = std::move(log);
+        log.clear();
+        if (!queues_[w]->Push(std::move(item), cancel_)) return;
+      }
+      if (op != nullptr) op->Close();  // folds pending into worker stats
+      MorselItem done;
+      done.morsel_done = true;
+      done.status = st;
+      done.charges = std::move(log);
+      log.clear();
+      if (!queues_[w]->Push(std::move(done), cancel_)) return;
+      if (!st.ok()) return;  // coordinator stops at this morsel's marker
+    }
+    ctx->Flush();
+  }
+
+  ExecContext* ctx_;
+  PlanNodePtr spine_;
+  Schema schema_;
+  int requested_workers_;
+
+  std::vector<JoinBuildStatePtr> builds_;  ///< spine joins, outermost first
+  uint64_t total_rows_ = 0;
+  uint64_t num_morsels_ = 0;
+  uint64_t next_morsel_ = 0;
+  size_t num_workers_ = 0;
+
+  std::vector<std::unique_ptr<BoundedQueue>> queues_;      ///< one per worker
+  std::vector<std::unique_ptr<ExecContext>> worker_ctxs_;  ///< one per worker
+  std::vector<std::thread> threads_;
+  std::atomic<bool> cancel_{false};
+};
+
+Result<OperatorPtr> InstantiateParallel(const PlanNode& node, ExecContext* ctx,
+                                        bool full_drain) {
+  if (full_drain && ctx->exec_workers() > 1 && MorselEligibleSpine(node)) {
+    return OperatorPtr(
+        std::make_unique<MorselStreamOp>(ctx, node, ctx->exec_workers()));
+  }
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return OperatorPtr(std::make_unique<SeqScanOp>(ctx, node.table_name));
+    case PlanKind::kFilter: {
+      // A filter drains its child exactly when it is drained itself.
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          InstantiateParallel(*node.children[0], ctx, full_drain));
+      return OperatorPtr(
+          std::make_unique<FilterOp>(ctx, std::move(child), node.predicate));
+    }
+    case PlanKind::kProject: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          InstantiateParallel(*node.children[0], ctx, full_drain));
+      return OperatorPtr(std::make_unique<ProjectOp>(
+          ctx, std::move(child), node.exprs, node.names));
+    }
+    case PlanKind::kHashJoin: {
+      // The build side is consumed to completion at Open regardless of
+      // how far the join itself is driven; the probe side inherits.
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr build,
+          InstantiateParallel(*node.children[0], ctx, /*full_drain=*/true));
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr probe,
+          InstantiateParallel(*node.children[1], ctx, full_drain));
+      return OperatorPtr(std::make_unique<HashJoinOp>(
+          ctx, std::move(build), std::move(probe), node.build_keys,
+          node.probe_keys));
+    }
+    case PlanKind::kNestedLoopJoin: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr outer,
+          InstantiateParallel(*node.children[0], ctx, full_drain));
+      // Inner side is materialized at Open (always fully drained).
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr inner,
+          InstantiateParallel(*node.children[1], ctx, /*full_drain=*/true));
+      return OperatorPtr(std::make_unique<NestedLoopJoinOp>(
+          ctx, std::move(outer), std::move(inner), node.predicate));
+    }
+    case PlanKind::kAggregate: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          InstantiateParallel(*node.children[0], ctx, /*full_drain=*/true));
+      return OperatorPtr(std::make_unique<HashAggOp>(
+          ctx, std::move(child), node.group_by, node.aggs));
+    }
+    case PlanKind::kSort: {
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          InstantiateParallel(*node.children[0], ctx, /*full_drain=*/true));
+      return OperatorPtr(
+          std::make_unique<SortOp>(ctx, std::move(child), node.sort_keys));
+    }
+    case PlanKind::kLimit: {
+      // A limit may stop pulling a *streaming* child early; such a child
+      // is never wrapped. Materialized children (sort/agg) do all their
+      // work at Open and their own children are full-drain slots.
+      ECODB_ASSIGN_OR_RETURN(
+          OperatorPtr child,
+          InstantiateParallel(*node.children[0], ctx, /*full_drain=*/false));
+      return OperatorPtr(
+          std::make_unique<LimitOp>(ctx, std::move(child), node.limit));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+bool MorselEligibleSpine(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return true;
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+      return MorselEligibleSpine(*node.children[0]);
+    case PlanKind::kHashJoin:
+      return MorselEligibleSpine(*node.children[1]);
+    default:
+      return false;
+  }
+}
+
+Result<OperatorPtr> InstantiateParallelPlan(const PlanNode& node,
+                                            ExecContext* ctx) {
+  // The root of a plan is drained to end-of-stream by
+  // ExecuteOperatorColumnar, so it is a full-drain slot.
+  return InstantiateParallel(node, ctx, /*full_drain=*/true);
+}
+
+}  // namespace ecodb

@@ -1,0 +1,67 @@
+// Morsel-driven parallel execution over streaming plan spines.
+//
+// A "spine" is the streaming prefix of a batch pipeline — a scan leaf
+// under any stack of filters, projections and hash-join *probes*. The
+// morsel layer splits the spine's base table into fixed-size row ranges
+// (morsels), runs a fresh clone of the spine over each morsel on a pool
+// of worker threads, and re-emits the resulting batches to the parent
+// operator in global morsel order.
+//
+// Parity contract (the whole point): results and logical-work counters
+// are bit-exact against single-threaded execution at ANY worker count,
+// and simulated energy stays within the row-vs-batch tolerance.
+// Three mechanisms deliver that:
+//
+//  1. Morsel boundaries are multiples of the batch size, so a worker's
+//     scan emits exactly the batches the full scan would emit for its
+//     range, and concatenating worker outputs in morsel order reproduces
+//     the single-threaded row stream.
+//  2. Workers charge into *recording* ExecContexts (see
+//     ExecContext::BeginRecording): no machine contact, just an ordered
+//     ChargeLog per delivered batch. The coordinator replays each log
+//     segment through its own context immediately before handing the
+//     batch upward, reproducing the single-threaded charge arrival
+//     order — the deterministic fold of parallel work into the shared
+//     energy ledger.
+//  3. Shared mutable state never crosses threads: hash-join build sides
+//     are built once by the coordinator (exact single-threaded charge
+//     sequence, via HashJoinOp::ExecuteBuild) and probed concurrently
+//     through const-only paths; everything downstream of the morsel
+//     stream (aggregation, sort, limit, output) runs on the coordinator.
+//
+// Worker wall-clock totals additionally feed Machine::AccrueCoreWork —
+// the per-core concurrency view used by per-core P-state experiments —
+// without ever touching the shared parity ledger.
+
+#ifndef ECODB_EXEC_MORSEL_H_
+#define ECODB_EXEC_MORSEL_H_
+
+#include <cstdint>
+
+#include "ecodb/exec/plan.h"
+
+namespace ecodb {
+
+/// Rows per morsel. A multiple of RowBatch::kDefaultBatchRows so that
+/// batch boundaries inside a morsel coincide with the single-threaded
+/// scan's batch boundaries.
+inline constexpr uint64_t kMorselRows = 16 * RowBatch::kDefaultBatchRows;
+
+/// True when `node` is a parallelizable spine: a kScan leaf under any
+/// stack of kFilter / kProject nodes and kHashJoin probe sides.
+bool MorselEligibleSpine(const PlanNode& node);
+
+/// Like InstantiatePlan, but wraps every eligible spine that sits in a
+/// guaranteed-full-drain slot in a MorselStreamOp running
+/// ctx->exec_workers() workers. Slots that may stop early (a streaming
+/// child of kLimit) are never wrapped; pipeline-breaker inputs
+/// (aggregate/sort children, join build sides, nested-loop inner sides)
+/// always drain fully and are. With exec_workers() == 1 this is
+/// exactly InstantiatePlan. Batch mode only — the morsel stream has no
+/// row-at-a-time pull.
+Result<OperatorPtr> InstantiateParallelPlan(const PlanNode& node,
+                                            ExecContext* ctx);
+
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_MORSEL_H_

@@ -58,6 +58,13 @@ Status Operator::NextBatchCapped(RowBatch* out, bool* has_rows,
 SeqScanOp::SeqScanOp(ExecContext* ctx, const std::string& table_name)
     : ctx_(ctx), table_name_(table_name) {}
 
+SeqScanOp::SeqScanOp(ExecContext* ctx, const std::string& table_name,
+                     uint64_t begin_row, uint64_t end_row)
+    : ctx_(ctx),
+      table_name_(table_name),
+      begin_row_(begin_row),
+      end_row_(end_row) {}
+
 Status SeqScanOp::Open() {
   const TableEntry* entry = ctx_->catalog()->FindEntry(table_name_);
   if (entry == nullptr) {
@@ -67,14 +74,15 @@ Status SeqScanOp::Open() {
   file_ = &entry->file;
   schema_ = table_->schema();
   row_width_ = schema_.RowWidth();
-  next_row_ = 0;
+  next_row_ = static_cast<size_t>(
+      std::min<uint64_t>(begin_row_, table_->num_rows()));
   pages_fetched_ = 0;
   return Status::OK();
 }
 
 Status SeqScanOp::Next(Row* out, bool* has_row) {
   ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
-  if (next_row_ >= table_->num_rows()) {
+  if (next_row_ >= std::min<uint64_t>(table_->num_rows(), end_row_)) {
     *has_row = false;
     return Status::OK();
   }
@@ -96,7 +104,7 @@ Status SeqScanOp::NextBatch(RowBatch* out, bool* has_rows) {
   ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
   const int num_cols = schema_.num_fields();
   out->Reset(num_cols);
-  const uint64_t total = table_->num_rows();
+  const uint64_t total = std::min<uint64_t>(table_->num_rows(), end_row_);
   if (next_row_ >= total) {
     *has_rows = false;
     return Status::OK();
@@ -341,11 +349,23 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
   assert(build_keys_.size() == probe_keys_.size());
 }
 
+HashJoinOp::HashJoinOp(ExecContext* ctx, JoinBuildStatePtr build,
+                       OperatorPtr probe, std::vector<int> build_keys,
+                       std::vector<int> probe_keys)
+    : ctx_(ctx),
+      probe_child_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      build_(std::move(build)),
+      prebuilt_(true) {
+  assert(build_keys_.size() == probe_keys_.size());
+}
+
 bool HashJoinOp::KeysEqualRow(uint32_t idx, const Row& probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
     if (CompareCellViews(
-            build_cols_[static_cast<size_t>(build_keys_[i])].View(idx),
+            build_->cols[static_cast<size_t>(build_keys_[i])].View(idx),
             CellView::Of(probe_row[static_cast<size_t>(probe_keys_[i])])) !=
         0) {
       return false;
@@ -359,7 +379,7 @@ bool HashJoinOp::KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
     if (CompareCellViews(
-            build_cols_[static_cast<size_t>(build_keys_[i])].View(idx),
+            build_->cols[static_cast<size_t>(build_keys_[i])].View(idx),
             probe_batch.ViewCell(probe_keys_[i], probe_row)) != 0) {
       return false;
     }
@@ -367,29 +387,38 @@ bool HashJoinOp::KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
   return true;
 }
 
-Status HashJoinOp::ConsumeBuildSide() {
-  const int build_width = build_child_->schema().RowWidth();
-  const int n_cols = build_child_->schema().num_fields();
-  index_.set_memory_tracker(ctx_->memory_tracker());
-  index_.Reset();
-  build_cols_.resize(static_cast<size_t>(n_cols));
+namespace {
+
+/// Drains an (already open) build child into `state`. Shared by the
+/// normal Open path and HashJoinOp::ExecuteBuild; the charge sequence is
+/// identical in both.
+Status ConsumeJoinBuild(ExecContext* ctx, Operator* build_child,
+                        const std::vector<int>& build_keys,
+                        JoinBuildState* state) {
+  const int build_width = build_child->schema().RowWidth();
+  const int n_cols = build_child->schema().num_fields();
+  state->schema = build_child->schema();
+  state->index.set_memory_tracker(ctx->memory_tracker());
+  state->index.Reset();
+  state->cols.resize(static_cast<size_t>(n_cols));
   for (int c = 0; c < n_cols; ++c) {
-    build_cols_[static_cast<size_t>(c)].Reset(
-        build_child_->schema().field(c).type);
-    build_cols_[static_cast<size_t>(c)].set_memory_tracker(
-        ctx_->memory_tracker());
+    state->cols[static_cast<size_t>(c)].Reset(
+        build_child->schema().field(c).type);
+    state->cols[static_cast<size_t>(c)].set_memory_tracker(
+        ctx->memory_tracker());
   }
-  num_build_rows_ = 0;
-  build_bytes_ = 0;
-  if (ctx_->exec_mode() == ExecMode::kBatch) {
+  state->num_rows = 0;
+  state->bytes = 0;
+  if (ctx->exec_mode() == ExecMode::kBatch) {
     RowBatch batch;
     bool has = false;
+    std::vector<size_t> hash_scratch;
     for (;;) {
-      ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
-      ECODB_RETURN_NOT_OK(build_child_->NextBatch(&batch, &has));
+      ECODB_RETURN_NOT_OK(ctx->CheckGovernor());
+      ECODB_RETURN_NOT_OK(build_child->NextBatch(&batch, &has));
       if (!has) break;
-      ctx_->ChargeHashBuilds(batch.active(), build_width);
-      build_bytes_ += static_cast<uint64_t>(batch.active()) *
+      ctx->ChargeHashBuilds(batch.active(), build_width);
+      state->bytes += static_cast<uint64_t>(batch.active()) *
                       static_cast<uint64_t>(build_width);
       // Hash all selected keys up front (typed arrays for lazily-bound
       // scan batches and lane columns), then append cells to the typed
@@ -399,14 +428,14 @@ Status HashJoinOp::ConsumeBuildSide() {
       // lanes) enter the pool by pointer — the pool retains the arenas —
       // instead of being re-interned; only transient boxed values and
       // pool-backed lanes are copied.
-      HashKeyColumnsBatch(batch, build_keys_, &build_hash_scratch_);
-      for (size_t i = 0; i < build_hash_scratch_.size(); ++i) {
-        index_.Insert(build_hash_scratch_[i],
-                      num_build_rows_ + static_cast<uint32_t>(i));
+      HashKeyColumnsBatch(batch, build_keys, &hash_scratch);
+      for (size_t i = 0; i < hash_scratch.size(); ++i) {
+        state->index.Insert(hash_scratch[i],
+                            state->num_rows + static_cast<uint32_t>(i));
       }
       const bool stable_strings = !batch.strings_pool_backed();
       for (int c = 0; c < n_cols; ++c) {
-        TypedColumn& dst = build_cols_[static_cast<size_t>(c)];
+        TypedColumn& dst = state->cols[static_cast<size_t>(c)];
         if (stable_strings && !batch.col_materialized(c) &&
             RowBatch::LaneKindFor(dst.type()) ==
                 RowBatch::LaneKind::kStringRef) {
@@ -418,48 +447,65 @@ Status HashJoinOp::ConsumeBuildSide() {
           for (uint32_t r : batch.sel()) dst.Append(batch.ViewCell(c, r));
         }
       }
-      num_build_rows_ += static_cast<uint32_t>(batch.active());
+      state->num_rows += static_cast<uint32_t>(batch.active());
     }
     return Status::OK();
   }
   Row row;
   bool has = false;
   for (;;) {
-    ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
-    ECODB_RETURN_NOT_OK(build_child_->Next(&row, &has));
+    ECODB_RETURN_NOT_OK(ctx->CheckGovernor());
+    ECODB_RETURN_NOT_OK(build_child->Next(&row, &has));
     if (!has) break;
-    size_t h = HashRowKey(row, build_keys_);
-    ctx_->ChargeHashBuild(build_width);
-    build_bytes_ += static_cast<uint64_t>(build_width);
-    index_.Insert(h, num_build_rows_);
+    size_t h = HashRowKey(row, build_keys);
+    ctx->ChargeHashBuild(build_width);
+    state->bytes += static_cast<uint64_t>(build_width);
+    state->index.Insert(h, state->num_rows);
     for (int c = 0; c < n_cols; ++c) {
-      build_cols_[static_cast<size_t>(c)].Append(
+      state->cols[static_cast<size_t>(c)].Append(
           CellView::Of(row[static_cast<size_t>(c)]));
     }
-    ++num_build_rows_;
+    ++state->num_rows;
   }
   return Status::OK();
 }
 
-Status HashJoinOp::Open() {
-  ECODB_RETURN_NOT_OK(build_child_->Open());
-  Status consume = ConsumeBuildSide();
-  if (!consume.ok()) {
-    // The build child is open mid-stream; release its resources before
-    // propagating (our own Close only closes the probe side).
-    build_child_->Close();
-    return consume;
-  }
-  build_child_->Close();
-  probe_rows_ = 0;
+}  // namespace
+
+Result<JoinBuildStatePtr> HashJoinOp::ExecuteBuild(
+    ExecContext* ctx, Operator* build_child,
+    const std::vector<int>& build_keys) {
+  auto state = std::make_shared<JoinBuildState>();
+  ECODB_RETURN_NOT_OK(build_child->Open());
+  Status consume = ConsumeJoinBuild(ctx, build_child, build_keys, state.get());
+  build_child->Close();
+  ECODB_RETURN_NOT_OK(consume);
   // Grace-hash spill of the build side (commercial profile).
-  ECODB_RETURN_NOT_OK(ctx_->ChargeSpill(build_bytes_));
+  ECODB_RETURN_NOT_OK(ctx->ChargeSpill(state->bytes));
+  return state;
+}
+
+Status HashJoinOp::Open() {
+  if (!prebuilt_) {
+    build_ = std::make_shared<JoinBuildState>();
+    ECODB_RETURN_NOT_OK(build_child_->Open());
+    Status consume =
+        ConsumeJoinBuild(ctx_, build_child_.get(), build_keys_, build_.get());
+    // The build child is open mid-stream on failure; release its
+    // resources before propagating (our own Close only closes the probe
+    // side).
+    build_child_->Close();
+    ECODB_RETURN_NOT_OK(consume);
+    // Grace-hash spill of the build side (commercial profile).
+    ECODB_RETURN_NOT_OK(ctx_->ChargeSpill(build_->bytes));
+  }
+  probe_rows_ = 0;
   ECODB_RETURN_NOT_OK(probe_child_->Open());
   // Children only know their schemas once opened (scans bind to the
   // catalog in Open), so the concatenated schema is computed here — the
   // seed's constructor-time Concat saw two empty schemas, silently
   // zeroing the join's output-tuple width.
-  schema_ = Schema::Concat(build_child_->schema(), probe_child_->schema());
+  schema_ = Schema::Concat(build_->schema, probe_child_->schema());
   probe_valid_ = false;
   probe_batch_valid_ = false;
   probe_sel_pos_ = 0;
@@ -470,18 +516,18 @@ Status HashJoinOp::Open() {
 
 Status HashJoinOp::Next(Row* out, bool* has_row) {
   int probe_width = probe_child_->schema().RowWidth();
-  const size_t n_build_cols = build_cols_.size();
+  const size_t n_build_cols = build_->cols.size();
   for (;;) {
     if (probe_valid_) {
       while (match_ != FlatHashIndex::kInvalid) {
         const uint32_t idx = match_;
         ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
-        match_ = index_.Next(idx);
+        match_ = build_->index.Next(idx);
         if (KeysEqualRow(idx, probe_row_)) {
           out->clear();
           out->reserve(n_build_cols + probe_row_.size());
           for (size_t c = 0; c < n_build_cols; ++c) {
-            out->push_back(build_cols_[c].GetValue(idx));
+            out->push_back(build_->cols[c].GetValue(idx));
           }
           // The probe row's values can be moved out on its last chain
           // entry: nothing reads probe_row_ again before the next child
@@ -509,21 +555,21 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
     }
     ++probe_rows_;
     ctx_->ChargeHashProbe(probe_width);
-    match_ = index_.Find(HashRowKey(probe_row_, probe_keys_));
+    match_ = build_->index.Find(HashRowKey(probe_row_, probe_keys_));
     probe_valid_ = true;
   }
 }
 
 void HashJoinOp::FlushMatches(RowBatch* out) {
   if (match_build_.empty()) return;
-  const int n_build_cols = static_cast<int>(build_cols_.size());
+  const int n_build_cols = static_cast<int>(build_->cols.size());
   const int probe_cols = probe_child_->schema().num_fields();
 
   // Build side: gather raw values from the typed pool into output lanes.
   // String lanes point into the pool's refcounted arena, which `out`
   // retains — the pointers survive even the pool's own teardown.
   for (int c = 0; c < n_build_cols; ++c) {
-    build_cols_[static_cast<size_t>(c)].GatherInto(
+    build_->cols[static_cast<size_t>(c)].GatherInto(
         out, c, match_build_.data(), match_build_.size());
   }
 
@@ -632,7 +678,7 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
              emitted < RowBatch::kDefaultBatchRows) {
         const uint32_t idx = match_;
         ++ctx_->eval_counters()->comparisons;  // bucket-chain traversal
-        match_ = index_.Next(idx);
+        match_ = build_->index.Next(idx);
         if (KeysEqualBatch(idx, probe_batch_, pr)) {
           // Record the match; the columnar copy happens in FlushMatches.
           match_build_.push_back(idx);
@@ -663,7 +709,7 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_rows) {
       // typed column arrays directly for lazily-bound scan batches.
       HashKeyColumnsBatch(probe_batch_, probe_keys_, &probe_hashes_);
     }
-    match_ = index_.Find(probe_hashes_[probe_sel_pos_]);
+    match_ = build_->index.Find(probe_hashes_[probe_sel_pos_]);
     probe_valid_ = true;
   }
   FlushMatches(out);
@@ -680,9 +726,12 @@ void HashJoinOp::Close() {
   uint64_t probe_bytes =
       probe_rows_ * static_cast<uint64_t>(probe_child_->schema().RowWidth());
   ctx_->ChargeSpill(probe_bytes).ok();  // best-effort at teardown
-  index_.Reset();
-  build_cols_.clear();
-  num_build_rows_ = 0;
+  if (build_ != nullptr) {
+    // Shared (prebuilt) state belongs to the coordinator; a worker Close
+    // only drops its reference.
+    if (!prebuilt_) build_->Clear();
+    build_.reset();
+  }
   ctx_->Flush();
 }
 

@@ -86,6 +86,12 @@ struct SortKey {
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(ExecContext* ctx, const std::string& table_name);
+  /// Range-restricted scan over rows [begin_row, end_row): the morsel
+  /// unit. Morsel boundaries are multiples of the batch size, so the
+  /// batches (and per-batch charges) a restricted scan emits are exactly
+  /// the full scan's batches for that range.
+  SeqScanOp(ExecContext* ctx, const std::string& table_name,
+            uint64_t begin_row, uint64_t end_row);
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
@@ -101,6 +107,8 @@ class SeqScanOp : public Operator {
   const Table* table_ = nullptr;
   const HeapFile* file_ = nullptr;
   size_t next_row_ = 0;
+  uint64_t begin_row_ = 0;
+  uint64_t end_row_ = ~0ull;  ///< exclusive; clamped to the table at Open
   uint64_t pages_fetched_ = 0;
   int row_width_ = 0;
 };
@@ -174,10 +182,48 @@ class ProjectOp : public Operator {
 /// instead of copied per match. Row mode hashes the materialized probe
 /// row — identical hashes, identical chain walks, identical
 /// bucket-compare and key-equality counts.
+/// The build side of a hash join, immutable once built: the flat index
+/// over a typed column-major payload pool, plus the build child's schema
+/// and accounting totals. Extracted from HashJoinOp so morsel workers can
+/// probe ONE shared build table concurrently — FlatHashIndex::Find/Next
+/// and TypedColumn::View/GatherInto are const — while the coordinator
+/// built it sequentially with the exact single-threaded charge sequence.
+struct JoinBuildState {
+  FlatHashIndex index;
+  std::vector<TypedColumn> cols;  ///< typed column-major build pool
+  uint32_t num_rows = 0;
+  uint64_t bytes = 0;
+  Schema schema;  ///< the build child's output schema
+
+  /// Tears the pool down (releases tracked bytes); the owner calls this
+  /// once probing is over, matching the single-threaded Close.
+  void Clear() {
+    index.Reset();
+    cols.clear();
+    num_rows = 0;
+  }
+};
+
+using JoinBuildStatePtr = std::shared_ptr<JoinBuildState>;
+
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(ExecContext* ctx, OperatorPtr build, OperatorPtr probe,
              std::vector<int> build_keys, std::vector<int> probe_keys);
+  /// Probe-only join over a prebuilt shared build side (morsel workers).
+  /// Open skips the build phase (no build charges, no build spill) and
+  /// Close leaves the shared state alive — the coordinator owns its
+  /// teardown.
+  HashJoinOp(ExecContext* ctx, JoinBuildStatePtr build, OperatorPtr probe,
+             std::vector<int> build_keys, std::vector<int> probe_keys);
+
+  /// Runs `build_child` to completion on `ctx` and returns the shared
+  /// build state, with the exact charge sequence of a normal Open's build
+  /// phase: child Open, per-batch build charges + ordered inserts, child
+  /// Close, grace-hash spill charge.
+  static Result<JoinBuildStatePtr> ExecuteBuild(
+      ExecContext* ctx, Operator* build_child,
+      const std::vector<int>& build_keys);
 
   Status Open() override;
   Status Next(Row* out, bool* has_row) override;
@@ -193,23 +239,20 @@ class HashJoinOp : public Operator {
   bool KeysEqualRow(uint32_t idx, const Row& probe_row);
   bool KeysEqualBatch(uint32_t idx, const RowBatch& probe_batch,
                       uint32_t probe_row);
-  Status ConsumeBuildSide();
   /// Gathers the accumulated match pairs into `out` and clears them.
   /// Must run before the probe batch they reference is replaced.
   void FlushMatches(RowBatch* out);
 
   ExecContext* ctx_;
-  OperatorPtr build_child_, probe_child_;
+  OperatorPtr build_child_, probe_child_;  ///< build_child_ null if prebuilt
   std::vector<int> build_keys_, probe_keys_;
   Schema schema_;
 
-  FlatHashIndex index_;
-  std::vector<TypedColumn> build_cols_;  ///< typed column-major build pool
-  uint32_t num_build_rows_ = 0;
+  JoinBuildStatePtr build_;  ///< owned (normal) or shared-const (prebuilt)
+  bool prebuilt_ = false;
   uint32_t match_ = FlatHashIndex::kInvalid;  ///< chain cursor (both modes)
   Row probe_row_;
   bool probe_valid_ = false;
-  uint64_t build_bytes_ = 0;
   uint64_t probe_rows_ = 0;
 
   // Batch-mode probe state: current probe batch, its up-front key hashes
@@ -217,7 +260,6 @@ class HashJoinOp : public Operator {
   // probe row within the selection, and end-of-stream.
   RowBatch probe_batch_;
   std::vector<size_t> probe_hashes_;
-  std::vector<size_t> build_hash_scratch_;
   size_t probe_sel_pos_ = 0;
   bool probe_batch_valid_ = false;
   bool probe_eos_ = false;

@@ -1,5 +1,6 @@
 #include "ecodb/exec/plan.h"
 
+#include "ecodb/exec/morsel.h"
 #include "ecodb/util/strings.h"
 
 namespace ecodb {
@@ -383,7 +384,14 @@ Result<OperatorPtr> InstantiatePlan(const PlanNode& node, ExecContext* ctx) {
 Result<ResultSet> ExecutePlanColumnar(const PlanNode& node, ExecContext* ctx,
                                       ExecMode mode) {
   ECODB_RETURN_NOT_OK(ValidatePlan(node));
-  ECODB_ASSIGN_OR_RETURN(OperatorPtr op, InstantiatePlan(node, ctx));
+  OperatorPtr op;
+  if (mode == ExecMode::kBatch && ctx->exec_workers() > 1) {
+    // Morsel-driven parallel spines (batch mode only; results and
+    // logical-work counters stay bit-exact vs. the sequential tree).
+    ECODB_ASSIGN_OR_RETURN(op, InstantiateParallelPlan(node, ctx));
+  } else {
+    ECODB_ASSIGN_OR_RETURN(op, InstantiatePlan(node, ctx));
+  }
   return ExecuteOperatorColumnar(op.get(), ctx, mode);
 }
 

@@ -98,33 +98,44 @@ double CpuModel::TheoreticalEdpFactor(LoadClass cls) const {
 }
 
 double CpuModel::PstateCapFrequencyHz(double max_multiplier) const {
+  // The cap lives in multiplier space; the frequency it realizes follows
+  // the *effective* FSB, so capping composes with an active underclock the
+  // same way every other frequency accessor does.
   double mult = config_.multipliers.front();
   for (double m : config_.multipliers) {
     if (m <= max_multiplier) mult = std::max(mult, m);
   }
-  return mult * config_.stock_fsb_hz;  // capping keeps the stock FSB
+  return mult * FsbHz();
 }
 
 Status CpuModel::CheckStability(const CpuConfig& config,
                                 const SystemSettings& settings) {
   int d = static_cast<int>(settings.downgrade);
   double fsb = config.stock_fsb_hz * (1.0 - settings.underclock);
-  // Every p-state must satisfy V >= V_min(F). The binding constraint is the
-  // top p-state (highest F, load voltage), but we check all states with
-  // their applicable voltages, as PC Probe II monitors continuously.
-  for (size_t i = 0; i < config.multipliers.size(); ++i) {
-    double f_ghz = config.multipliers[i] * fsb / 1e9;
+  // Every *visited* operating point must satisfy V >= V_min(F). The model
+  // only ever runs two points: the deepest idle state at the idle voltage
+  // (EIST idle) and the top p-state at the load voltage (busy/stalled
+  // work). Mid p-states are never paired with the idle voltage, so
+  // checking them there — as PC Probe II naively sweeping the table
+  // would — spuriously rejects combinations that are stable everywhere
+  // the machine actually operates.
+  struct OperatingPoint {
+    size_t pstate;
+    double voltage;
+  };
+  const OperatingPoint points[] = {
+      {0, config.idle_voltage[d]},
+      {config.multipliers.size() - 1,
+       std::min(config.load_voltage[d][0], config.load_voltage[d][1])},
+  };
+  for (const OperatingPoint& p : points) {
+    double f_ghz = config.multipliers[p.pstate] * fsb / 1e9;
     double vmin = config.vmin_base + config.vmin_per_ghz * f_ghz;
-    bool top = (i + 1 == config.multipliers.size());
-    // Idle states run at the idle voltage; the top state must be stable for
-    // both load classes.
-    double v = top ? std::min(config.load_voltage[d][0], config.load_voltage[d][1])
-                   : config.idle_voltage[d];
-    if (v < vmin) {
+    if (p.voltage < vmin) {
       return Status::UnstableSettings(StrFormat(
           "p-state %zu at %.2f GHz needs >= %.3f V but has %.3f V "
           "(downgrade=%s, underclock=%.0f%%)",
-          i, f_ghz, vmin, v, ecodb::ToString(settings.downgrade),
+          p.pstate, f_ghz, vmin, p.voltage, ecodb::ToString(settings.downgrade),
           settings.underclock * 100));
     }
   }

@@ -81,12 +81,17 @@ class CpuModel {
   /// evaluated at the top p-state for the given load class.
   double TheoreticalEdpFactor(LoadClass cls) const;
 
-  /// Frequency that p-state *capping* to `max_multiplier` would produce at
-  /// stock FSB — the coarse alternative the paper contrasts with
-  /// underclocking (Section 3: capping at 7 drops 3 GHz to 2.3 GHz).
+  /// Frequency that p-state *capping* to `max_multiplier` would produce
+  /// at the current effective FSB — the coarse alternative the paper
+  /// contrasts with underclocking (Section 3: capping at 7 drops 3 GHz to
+  /// 2.3 GHz at stock FSB). The cap selects a multiplier; the realized
+  /// frequency follows FsbHz(), so it composes with an underclock.
   double PstateCapFrequencyHz(double max_multiplier) const;
 
   /// Static stability check (usable without constructing a model).
+  /// Validates the operating points the model actually visits — deepest
+  /// idle state at idle voltage, top p-state at load voltage — not every
+  /// (mid p-state, idle voltage) pairing.
   static Status CheckStability(const CpuConfig& config,
                                const SystemSettings& settings);
 

@@ -29,12 +29,29 @@ Machine::Machine(const MachineConfig& config)
       epu_(calib::kEpuSamplePeriodS) {
   mem_.SetFsbHz(cpu_.FsbHz());
   epu_.Reset(clock_.Now());
+  int n = config.num_cores > 0 ? config.num_cores : 1;
+  cores_.assign(static_cast<size_t>(n), CpuModel(config.cpu));
+  core_ledgers_.assign(static_cast<size_t>(n), CoreLedger());
 }
 
 Status Machine::ApplySettings(const SystemSettings& settings) {
   ECODB_RETURN_NOT_OK(cpu_.ApplySettings(settings));
   mem_.SetFsbHz(cpu_.FsbHz());
+  // Machine-wide settings reset every per-core knob; stability was already
+  // validated against the shared CpuConfig above.
+  for (CpuModel& core : cores_) {
+    Status s = core.ApplySettings(settings);
+    (void)s;
+  }
   return Status::OK();
+}
+
+Status Machine::ApplyCoreSettings(int core, const SystemSettings& settings) {
+  if (core < 0 || core >= num_cores()) {
+    return Status::InvalidArgument(
+        StrFormat("core %d out of range [0, %d)", core, num_cores()));
+  }
+  return cores_[static_cast<size_t>(core)].ApplySettings(settings);
 }
 
 double Machine::CpuIdlePowerW() const {
@@ -77,8 +94,13 @@ void Machine::Accrue(double dt_s, double cpu_w, double disk_extra_5v_w,
 
 Machine::ExecBreakdown Machine::PredictExecuteBreakdown(
     double cycles, double mem_lines) const {
+  return PredictExecuteBreakdownFor(cpu_, cycles, mem_lines);
+}
+
+Machine::ExecBreakdown Machine::PredictExecuteBreakdownFor(
+    const CpuModel& core, double cycles, double mem_lines) const {
   ExecBreakdown b;
-  b.compute_s = cycles / cpu_.TopFrequencyHz();
+  b.compute_s = cycles / core.TopFrequencyHz();
   double t_core = mem_lines * mem_.config().core_latency_s;
   double bytes = mem_lines * mem_.config().line_bytes;
   double t_tx_base = bytes / mem_.BandwidthBps();
@@ -109,16 +131,60 @@ double Machine::PredictExecutePowerW(double cycles, double mem_lines) const {
          total;
 }
 
-void Machine::ExecuteCpu(double cycles, double mem_lines) {
+void Machine::ExecuteCpu(double cycles, double mem_lines, LoadClass cls) {
   ExecBreakdown b = PredictExecuteBreakdown(cycles, mem_lines);
   double dt = b.TotalS();
   double mem_j = mem_.AccessEnergyJ(mem_lines);
   ledger_.busy_s += dt;
-  double cpu_w = dt > 0 ? (b.compute_s * cpu_.BusyPowerW(load_class_) +
-                           b.stall_s * cpu_.StallPowerW(load_class_)) /
+  double cpu_w = dt > 0 ? (b.compute_s * cpu_.BusyPowerW(cls) +
+                           b.stall_s * cpu_.StallPowerW(cls)) /
                               dt
                         : 0.0;
   Accrue(dt, cpu_w, 0.0, 0.0, mem_j);
+}
+
+void Machine::AccrueCoreWork(int core, double cycles, double mem_lines,
+                             LoadClass cls) {
+  if (core < 0 || core >= num_cores()) return;
+  if (cycles <= 0 && mem_lines <= 0) return;
+  const CpuModel& model = cores_[static_cast<size_t>(core)];
+  ExecBreakdown b = PredictExecuteBreakdownFor(model, cycles, mem_lines);
+  double dt = b.TotalS();
+  CoreLedger& cl = core_ledgers_[static_cast<size_t>(core)];
+  cl.busy_s += dt;
+  cl.cpu_j += b.compute_s * model.BusyPowerW(cls) +
+              b.stall_s * model.StallPowerW(cls);
+  cl.mem_j += mem_.AccessEnergyJ(mem_lines);
+  cl.cycles += cycles;
+  cl.mem_lines += mem_lines;
+}
+
+void Machine::ResetCoreLedgers() {
+  core_ledgers_.assign(cores_.size(), CoreLedger());
+}
+
+ParallelPhaseSummary Machine::SummarizeCorePhase() const {
+  ParallelPhaseSummary s;
+  for (const CoreLedger& cl : core_ledgers_) {
+    s.makespan_s = std::max(s.makespan_s, cl.busy_s);
+    s.core_cpu_j += cl.cpu_j;
+    s.core_mem_j += cl.mem_j;
+  }
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    double idle = s.makespan_s - core_ledgers_[i].busy_s;
+    double idle_w = config_.os_running ? cores_[i].IdlePowerW()
+                                       : cores_[i].FirmwarePowerW();
+    s.idle_fill_j += idle_w * idle;
+  }
+  // Everything but the CPU package draws its idle power for the whole
+  // phase; IdleDcPowerW already includes one package's idle draw, so
+  // subtract it out.
+  s.background_j = (IdleDcPowerW() - CpuIdlePowerW()) * s.makespan_s;
+  s.dc_j = s.core_cpu_j + s.core_mem_j + s.idle_fill_j + s.background_j;
+  if (s.makespan_s > 0) {
+    s.wall_j = psu_.WallPowerW(s.dc_j / s.makespan_s) * s.makespan_s;
+  }
+  return s;
 }
 
 Status Machine::DiskRead(uint64_t bytes, uint64_t n_requests, bool random) {

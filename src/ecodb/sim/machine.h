@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ecodb/sim/clock.h"
 #include "ecodb/sim/cpu.h"
@@ -37,6 +38,11 @@ struct MachineConfig {
   double gpu_idle_dc_w;
 
   bool has_cpu = true;
+  /// Physical cores on the package (the E8500 is a dual-core part). Each
+  /// core carries its own CpuModel so PVC settings become a per-core knob;
+  /// the memory bus and the package-level accounting follow the
+  /// machine-wide settings.
+  int num_cores = 2;
   int num_dimms = 2;
   bool has_gpu = true;
   bool has_disk = true;
@@ -68,13 +74,57 @@ struct EnergyLedger {
   double ElapsedS() const { return busy_s + io_s + idle_s; }
 };
 
+/// Per-core work/energy accrual since the last ResetCoreLedgers(). This is
+/// the *concurrency view* of a parallel phase: each worker's charge stream
+/// lands on its core without advancing the shared clock or the shared
+/// EnergyLedger (those stay the sequential-equivalent parity account, fed
+/// by the coordinator's deterministic replay of the same charges).
+struct CoreLedger {
+  double busy_s = 0.0;      ///< time this core spent executing
+  double cpu_j = 0.0;       ///< core package energy while busy
+  double mem_j = 0.0;       ///< DRAM access energy for this core's lines
+  double cycles = 0.0;      ///< raw cycles accrued
+  double mem_lines = 0.0;   ///< raw cache lines accrued
+};
+
+/// Roll-up of the per-core ledgers into phase-level time/energy: the
+/// makespan is the slowest core's busy time (workers run concurrently);
+/// cores that finish early sit in their idle p-state for the remainder;
+/// the rest of the system (board, DIMM background, disk idle, GPU, fan)
+/// draws its idle power for the whole makespan. Wall energy applies the
+/// PSU curve to the phase-average DC power. This is what turns the
+/// paper's single-core voltage/frequency tradeoff into the race-to-idle
+/// vs. slow-and-wide comparison.
+struct ParallelPhaseSummary {
+  double makespan_s = 0.0;
+  double core_cpu_j = 0.0;     ///< sum of busy-core package energy
+  double core_mem_j = 0.0;     ///< sum of per-core DRAM access energy
+  double idle_fill_j = 0.0;    ///< early-finishing cores idling to makespan
+  double background_j = 0.0;   ///< non-CPU system power over the makespan
+  double dc_j = 0.0;
+  double wall_j = 0.0;
+};
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
 
-  /// Applies PVC settings (validated for stability) to CPU and memory bus.
+  /// Applies PVC settings (validated for stability) to CPU and memory bus,
+  /// and to every core (machine-wide reset of the per-core knobs).
   Status ApplySettings(const SystemSettings& settings);
   const SystemSettings& settings() const { return cpu_.settings(); }
+
+  // --- Per-core P-state control ---
+
+  /// Applies PVC settings to one core only (validated for stability).
+  /// The memory bus and the shared-ledger charge path keep following the
+  /// machine-wide settings; per-core settings shape the concurrency view
+  /// (AccrueCoreWork / SummarizeCorePhase).
+  Status ApplyCoreSettings(int core, const SystemSettings& settings);
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const CpuModel& core_model(int core) const {
+    return cores_[static_cast<size_t>(core)];
+  }
 
   /// Sets how the current workload loads the CPU (see LoadClass).
   void SetLoadClass(LoadClass cls) { load_class_ = cls; }
@@ -86,7 +136,27 @@ class Machine {
   /// lines fetched from DRAM. Duration accounts for frequency, the fixed
   /// DRAM-core latency, and bus contention at the (underclocked) memory
   /// bus — the mechanism behind the convex slowdown at 10-15 % underclock.
-  void ExecuteCpu(double cycles, double mem_lines);
+  /// The two-argument form charges at the machine-wide load class; the
+  /// three-argument form lets each ExecContext carry its own (per-query
+  /// profiles must not stomp a shared machine global).
+  void ExecuteCpu(double cycles, double mem_lines) {
+    ExecuteCpu(cycles, mem_lines, load_class_);
+  }
+  void ExecuteCpu(double cycles, double mem_lines, LoadClass cls);
+
+  /// Accrues one worker's charge stream onto `core`'s ledger: the burst's
+  /// duration/power are evaluated against that core's own CpuModel (its
+  /// private P-state), but neither the shared clock nor the shared
+  /// EnergyLedger move — parallel workers overlap in time, and the
+  /// deterministic fold of their charges into the parity account happens
+  /// through the coordinator's replay into ExecuteCpu.
+  void AccrueCoreWork(int core, double cycles, double mem_lines,
+                      LoadClass cls);
+  const std::vector<CoreLedger>& core_ledgers() const { return core_ledgers_; }
+  void ResetCoreLedgers();
+  /// Rolls the per-core ledgers up into phase time/energy (see
+  /// ParallelPhaseSummary).
+  ParallelPhaseSummary SummarizeCorePhase() const;
 
   /// One batch of disk reads; the CPU sits in its EIST idle state while
   /// blocked (this is why the paper's cold run averages only ~13.8 W CPU).
@@ -142,6 +212,12 @@ class Machine {
   /// energy-aware cost model to predict run times).
   ExecBreakdown PredictExecuteBreakdown(double cycles,
                                         double mem_lines) const;
+  /// Same prediction evaluated against an arbitrary core's CpuModel (the
+  /// shared memory model still supplies latency/bandwidth/contention —
+  /// the bus follows the machine-wide settings).
+  ExecBreakdown PredictExecuteBreakdownFor(const CpuModel& core,
+                                           double cycles,
+                                           double mem_lines) const;
   double PredictExecuteSeconds(double cycles, double mem_lines) const {
     return PredictExecuteBreakdown(cycles, mem_lines).TotalS();
   }
@@ -165,6 +241,8 @@ class Machine {
   EpuSensor epu_;
   EnergyLedger ledger_;
   LoadClass load_class_ = LoadClass::kSustained;
+  std::vector<CpuModel> cores_;         ///< per-core P-state models
+  std::vector<CoreLedger> core_ledgers_;
 
   uint64_t disk_fault_countdown_ = 0;
   bool disk_faulted_ = false;

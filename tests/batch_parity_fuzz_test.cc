@@ -5,7 +5,8 @@
 // chains, column-vs-column and column-vs-sampled-literal), projections
 // with arithmetic (including NULL-producing division), FK hash-join
 // chains, nested-loop joins, group-by aggregation, sort and limit — and
-// executes every plan in BOTH ExecModes — limit-over-aggregate and
+// executes every plan in BOTH ExecModes AND on the morsel-parallel batch
+// engine (ECODB_FUZZ_WORKERS workers, default 3) — limit-over-aggregate and
 // limit-over-sort take the truncating batched LimitOp, limit-over-join /
 // scan the row-pull fallback, with limits below, at and far above the
 // child cardinality, including 0 — asserting:
@@ -59,16 +60,31 @@ class BatchParityFuzzTest : public ::testing::Test {
     batch_opt.profile = EngineProfile::MySqlMemory();
     batch_opt.exec_mode = ExecMode::kBatch;
     batch_db_ = new Database(batch_opt);
+    // Third axis: the morsel-parallel batch engine. ECODB_FUZZ_WORKERS
+    // overrides the worker count (default 3 — an odd count exercises
+    // uneven static schedules).
+    int workers = 3;
+    if (const char* s = std::getenv("ECODB_FUZZ_WORKERS")) {
+      workers = std::atoi(s);
+    }
+    DatabaseOptions par_opt;
+    par_opt.profile = EngineProfile::MySqlMemory();
+    par_opt.exec_mode = ExecMode::kBatch;
+    par_opt.exec_workers = workers;
+    parallel_db_ = new Database(par_opt);
     tpch::DbGenOptions gen;
     gen.scale_factor = testing::kTestSf;
     ASSERT_TRUE(row_db_->LoadTpch(gen).ok());
     ASSERT_TRUE(batch_db_->LoadTpch(gen).ok());
+    ASSERT_TRUE(parallel_db_->LoadTpch(gen).ok());
   }
   static void TearDownTestSuite() {
     delete row_db_;
     delete batch_db_;
+    delete parallel_db_;
     row_db_ = nullptr;
     batch_db_ = nullptr;
+    parallel_db_ = nullptr;
   }
 
   void CheckPlanParity(uint64_t seed) {
@@ -82,44 +98,59 @@ class BatchParityFuzzTest : public ::testing::Test {
 
     auto row_res = row_db_->ExecutePlanQuery(*plan);
     auto batch_res = batch_db_->ExecutePlanQuery(*plan);
+    auto par_res = parallel_db_->ExecutePlanQuery(*plan);
     ASSERT_TRUE(row_res.ok()) << row_res.status().ToString();
     ASSERT_TRUE(batch_res.ok()) << batch_res.status().ToString();
+    ASSERT_TRUE(par_res.ok()) << par_res.status().ToString();
 
     const QueryResult& r = row_res.value();
-    const QueryResult& b = batch_res.value();
-    ASSERT_EQ(r.rows().size(), b.rows().size());
-    for (size_t i = 0; i < r.rows().size(); ++i) {
-      ASSERT_EQ(RowToString(r.rows()[i]), RowToString(b.rows()[i]))
-          << "row " << i;
+    // Both the batch engine and the morsel-parallel batch engine are held
+    // to the same contract against the row-mode oracle.
+    struct Contender {
+      const char* label;
+      const QueryResult* res;
+    };
+    const Contender contenders[] = {{"batch", &batch_res.value()},
+                                    {"parallel", &par_res.value()}};
+    for (const Contender& c : contenders) {
+      SCOPED_TRACE(c.label);
+      const QueryResult& b = *c.res;
+      ASSERT_EQ(r.rows().size(), b.rows().size());
+      for (size_t i = 0; i < r.rows().size(); ++i) {
+        ASSERT_EQ(RowToString(r.rows()[i]), RowToString(b.rows()[i]))
+            << "row " << i;
+      }
+      EXPECT_EQ(r.exec_stats.tuples_scanned, b.exec_stats.tuples_scanned);
+      EXPECT_EQ(r.exec_stats.tuples_output, b.exec_stats.tuples_output);
+      EXPECT_EQ(r.exec_stats.comparisons, b.exec_stats.comparisons);
+      EXPECT_EQ(r.exec_stats.arith_ops, b.exec_stats.arith_ops);
+      EXPECT_EQ(r.exec_stats.hash_builds, b.exec_stats.hash_builds);
+      EXPECT_EQ(r.exec_stats.hash_probes, b.exec_stats.hash_probes);
+      EXPECT_EQ(r.exec_stats.agg_updates, b.exec_stats.agg_updates);
+      EXPECT_EQ(r.exec_stats.sort_compares, b.exec_stats.sort_compares);
+      EXPECT_EQ(r.exec_stats.spill_bytes, b.exec_stats.spill_bytes);
+      ExpectNearRel(r.exec_stats.cycles_charged, b.exec_stats.cycles_charged,
+                    kChargeRelTol, "cycles_charged");
+      ExpectNearRel(r.exec_stats.mem_lines_charged,
+                    b.exec_stats.mem_lines_charged, kChargeRelTol,
+                    "mem_lines_charged");
+      ExpectNearRel(r.seconds, b.seconds, kEnergyRelTol, "seconds");
+      ExpectNearRel(r.cpu_joules, b.cpu_joules, kEnergyRelTol, "cpu_joules");
+      ExpectNearRel(r.disk_joules, b.disk_joules, kEnergyRelTol,
+                    "disk_joules");
+      ExpectNearRel(r.wall_joules, b.wall_joules, kEnergyRelTol,
+                    "wall_joules");
     }
-    EXPECT_EQ(r.exec_stats.tuples_scanned, b.exec_stats.tuples_scanned);
-    EXPECT_EQ(r.exec_stats.tuples_output, b.exec_stats.tuples_output);
-    EXPECT_EQ(r.exec_stats.comparisons, b.exec_stats.comparisons);
-    EXPECT_EQ(r.exec_stats.arith_ops, b.exec_stats.arith_ops);
-    EXPECT_EQ(r.exec_stats.hash_builds, b.exec_stats.hash_builds);
-    EXPECT_EQ(r.exec_stats.hash_probes, b.exec_stats.hash_probes);
-    EXPECT_EQ(r.exec_stats.agg_updates, b.exec_stats.agg_updates);
-    EXPECT_EQ(r.exec_stats.sort_compares, b.exec_stats.sort_compares);
-    EXPECT_EQ(r.exec_stats.spill_bytes, b.exec_stats.spill_bytes);
-    ExpectNearRel(r.exec_stats.cycles_charged, b.exec_stats.cycles_charged,
-                  kChargeRelTol, "cycles_charged");
-    ExpectNearRel(r.exec_stats.mem_lines_charged,
-                  b.exec_stats.mem_lines_charged, kChargeRelTol,
-                  "mem_lines_charged");
-    ExpectNearRel(r.seconds, b.seconds, kEnergyRelTol, "seconds");
-    ExpectNearRel(r.cpu_joules, b.cpu_joules, kEnergyRelTol, "cpu_joules");
-    ExpectNearRel(r.disk_joules, b.disk_joules, kEnergyRelTol,
-                  "disk_joules");
-    ExpectNearRel(r.wall_joules, b.wall_joules, kEnergyRelTol,
-                  "wall_joules");
   }
 
   static Database* row_db_;
   static Database* batch_db_;
+  static Database* parallel_db_;
 };
 
 Database* BatchParityFuzzTest::row_db_ = nullptr;
 Database* BatchParityFuzzTest::batch_db_ = nullptr;
+Database* BatchParityFuzzTest::parallel_db_ = nullptr;
 
 TEST_F(BatchParityFuzzTest, HundredsOfRandomPlansMatch) {
   uint64_t base_seed = 0xEC0DB0;

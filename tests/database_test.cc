@@ -97,6 +97,40 @@ TEST(DatabaseTest, PlanSqlReturnsExplainablePlan) {
   EXPECT_NE(text.find("Aggregate"), std::string::npos);
 }
 
+TEST(ExecContextTest, ZeroSortComparesChargeIsFree) {
+  // Regression guard for the n == 0 early-return: a no-op charge must
+  // leave both the counter and the pending-cycle account untouched.
+  Machine machine(MachineConfig::PaperTestbed());
+  EngineProfile profile = EngineProfile::MySqlMemory();
+  Catalog catalog;
+  ExecContext ctx(&machine, &profile, &catalog, nullptr);
+  ctx.ChargeSortCompares(0);
+  ctx.Flush();
+  EXPECT_EQ(ctx.stats().sort_compares, 0u);
+  EXPECT_EQ(ctx.stats().cycles_charged, 0.0);
+}
+
+TEST(ExecContextTest, SpillRequestCountIsCeilDivOfPages) {
+  // Regression: the spill request count used to be spilled/page + 1, so
+  // an exact page multiple charged one phantom request per pass. The
+  // machine's fault countdown counts requests, which makes the count
+  // observable: spilling exactly 2 pages issues 2 write-back + 2
+  // read-back requests, so a countdown of 5 survives (the buggy 3 + 3
+  // tripped it) and the 5th request afterwards faults.
+  Machine machine(MachineConfig::PaperTestbed());
+  EngineProfile profile = EngineProfile::Commercial();
+  ASSERT_TRUE(profile.disk_backed);
+  profile.spill_fraction = 1.0;
+  Catalog catalog;
+  ExecContext ctx(&machine, &profile, &catalog, nullptr);
+  machine.InjectDiskFaultAfterRequests(5);
+  Status st = ctx.ChargeSpill(2 * kPageSizeBytes);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(ctx.stats().spill_bytes, 2ull * kPageSizeBytes);
+  EXPECT_TRUE(machine.DiskRead(kPageSizeBytes, 1, false)
+                  .IsHardwareFault());
+}
+
 TEST(DatabaseTest, DiskFaultSurfacesAsHardwareFault) {
   auto db = testing::MakeTestDb(EngineProfile::Commercial());
   ASSERT_NE(db, nullptr);

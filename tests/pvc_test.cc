@@ -115,6 +115,85 @@ TEST_F(PvcTest, ResultsIdenticalAcrossOperatingPoints) {
   }
 }
 
+TEST_F(PvcTest, PerCoreGridPairsSymmetricAndEcoCoreAssignments) {
+  auto grid = PvcController::PerCoreGrid(2);
+  ASSERT_EQ(grid.size(), 6u);  // 3 medium points x {symmetric, asymmetric}
+  for (size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_EQ(grid[i].size(), 2u);
+    if (i % 2 == 0) {
+      EXPECT_TRUE(grid[i][0] == grid[i][1]);  // slow-and-wide
+    } else {
+      EXPECT_TRUE(grid[i][0] == SystemSettings::Stock());  // one eco core
+      EXPECT_FALSE(grid[i][1] == SystemSettings::Stock());
+    }
+  }
+}
+
+TEST_F(PvcTest, CorePhaseCurveTradesMakespanForCoreEnergy) {
+  PvcController pvc(db_.get());
+  auto curve = pvc.MeasureCorePhaseCurve(
+      workload_, PvcController::PerCoreGrid(db_->machine()->num_cores()));
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  const CoreTradeoffCurve& c = curve.value();
+  ASSERT_EQ(c.points.size(), 6u);
+  EXPECT_GT(c.stock.summary.makespan_s, 0.0);
+  EXPECT_GT(c.stock.summary.core_cpu_j, 0.0);
+  for (size_t i = 0; i < c.points.size(); ++i) {
+    const CoreOperatingPoint& p = c.points[i];
+    // A medium voltage downgrade prices the same cycles at lower V^2, so
+    // core energy drops whenever any core is downgraded.
+    EXPECT_LT(p.summary.core_cpu_j, c.stock.summary.core_cpu_j);
+    if (i % 2 == 0) {
+      // Slow-and-wide stretches the whole phase.
+      EXPECT_GT(p.makespan_ratio, 1.0);
+    } else {
+      // Slowing only the lighter core cannot stretch the phase more than
+      // slowing every core at the same point does.
+      EXPECT_LE(p.makespan_ratio, c.points[i - 1].makespan_ratio + 1e-12);
+    }
+    EXPECT_GT(p.dc_energy_ratio, 0.0);
+    EXPECT_GT(p.edp_ratio, 0.0);
+  }
+  // The knob is a what-if sweep: it must leave the database untouched —
+  // worker count restored, core ledgers drained, settings still stock.
+  EXPECT_EQ(db_->exec_workers(), 1);
+  EXPECT_EQ(db_->machine()->core_ledgers()[0].cycles, 0.0);
+  EXPECT_TRUE(db_->machine()->settings() == SystemSettings::Stock());
+}
+
+TEST_F(PvcTest, CorePhaseCurveIsDeterministic) {
+  // Two captures of the same workload accrue identical raw per-core work
+  // (the morsel engine's parity contract), so the priced summaries match
+  // bit for bit.
+  PvcController pvc(db_.get());
+  auto grid = PvcController::PerCoreGrid(db_->machine()->num_cores());
+  auto a = pvc.MeasureCorePhaseCurve(workload_, grid);
+  auto b = pvc.MeasureCorePhaseCurve(workload_, grid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().stock.summary.makespan_s,
+            b.value().stock.summary.makespan_s);
+  for (size_t i = 0; i < a.value().points.size(); ++i) {
+    EXPECT_EQ(a.value().points[i].summary.wall_j,
+              b.value().points[i].summary.wall_j);
+    EXPECT_EQ(a.value().points[i].edp_ratio, b.value().points[i].edp_ratio);
+  }
+}
+
+TEST_F(PvcTest, CorePhaseCurveRejectsBadAssignments) {
+  PvcController pvc(db_.get());
+  // Wrong arity.
+  auto short_arity = pvc.MeasureCorePhaseCurve(
+      workload_, {std::vector<SystemSettings>{SystemSettings::Stock()}});
+  EXPECT_TRUE(short_arity.status().IsInvalidArgument());
+  // Unstable per-core point.
+  std::vector<SystemSettings> unstable(
+      static_cast<size_t>(db_->machine()->num_cores()),
+      SystemSettings{0.05, VoltageDowngrade::kAggressive});
+  auto bad = pvc.MeasureCorePhaseCurve(workload_, {unstable});
+  EXPECT_TRUE(bad.status().IsUnstableSettings());
+}
+
 TEST_F(PvcTest, UnstableGridPointFailsTheSweep) {
   PvcController pvc(db_.get());
   auto curve = pvc.MeasureCurve(

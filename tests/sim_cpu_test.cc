@@ -126,6 +126,43 @@ INSTANTIATE_TEST_SUITE_P(
         StabilityCase{0.05, VoltageDowngrade::kAggressive, false},
         StabilityCase{0.15, VoltageDowngrade::kAggressive, false}));
 
+TEST(CpuModelTest, PstateCapComposesWithUnderclock) {
+  // Regression: the cap frequency used to be computed against the STOCK
+  // FSB, so an underclocked machine reported a cap above what multiplier
+  // x effective-FSB can actually realize. The cap lives in multiplier
+  // space and must follow FsbHz() like every other frequency accessor.
+  CpuModel cpu(CpuConfig::E8500());
+  ASSERT_TRUE(cpu.ApplySettings({0.10, VoltageDowngrade::kStock}).ok());
+  EXPECT_NEAR(cpu.PstateCapFrequencyHz(7.0), 7.0 * 333.333e6 * 0.9, 1e6);
+  // And the capped frequency is a realizable operating point: it never
+  // exceeds the machine's own (underclocked) top frequency scaled to the
+  // capped multiplier.
+  EXPECT_LE(cpu.PstateCapFrequencyHz(9.5), cpu.TopFrequencyHz() + 1.0);
+}
+
+TEST(CpuModelTest, StabilityChecksOnlyVisitedOperatingPoints) {
+  // Regression: CheckStability used to validate every mid p-state at the
+  // IDLE voltage — operating points the EIST model never visits (mid
+  // p-states run at load voltage; idle drops to the LOWEST p-state).
+  // This config has a mid p-state (12 x 333 MHz = 4 GHz, vmin 0.87 V)
+  // that fails at the 0.80 V idle voltage, while both real operating
+  // points pass: idle = 6 x 333 MHz = 2 GHz (vmin 0.71 <= 0.80) and top
+  // = 16 x 333 MHz = 5.33 GHz (vmin 0.98 <= 1.10 V load). The old check
+  // falsely rejected it.
+  CpuConfig config = CpuConfig::E8500();
+  config.multipliers = {6.0, 12.0, 16.0};
+  config.idle_voltage[0] = 0.80;
+  EXPECT_TRUE(CpuModel::CheckStability(config,
+                                       {0.0, VoltageDowngrade::kStock})
+                  .ok());
+  // Genuinely unstable idle points are still caught: drop the idle
+  // voltage below the lowest p-state's vmin.
+  config.idle_voltage[0] = 0.70;
+  Status st =
+      CpuModel::CheckStability(config, {0.0, VoltageDowngrade::kStock});
+  EXPECT_TRUE(st.IsUnstableSettings()) << st.ToString();
+}
+
 TEST(SettingsTest, ToStringAndEquality) {
   SystemSettings a{0.05, VoltageDowngrade::kMedium};
   EXPECT_EQ(a.ToString(), "uc=5% medium");

@@ -131,6 +131,81 @@ TEST(MachineTest, VoltageDowngradeCutsBusyPowerRoughlyQuadratically) {
   EXPECT_NEAR(p1 / p0, v_ratio * v_ratio, 0.01);
 }
 
+TEST(MachineTest, CoreLedgersAreIsolatedFromSharedAccount) {
+  Machine m(MachineConfig::PaperTestbed());
+  ASSERT_EQ(m.num_cores(), 2);
+  double t0 = m.NowSeconds();
+  EnergyLedger before = m.ledger();
+  m.AccrueCoreWork(0, 5e9, 1e6, LoadClass::kSustained);
+  m.AccrueCoreWork(1, 2.5e9, 5e5, LoadClass::kSustained);
+  // The concurrency view fills; the shared clock and parity ledger do not
+  // move (the coordinator's replay is what charges those).
+  EXPECT_EQ(m.NowSeconds(), t0);
+  EXPECT_EQ(m.ledger().cpu_j, before.cpu_j);
+  const auto& cores = m.core_ledgers();
+  EXPECT_GT(cores[0].busy_s, cores[1].busy_s);
+  EXPECT_GT(cores[0].cpu_j, 0.0);
+  EXPECT_GT(cores[1].mem_j, 0.0);
+  EXPECT_EQ(cores[0].cycles, 5e9);
+  m.ResetCoreLedgers();
+  EXPECT_EQ(m.core_ledgers()[0].cycles, 0.0);
+}
+
+TEST(MachineTest, PerCoreSettingsShapeOnlyThatCore) {
+  Machine m(MachineConfig::PaperTestbed());
+  ASSERT_TRUE(m.ApplyCoreSettings(1, {0.15, VoltageDowngrade::kMedium}).ok());
+  // Core 0 keeps stock speed; core 1 runs slower and at lower voltage.
+  EXPECT_GT(m.core_model(0).TopFrequencyHz(),
+            m.core_model(1).TopFrequencyHz());
+  m.AccrueCoreWork(0, 1e9, 0, LoadClass::kSustained);
+  m.AccrueCoreWork(1, 1e9, 0, LoadClass::kSustained);
+  const auto& cores = m.core_ledgers();
+  EXPECT_LT(cores[0].busy_s, cores[1].busy_s);  // same work, slower core
+  EXPECT_GT(cores[0].cpu_j / cores[0].busy_s,
+            cores[1].cpu_j / cores[1].busy_s);  // but lower power draw
+  // Out-of-range and unstable per-core settings are rejected.
+  EXPECT_TRUE(
+      m.ApplyCoreSettings(7, SystemSettings::Stock()).IsInvalidArgument());
+  EXPECT_TRUE(m.ApplyCoreSettings(0, {0.0, VoltageDowngrade::kAggressive})
+                  .IsUnstableSettings());
+}
+
+TEST(MachineTest, CorePhaseSummaryRaceToIdleVsSlowAndWide) {
+  // The paper's single-core tradeoff, lifted to cores: finish fast at
+  // stock and idle-fill, or stretch both cores at a lower operating
+  // point. The summary must show the slow-and-wide phase taking longer
+  // but spending less total energy on this sustained workload.
+  const double cycles = 2e10, lines = 4e6;
+  Machine fast(MachineConfig::PaperTestbed());
+  fast.AccrueCoreWork(0, cycles, lines, LoadClass::kSustained);
+  fast.AccrueCoreWork(1, cycles / 2, lines / 2, LoadClass::kSustained);
+  ParallelPhaseSummary f = fast.SummarizeCorePhase();
+
+  Machine slow(MachineConfig::PaperTestbed());
+  ASSERT_TRUE(slow.ApplySettings({0.15, VoltageDowngrade::kMedium}).ok());
+  slow.AccrueCoreWork(0, cycles, lines, LoadClass::kSustained);
+  slow.AccrueCoreWork(1, cycles / 2, lines / 2, LoadClass::kSustained);
+  ParallelPhaseSummary s = slow.SummarizeCorePhase();
+
+  EXPECT_GT(f.makespan_s, 0.0);
+  EXPECT_GT(s.makespan_s, f.makespan_s);
+  EXPECT_LT(s.core_cpu_j, f.core_cpu_j);
+  // The uneven schedule leaves the lighter core idling to the makespan.
+  EXPECT_GT(f.idle_fill_j, 0.0);
+  EXPECT_GT(f.background_j, 0.0);
+  EXPECT_NEAR(f.dc_j,
+              f.core_cpu_j + f.core_mem_j + f.idle_fill_j + f.background_j,
+              1e-9);
+  EXPECT_GT(f.wall_j, f.dc_j);  // PSU losses
+  // Accrual is deterministic: same work, same summary, bit for bit.
+  Machine again(MachineConfig::PaperTestbed());
+  again.AccrueCoreWork(0, cycles, lines, LoadClass::kSustained);
+  again.AccrueCoreWork(1, cycles / 2, lines / 2, LoadClass::kSustained);
+  ParallelPhaseSummary g = again.SummarizeCorePhase();
+  EXPECT_EQ(f.makespan_s, g.makespan_s);
+  EXPECT_EQ(f.wall_j, g.wall_j);
+}
+
 TEST(MachineTest, ContentionInflatesMemoryBoundBursts) {
   // Demanding far more bandwidth than the bus sustains must inflate the
   // stall time (queueing), not silently exceed the physical bandwidth.
