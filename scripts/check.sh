@@ -33,6 +33,14 @@ run_config() {
 
 run_config build
 
+# Second leg of the default suite with the SIMD kernels forced onto their
+# scalar fallbacks (runtime env override — no rebuild). The kernels
+# promise bit-identical results either way; running the whole suite —
+# goldens, parity fuzz, energy parity — under ECODB_SIMD=off is what
+# makes that promise load-bearing.
+echo "=== ctest: build (ECODB_SIMD=off scalar fallback) ==="
+(cd build && ECODB_SIMD=off ctest --output-on-failure --timeout 120 -j "${JOBS}")
+
 # Bench binaries have no CTest coverage; a tiny-scale smoke run keeps them
 # from silently rotting between BENCH_*.json regenerations.
 echo "=== bench smoke: micro_engine --sf=0.001 ==="
@@ -64,6 +72,14 @@ if [[ "${FAST}" == "0" ]]; then
   echo "=== scheduler fuzz smoke (asan): 8 configs ==="
   ECODB_SCHEDFUZZ_SEED=0x5A5A ECODB_SCHEDFUZZ_ITERS=8 \
     ./build-asan/scheduler_fuzz_test
+  # Dict-path parity fuzz smoke under ASan with a second seed base: the
+  # fuzzer's dict-string predicates, IN-lists and string group-bys drive
+  # the code-lane / memo / decode paths, so this leg leak-checks the
+  # dictionary hot paths specifically (borrowed dict-entry pointers,
+  # lane handoffs, memo teardown).
+  echo "=== dict parity fuzz smoke (asan): 24 plans ==="
+  ECODB_FUZZ_SEED=0xD1C7 ECODB_FUZZ_PLANS=24 \
+    ./build-asan/batch_parity_fuzz_test --gtest_brief=1
   run_config build-ubsan -DECODB_SANITIZE=undefined
   # ThreadSanitizer leg: build once, then run only the suites that spawn
   # morsel workers (the rest of the suite is single-threaded and already

@@ -52,6 +52,13 @@ struct QueryExecStats {
   /// High-water mark of the query's tracked logical scratch bytes (see
   /// MemoryTracker); mirrored live from the context's tracker.
   uint64_t peak_memory_bytes = 0;
+  /// String-dedup dictionary effectiveness on the result surface
+  /// (StringArena::InternDedup hits/misses). Diagnostics ONLY: batch mode
+  /// borrows stable pointers where row mode copies, so these counters are
+  /// mode-dependent and intentionally excluded from the parity suite's
+  /// comparisons.
+  uint64_t dict_dedup_hits = 0;
+  uint64_t dict_dedup_misses = 0;
 };
 
 class ExecContext {
@@ -149,6 +156,13 @@ class ExecContext {
 
   const QueryExecStats& stats() const { return stats_; }
   void ResetStats();
+
+  /// Folds result-surface InternDedup counters into stats. Diagnostics
+  /// only — no cycles are charged and the parity suite ignores these.
+  void AddDictDedupCounters(uint64_t hits, uint64_t misses) {
+    stats_.dict_dedup_hits += hits;
+    stats_.dict_dedup_misses += misses;
+  }
 
   // --- Query governor (optional; null = unlimited, zero-overhead) ---
 

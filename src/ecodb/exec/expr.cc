@@ -1,10 +1,60 @@
 #include "ecodb/exec/expr.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "ecodb/exec/simd.h"
 #include "ecodb/util/strings.h"
 
 namespace ecodb {
+
+namespace {
+
+/// True when `sel` is a contiguous ascending run [front, back] — the
+/// common case for scan batches before any filter narrows them. Dense
+/// runs feed the SIMD kernels directly from the columnar arrays; sparse
+/// selections stay on the scalar per-row loops (a gather would cost more
+/// than it saves at typical post-filter densities).
+inline bool SelIsDenseRun(const std::vector<uint32_t>& sel) {
+  return !sel.empty() &&
+         sel.back() - sel.front() + 1 == static_cast<uint32_t>(sel.size());
+}
+
+inline simd::CmpOp ToSimdOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return simd::CmpOp::kEq;
+    case CompareOp::kNe:
+      return simd::CmpOp::kNe;
+    case CompareOp::kLt:
+      return simd::CmpOp::kLt;
+    case CompareOp::kLe:
+      return simd::CmpOp::kLe;
+    case CompareOp::kGt:
+      return simd::CmpOp::kGt;
+    case CompareOp::kGe:
+      return simd::CmpOp::kGe;
+  }
+  return simd::CmpOp::kEq;
+}
+
+/// Reusable byte-mask / conversion scratch for the SIMD compare paths.
+/// thread_local (not ExprScratch) so the kernels can run from any operator
+/// without plumbing; grows to batch size once per worker thread, keeping
+/// steady-state execution allocation-free.
+inline uint8_t* MaskScratch(size_t n) {
+  static thread_local std::vector<uint8_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+inline double* F64Scratch(size_t n) {
+  static thread_local std::vector<double> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+}  // namespace
 
 const char* ToString(CompareOp op) {
   switch (op) {
@@ -232,10 +282,21 @@ void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
       const int idx = static_cast<const ColumnExpr&>(e).index();
       *is_scalar = false;
       vec->resize(batch.num_rows());
+      const bool dense = SelIsDenseRun(sel);
+      const size_t first = dense ? sel.front() : 0;
       if (batch.lane_active(idx)) {
         const RowBatch::TypedLane& lane = batch.lane(idx);
         if (lane.kind == RowBatch::LaneKind::kDouble) {
-          for (uint32_t r : sel) (*vec)[r] = lane.f64[r];
+          if (dense) {
+            std::copy(lane.f64.begin() + static_cast<ptrdiff_t>(first),
+                      lane.f64.begin() + static_cast<ptrdiff_t>(first + sel.size()),
+                      vec->begin() + static_cast<ptrdiff_t>(first));
+          } else {
+            for (uint32_t r : sel) (*vec)[r] = lane.f64[r];
+          }
+        } else if (dense) {
+          simd::ConvertI64ToF64(lane.i64.data() + first, sel.size(),
+                                vec->data() + first);
         } else {
           for (uint32_t r : sel) {
             (*vec)[r] = static_cast<double>(lane.i64[r]);
@@ -246,7 +307,16 @@ void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
       const Column& col = batch.lazy_source()->column(idx);
       const size_t base = batch.lazy_start();
       if (col.type() == ValueType::kDouble) {
-        for (uint32_t r : sel) (*vec)[r] = col.GetDouble(base + r);
+        if (dense) {
+          const double* src = col.doubles_data() + base + first;
+          std::copy(src, src + sel.size(),
+                    vec->begin() + static_cast<ptrdiff_t>(first));
+        } else {
+          for (uint32_t r : sel) (*vec)[r] = col.GetDouble(base + r);
+        }
+      } else if (dense) {
+        simd::ConvertI64ToF64(col.ints_data() + base + first, sel.size(),
+                              vec->data() + first);
       } else {
         for (uint32_t r : sel) {
           (*vec)[r] = static_cast<double>(col.GetInt(base + r));
@@ -293,6 +363,36 @@ void EvalDoubleSubtree(const Expr& e, const RowBatch& batch,
       }
       *is_scalar = false;
       vec->resize(batch.num_rows());
+      if (SelIsDenseRun(sel)) {
+        // One IEEE op per element, SIMD over the dense run — bit-exact
+        // against the scalar apply loop on any ISA.
+        const size_t first = sel.front();
+        const size_t n = sel.size();
+        simd::ArithKind k = simd::ArithKind::kAdd;
+        switch (a.op()) {
+          case ArithOp::kAdd:
+            k = simd::ArithKind::kAdd;
+            break;
+          case ArithOp::kSub:
+            k = simd::ArithKind::kSub;
+            break;
+          case ArithOp::kMul:
+            k = simd::ArithKind::kMul;
+            break;
+          case ArithOp::kDiv:
+            break;  // excluded by CanEvalDoubleSubtree
+        }
+        double* out = vec->data() + first;
+        if (lsc) {
+          simd::ArithF64ScalarCol(k, ls, rv->data() + first, n, out);
+        } else if (rsc) {
+          simd::ArithF64ColScalar(k, lv->data() + first, rs, n, out);
+        } else {
+          simd::ArithF64ColCol(k, lv->data() + first, rv->data() + first, n,
+                               out);
+        }
+        return;
+      }
       for (uint32_t r : sel) {
         (*vec)[r] = apply(lsc ? ls : (*lv)[r], rsc ? rs : (*rv)[r]);
       }
@@ -348,21 +448,47 @@ bool ForEachColumnLiteralCompare(CompareOp op, const Expr& left,
   }
 
   if (c != nullptr) c->comparisons += sel.size();
+  // Dense selections run the compare as one SIMD kernel over the raw
+  // columnar array into a byte mask, then emit from the mask; sparse
+  // selections keep the scalar per-row loop. Results and charged counts
+  // are identical either way (the kernels' scalar fallback is the same
+  // three-way-compare predicate).
+  const bool dense = SelIsDenseRun(sel);
+  const size_t n = sel.size();
+  const size_t first = dense ? sel.front() : 0;
   switch (path) {
     case Path::kNullLit:  // scalar path: NULL operand compares to false
       for (uint32_t r : sel) emit(r, false);
       break;
     case Path::kInt: {
       const int64_t b = lit.AsInt();
-      for (uint32_t r : sel) {
-        const int64_t a = col.GetInt(base + r);
-        emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
+      if (dense) {
+        uint8_t* mask = MaskScratch(n);
+        simd::CompareI64LitMask(col.ints_data() + base + first, n,
+                                ToSimdOp(op), b, mask);
+        for (size_t i = 0; i < n; ++i) emit(sel[i], mask[i] != 0);
+      } else {
+        for (uint32_t r : sel) {
+          const int64_t a = col.GetInt(base + r);
+          emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
+        }
       }
       break;
     }
     case Path::kDouble: {
       const double b = lit.AsDouble();
-      if (ct == ValueType::kDouble) {
+      if (dense) {
+        uint8_t* mask = MaskScratch(n);
+        if (ct == ValueType::kDouble) {
+          simd::CompareF64LitMask(col.doubles_data() + base + first, n,
+                                  ToSimdOp(op), b, mask);
+        } else {
+          double* conv = F64Scratch(n);
+          simd::ConvertI64ToF64(col.ints_data() + base + first, n, conv);
+          simd::CompareF64LitMask(conv, n, ToSimdOp(op), b, mask);
+        }
+        for (size_t i = 0; i < n; ++i) emit(sel[i], mask[i] != 0);
+      } else if (ct == ValueType::kDouble) {
         for (uint32_t r : sel) {
           const double a = col.GetDouble(base + r);
           emit(r, CompareOpHolds(op, a < b ? -1 : (a > b ? 1 : 0)));
@@ -377,9 +503,57 @@ bool ForEachColumnLiteralCompare(CompareOp op, const Expr& left,
     }
     case Path::kString: {
       const std::string& b = lit.AsString();
-      for (uint32_t r : sel) {
-        const int cmp = col.GetString(base + r).compare(b);
-        emit(r, CompareOpHolds(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)));
+      if (col.dict_encoded()) {
+        // Dictionary path: one boundary search over the sorted dict
+        // translates the byte compare into an int32 code compare. When
+        // the literal is absent from the dictionary the predicate
+        // collapses further: equality is constant-false, inequality
+        // constant-true, and the orderings reduce to one boundary test
+        // (codes below `lb` decode to strings < b, codes at/above to
+        // strings > b).
+        bool exact = false;
+        const int32_t lb = col.DictLowerBound(b, &exact);
+        enum class CodeMode { kConstFalse, kConstTrue, kCmp };
+        CodeMode mode = CodeMode::kCmp;
+        CompareOp cop = op;
+        if (!exact) {
+          switch (op) {
+            case CompareOp::kEq:
+              mode = CodeMode::kConstFalse;
+              break;
+            case CompareOp::kNe:
+              mode = CodeMode::kConstTrue;
+              break;
+            case CompareOp::kLt:
+            case CompareOp::kLe:
+              cop = CompareOp::kLt;
+              break;
+            case CompareOp::kGt:
+            case CompareOp::kGe:
+              cop = CompareOp::kGe;
+              break;
+          }
+        }
+        if (mode == CodeMode::kConstFalse) {
+          for (uint32_t r : sel) emit(r, false);
+        } else if (mode == CodeMode::kConstTrue) {
+          for (uint32_t r : sel) emit(r, true);
+        } else if (dense) {
+          uint8_t* mask = MaskScratch(n);
+          simd::CompareI32LitMask(col.codes_data() + base + first, n,
+                                  ToSimdOp(cop), lb, mask);
+          for (size_t i = 0; i < n; ++i) emit(sel[i], mask[i] != 0);
+        } else {
+          for (uint32_t r : sel) {
+            const int32_t a = col.DictCode(base + r);
+            emit(r, CompareOpHolds(cop, a < lb ? -1 : (a > lb ? 1 : 0)));
+          }
+        }
+      } else {
+        for (uint32_t r : sel) {
+          const int cmp = col.GetString(base + r).compare(b);
+          emit(r, CompareOpHolds(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)));
+        }
       }
       break;
     }
@@ -836,6 +1010,61 @@ void InListExpr::EvalBatch(const RowBatch& batch,
       (*out)[r] = Value::Bool(set_.find(vals.at(r)) != set_.end());
     }
     return;
+  }
+  // Dictionary fast path: a plain string-column operand backed by int32
+  // codes (lazy dict-encoded storage, or an active code lane). Each
+  // candidate translates to its dict code once per batch — a candidate
+  // absent from the dictionary (or non-string, or NULL) gets the -1
+  // sentinel, which no row code ever equals, exactly as the byte compare
+  // never matches it. The loop structure, order and charged comparison
+  // counts are identical to the byte path below.
+  if (operand_->kind() == ExprKind::kColumn) {
+    const int idx = static_cast<const ColumnExpr&>(*operand_).index();
+    const int32_t* codes = nullptr;
+    size_t code_base = 0;
+    const Column* dict = nullptr;
+    if (batch.lane_active(idx)) {
+      const RowBatch::TypedLane& lane = batch.lane(idx);
+      if (lane.kind == RowBatch::LaneKind::kStringCode && !lane.has_nulls) {
+        codes = lane.codes.data();
+        dict = lane.dict;
+      }
+    } else if (!batch.col_materialized(idx) &&
+               batch.lazy_source() != nullptr) {
+      const Column& col = batch.lazy_source()->column(idx);
+      if (col.type() == ValueType::kString && col.dict_encoded()) {
+        codes = col.codes_data();
+        code_base = batch.lazy_start();
+        dict = &col;
+      }
+    }
+    if (codes != nullptr) {
+      // No nulls on this path (tables are NOT NULL; null-carrying lanes
+      // were excluded), so every selected row enters the candidate loop —
+      // matching the generic path's null pre-pass, which would pass them
+      // all through.
+      ScratchVec<uint32_t> rem(scratch), nxt(scratch);
+      rem->assign(sel.begin(), sel.end());
+      for (const Value& candidate : values_) {
+        if (rem->empty()) break;
+        if (c != nullptr) c->comparisons += rem->size();
+        const int32_t cand_code =
+            candidate.type() == ValueType::kString
+                ? dict->FindDictCode(candidate.AsString())
+                : -1;
+        nxt->clear();
+        for (uint32_t r : *rem) {
+          if (codes[code_base + r] == cand_code) {
+            (*out)[r] = Value::Bool(true);
+          } else {
+            nxt->push_back(r);
+          }
+        }
+        rem->swap(*nxt);
+      }
+      for (uint32_t r : *rem) (*out)[r] = Value::Bool(false);
+      return;
+    }
   }
   // Linear scan with per-row early exit, candidate loop hoisted outside
   // the row loop: row `r` is compared against candidates until its first

@@ -338,6 +338,13 @@ class BatchOperand {
     return CellView::Of(vec_ != nullptr ? (*vec_)[r] : *scalar_);
   }
 
+  /// Column-reference binding (index >= 0 and the source batch), exposed
+  /// so consumers can reach unboxed storage — dictionary code lanes and
+  /// dict-encoded lazy columns — behind a plain column operand. -1 /
+  /// nullptr for scalar and materialized operands.
+  int column_index() const { return col_; }
+  const RowBatch* source_batch() const { return batch_; }
+
   /// Boxed access; a column operand materializes its column on first use.
   const Value& at(uint32_t r) const {
     if (vec_ == nullptr && col_ >= 0) vec_ = &batch_->col(col_);

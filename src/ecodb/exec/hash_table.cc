@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "ecodb/exec/simd.h"
+
 namespace ecodb {
 
 namespace {
@@ -98,52 +100,84 @@ void HashKeyColumnsBatch(const RowBatch& batch,
   const size_t n = sel.size();
   hashes->assign(n, kRowKeyHashSeed);
   size_t* h = hashes->data();
+  // Two-pass combine: gather per-column value hashes into a reusable
+  // scratch, then fold the whole column in with one SIMD combine (the
+  // combine chains across *columns*, so the per-row folds are
+  // independent). thread_local so steady-state execution stays
+  // allocation-free after the first batch per worker.
+  static thread_local std::vector<size_t> vh_scratch;
+  vh_scratch.resize(n);
+  size_t* vh = vh_scratch.data();
   for (int c : key_cols) {
     if (batch.lane_active(c)) {
-      // Typed-lane column (join / typed-projection output): hash the
-      // cells through HashCellView — the single maintained mirror of
-      // Value::Hash — without boxing anything.
       const RowBatch::TypedLane& lane = batch.lane(c);
-      for (size_t i = 0; i < n; ++i) {
-        h[i] = HashCombineKey(h[i], HashCellView(lane.ViewAt(sel[i])));
+      if (lane.kind == RowBatch::LaneKind::kStringCode && !lane.has_nulls) {
+        // Dictionary-code lane: the dict caches std::hash of every entry,
+        // so hashing a string key is an int32 gather + table lookup —
+        // values identical to hashing the decoded bytes.
+        const Column* dict = lane.dict;
+        for (size_t i = 0; i < n; ++i) {
+          vh[i] = dict->DictHash(lane.codes[sel[i]]);
+        }
+      } else {
+        // Typed-lane column (join / typed-projection output): hash the
+        // cells through HashCellView — the single maintained mirror of
+        // Value::Hash — without boxing anything.
+        for (size_t i = 0; i < n; ++i) {
+          vh[i] = HashCellView(lane.ViewAt(sel[i]));
+        }
       }
+      simd::HashCombineBatch(h, vh, n);
       continue;
     }
     if (!batch.col_materialized(c) && batch.lazy_source() != nullptr) {
       const Column& col = batch.lazy_source()->column(c);
       const size_t base = batch.lazy_start();
+      bool handled = true;
       switch (col.type()) {
         case ValueType::kInt64:
         case ValueType::kDate:
         case ValueType::kBool: {
           std::hash<int64_t> hasher;
           for (size_t i = 0; i < n; ++i) {
-            h[i] = HashCombineKey(h[i], hasher(col.GetInt(base + sel[i])));
+            vh[i] = hasher(col.GetInt(base + sel[i]));
           }
-          continue;
+          break;
         }
         case ValueType::kDouble: {
           for (size_t i = 0; i < n; ++i) {
-            h[i] = HashCombineKey(
-                h[i], Value::HashDouble(col.GetDouble(base + sel[i])));
+            vh[i] = Value::HashDouble(col.GetDouble(base + sel[i]));
           }
-          continue;
+          break;
         }
         case ValueType::kString: {
-          std::hash<std::string> hasher;
-          for (size_t i = 0; i < n; ++i) {
-            h[i] = HashCombineKey(h[i], hasher(col.GetString(base + sel[i])));
+          if (col.dict_encoded()) {
+            // Dict-encoded storage: cached entry hash by per-row code.
+            for (size_t i = 0; i < n; ++i) {
+              vh[i] = col.DictHash(col.DictCode(base + sel[i]));
+            }
+          } else {
+            std::hash<std::string> hasher;
+            for (size_t i = 0; i < n; ++i) {
+              vh[i] = hasher(col.GetString(base + sel[i]));
+            }
           }
-          continue;
+          break;
         }
         case ValueType::kNull:
-          break;  // tables are NOT NULL; fall back to the boxed path
+          handled = false;  // tables are NOT NULL; use the boxed path
+          break;
+      }
+      if (handled) {
+        simd::HashCombineBatch(h, vh, n);
+        continue;
       }
     }
     const std::vector<Value>& vals = batch.col(c);
     for (size_t i = 0; i < n; ++i) {
-      h[i] = HashCombineKey(h[i], vals[sel[i]].Hash());
+      vh[i] = vals[sel[i]].Hash();
     }
+    simd::HashCombineBatch(h, vh, n);
   }
 }
 

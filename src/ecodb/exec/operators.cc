@@ -73,7 +73,10 @@ Status SeqScanOp::Open() {
   table_ = entry->table.get();
   file_ = &entry->file;
   schema_ = table_->schema();
-  row_width_ = schema_.RowWidth();
+  // Both Next and NextBatch charge this same width, so dictionary
+  // compression (4-byte codes instead of string payloads) lowers the
+  // scan's simulated byte traffic identically in the two exec modes.
+  row_width_ = table_->EncodedRowWidth();
   next_row_ = static_cast<size_t>(
       std::min<uint64_t>(begin_row_, table_->num_rows()));
   pages_fetched_ = 0;
@@ -241,6 +244,20 @@ void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
     const int idx = static_cast<const ColumnExpr&>(e).index();
     if (input_batch_.lane_active(idx)) {
       const RowBatch::TypedLane& src = input_batch_.lane(idx);
+      if (src.kind == RowBatch::LaneKind::kStringCode) {
+        // Dictionary-code lane: copy the codes, keep the dict binding.
+        // The codes reference table-owned dictionary storage, so no
+        // arena retention is needed.
+        RowBatch::TypedLane* dst = out->StartCodeLane(oc, src.dict);
+        dst->has_nulls = src.has_nulls;
+        if (src.has_nulls) dst->nulls.assign(n, 0);
+        dst->codes.resize(n, 0);
+        for (uint32_t r : sel) dst->codes[r] = src.codes[r];
+        if (src.has_nulls) {
+          for (uint32_t r : sel) dst->nulls[r] = src.nulls[r];
+        }
+        return;
+      }
       RowBatch::TypedLane* dst = out->StartLane(oc, src.type);
       dst->has_nulls = src.has_nulls;
       if (src.has_nulls) dst->nulls.assign(n, 0);
@@ -260,8 +277,9 @@ void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
           dst->str.resize(n, nullptr);
           for (uint32_t r : sel) dst->str[r] = src.str[r];
           break;
+        case RowBatch::LaneKind::kStringCode:
         case RowBatch::LaneKind::kNone:
-          break;
+          break;  // code lanes handled above
       }
       if (src.has_nulls) {
         for (uint32_t r : sel) dst->nulls[r] = src.nulls[r];
@@ -272,6 +290,15 @@ void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
     if (table != nullptr && !input_batch_.col_materialized(idx)) {
       const Column& src = table->column(idx);
       const size_t base = input_batch_.lazy_start();
+      if (src.type() == ValueType::kString && src.dict_encoded()) {
+        // Dict-encoded scan column: project as a code lane — downstream
+        // hashing/comparison stays on int32 codes, and consumers that
+        // need bytes decode through the lane's dict binding.
+        RowBatch::TypedLane* dst = out->StartCodeLane(oc, &src);
+        dst->codes.resize(n, 0);
+        for (uint32_t r : sel) dst->codes[r] = src.DictCode(base + r);
+        return;
+      }
       RowBatch::TypedLane* dst = out->StartLane(oc, src.type());
       switch (RowBatch::LaneKindFor(src.type())) {
         case RowBatch::LaneKind::kInt64:
@@ -286,8 +313,9 @@ void ProjectOp::EvalExprInto(size_t i, RowBatch* out) {
           dst->str.resize(n, nullptr);
           for (uint32_t r : sel) dst->str[r] = &src.GetString(base + r);
           break;
+        case RowBatch::LaneKind::kStringCode:
         case RowBatch::LaneKind::kNone:
-          break;
+          break;  // dict columns took the code-lane branch above
       }
       return;
     }
@@ -587,6 +615,21 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
     if (table != nullptr && !probe_batch_.col_materialized(c)) {
       const Column& src = table->column(c);
       const size_t base = probe_batch_.lazy_start();
+      if (src.type() == ValueType::kString && src.dict_encoded()) {
+        // Dict-encoded probe column: emit codes when the output column
+        // is (or becomes) a code lane over the same dictionary. When a
+        // prior flush already made it a string-ref lane, fall through to
+        // the pointer gather below (decoded dict entries are
+        // table-stable).
+        RowBatch::TypedLane* cl = out->StartCodeLaneAppend(oc, &src);
+        if (cl != nullptr) {
+          for (uint32_t pr : match_probe_) {
+            cl->codes.push_back(src.DictCode(base + pr));
+          }
+          if (cl->has_nulls) cl->nulls.resize(cl->LaneSize(), 0);
+          continue;
+        }
+      }
       RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type());
       if (lane != nullptr) {
         switch (RowBatch::LaneKindFor(src.type())) {
@@ -605,8 +648,9 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
               lane->str.push_back(&src.GetString(base + pr));
             }
             break;
+          case RowBatch::LaneKind::kStringCode:
           case RowBatch::LaneKind::kNone:
-            break;
+            break;  // LaneKindFor never yields these
         }
         if (lane->has_nulls) lane->nulls.resize(lane->LaneSize(), 0);
         continue;
@@ -614,6 +658,18 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
     }
     if (probe_batch_.lane_active(c)) {
       const RowBatch::TypedLane& src = probe_batch_.lane(c);
+      if (src.kind == RowBatch::LaneKind::kStringCode && !src.has_nulls) {
+        // Code-lane probe column: append codes when the output column is
+        // a code lane over the same dictionary; otherwise decode below.
+        RowBatch::TypedLane* cl = out->StartCodeLaneAppend(oc, src.dict);
+        if (cl != nullptr) {
+          for (uint32_t pr : match_probe_) {
+            cl->codes.push_back(src.codes[pr]);
+          }
+          if (cl->has_nulls) cl->nulls.resize(cl->LaneSize(), 0);
+          continue;
+        }
+      }
       RowBatch::TypedLane* lane = out->StartLaneAppend(oc, src.type);
       if (lane != nullptr) {
         switch (src.kind) {
@@ -630,6 +686,15 @@ void HashJoinOp::FlushMatches(RowBatch* out) {
           case RowBatch::LaneKind::kStringRef:
             for (uint32_t pr : match_probe_) {
               lane->str.push_back(src.IsNullAt(pr) ? nullptr : src.str[pr]);
+            }
+            break;
+          case RowBatch::LaneKind::kStringCode:
+            // StartLaneAppend handed out a string-ref lane; decode the
+            // codes to table-stable dictionary entries.
+            for (uint32_t pr : match_probe_) {
+              lane->str.push_back(src.IsNullAt(pr)
+                                      ? nullptr
+                                      : &src.dict->DictString(src.codes[pr]));
             }
             break;
           case RowBatch::LaneKind::kNone:
@@ -1092,12 +1157,50 @@ Status HashAggOp::ConsumeChildRowMode() {
   return Status::OK();
 }
 
+namespace {
+
+/// Dictionary binding behind a resolved BatchOperand: non-null when the
+/// operand is a plain column reference whose storage is dictionary codes
+/// (an active code lane, or a dict-encoded lazily-bound scan column).
+/// On success *codes/*base locate row r's code at codes[base + r].
+const Column* DictBindingOf(const BatchOperand& op, const int32_t** codes,
+                            size_t* base) {
+  const int c = op.column_index();
+  if (c < 0 || op.source_batch() == nullptr) return nullptr;
+  const RowBatch& b = *op.source_batch();
+  if (b.lane_active(c)) {
+    const RowBatch::TypedLane& lane = b.lane(c);
+    if (lane.kind == RowBatch::LaneKind::kStringCode && !lane.has_nulls) {
+      *codes = lane.codes.data();
+      *base = 0;
+      return lane.dict;
+    }
+    return nullptr;
+  }
+  if (!b.col_materialized(c) && b.lazy_source() != nullptr) {
+    const Column& col = b.lazy_source()->column(c);
+    if (col.type() == ValueType::kString && col.dict_encoded()) {
+      *codes = col.codes_data();
+      *base = b.lazy_start();
+      return &col;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Status HashAggOp::ConsumeChildBatchMode() {
   RowBatch batch;
   bool has = false;
   const int key_bytes = static_cast<int>(group_by_.size()) * 8;
   std::vector<BatchOperand> key_vals(group_by_.size());
   std::vector<BatchAggArg> args(aggs_.size());
+  // Dict fast-path scratch, hoisted so steady-state batches allocate
+  // nothing (the alloc-count suite pins this).
+  std::vector<const Column*> key_dicts(group_by_.size(), nullptr);
+  std::vector<const int32_t*> key_codes(group_by_.size(), nullptr);
+  std::vector<size_t> key_code_bases(group_by_.size(), 0);
   for (;;) {
     ECODB_RETURN_NOT_OK(ctx_->CheckGovernor());
     ECODB_RETURN_NOT_OK(child_->NextBatch(&batch, &has));
@@ -1136,25 +1239,80 @@ Status HashAggOp::ConsumeChildBatchMode() {
     }
     uint64_t new_groups = 0;
     const size_t n_keys = group_by_.size();
+    // Dictionary fast path: every group key resolved to the codes of a
+    // dict-encoded column. Key hashes come from the dictionaries' cached
+    // entry hashes and group lookups are memoized per composite code
+    // (mixed-radix over the dictionaries' sizes).
+    constexpr size_t kDictMemoMaxEntries = size_t{1} << 16;
+    bool all_dict = n_keys > 0;
+    size_t memo_entries = 1;
+    for (size_t i = 0; i < n_keys && all_dict; ++i) {
+      key_dicts[i] =
+          DictBindingOf(key_vals[i], &key_codes[i], &key_code_bases[i]);
+      if (key_dicts[i] == nullptr ||
+          memo_entries > kDictMemoMaxEntries / key_dicts[i]->dict_size()) {
+        all_dict = false;
+      } else {
+        memo_entries *= key_dicts[i]->dict_size();
+      }
+    }
+    if (!all_dict) key_dicts.assign(n_keys, nullptr);
+    if (key_dicts != dict_memo_dicts_) {
+      dict_memo_dicts_ = key_dicts;
+      dict_memo_group_.assign(all_dict ? memo_entries : 0,
+                              FlatHashIndex::kInvalid);
+      dict_memo_cmps_.assign(dict_memo_group_.size(), 0);
+    }
     for (uint32_t r : batch.sel()) {
       // Hash and bucket-compare against unboxed key views; the key Row is
       // only boxed when a new group is created (the common found-case
       // does no per-row allocation).
-      size_t h = kRowKeyHashSeed;
-      for (size_t i = 0; i < n_keys; ++i) {
-        h = HashCombineKey(h, HashCellView(key_vals[i].view_at(r)));
+      Group* target;
+      const auto key_at = [&](size_t i) { return key_vals[i].view_at(r); };
+      const auto make_key = [&] {
+        Row key;
+        key.reserve(n_keys);
+        for (size_t i = 0; i < n_keys; ++i) {
+          key.push_back(BoxCellView(key_vals[i].view_at(r)));
+        }
+        return key;
+      };
+      if (all_dict) {
+        size_t code = 0;
+        for (size_t i = 0; i < n_keys; ++i) {
+          code = code * key_dicts[i]->dict_size() +
+                 static_cast<size_t>(key_codes[i][key_code_bases[i] + r]);
+        }
+        uint32_t& memo = dict_memo_group_[code];
+        if (memo != FlatHashIndex::kInvalid) {
+          // Memo hit: replay the chain walk's bucket-compare charge (its
+          // length is fixed — chains append at the tail and this group's
+          // position in its chain never changes) and jump to the group.
+          ctx_->eval_counters()->comparisons += dict_memo_cmps_[code];
+          target = &groups_[memo];
+        } else {
+          size_t h = kRowKeyHashSeed;
+          for (size_t i = 0; i < n_keys; ++i) {
+            h = HashCombineKey(
+                h, key_dicts[i]->DictHash(key_codes[i][key_code_bases[i] + r]));
+          }
+          const uint64_t cmp_before = ctx_->eval_counters()->comparisons;
+          const uint64_t groups_before = new_groups;
+          target = FindOrCreateGroup(h, n_keys, key_at, make_key, &new_groups);
+          memo = static_cast<uint32_t>(target - groups_.data());
+          // A future lookup of this key walks the same chain prefix plus
+          // (when this call inserted the group) the matching entry itself.
+          dict_memo_cmps_[code] = static_cast<uint32_t>(
+              ctx_->eval_counters()->comparisons - cmp_before +
+              (new_groups > groups_before ? 1 : 0));
+        }
+      } else {
+        size_t h = kRowKeyHashSeed;
+        for (size_t i = 0; i < n_keys; ++i) {
+          h = HashCombineKey(h, HashCellView(key_vals[i].view_at(r)));
+        }
+        target = FindOrCreateGroup(h, n_keys, key_at, make_key, &new_groups);
       }
-      Group* target = FindOrCreateGroup(
-          h, n_keys, [&](size_t i) { return key_vals[i].view_at(r); },
-          [&] {
-            Row key;
-            key.reserve(n_keys);
-            for (size_t i = 0; i < n_keys; ++i) {
-              key.push_back(BoxCellView(key_vals[i].view_at(r)));
-            }
-            return key;
-          },
-          &new_groups);
       UpdateGroupFromBatch(target, args, r);
     }
     ctx_->ChargeHashProbes(batch.active(), key_bytes);
@@ -1238,6 +1396,7 @@ Status HashAggOp::Open() {
   group_index_.set_memory_tracker(ctx_->memory_tracker());
   group_index_.Reset();
   groups_.clear();
+  dict_memo_dicts_.clear();  // group indexes below are gone; drop the memo
   ctx_->memory_tracker()->Release(group_pool_bytes_);
   group_pool_bytes_ = 0;
   n_results_ = 0;
@@ -1430,9 +1589,16 @@ Status SortOp::ConsumeChildBatchMode() {
     cols_[static_cast<size_t>(c)].set_memory_tracker(ctx_->memory_tracker());
   }
   key_cols_.resize(keys_.size());
+  key_code_vals_.assign(keys_.size(), {});
+  key_dicts_.assign(keys_.size(), nullptr);
+  key_code_ok_.assign(keys_.size(), 0);
   for (size_t k = 0; k < keys_.size(); ++k) {
     key_cols_[k].Reset(keys_[k].expr->type());
     key_cols_[k].set_memory_tracker(ctx_->memory_tracker());
+    // String keys start out eligible for the dictionary-code comparator;
+    // the first batch that doesn't resolve to codes of one dictionary
+    // knocks the key back to byte compares.
+    key_code_ok_[k] = keys_[k].expr->type() == ValueType::kString ? 1 : 0;
   }
 
   // Materialize the input as typed columns, evaluating the sort keys
@@ -1472,6 +1638,22 @@ Status SortOp::ConsumeChildBatchMode() {
     for (size_t k = 0; k < keys_.size(); ++k) {
       TypedColumn& dst = key_cols_[k];
       for (uint32_t r : batch.sel()) dst.Append(key_vals[k].view_at(r));
+      if (key_code_ok_[k]) {
+        const int32_t* codes = nullptr;
+        size_t base = 0;
+        const Column* dict = DictBindingOf(key_vals[k], &codes, &base);
+        if (dict != nullptr &&
+            (key_dicts_[k] == nullptr || key_dicts_[k] == dict)) {
+          key_dicts_[k] = dict;
+          for (uint32_t r : batch.sel()) {
+            key_code_vals_[k].push_back(codes[base + r]);
+          }
+        } else {
+          key_code_ok_[k] = 0;
+          key_code_vals_[k].clear();
+          key_code_vals_[k].shrink_to_fit();
+        }
+      }
     }
     n_rows_ += batch.active();
   }
@@ -1492,7 +1674,16 @@ Status SortOp::ConsumeChildBatchMode() {
   std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
     ++compares;
     for (size_t i = 0; i < keys_.size(); ++i) {
-      int c = CompareCellViews(key_cols_[i].View(a), key_cols_[i].View(b));
+      int c;
+      if (key_code_ok_[i]) {
+        // Sorted dictionary: int32 code order IS byte order, so this
+        // returns the same sign CompareCellViews would.
+        const int32_t ca = key_code_vals_[i][a];
+        const int32_t cb = key_code_vals_[i][b];
+        c = ca < cb ? -1 : (ca > cb ? 1 : 0);
+      } else {
+        c = CompareCellViews(key_cols_[i].View(a), key_cols_[i].View(b));
+      }
       if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
     }
     return a < b;  // stable tiebreak
@@ -1502,6 +1693,7 @@ Status SortOp::ConsumeChildBatchMode() {
   // so the tracker matches the row path, whose decorated keys die at
   // the same point.
   key_cols_.clear();
+  key_code_vals_.clear();
   return Status::OK();
 }
 
@@ -1575,6 +1767,9 @@ void SortOp::Close() {
   row_pool_bytes_ = 0;
   cols_.clear();      // TypedColumn destructors release their tracked bytes
   key_cols_.clear();  // (already cleared after the sort on the normal path)
+  key_code_vals_.clear();
+  key_dicts_.clear();
+  key_code_ok_.clear();
   order_.clear();
   n_rows_ = 0;
   ctx_->Flush();
@@ -1732,6 +1927,18 @@ Result<ResultSet> ExecuteOperatorColumnar(Operator* op, ExecContext* ctx,
       set.AppendRow(row);
     }
   }
+  // Surface the result columns' string-dedup effectiveness (diagnostics;
+  // how many appends take the copy path differs by exec mode, so these
+  // counters are excluded from parity comparisons — see QueryExecStats).
+  uint64_t dedup_hits = 0, dedup_misses = 0;
+  for (int c = 0; c < set.num_cols(); ++c) {
+    const StringArenaPtr& arena = set.col(c).strings();
+    if (arena != nullptr) {
+      dedup_hits += arena->dedup_hits();
+      dedup_misses += arena->dedup_misses();
+    }
+  }
+  ctx->AddDictDedupCounters(dedup_hits, dedup_misses);
   tracker->Release(result_bytes);
   op->Close();
   ctx->Flush();

@@ -392,6 +392,20 @@ class HashAggOp : public Operator {
   std::vector<Group> groups_;  ///< contiguous pool, insertion order
   uint64_t group_pool_bytes_ = 0;  ///< tracked logical bytes of groups_
 
+  // Dictionary-key memo (batch consume only), used when EVERY group key
+  // resolves to the codes of a dict-encoded string column: maps the
+  // composite code (mixed-radix over the keys' dictionary sizes) to its
+  // group's pool index plus the bucket-compare count the generic chain
+  // walk would charge for that key tuple. Chain positions are fixed once
+  // inserted (FlatHashIndex chains append at the tail), so a memo hit
+  // can skip hashing and the walk entirely while replaying the exact
+  // counter delta — the parity invariant holds bit-for-bit. The memo is
+  // bounded by kDictMemoMaxEntries (dictionaries themselves cap at
+  // Column::kDictMaxEntries each).
+  std::vector<const Column*> dict_memo_dicts_;
+  std::vector<uint32_t> dict_memo_group_;
+  std::vector<uint32_t> dict_memo_cmps_;
+
   // Columnar result store: one TypedColumn per output field, shared by
   // both emission paths; emit_idx_ is NextBatch's gather-index scratch.
   std::vector<TypedColumn> result_cols_;
@@ -445,6 +459,17 @@ class SortOp : public Operator {
   std::vector<TypedColumn> key_cols_;
   std::vector<uint32_t> order_;
   size_t n_rows_ = 0;
+
+  // Per-key dictionary-code mirror (batch consume): when every batch
+  // resolves sort key k to dictionary codes of one column, the
+  // comparator compares int32 codes instead of string bytes — legal
+  // because the dictionary is sorted, so codes are order-preserving.
+  // One sort compare is still charged per comparator call, so the
+  // parity counters are untouched. Any batch that breaks the pattern
+  // clears the flag and the comparator falls back to key_cols_.
+  std::vector<std::vector<int32_t>> key_code_vals_;
+  std::vector<const Column*> key_dicts_;
+  std::vector<char> key_code_ok_;
 
   size_t pos_ = 0;
 };

@@ -52,13 +52,16 @@ void ResultSet::AppendBatch(const RowBatch& batch) {
             continue;
           case RowBatch::LaneKind::kStringRef:
             // Arena handoff's sibling: borrow table storage outright —
-            // the bytes outlive every query against this Database.
+            // the bytes outlive every query against this Database
+            // (GetString decodes dict-encoded columns to their stable
+            // dictionary entries).
             for (uint32_t r : sel) {
               dst.AppendNonNullStringPtr(&src.GetString(base + r));
             }
             continue;
+          case RowBatch::LaneKind::kStringCode:
           case RowBatch::LaneKind::kNone:
-            break;
+            break;  // LaneKindFor never yields these
         }
       }
     }
@@ -81,6 +84,14 @@ void ResultSet::AppendBatch(const RowBatch& batch) {
               for (uint32_t r : sel) dst.AppendNonNullStringPtr(l.str[r]);
             } else {
               for (uint32_t r : sel) dst.AppendNonNullString(*l.str[r]);
+            }
+            continue;
+          case RowBatch::LaneKind::kStringCode:
+            // Dictionary-code lane: decode to table-owned dictionary
+            // entries — stable for the Database's lifetime, so borrow
+            // them like any other table storage (no retention needed).
+            for (uint32_t r : sel) {
+              dst.AppendNonNullStringPtr(&l.dict->DictString(l.codes[r]));
             }
             continue;
           case RowBatch::LaneKind::kNone:

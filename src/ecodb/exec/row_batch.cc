@@ -24,20 +24,7 @@ void RowBatch::DemoteLaneDense(int i) {
   const size_t c = static_cast<size_t>(i);
   TypedLane& l = lanes_[c];
   if (l.kind == LaneKind::kNone) return;
-  size_t n = 0;
-  switch (l.kind) {
-    case LaneKind::kInt64:
-      n = l.i64.size();
-      break;
-    case LaneKind::kDouble:
-      n = l.f64.size();
-      break;
-    case LaneKind::kStringRef:
-      n = l.str.size();
-      break;
-    case LaneKind::kNone:
-      break;
-  }
+  const size_t n = l.LaneSize();
   std::vector<Value>& dst = cols_[c];
   dst.clear();
   dst.reserve(n);
@@ -71,6 +58,10 @@ void RowBatch::AppendCellDense(int i, ValueType declared, const CellView& v,
     case LaneKind::kStringRef:
       l->str.push_back(null ? nullptr
                             : (stable_str ? v.s : arena()->Intern(*v.s)));
+      break;
+    case LaneKind::kStringCode:
+      // StartLaneAppend never hands out a code lane (kind mismatch with
+      // LaneKindFor(kString) demotes it first); unreachable.
       break;
     case LaneKind::kNone:
       break;

@@ -61,8 +61,20 @@ class RowBatch {
   /// cache-resident).
   static constexpr size_t kDefaultBatchRows = 1024;
 
-  /// Physical storage class of a typed lane.
-  enum class LaneKind : uint8_t { kNone, kInt64, kDouble, kStringRef };
+  /// Physical storage class of a typed lane. kStringCode is a
+  /// dictionary-code lane: int32 codes into a table Column's sorted
+  /// dictionary. It views/boxes exactly like a string lane (ViewAt
+  /// decodes to the dict entry's stable, table-owned address — no arena
+  /// retention needed), but code-aware consumers (predicates, hashing,
+  /// group-by, sort) read the codes directly and never touch payload
+  /// bytes.
+  enum class LaneKind : uint8_t {
+    kNone,
+    kInt64,
+    kDouble,
+    kStringRef,
+    kStringCode
+  };
 
   /// One typed column lane. `type` is the exact Value type tag cells box
   /// back to (kInt64/kDate/kBool share the i64 array). `nulls` is a
@@ -74,6 +86,8 @@ class RowBatch {
     std::vector<int64_t> i64;
     std::vector<double> f64;
     std::vector<const std::string*> str;
+    std::vector<int32_t> codes;          ///< kStringCode cells
+    const Column* dict = nullptr;        ///< kStringCode decode source
     std::vector<uint8_t> nulls;
 
     void Clear() {
@@ -83,6 +97,8 @@ class RowBatch {
       i64.clear();
       f64.clear();
       str.clear();
+      codes.clear();
+      dict = nullptr;
       nulls.clear();
     }
     /// Number of cells appended so far (dense producers).
@@ -94,6 +110,8 @@ class RowBatch {
           return f64.size();
         case LaneKind::kStringRef:
           return str.size();
+        case LaneKind::kStringCode:
+          return codes.size();
         case LaneKind::kNone:
           break;
       }
@@ -109,6 +127,8 @@ class RowBatch {
           return CellView::Double(f64[r]);
         case LaneKind::kStringRef:
           return CellView::String(str[r]);
+        case LaneKind::kStringCode:
+          return CellView::String(&dict->DictString(codes[r]));
         case LaneKind::kNone:
           break;
       }
@@ -233,12 +253,43 @@ class RowBatch {
     const size_t c = static_cast<size_t>(i);
     TypedLane& l = lanes_[c];
     if (l.kind != LaneKind::kNone && !filled_[c]) {
-      if (l.type == type) return &l;
+      // Kind must match too: a code lane shares type kString with a
+      // string-ref lane but stores int32 codes, not pointers.
+      if (l.type == type && l.kind == LaneKindFor(type)) return &l;
       DemoteLaneDense(i);
       return nullptr;
     }
     if (filled_[c] || !cols_[c].empty()) return nullptr;  // already boxed
     return StartLane(i, type);
+  }
+
+  /// Producer API: claims column `i` as a dictionary-code lane decoding
+  /// through `dict` (table-owned, stable for the query — see the Column
+  /// dictionary contract in storage/table.h). The producer fills `codes`
+  /// (and `nulls` if it sets has_nulls).
+  TypedLane* StartCodeLane(int i, const Column* dict) {
+    TypedLane& l = lanes_[static_cast<size_t>(i)];
+    l.Clear();
+    l.kind = LaneKind::kStringCode;
+    l.type = ValueType::kString;
+    l.dict = dict;
+    return &l;
+  }
+
+  /// Append-style counterpart of StartCodeLane: returns the active code
+  /// lane when it decodes through the same `dict` (or starts one on an
+  /// untouched column). Returns nullptr — without demoting — when the
+  /// column is in any other state; the caller falls back to
+  /// StartLaneAppend(i, kString) with decoded pointers.
+  TypedLane* StartCodeLaneAppend(int i, const Column* dict) {
+    const size_t c = static_cast<size_t>(i);
+    TypedLane& l = lanes_[c];
+    if (l.kind == LaneKind::kStringCode && !filled_[c]) {
+      return l.dict == dict ? &l : nullptr;
+    }
+    if (l.kind != LaneKind::kNone && !filled_[c]) return nullptr;
+    if (filled_[c] || !cols_[c].empty()) return nullptr;  // already boxed
+    return StartCodeLane(i, dict);
   }
 
   /// Producer API: boxes a densely-filled lane (rows [0, lane length))

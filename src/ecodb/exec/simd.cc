@@ -1,0 +1,563 @@
+#include "ecodb/exec/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "ecodb/storage/value.h"
+
+// Function multi-versioning: compile the vector kernels once per listed
+// ISA and let the dynamic linker pick via ifunc. Only attempted on
+// x86-64 Linux GCC/Clang, and not under ASan/TSan (ifunc resolvers run
+// before the sanitizer runtime is ready on some glibc versions). The
+// baseline build still vectorizes through the portable vector_size types
+// (SSE2 on x86-64), so losing the clones costs width, not correctness.
+#if defined(__x86_64__) && defined(__linux__) &&                      \
+    (defined(__GNUC__) || defined(__clang__)) &&                      \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define ECODB_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define ECODB_SIMD_CLONES
+#endif
+
+// The wide vector types are passed between inline helpers inside this one
+// translation unit only, so the psABI note about AVX calling-convention
+// differences (raised because the baseline target lacks AVX registers)
+// cannot bite — every call either inlines or stays within one clone.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace ecodb {
+namespace simd {
+
+namespace {
+
+typedef int64_t I64x4 __attribute__((vector_size(32)));
+typedef int32_t I32x8 __attribute__((vector_size(32)));
+typedef double F64x4 __attribute__((vector_size(32)));
+typedef uint64_t U64x4 __attribute__((vector_size(32)));
+typedef uint8_t U8x16 __attribute__((vector_size(16)));
+
+// Unaligned vector load/store through memcpy (compiles to movdqu/vmovdqu;
+// callers hand arbitrary base+offset slices of std::vector storage).
+template <typename V, typename T>
+inline V LoadV(const T* p) {
+  V v;
+  std::memcpy(&v, p, sizeof(V));
+  return v;
+}
+template <typename V, typename T>
+inline void StoreV(T* p, V v) {
+  std::memcpy(p, &v, sizeof(V));
+}
+
+/// Scalar three-way-compare predicate: exactly the engine's
+/// `cmp = a<b ? -1 : (a>b ? 1 : 0)` followed by the relation test. For
+/// doubles this is where the NaN-accepts-kEq/kLe/kGe semantics fall out.
+template <typename T>
+inline uint8_t ScalarPred(T a, CmpOp op, T b) {
+  const bool lt = a < b;
+  const bool gt = a > b;
+  switch (op) {
+    case CmpOp::kEq:
+      return static_cast<uint8_t>(!lt && !gt);
+    case CmpOp::kNe:
+      return static_cast<uint8_t>(lt || gt);
+    case CmpOp::kLt:
+      return static_cast<uint8_t>(lt);
+    case CmpOp::kLe:
+      return static_cast<uint8_t>(!gt);
+    case CmpOp::kGt:
+      return static_cast<uint8_t>(gt);
+    case CmpOp::kGe:
+      return static_cast<uint8_t>(!lt);
+  }
+  return 0;
+}
+
+bool ReadEnabledOnce() {
+#ifdef ECODB_SIMD_DISABLED
+  return false;
+#else
+  const char* env = std::getenv("ECODB_SIMD");
+  return env == nullptr || std::strcmp(env, "off") != 0;
+#endif
+}
+
+}  // namespace
+
+bool Enabled() {
+  static const bool enabled = ReadEnabledOnce();
+  return enabled;
+}
+
+const char* ActiveTarget() { return Enabled() ? "vector" : "scalar"; }
+
+namespace detail {
+
+// --- Compare: int64 ----------------------------------------------------
+
+void CompareI64LitMaskScalar(const int64_t* a, size_t n, CmpOp op,
+                             int64_t lit, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+ECODB_SIMD_CLONES
+void CompareI64LitMaskVector(const int64_t* a, size_t n, CmpOp op,
+                             int64_t lit, uint8_t* out) {
+  const I64x4 vb = {lit, lit, lit, lit};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const I64x4 va = LoadV<I64x4>(a + i);
+    const I64x4 lt = va < vb;
+    const I64x4 gt = va > vb;
+    I64x4 m = {};
+    switch (op) {
+      case CmpOp::kEq:
+        m = ~(lt | gt);
+        break;
+      case CmpOp::kNe:
+        m = lt | gt;
+        break;
+      case CmpOp::kLt:
+        m = lt;
+        break;
+      case CmpOp::kLe:
+        m = ~gt;
+        break;
+      case CmpOp::kGt:
+        m = gt;
+        break;
+      case CmpOp::kGe:
+        m = ~lt;
+        break;
+    }
+    out[i + 0] = static_cast<uint8_t>(m[0] & 1);
+    out[i + 1] = static_cast<uint8_t>(m[1] & 1);
+    out[i + 2] = static_cast<uint8_t>(m[2] & 1);
+    out[i + 3] = static_cast<uint8_t>(m[3] & 1);
+  }
+  for (; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+// --- Compare: int32 (dictionary codes) ---------------------------------
+
+void CompareI32LitMaskScalar(const int32_t* a, size_t n, CmpOp op,
+                             int32_t lit, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+ECODB_SIMD_CLONES
+void CompareI32LitMaskVector(const int32_t* a, size_t n, CmpOp op,
+                             int32_t lit, uint8_t* out) {
+  const I32x8 vb = {lit, lit, lit, lit, lit, lit, lit, lit};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const I32x8 va = LoadV<I32x8>(a + i);
+    const I32x8 lt = va < vb;
+    const I32x8 gt = va > vb;
+    I32x8 m = {};
+    switch (op) {
+      case CmpOp::kEq:
+        m = ~(lt | gt);
+        break;
+      case CmpOp::kNe:
+        m = lt | gt;
+        break;
+      case CmpOp::kLt:
+        m = lt;
+        break;
+      case CmpOp::kLe:
+        m = ~gt;
+        break;
+      case CmpOp::kGt:
+        m = gt;
+        break;
+      case CmpOp::kGe:
+        m = ~lt;
+        break;
+    }
+    for (int j = 0; j < 8; ++j) {
+      out[i + static_cast<size_t>(j)] = static_cast<uint8_t>(m[j] & 1);
+    }
+  }
+  for (; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+// --- Compare: double (NaN-correct per the three-way-compare rule) ------
+
+void CompareF64LitMaskScalar(const double* a, size_t n, CmpOp op, double lit,
+                             uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+ECODB_SIMD_CLONES
+void CompareF64LitMaskVector(const double* a, size_t n, CmpOp op, double lit,
+                             uint8_t* out) {
+  const F64x4 vb = {lit, lit, lit, lit};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 va = LoadV<F64x4>(a + i);
+    // Ordered <,> are false when either side is NaN, which reproduces
+    // cmp==0 (and thus the kEq/kLe/kGe-accept-NaN behavior) exactly.
+    const I64x4 lt = va < vb;
+    const I64x4 gt = va > vb;
+    I64x4 m = {};
+    switch (op) {
+      case CmpOp::kEq:
+        m = ~(lt | gt);
+        break;
+      case CmpOp::kNe:
+        m = lt | gt;
+        break;
+      case CmpOp::kLt:
+        m = lt;
+        break;
+      case CmpOp::kLe:
+        m = ~gt;
+        break;
+      case CmpOp::kGt:
+        m = gt;
+        break;
+      case CmpOp::kGe:
+        m = ~lt;
+        break;
+    }
+    out[i + 0] = static_cast<uint8_t>(m[0] & 1);
+    out[i + 1] = static_cast<uint8_t>(m[1] & 1);
+    out[i + 2] = static_cast<uint8_t>(m[2] & 1);
+    out[i + 3] = static_cast<uint8_t>(m[3] & 1);
+  }
+  for (; i < n; ++i) out[i] = ScalarPred(a[i], op, lit);
+}
+
+// --- Double arithmetic -------------------------------------------------
+//
+// One IEEE operation per element — bit-exact on every ISA (no FMA
+// contraction: each kernel performs a single op, so there is nothing to
+// contract).
+
+void ArithF64ColColScalar(ArithKind k, const double* a, const double* b,
+                          size_t n, double* out) {
+  switch (k) {
+    case ArithKind::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+      return;
+    case ArithKind::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+      return;
+    case ArithKind::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+      return;
+    case ArithKind::kDiv:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] / b[i];
+      return;
+  }
+}
+
+ECODB_SIMD_CLONES
+void ArithF64ColColVector(ArithKind k, const double* a, const double* b,
+                          size_t n, double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 va = LoadV<F64x4>(a + i);
+    const F64x4 vb = LoadV<F64x4>(b + i);
+    F64x4 r = {};
+    switch (k) {
+      case ArithKind::kAdd:
+        r = va + vb;
+        break;
+      case ArithKind::kSub:
+        r = va - vb;
+        break;
+      case ArithKind::kMul:
+        r = va * vb;
+        break;
+      case ArithKind::kDiv:
+        r = va / vb;
+        break;
+    }
+    StoreV(out + i, r);
+  }
+  for (; i < n; ++i) {
+    switch (k) {
+      case ArithKind::kAdd:
+        out[i] = a[i] + b[i];
+        break;
+      case ArithKind::kSub:
+        out[i] = a[i] - b[i];
+        break;
+      case ArithKind::kMul:
+        out[i] = a[i] * b[i];
+        break;
+      case ArithKind::kDiv:
+        out[i] = a[i] / b[i];
+        break;
+    }
+  }
+}
+
+void ArithF64ColScalarScalar(ArithKind k, const double* a, double b, size_t n,
+                             double* out) {
+  switch (k) {
+    case ArithKind::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] + b;
+      return;
+    case ArithKind::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] - b;
+      return;
+    case ArithKind::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] * b;
+      return;
+    case ArithKind::kDiv:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] / b;
+      return;
+  }
+}
+
+ECODB_SIMD_CLONES
+void ArithF64ColScalarVector(ArithKind k, const double* a, double b, size_t n,
+                             double* out) {
+  const F64x4 vb = {b, b, b, b};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 va = LoadV<F64x4>(a + i);
+    F64x4 r = {};
+    switch (k) {
+      case ArithKind::kAdd:
+        r = va + vb;
+        break;
+      case ArithKind::kSub:
+        r = va - vb;
+        break;
+      case ArithKind::kMul:
+        r = va * vb;
+        break;
+      case ArithKind::kDiv:
+        r = va / vb;
+        break;
+    }
+    StoreV(out + i, r);
+  }
+  for (; i < n; ++i) {
+    switch (k) {
+      case ArithKind::kAdd:
+        out[i] = a[i] + b;
+        break;
+      case ArithKind::kSub:
+        out[i] = a[i] - b;
+        break;
+      case ArithKind::kMul:
+        out[i] = a[i] * b;
+        break;
+      case ArithKind::kDiv:
+        out[i] = a[i] / b;
+        break;
+    }
+  }
+}
+
+void ArithF64ScalarColScalar(ArithKind k, double a, const double* b, size_t n,
+                             double* out) {
+  switch (k) {
+    case ArithKind::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a + b[i];
+      return;
+    case ArithKind::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a - b[i];
+      return;
+    case ArithKind::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a * b[i];
+      return;
+    case ArithKind::kDiv:
+      for (size_t i = 0; i < n; ++i) out[i] = a / b[i];
+      return;
+  }
+}
+
+ECODB_SIMD_CLONES
+void ArithF64ScalarColVector(ArithKind k, double a, const double* b, size_t n,
+                             double* out) {
+  const F64x4 va = {a, a, a, a};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 vb = LoadV<F64x4>(b + i);
+    F64x4 r = {};
+    switch (k) {
+      case ArithKind::kAdd:
+        r = va + vb;
+        break;
+      case ArithKind::kSub:
+        r = va - vb;
+        break;
+      case ArithKind::kMul:
+        r = va * vb;
+        break;
+      case ArithKind::kDiv:
+        r = va / vb;
+        break;
+    }
+    StoreV(out + i, r);
+  }
+  for (; i < n; ++i) {
+    switch (k) {
+      case ArithKind::kAdd:
+        out[i] = a + b[i];
+        break;
+      case ArithKind::kSub:
+        out[i] = a - b[i];
+        break;
+      case ArithKind::kMul:
+        out[i] = a * b[i];
+        break;
+      case ArithKind::kDiv:
+        out[i] = a / b[i];
+        break;
+    }
+  }
+}
+
+// --- int64 -> double ---------------------------------------------------
+
+void ConvertI64ToF64Scalar(const int64_t* in, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(in[i]);
+}
+
+ECODB_SIMD_CLONES
+void ConvertI64ToF64Vector(const int64_t* in, size_t n, double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const I64x4 v = LoadV<I64x4>(in + i);
+    StoreV(out + i, __builtin_convertvector(v, F64x4));
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(in[i]);
+}
+
+// --- Byte-mask OR ------------------------------------------------------
+
+void OrMasksScalar(const uint8_t* a, const uint8_t* b, size_t n,
+                   uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(a[i] | b[i]);
+  }
+}
+
+ECODB_SIMD_CLONES
+void OrMasksVector(const uint8_t* a, const uint8_t* b, size_t n,
+                   uint8_t* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const U8x16 va = LoadV<U8x16>(a + i);
+    const U8x16 vb = LoadV<U8x16>(b + i);
+    StoreV(out + i, static_cast<U8x16>(va | vb));
+  }
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(a[i] | b[i]);
+}
+
+// --- Hash combine ------------------------------------------------------
+
+void HashCombineBatchScalar(size_t* h, const size_t* vh, size_t n) {
+  for (size_t i = 0; i < n; ++i) h[i] = HashCombineKey(h[i], vh[i]);
+}
+
+ECODB_SIMD_CLONES
+void HashCombineBatchVector(size_t* h, const size_t* vh, size_t n) {
+  static_assert(sizeof(size_t) == sizeof(uint64_t),
+                "batch hash combine assumes 64-bit size_t");
+  const U64x4 c = {0x9E3779B9ULL, 0x9E3779B9ULL, 0x9E3779B9ULL,
+                   0x9E3779B9ULL};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const U64x4 vhh = LoadV<U64x4>(h + i);
+    const U64x4 vvh = LoadV<U64x4>(vh + i);
+    // h ^ (vh + C + (h<<6) + (h>>2)), elementwise: integer ops are exact.
+    const U64x4 r = vhh ^ (vvh + c + (vhh << 6) + (vhh >> 2));
+    StoreV(h + i, r);
+  }
+  for (; i < n; ++i) h[i] = HashCombineKey(h[i], vh[i]);
+}
+
+}  // namespace detail
+
+// --- Dispatchers -------------------------------------------------------
+
+void CompareI64LitMask(const int64_t* a, size_t n, CmpOp op, int64_t lit,
+                       uint8_t* out) {
+  if (Enabled()) {
+    detail::CompareI64LitMaskVector(a, n, op, lit, out);
+  } else {
+    detail::CompareI64LitMaskScalar(a, n, op, lit, out);
+  }
+}
+
+void CompareI32LitMask(const int32_t* a, size_t n, CmpOp op, int32_t lit,
+                       uint8_t* out) {
+  if (Enabled()) {
+    detail::CompareI32LitMaskVector(a, n, op, lit, out);
+  } else {
+    detail::CompareI32LitMaskScalar(a, n, op, lit, out);
+  }
+}
+
+void CompareF64LitMask(const double* a, size_t n, CmpOp op, double lit,
+                       uint8_t* out) {
+  if (Enabled()) {
+    detail::CompareF64LitMaskVector(a, n, op, lit, out);
+  } else {
+    detail::CompareF64LitMaskScalar(a, n, op, lit, out);
+  }
+}
+
+void ArithF64ColCol(ArithKind k, const double* a, const double* b, size_t n,
+                    double* out) {
+  if (Enabled()) {
+    detail::ArithF64ColColVector(k, a, b, n, out);
+  } else {
+    detail::ArithF64ColColScalar(k, a, b, n, out);
+  }
+}
+
+void ArithF64ColScalar(ArithKind k, const double* a, double b, size_t n,
+                       double* out) {
+  if (Enabled()) {
+    detail::ArithF64ColScalarVector(k, a, b, n, out);
+  } else {
+    detail::ArithF64ColScalarScalar(k, a, b, n, out);
+  }
+}
+
+void ArithF64ScalarCol(ArithKind k, double a, const double* b, size_t n,
+                       double* out) {
+  if (Enabled()) {
+    detail::ArithF64ScalarColVector(k, a, b, n, out);
+  } else {
+    detail::ArithF64ScalarColScalar(k, a, b, n, out);
+  }
+}
+
+void ConvertI64ToF64(const int64_t* in, size_t n, double* out) {
+  if (Enabled()) {
+    detail::ConvertI64ToF64Vector(in, n, out);
+  } else {
+    detail::ConvertI64ToF64Scalar(in, n, out);
+  }
+}
+
+void OrMasks(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* out) {
+  if (Enabled()) {
+    detail::OrMasksVector(a, b, n, out);
+  } else {
+    detail::OrMasksScalar(a, b, n, out);
+  }
+}
+
+void HashCombineBatch(size_t* h, const size_t* vh, size_t n) {
+  if (Enabled()) {
+    detail::HashCombineBatchVector(h, vh, n);
+  } else {
+    detail::HashCombineBatchScalar(h, vh, n);
+  }
+}
+
+}  // namespace simd
+}  // namespace ecodb

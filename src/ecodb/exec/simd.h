@@ -1,0 +1,124 @@
+// Runtime-dispatched SIMD kernels for the vectorized hot loops.
+//
+// Every kernel has two implementations: a scalar reference loop (the
+// semantic ground truth, kept trivially auditable) and a vectorized loop
+// built on portable GNU vector extensions (`vector_size` types), with
+// x86-64 function multi-versioning (`target_clones("avx2","default")`)
+// where the toolchain supports it. The public entry points dispatch once
+// per call on `Enabled()`:
+//
+//   * compile-time off  — CMake option ECODB_SIMD=OFF defines
+//     ECODB_SIMD_DISABLED and the dispatchers always take the scalar path;
+//   * runtime off       — environment ECODB_SIMD=off (checked once,
+//     cached) forces the scalar path in any build.
+//
+// Parity rule (enforced by tests/simd_kernel_test.cc): the vector path
+// must be BIT-IDENTICAL to the scalar path for every input, including
+// NaN, signed zero, unaligned bases and non-multiple-of-width tails. The
+// kernels only perform operations that are elementwise-exact under IEEE
+// 754 (compare, add, sub, mul, div, int<->double convert, integer ops),
+// so this holds on any ISA the dispatcher selects; anything requiring
+// reassociation (horizontal sums) does NOT belong here.
+//
+// Comparison semantics match the engine's three-way compare
+// (Value::Compare / CompareCellViews): cmp = a<b ? -1 : (a>b ? 1 : 0),
+// predicate = relation on cmp. For doubles this makes NaN compare "equal"
+// to everything: kEq/kLe/kGe accept NaN operands, kNe/kLt/kGt reject.
+
+#ifndef ECODB_EXEC_SIMD_H_
+#define ECODB_EXEC_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecodb {
+namespace simd {
+
+/// True when the vectorized paths are compiled in and not disabled via
+/// the ECODB_SIMD=off environment override. Cached after the first call.
+bool Enabled();
+
+/// "vector" or "scalar" — which path the dispatchers currently take.
+const char* ActiveTarget();
+
+/// Comparison operator, mirroring the engine's CompareOp order.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Double arithmetic kind, mirroring ArithExpr.
+enum class ArithKind : uint8_t { kAdd, kSub, kMul, kDiv };
+
+// --- Column-vs-literal compare into a byte mask (1 = pass, 0 = fail) ---
+
+void CompareI64LitMask(const int64_t* a, size_t n, CmpOp op, int64_t lit,
+                       uint8_t* out);
+void CompareI32LitMask(const int32_t* a, size_t n, CmpOp op, int32_t lit,
+                       uint8_t* out);
+void CompareF64LitMask(const double* a, size_t n, CmpOp op, double lit,
+                       uint8_t* out);
+
+// --- Elementwise double arithmetic ------------------------------------
+
+void ArithF64ColCol(ArithKind k, const double* a, const double* b, size_t n,
+                    double* out);
+void ArithF64ColScalar(ArithKind k, const double* a, double b, size_t n,
+                       double* out);
+void ArithF64ScalarCol(ArithKind k, double a, const double* b, size_t n,
+                       double* out);
+
+/// out[i] = static_cast<double>(in[i]) — exact for |v| < 2^53 and
+/// correctly rounded beyond, identically in scalar and vector form.
+void ConvertI64ToF64(const int64_t* in, size_t n, double* out);
+
+// --- Null-mask combine (byte-per-row masks, non-zero = null/set) -------
+
+void OrMasks(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* out);
+
+// --- Batch hash combine ------------------------------------------------
+
+/// h[i] = HashCombineKey(h[i], vh[i]) for i in [0, n). Each element is
+/// independent (the combine chains *across key columns*, not across
+/// rows), which is what makes the multi-column batch hash vectorizable.
+void HashCombineBatch(size_t* h, const size_t* vh, size_t n);
+
+namespace detail {
+// Direct handles on both implementations, exposed so the parity test can
+// compare them without flipping process-global dispatch state. Production
+// code calls the dispatchers above.
+void CompareI64LitMaskScalar(const int64_t* a, size_t n, CmpOp op,
+                             int64_t lit, uint8_t* out);
+void CompareI64LitMaskVector(const int64_t* a, size_t n, CmpOp op,
+                             int64_t lit, uint8_t* out);
+void CompareI32LitMaskScalar(const int32_t* a, size_t n, CmpOp op,
+                             int32_t lit, uint8_t* out);
+void CompareI32LitMaskVector(const int32_t* a, size_t n, CmpOp op,
+                             int32_t lit, uint8_t* out);
+void CompareF64LitMaskScalar(const double* a, size_t n, CmpOp op, double lit,
+                             uint8_t* out);
+void CompareF64LitMaskVector(const double* a, size_t n, CmpOp op, double lit,
+                             uint8_t* out);
+void ArithF64ColColScalar(ArithKind k, const double* a, const double* b,
+                          size_t n, double* out);
+void ArithF64ColColVector(ArithKind k, const double* a, const double* b,
+                          size_t n, double* out);
+void ArithF64ColScalarScalar(ArithKind k, const double* a, double b, size_t n,
+                             double* out);
+void ArithF64ColScalarVector(ArithKind k, const double* a, double b, size_t n,
+                             double* out);
+void ArithF64ScalarColScalar(ArithKind k, double a, const double* b, size_t n,
+                             double* out);
+void ArithF64ScalarColVector(ArithKind k, double a, const double* b, size_t n,
+                             double* out);
+void ConvertI64ToF64Scalar(const int64_t* in, size_t n, double* out);
+void ConvertI64ToF64Vector(const int64_t* in, size_t n, double* out);
+void OrMasksScalar(const uint8_t* a, const uint8_t* b, size_t n,
+                   uint8_t* out);
+void OrMasksVector(const uint8_t* a, const uint8_t* b, size_t n,
+                   uint8_t* out);
+void HashCombineBatchScalar(size_t* h, const size_t* vh, size_t n);
+void HashCombineBatchVector(size_t* h, const size_t* vh, size_t n);
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace ecodb
+
+#endif  // ECODB_EXEC_SIMD_H_

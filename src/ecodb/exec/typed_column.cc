@@ -115,8 +115,9 @@ void TypedColumn::GatherInto(RowBatch* out, int out_col,
             lane->str.push_back(strp_[indices[i]]);
           }
           break;
+        case RowBatch::LaneKind::kStringCode:
         case RowBatch::LaneKind::kNone:
-          break;
+          break;  // LaneKindFor never yields these
       }
       if (has_nulls_ && !lane->has_nulls) {
         lane->has_nulls = true;
@@ -177,8 +178,9 @@ void TypedColumn::AppendImpl(const CellView& v, bool stable_str) {
         TrackCharge(8);  // payload charged by the arena's tracker
       }
       break;
+    case RowBatch::LaneKind::kStringCode:
     case RowBatch::LaneKind::kNone:
-      break;
+      break;  // LaneKindFor never yields these
   }
   ++size_;
 }

@@ -74,8 +74,9 @@ class TypedColumn {
         return CellView::Double(f64_[idx]);
       case RowBatch::LaneKind::kStringRef:
         return CellView::String(strp_[idx]);
+      case RowBatch::LaneKind::kStringCode:
       case RowBatch::LaneKind::kNone:
-        break;
+        break;  // LaneKindFor never yields these
     }
     return CellView::Null();
   }

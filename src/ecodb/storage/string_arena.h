@@ -30,12 +30,14 @@ namespace ecodb {
 
 class StringArena {
  public:
-  /// InternDedup stops tracking distinct strings past this many entries:
-  /// the dictionary exists for genuinely low-cardinality columns (flags,
-  /// modes, nation names), not to index arbitrary payloads.
+  /// Default InternDedup distinct-entry ceiling: the dictionary exists
+  /// for genuinely low-cardinality columns (flags, modes, nation names),
+  /// not to index arbitrary payloads. Callers with different cardinality
+  /// expectations pass their own cap to the constructor.
   static constexpr size_t kDedupMaxEntries = 64;
 
-  StringArena() = default;
+  explicit StringArena(size_t dedup_max_entries = kDedupMaxEntries)
+      : dedup_max_entries_(dedup_max_entries) {}
   StringArena(const StringArena&) = delete;
   StringArena& operator=(const StringArena&) = delete;
   ~StringArena() { DetachMemoryTracker(); }
@@ -55,21 +57,31 @@ class StringArena {
   /// Deduplicating intern for low-cardinality columns: returns the
   /// address of an already-interned equal string when the dictionary
   /// knows one, so a column of n rows over k distinct values stores k
-  /// copies, not n. The dictionary stops *growing* past kDedupMaxEntries
-  /// distinct strings (this is for flags/modes/names, not for indexing
-  /// arbitrary payloads) but keeps serving hits for the values it
-  /// already indexed — a column with a few hot values plus a long tail
-  /// still dedups the hot ones at one bounded hash probe per append.
+  /// copies, not n. The dictionary stops *growing* past the constructor's
+  /// cap (this is for flags/modes/names, not for indexing arbitrary
+  /// payloads) but keeps serving hits for the values it already indexed —
+  /// a column with a few hot values plus a long tail still dedups the hot
+  /// ones at one bounded hash probe per append.
   const std::string* InternDedup(const std::string& s) {
     auto it = dedup_.find(std::string_view(s));
-    if (it != dedup_.end()) return it->second;
-    if (dedup_.size() < kDedupMaxEntries) {
+    if (it != dedup_.end()) {
+      ++dedup_hits_;
+      return it->second;
+    }
+    ++dedup_misses_;
+    if (dedup_.size() < dedup_max_entries_) {
       const std::string* p = Intern(s);
       dedup_.emplace(std::string_view(*p), p);  // keys view arena bytes
       return p;
     }
     return Intern(s);
   }
+
+  /// Dedup effectiveness counters (diagnostics — these depend on how many
+  /// appends took the copy path, which differs by exec mode, so they are
+  /// surfaced in QueryExecStats but excluded from parity comparisons).
+  uint64_t dedup_hits() const { return dedup_hits_; }
+  uint64_t dedup_misses() const { return dedup_misses_; }
 
   size_t size() const { return strings_.size(); }
   bool empty() const { return strings_.empty(); }
@@ -84,6 +96,8 @@ class StringArena {
     }
     strings_.clear();
     dedup_.clear();
+    dedup_hits_ = 0;
+    dedup_misses_ = 0;
   }
 
   /// Optional logical-byte accounting: once attached, every interned
@@ -116,6 +130,9 @@ class StringArena {
   /// Content -> interned address; keys are views into `strings_` entries,
   /// which never move or die before Clear().
   std::unordered_map<std::string_view, const std::string*> dedup_;
+  size_t dedup_max_entries_ = kDedupMaxEntries;
+  uint64_t dedup_hits_ = 0;
+  uint64_t dedup_misses_ = 0;
   MemoryTracker* tracker_ = nullptr;
   uint64_t tracked_bytes_ = 0;
 };

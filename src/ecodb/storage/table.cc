@@ -1,6 +1,8 @@
 #include "ecodb/storage/table.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "ecodb/util/strings.h"
 
@@ -11,10 +13,68 @@ size_t Column::size() const {
     case ValueType::kDouble:
       return doubles_.size();
     case ValueType::kString:
-      return strings_.size();
+      return dict_active_ ? codes_.size() : strings_.size();
     default:
       return ints_.size();
   }
+}
+
+void Column::AppendString(std::string v) {
+  if (!dict_active_) {
+    strings_.push_back(std::move(v));
+    return;
+  }
+  auto it = std::lower_bound(dict_strings_.begin(), dict_strings_.end(), v);
+  if (it != dict_strings_.end() && *it == v) {
+    codes_.push_back(static_cast<int32_t>(it - dict_strings_.begin()));
+    return;
+  }
+  if (dict_strings_.size() >= kDictMaxEntries) {
+    AbandonDict();
+    strings_.push_back(std::move(v));
+    return;
+  }
+  // Sorted insert: every existing code at or past the insertion point
+  // shifts up by one. The remap is O(rows so far), but only runs once per
+  // *distinct* value and the dictionary is capped, so total remap work is
+  // bounded by kDictMaxEntries * rows-at-fill-time — negligible against
+  // load cost for the low-cardinality columns that stay dict-encoded.
+  const int32_t pos = static_cast<int32_t>(it - dict_strings_.begin());
+  dict_hashes_.insert(dict_hashes_.begin() + pos,
+                      std::hash<std::string>{}(v));
+  dict_strings_.insert(it, std::move(v));
+  for (int32_t& c : codes_) {
+    if (c >= pos) ++c;
+  }
+  codes_.push_back(pos);
+}
+
+void Column::AbandonDict() {
+  std::vector<std::string> plain;
+  plain.reserve(codes_.size());
+  for (int32_t c : codes_) {
+    plain.push_back(dict_strings_[static_cast<size_t>(c)]);
+  }
+  strings_ = std::move(plain);
+  dict_strings_.clear();
+  dict_strings_.shrink_to_fit();
+  dict_hashes_.clear();
+  dict_hashes_.shrink_to_fit();
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_active_ = false;
+}
+
+int32_t Column::DictLowerBound(const std::string& s, bool* exact) const {
+  auto it = std::lower_bound(dict_strings_.begin(), dict_strings_.end(), s);
+  *exact = it != dict_strings_.end() && *it == s;
+  return static_cast<int32_t>(it - dict_strings_.begin());
+}
+
+int32_t Column::FindDictCode(const std::string& s) const {
+  bool exact = false;
+  const int32_t code = DictLowerBound(s, &exact);
+  return exact ? code : -1;
 }
 
 Value Column::GetValue(size_t row) const {
@@ -28,7 +88,7 @@ Value Column::GetValue(size_t row) const {
     case ValueType::kDouble:
       return Value::Dbl(doubles_[row]);
     case ValueType::kString:
-      return Value::Str(strings_[row]);
+      return Value::Str(GetString(row));
     case ValueType::kNull:
       break;
   }
@@ -61,7 +121,7 @@ void Column::GetValueRange(size_t start, size_t n,
       return;
     case ValueType::kString:
       for (size_t r = start; r < start + n; ++r) {
-        out->push_back(Value::Str(strings_[r]));
+        out->push_back(Value::Str(GetString(r)));
       }
       return;
     case ValueType::kNull:
@@ -95,7 +155,11 @@ void Column::Reserve(size_t n) {
       doubles_.reserve(n);
       return;
     case ValueType::kString:
-      strings_.reserve(n);
+      if (dict_active_) {
+        codes_.reserve(n);
+      } else {
+        strings_.reserve(n);
+      }
       return;
     default:
       ints_.reserve(n);
@@ -141,6 +205,19 @@ void Table::Reserve(size_t n) {
 uint64_t Table::EstimatedBytes() const {
   return static_cast<uint64_t>(num_rows_) *
          static_cast<uint64_t>(schema_.RowWidth());
+}
+
+int Table::EncodedRowWidth() const {
+  int w = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Field& f = schema_.field(static_cast<int>(i));
+    if (f.type == ValueType::kString && columns_[i].dict_encoded()) {
+      w += static_cast<int>(sizeof(int32_t));
+    } else {
+      w += f.avg_width;
+    }
+  }
+  return w;
 }
 
 }  // namespace ecodb

@@ -4,6 +4,19 @@
 // in a couple hundred MB). The *disk-backed* engine profile still charges
 // simulated page I/O through HeapFile + BufferPool; the columnar arrays
 // are the contents those simulated pages hold.
+//
+// String columns are dictionary-encoded at append time: each column keeps
+// a *sorted* vector of distinct strings plus a per-row int32 code vector,
+// so predicates, group-by, join and sort keys can compare/hash 4-byte
+// codes instead of payload bytes. The sorted order makes codes
+// order-preserving (code_a < code_b <=> string_a < string_b), which lets
+// range predicates and ORDER BY operate on codes directly. Columns whose
+// cardinality exceeds kDictMaxEntries abandon the dictionary and fall
+// back to plain per-row string storage (comments and other free-text
+// payloads); `dict_encoded()` tells readers which representation is live.
+// The dictionary is built eagerly during append — table storage is
+// immutable while queries run (morsel workers read it concurrently), so
+// there is no lazy finalization step.
 
 #ifndef ECODB_STORAGE_TABLE_H_
 #define ECODB_STORAGE_TABLE_H_
@@ -21,18 +34,58 @@ namespace ecodb {
 /// One typed column. Only the vector matching the declared type is used.
 class Column {
  public:
-  explicit Column(ValueType type) : type_(type) {}
+  /// Distinct-value ceiling for the per-column dictionary. Low-cardinality
+  /// TPC-H columns (flags, modes, priorities, nation/region names, clerks)
+  /// sit far under this; free-text comments blow past it within the first
+  /// few thousand rows and fall back to plain storage.
+  static constexpr size_t kDictMaxEntries = 1024;
+
+  explicit Column(ValueType type)
+      : type_(type), dict_active_(type == ValueType::kString) {}
 
   ValueType type() const { return type_; }
   size_t size() const;
 
   void AppendInt(int64_t v) { ints_.push_back(v); }
   void AppendDouble(double v) { doubles_.push_back(v); }
-  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendString(std::string v);
 
   int64_t GetInt(size_t row) const { return ints_[row]; }
   double GetDouble(size_t row) const { return doubles_[row]; }
-  const std::string& GetString(size_t row) const { return strings_[row]; }
+
+  /// Raw array access for SIMD kernels over dense row runs.
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const std::string& GetString(size_t row) const {
+    return dict_active_
+               ? dict_strings_[static_cast<size_t>(codes_[row])]
+               : strings_[row];
+  }
+
+  /// --- Dictionary surface (string columns only) ---------------------
+  /// True while the column stores codes + a sorted dictionary. Readers
+  /// must check this before touching any other Dict* accessor; a column
+  /// that abandoned its dictionary serves only GetString().
+  bool dict_encoded() const { return dict_active_; }
+  size_t dict_size() const { return dict_strings_.size(); }
+  int32_t DictCode(size_t row) const { return codes_[row]; }
+  const int32_t* codes_data() const { return codes_.data(); }
+  const std::string& DictString(int32_t code) const {
+    return dict_strings_[static_cast<size_t>(code)];
+  }
+  /// Cached std::hash<std::string> of the entry — bit-identical to
+  /// hashing the decoded bytes, so batch key hashing over codes produces
+  /// the same hash values as the row-mode byte path.
+  size_t DictHash(int32_t code) const {
+    return dict_hashes_[static_cast<size_t>(code)];
+  }
+  /// First code whose string compares >= `s` (may equal dict_size()).
+  /// `*exact` is set when that entry equals `s`. Because the dictionary
+  /// is sorted, one boundary search answers every comparison operator
+  /// against a literal with a per-row int32 compare.
+  int32_t DictLowerBound(const std::string& s, bool* exact) const;
+  /// Code of the entry equal to `s`, or -1 when absent.
+  int32_t FindDictCode(const std::string& s) const;
 
   /// Boxed access (slow path; scans use the typed getters).
   Value GetValue(size_t row) const;
@@ -46,10 +99,19 @@ class Column {
   void Reserve(size_t n);
 
  private:
+  /// Cardinality exceeded the cap: materialize plain per-row strings from
+  /// the codes and drop the dictionary.
+  void AbandonDict();
+
   ValueType type_;
   std::vector<int64_t> ints_;      // kInt64 / kDate / kBool
   std::vector<double> doubles_;    // kDouble
-  std::vector<std::string> strings_;
+  std::vector<std::string> strings_;  // kString once the dict is abandoned
+
+  bool dict_active_ = false;
+  std::vector<std::string> dict_strings_;  ///< sorted distinct values
+  std::vector<size_t> dict_hashes_;        ///< std::hash of each entry
+  std::vector<int32_t> codes_;             ///< per-row index into the dict
 };
 
 class Table {
@@ -79,6 +141,13 @@ class Table {
 
   /// Estimated data bytes (for buffer-pool sizing decisions).
   uint64_t EstimatedBytes() const;
+
+  /// Bytes per tuple as actually stored: dictionary-encoded string
+  /// columns count their 4-byte code, everything else its schema
+  /// avg_width. This is what a scan physically moves per row; SeqScan
+  /// charges it (identically in row and batch mode) so dictionary
+  /// compression shows up in the energy model, not just host time.
+  int EncodedRowWidth() const;
 
  private:
   std::string name_;

@@ -211,6 +211,9 @@ int CompareCellViews(const CellView& a, const CellView& b) {
     return x > y ? 1 : 0;
   }
   if (a.type == ValueType::kString && b.type == ValueType::kString) {
+    // Dictionary-encoded lanes and dedup-interned pools frequently hand
+    // both sides the same stable address; equal pointers are equal bytes.
+    if (a.s == b.s) return 0;
     int c = a.s->compare(*b.s);
     return c < 0 ? -1 : (c > 0 ? 1 : 0);
   }

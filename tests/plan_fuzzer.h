@@ -3,11 +3,15 @@
 //
 // Generates random plans over the dbgen TPC-H tables — scans, typed
 // predicates (compare / BETWEEN / IN-list / AND-OR-NOT chains,
-// column-vs-column and column-vs-sampled-literal), projections with
-// arithmetic (including NULL-producing division), FK hash-join chains,
-// string-keyed joins, nested-loop joins, group-by aggregation, sort and
-// limit. Every plan is a deterministic function of its seed and the
-// catalog contents, so a failing seed reproduces exactly.
+// column-vs-column and column-vs-sampled-literal, dictionary-string
+// equality/ordered/IN shapes with present AND absent literals),
+// projections with arithmetic (including NULL-producing division), FK
+// hash-join chains, string-keyed joins, nested-loop joins, group-by
+// aggregation (biased toward string keys: low-cardinality dict columns
+// drive the per-code group memo, free-text comments the abandoned-dict
+// fallback), sort and limit. Every plan is a deterministic function of
+// its seed and the catalog contents, so a failing seed reproduces
+// exactly.
 
 #ifndef ECODB_TESTS_PLAN_FUZZER_H_
 #define ECODB_TESTS_PLAN_FUZZER_H_
@@ -94,6 +98,28 @@ class PlanFuzzer {
     return out;
   }
 
+  /// A string literal for dictionary-predicate shapes: usually sampled
+  /// from the backing column (present in its dictionary), sometimes
+  /// perturbed so it is absent (exercising the boundary translation:
+  /// Eq => const-false, Ne => const-true, ordered ops => lower-bound
+  /// code compares) — both directions of the sort order.
+  std::optional<Value> SampleStringLiteral(const SubPlan& sp, int idx) {
+    auto lit = SampleLiteral(sp, idx);
+    if (!lit.has_value() || lit->type() != ValueType::kString) {
+      return std::nullopt;
+    }
+    if (Coin(0.3)) {
+      std::string s = lit->AsString();
+      if (Coin(0.5)) {
+        s += "~";  // sorts just after the sampled entry
+      } else if (!s.empty()) {
+        s.pop_back();  // a (usually absent) proper prefix, sorts before
+      }
+      return Value::Str(std::move(s));
+    }
+    return lit;
+  }
+
   CompareOp RandomCompareOp() {
     static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
                                      CompareOp::kLt, CompareOp::kLe,
@@ -108,7 +134,7 @@ class PlanFuzzer {
     for (int attempt = 0; attempt < 8; ++attempt) {
       const int idx = static_cast<int>(Roll(static_cast<size_t>(n)));
       const ValueType t = sp.node->output_schema.field(idx).type;
-      switch (Roll(5)) {
+      switch (Roll(7)) {
         case 0:
         case 1: {  // column <op> sampled literal
           auto lit = SampleLiteral(sp, idx);
@@ -132,6 +158,33 @@ class PlanFuzzer {
             if (v.has_value()) vals.push_back(*v);
           }
           return InList(ColOf(sp, idx), std::move(vals),
+                        /*hashed=*/Coin(0.5));
+        }
+        case 4:
+        case 5: {  // dictionary-string predicate over a string column:
+                   // equality/ordered compares and IN-lists, with
+                   // present and absent literals (SampleStringLiteral).
+                   // Low-cardinality columns (flags, modes, priorities)
+                   // hit the code-compare paths; free-text comments the
+                   // abandoned-dict byte fallback.
+          std::vector<int> strs = FieldsOfClass(sp, /*numeric=*/false);
+          if (strs.empty()) continue;
+          const int sidx = strs[Roll(strs.size())];
+          auto lit = SampleStringLiteral(sp, sidx);
+          if (!lit.has_value()) continue;
+          if (Coin(0.6)) {
+            const CompareOp op =
+                Coin(0.6) ? (Coin(0.5) ? CompareOp::kEq : CompareOp::kNe)
+                          : RandomCompareOp();
+            return Cmp(op, ColOf(sp, sidx), Lit(*lit));
+          }
+          std::vector<Value> vals{*lit};
+          const size_t extra = 1 + Roll(4);
+          for (size_t i = 0; i < extra; ++i) {
+            auto v = SampleStringLiteral(sp, sidx);
+            if (v.has_value()) vals.push_back(*v);
+          }
+          return InList(ColOf(sp, sidx), std::move(vals),
                         /*hashed=*/Coin(0.5));
         }
         default: {  // column <op> column of the same type
@@ -381,6 +434,18 @@ class PlanFuzzer {
     const size_t n_keys = Roll(3);  // 0 => global aggregate
     for (size_t i = 0; i < n_keys; ++i) {
       group_by.push_back(ColOf(*sp, static_cast<int>(Roll(n))));
+    }
+    // Bias toward string group-by keys: the single-string-key shape
+    // drives the dictionary-code group memo (low-cardinality columns)
+    // and its generic fallback (abandoned-dict comments); the
+    // two-key variant keeps the multi-key path honest.
+    std::vector<int> strs = FieldsOfClass(*sp, /*numeric=*/false);
+    if (!strs.empty() && Coin(0.35)) {
+      group_by.clear();
+      group_by.push_back(ColOf(*sp, strs[Roll(strs.size())]));
+      if (Coin(0.3)) {
+        group_by.push_back(ColOf(*sp, static_cast<int>(Roll(n))));
+      }
     }
     std::vector<AggSpec> aggs;
     static const AggSpec::Kind kKinds[] = {
