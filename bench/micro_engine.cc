@@ -401,8 +401,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "TPC-H load failed (parallel sweep)\n");
     return 1;
   }
-  const char* kSweepNames[] = {"scan_filter_agg", "tpch_q1", "tpch_q3",
-                               "tpch_q5"};
+  const char* kSweepNames[] = {"scan_filter_agg", "tpch_q1",
+                               "tpch_q3",        "tpch_q5",
+                               "order_by_lineitem", "group_by_strings"};
   const int kWorkerCounts[] = {1, 2, 4, 8};
   auto batch_wall_of = [&](const std::string& name) {
     for (const auto& bw : batch_walls) {
@@ -410,19 +411,23 @@ int Main(int argc, char** argv) {
     }
     return 0.0;
   };
+  auto build_sweep_plan = [&](const std::string& name) -> Result<PlanNodePtr> {
+    if (name == "scan_filter_agg") return BuildScanFilterAgg(*par_db.catalog());
+    if (name == "tpch_q1")
+      return tpch::BuildQ1Plan(*par_db.catalog(), "1998-09-02");
+    if (name == "tpch_q3")
+      return tpch::BuildQ3Plan(*par_db.catalog(), tpch::Q3Params{});
+    if (name == "tpch_q5")
+      return tpch::BuildQ5Plan(*par_db.catalog(), tpch::Q5Params{});
+    if (name == "order_by_lineitem")
+      return BuildOrderByLineitem(*par_db.catalog());
+    return BuildGroupByStrings(*par_db.catalog());
+  };
   std::vector<std::pair<std::string, double>> par_speedups;
   std::printf("  \"parallel_benchmarks\": [\n");
   for (size_t ni = 0; ni < std::size(kSweepNames); ++ni) {
     const std::string name = kSweepNames[ni];
-    Result<PlanNodePtr> plan =
-        name == "scan_filter_agg"
-            ? BuildScanFilterAgg(*par_db.catalog())
-            : name == "tpch_q1"
-                  ? tpch::BuildQ1Plan(*par_db.catalog(), "1998-09-02")
-                  : name == "tpch_q3"
-                        ? tpch::BuildQ3Plan(*par_db.catalog(), tpch::Q3Params{})
-                        : tpch::BuildQ5Plan(*par_db.catalog(),
-                                            tpch::Q5Params{});
+    Result<PlanNodePtr> plan = build_sweep_plan(name);
     if (!plan.ok()) {
       std::fprintf(stderr, "parallel sweep plan build failed for %s\n",
                    name.c_str());
@@ -449,6 +454,34 @@ int Main(int argc, char** argv) {
         busy_sum += c.busy_s;
       }
       ParallelPhaseSummary ph = par_db.machine()->SummarizeCorePhase();
+      // Per-phase slices: morsel pools mark a named phase per parallel
+      // stage ("stream", "join_build", "agg", "sort"). Same-label slices
+      // (one per pool) are merged core-wise before summarizing, so each
+      // label reports its own work volume / makespan = core speedup.
+      struct PhaseAgg {
+        std::string label;
+        std::vector<CoreLedger> ledgers;
+      };
+      std::vector<PhaseAgg> phase_aggs;
+      for (const CorePhase& cp : par_db.machine()->core_phases()) {
+        PhaseAgg* agg = nullptr;
+        for (PhaseAgg& pa : phase_aggs) {
+          if (pa.label == cp.label) { agg = &pa; break; }
+        }
+        if (agg == nullptr) {
+          phase_aggs.push_back(PhaseAgg{
+              cp.label, std::vector<CoreLedger>(cp.ledgers.size())});
+          agg = &phase_aggs.back();
+        }
+        for (size_t ci = 0;
+             ci < cp.ledgers.size() && ci < agg->ledgers.size(); ++ci) {
+          agg->ledgers[ci].busy_s += cp.ledgers[ci].busy_s;
+          agg->ledgers[ci].cpu_j += cp.ledgers[ci].cpu_j;
+          agg->ledgers[ci].mem_j += cp.ledgers[ci].mem_j;
+          agg->ledgers[ci].cycles += cp.ledgers[ci].cycles;
+          agg->ledgers[ci].mem_lines += cp.ledgers[ci].mem_lines;
+        }
+      }
       par_db.machine()->ResetCoreLedgers();
       double sim_speedup =
           ph.makespan_s > 0 ? busy_sum / ph.makespan_s : 1.0;
@@ -460,10 +493,22 @@ int Main(int argc, char** argv) {
           "\"wall_seconds_per_iter\": %.6e, \"rows_per_sec\": %.6e, "
           "\"sim_seconds\": %.9e, \"sim_joules_per_query\": %.9e, "
           "\"speedup_vs_batch\": %.2f, \"sim_makespan_s\": %.9e, "
-          "\"sim_core_speedup\": %.2f}%s\n",
+          "\"sim_core_speedup\": %.2f, \"phases\": [",
           name.c_str(), kWorkerCounts[wi], r.wall_seconds_per_iter,
           r.rows_per_sec, r.sim_seconds, r.sim_joules, host_speedup,
-          ph.makespan_s, sim_speedup, last ? "" : ",");
+          ph.makespan_s, sim_speedup);
+      for (size_t pi = 0; pi < phase_aggs.size(); ++pi) {
+        ParallelPhaseSummary ps =
+            par_db.machine()->SummarizeCoreLedgers(phase_aggs[pi].ledgers);
+        double phase_speedup =
+            ps.makespan_s > 0 ? ps.busy_sum_s / ps.makespan_s : 1.0;
+        std::printf(
+            "%s{\"label\": \"%s\", \"busy_sum_s\": %.9e, "
+            "\"makespan_s\": %.9e, \"sim_core_speedup\": %.2f}",
+            pi ? ", " : "", phase_aggs[pi].label.c_str(), ps.busy_sum_s,
+            ps.makespan_s, phase_speedup);
+      }
+      std::printf("]}%s\n", last ? "" : ",");
     }
     par_db.set_exec_workers(1);
     par_speedups.emplace_back(name, best_speedup);

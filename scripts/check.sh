@@ -88,9 +88,15 @@ if [[ "${FAST}" == "0" ]]; then
   echo "=== configure/build: build-tsan (ECODB_SANITIZE=thread) ==="
   cmake -B build-tsan -S . -DECODB_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}"
-  echo "=== tsan: parallel_exec_test ==="
+  echo "=== tsan: bounded_queue_test ==="
+  ./build-tsan/bounded_queue_test
+  echo "=== tsan: parallel_exec_test (incl. pipeline-breaker suites) ==="
   ./build-tsan/parallel_exec_test
-  echo "=== tsan: batch_parity_fuzz_test (8 workers x 24 plans) ==="
+  # Both fuzz corpora run here: the mixed-plan corpus and the breaker-root
+  # corpus (every plan ends in an agg/sort/build breaker), each at 8
+  # workers so the breaker coordinator/worker handoffs get oversubscribed
+  # interleavings under TSan.
+  echo "=== tsan: batch_parity_fuzz_test (8 workers x 24 plans/corpus) ==="
   ECODB_FUZZ_WORKERS=8 ECODB_FUZZ_PLANS=24 \
     ./build-tsan/batch_parity_fuzz_test --gtest_brief=1
 fi

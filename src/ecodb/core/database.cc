@@ -41,7 +41,12 @@ Result<QueryResult> Database::ExecutePlanQuery(const PlanNode& plan) {
   // Morsel workers only drive ungoverned, memory-resident batch
   // pipelines: row mode is the parity oracle, disk-backed scans serialize
   // on the buffer pool/clock mid-pipeline, and governed queries must trip
-  // at machine-state checkpoints the worker trees never see.
+  // at machine-state checkpoints the worker trees never see. The clamp
+  // covers the pipeline breakers too — their parallel build/accumulate
+  // phases (partitioned hash build, partial aggregation, per-worker
+  // sorts; exec/morsel.cc) run only under the same conditions, since the
+  // breaker drivers mirror the sequential governor checkpoints in shape
+  // but their worker contexts carry no governor or buffer pool.
   int workers = options_.exec_workers;
   if (options_.exec_mode != ExecMode::kBatch || options_.profile.disk_backed ||
       governor != nullptr) {

@@ -8,6 +8,14 @@
 // the exact charge sequence single-threaded execution would have
 // produced: bit-exact integer counters, identical flush-quantum
 // boundaries, identical energy integration.
+//
+// Pipeline breakers go one step further (canonical charge accounting,
+// exec/morsel.cc): a worker's recorded log carries only the stateless
+// spine charges, while the breaker's own order-sensitive charges (hash
+// builds, chain walks, accumulator updates, sort compares) are
+// re-issued by the coordinator as it merges worker partitions in
+// global row order. Workers' as-if-local breaker work goes to scratch
+// logs that feed only worker stats — never a replay.
 
 #ifndef ECODB_EXEC_CHARGE_LOG_H_
 #define ECODB_EXEC_CHARGE_LOG_H_

@@ -101,6 +101,14 @@ class ExecContext {
   /// for the parity account. Pass nullptr to stop recording.
   void BeginRecording(ChargeLog* log) { recording_ = log; }
   bool recording() const { return recording_ != nullptr; }
+  /// The log charges are currently routed into (null when charging the
+  /// machine directly). Lets a scope divert charges into a scratch log
+  /// and restore the previous target afterwards — see ScopedScratchCharges
+  /// in exec/morsel.cc: breaker drivers charge workers' as-if-local work
+  /// (hash builds they only partially perform, canonical replays the
+  /// coordinator re-issues) into worker stats for the per-core concurrency
+  /// view without letting it leak into the replayed parity stream.
+  ChargeLog* recording_log() const { return recording_; }
 
   /// Re-applies a recorded charge stream through this context's normal
   /// charge path (stats, flush quanta, machine, governor) — the

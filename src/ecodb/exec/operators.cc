@@ -389,6 +389,17 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, JoinBuildStatePtr build,
   assert(build_keys_.size() == probe_keys_.size());
 }
 
+HashJoinOp::HashJoinOp(ExecContext* ctx, BuildThunk build_thunk,
+                       OperatorPtr probe, std::vector<int> build_keys,
+                       std::vector<int> probe_keys)
+    : ctx_(ctx),
+      probe_child_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      build_thunk_(std::move(build_thunk)) {
+  assert(build_keys_.size() == probe_keys_.size());
+}
+
 bool HashJoinOp::KeysEqualRow(uint32_t idx, const Row& probe_row) {
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     ++ctx_->eval_counters()->comparisons;
@@ -514,7 +525,14 @@ Result<JoinBuildStatePtr> HashJoinOp::ExecuteBuild(
 }
 
 Status HashJoinOp::Open() {
-  if (!prebuilt_) {
+  if (build_thunk_ != nullptr) {
+    // Deferred (parallel partitioned) build. The thunk drains the build
+    // plan to completion — including the trailing grace-hash spill
+    // charge — at exactly the position the sequential build block below
+    // runs, so the charge stream is position-identical. The state is
+    // owned: Close tears it down like a normal build.
+    ECODB_ASSIGN_OR_RETURN(build_, build_thunk_(ctx_));
+  } else if (!prebuilt_) {
     build_ = std::make_shared<JoinBuildState>();
     ECODB_RETURN_NOT_OK(build_child_->Open());
     Status consume =
@@ -1728,7 +1746,7 @@ Status SortOp::NextBatch(RowBatch* out, bool* has_rows) {
 
 Status SortOp::NextBatchCapped(RowBatch* out, bool* has_rows,
                                size_t max_rows) {
-  out->Reset(child_->schema().num_fields());
+  out->Reset(schema().num_fields());
   if (columnar_) {
     if (pos_ >= n_rows_ || max_rows == 0) {
       *has_rows = false;

@@ -8,6 +8,7 @@
 #ifndef ECODB_EXEC_OPERATORS_H_
 #define ECODB_EXEC_OPERATORS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,13 @@
 #include "ecodb/util/status.h"
 
 namespace ecodb {
+
+// Morsel-parallel breaker drivers (exec/morsel.cc). They rebuild the
+// private consume state of HashAggOp / SortOp from worker-shipped
+// fragments with the exact single-threaded charge sequence, so the
+// operators friend them instead of exposing their internals.
+class MorselAggDriver;
+class MorselSortDriver;
 
 class Operator {
  public:
@@ -217,6 +225,16 @@ class HashJoinOp : public Operator {
   HashJoinOp(ExecContext* ctx, JoinBuildStatePtr build, OperatorPtr probe,
              std::vector<int> build_keys, std::vector<int> probe_keys);
 
+  /// Deferred build: Open invokes `build_thunk` at the exact position the
+  /// normal ctor's build phase runs (so its charges land where a
+  /// single-threaded build's would) and takes ownership of the returned
+  /// state — Close tears it down like an owned build. The morsel layer
+  /// uses this to run a *parallel partitioned* build for joins that sit
+  /// outside any parallel spine (e.g. under a limit).
+  using BuildThunk = std::function<Result<JoinBuildStatePtr>(ExecContext*)>;
+  HashJoinOp(ExecContext* ctx, BuildThunk build_thunk, OperatorPtr probe,
+             std::vector<int> build_keys, std::vector<int> probe_keys);
+
   /// Runs `build_child` to completion on `ctx` and returns the shared
   /// build state, with the exact charge sequence of a normal Open's build
   /// phase: child Open, per-batch build charges + ordered inserts, child
@@ -249,6 +267,7 @@ class HashJoinOp : public Operator {
   Schema schema_;
 
   JoinBuildStatePtr build_;  ///< owned (normal) or shared-const (prebuilt)
+  BuildThunk build_thunk_;   ///< deferred owned build; runs at Open
   bool prebuilt_ = false;
   uint32_t match_ = FlatHashIndex::kInvalid;  ///< chain cursor (both modes)
   Row probe_row_;
@@ -338,6 +357,10 @@ class HashAggOp : public Operator {
   std::string name() const override { return "HashAgg"; }
 
  private:
+  /// Rebuilds groups_/group_index_ from worker partitions with the
+  /// canonical (as-if-sequential) charge stream; owns no state of its own
+  /// here — see exec/morsel.cc.
+  friend class MorselAggDriver;
   struct Accumulator {
     double sum = 0.0;
     uint64_t count = 0;
@@ -436,16 +459,25 @@ class SortOp : public Operator {
                          size_t max_rows) override;
   bool MaterializedEmission() const override { return true; }
   void Close() override;
-  const Schema& schema() const override { return child_->schema(); }
+  /// A driver-filled sort (morsel-parallel path) has no child; its
+  /// schema is stashed in schema_ by the driver.
+  const Schema& schema() const override {
+    return child_ != nullptr ? child_->schema() : schema_;
+  }
   std::string name() const override { return "Sort"; }
 
  private:
+  /// Fills cols_/order_/n_rows_ from worker-sorted runs with the
+  /// canonical (as-if-sequential) charge stream — see exec/morsel.cc.
+  friend class MorselSortDriver;
+
   Status ConsumeChildRowMode();
   Status ConsumeChildBatchMode();
 
   ExecContext* ctx_;
-  OperatorPtr child_;
+  OperatorPtr child_;  ///< null when a MorselSortDriver fills the state
   std::vector<SortKey> keys_;
+  Schema schema_;  ///< only used when child_ == nullptr
   ExprScratch scratch_;
 
   // Row-mode storage: materialized rows, rearranged into sorted order.

@@ -161,17 +161,25 @@ void Machine::AccrueCoreWork(int core, double cycles, double mem_lines,
 
 void Machine::ResetCoreLedgers() {
   core_ledgers_.assign(cores_.size(), CoreLedger());
+  core_phases_.clear();
+  phase_base_.assign(cores_.size(), CoreLedger());
 }
 
 ParallelPhaseSummary Machine::SummarizeCorePhase() const {
+  return SummarizeCoreLedgers(core_ledgers_);
+}
+
+ParallelPhaseSummary Machine::SummarizeCoreLedgers(
+    const std::vector<CoreLedger>& ledgers) const {
   ParallelPhaseSummary s;
-  for (const CoreLedger& cl : core_ledgers_) {
+  for (const CoreLedger& cl : ledgers) {
     s.makespan_s = std::max(s.makespan_s, cl.busy_s);
+    s.busy_sum_s += cl.busy_s;
     s.core_cpu_j += cl.cpu_j;
     s.core_mem_j += cl.mem_j;
   }
-  for (size_t i = 0; i < cores_.size(); ++i) {
-    double idle = s.makespan_s - core_ledgers_[i].busy_s;
+  for (size_t i = 0; i < cores_.size() && i < ledgers.size(); ++i) {
+    double idle = s.makespan_s - ledgers[i].busy_s;
     double idle_w = config_.os_running ? cores_[i].IdlePowerW()
                                        : cores_[i].FirmwarePowerW();
     s.idle_fill_j += idle_w * idle;
@@ -185,6 +193,27 @@ ParallelPhaseSummary Machine::SummarizeCorePhase() const {
     s.wall_j = psu_.WallPowerW(s.dc_j / s.makespan_s) * s.makespan_s;
   }
   return s;
+}
+
+void Machine::MarkCorePhase(const std::string& label) {
+  if (phase_base_.size() != core_ledgers_.size()) {
+    phase_base_.assign(core_ledgers_.size(), CoreLedger());
+  }
+  std::vector<CoreLedger> delta(core_ledgers_.size());
+  bool any = false;
+  for (size_t i = 0; i < core_ledgers_.size(); ++i) {
+    const CoreLedger& cur = core_ledgers_[i];
+    const CoreLedger& base = phase_base_[i];
+    delta[i].busy_s = cur.busy_s - base.busy_s;
+    delta[i].cpu_j = cur.cpu_j - base.cpu_j;
+    delta[i].mem_j = cur.mem_j - base.mem_j;
+    delta[i].cycles = cur.cycles - base.cycles;
+    delta[i].mem_lines = cur.mem_lines - base.mem_lines;
+    if (delta[i].cycles > 0 || delta[i].mem_lines > 0) any = true;
+  }
+  phase_base_ = core_ledgers_;
+  if (!any) return;
+  core_phases_.push_back(CorePhase{label, std::move(delta)});
 }
 
 Status Machine::DiskRead(uint64_t bytes, uint64_t n_requests, bool random) {

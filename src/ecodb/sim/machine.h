@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ecodb/sim/clock.h"
@@ -97,12 +98,24 @@ struct CoreLedger {
 /// vs. slow-and-wide comparison.
 struct ParallelPhaseSummary {
   double makespan_s = 0.0;
+  double busy_sum_s = 0.0;     ///< sum of per-core busy time (work volume);
+                               ///< busy_sum_s / makespan_s = core speedup
   double core_cpu_j = 0.0;     ///< sum of busy-core package energy
   double core_mem_j = 0.0;     ///< sum of per-core DRAM access energy
   double idle_fill_j = 0.0;    ///< early-finishing cores idling to makespan
   double background_j = 0.0;   ///< non-CPU system power over the makespan
   double dc_j = 0.0;
   double wall_j = 0.0;
+};
+
+/// A named slice of the per-core ledgers: the deltas accrued between two
+/// MarkCorePhase calls. Morsel pools mark a phase per parallel stage
+/// ("stream", "join_build", "agg", "sort"), so benches can report where
+/// the core speedup comes from — the streaming spine vs. the breaker
+/// build phases.
+struct CorePhase {
+  std::string label;
+  std::vector<CoreLedger> ledgers;  ///< per-core deltas for this phase
 };
 
 class Machine {
@@ -157,6 +170,16 @@ class Machine {
   /// Rolls the per-core ledgers up into phase time/energy (see
   /// ParallelPhaseSummary).
   ParallelPhaseSummary SummarizeCorePhase() const;
+  /// Rolls an arbitrary per-core ledger vector up the same way (used for
+  /// the per-phase slices in core_phases()).
+  ParallelPhaseSummary SummarizeCoreLedgers(
+      const std::vector<CoreLedger>& ledgers) const;
+
+  /// Snapshots the per-core ledger deltas accrued since the previous mark
+  /// (or since ResetCoreLedgers) as a named phase. All-zero deltas are
+  /// dropped — a pool that accrued nothing leaves no phase behind.
+  void MarkCorePhase(const std::string& label);
+  const std::vector<CorePhase>& core_phases() const { return core_phases_; }
 
   /// One batch of disk reads; the CPU sits in its EIST idle state while
   /// blocked (this is why the paper's cold run averages only ~13.8 W CPU).
@@ -243,6 +266,8 @@ class Machine {
   LoadClass load_class_ = LoadClass::kSustained;
   std::vector<CpuModel> cores_;         ///< per-core P-state models
   std::vector<CoreLedger> core_ledgers_;
+  std::vector<CorePhase> core_phases_;   ///< named ledger slices (marks)
+  std::vector<CoreLedger> phase_base_;   ///< ledger snapshot at last mark
 
   uint64_t disk_fault_countdown_ = 0;
   bool disk_faulted_ = false;

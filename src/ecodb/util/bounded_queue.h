@@ -1,0 +1,73 @@
+// Bounded single-producer / single-consumer queue with cancellation.
+//
+// Extracted from exec/morsel.cc so every morsel driver (streaming spine,
+// parallel aggregation, parallel sort, parallel join build) shares one
+// queue instead of growing per-driver copies. Exactly one producer
+// pushes and one consumer pops per instance; the morsel layer allocates
+// one queue per worker, with the coordinator as the single consumer of
+// each.
+//
+// Push blocks while the queue is full (backpressure keeps memory
+// bounded) and bails out when the stream is cancelled; Pop blocks while
+// empty — safe because a live producer always delivers either the next
+// item or a terminal marker before exiting.
+
+#ifndef ECODB_UTIL_BOUNDED_QUEUE_H_
+#define ECODB_UTIL_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ecodb {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or `cancel` is set), then enqueues.
+  /// Returns false — dropping `item` — when cancelled.
+  bool Push(T item, const std::atomic<bool>& cancel) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_push_.wait(lock, [&] {
+      return items_.size() < capacity_ || cancel.load(std::memory_order_relaxed);
+    });
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and dequeues it.
+  T Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_pop_.wait(lock, [&] { return !items_.empty(); });
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  /// Wakes a producer blocked in Push after `cancel` was set.
+  void WakeProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_push_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<T> items_;
+  size_t capacity_;
+};
+
+}  // namespace ecodb
+
+#endif  // ECODB_UTIL_BOUNDED_QUEUE_H_

@@ -87,12 +87,13 @@ class BatchParityFuzzTest : public ::testing::Test {
     parallel_db_ = nullptr;
   }
 
-  void CheckPlanParity(uint64_t seed) {
+  void CheckPlanParity(uint64_t seed, bool breaker_root = false) {
     SCOPED_TRACE("fuzz seed " + std::to_string(seed) +
                  " (rerun with ECODB_FUZZ_SEED=" + std::to_string(seed) +
                  " ECODB_FUZZ_PLANS=1)");
     testing::PlanFuzzer fuzzer(seed, *row_db_->catalog());
-    PlanNodePtr plan = fuzzer.Generate();
+    PlanNodePtr plan =
+        breaker_root ? fuzzer.GenerateBreakerRoot() : fuzzer.Generate();
     ASSERT_NE(plan, nullptr);
     SCOPED_TRACE("plan:\n" + plan->Explain());
 
@@ -163,6 +164,26 @@ TEST_F(BatchParityFuzzTest, HundredsOfRandomPlansMatch) {
   }
   for (size_t i = 0; i < n_plans; ++i) {
     CheckPlanParity(base_seed + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Every plan ends in a pipeline breaker (aggregation root, sort root, or
+// both, half the time over multi-join bases), pinning the parallel
+// breakers' canonical charge accounting — partitioned hash build,
+// partial-agg merge, sorted-run merge — against the row oracle at
+// whatever ECODB_FUZZ_WORKERS is set to (check.sh sweeps 2, 3 and 8).
+TEST_F(BatchParityFuzzTest, BreakerRootPlansMatch) {
+  uint64_t base_seed = 0xB4EA4E4;
+  size_t n_plans = 96;
+  if (const char* s = std::getenv("ECODB_FUZZ_SEED")) {
+    base_seed = std::strtoull(s, nullptr, 0);
+  }
+  if (const char* s = std::getenv("ECODB_FUZZ_PLANS")) {
+    n_plans = std::strtoull(s, nullptr, 0);
+  }
+  for (size_t i = 0; i < n_plans; ++i) {
+    CheckPlanParity(base_seed + i, /*breaker_root=*/true);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

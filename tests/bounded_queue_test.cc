@@ -1,0 +1,81 @@
+#include "ecodb/util/bounded_queue.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ecodb {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> cancel{false};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.Push(i, cancel));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.Pop(), i);
+  }
+}
+
+TEST(BoundedQueueTest, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<std::string>> q(2);
+  std::atomic<bool> cancel{false};
+  EXPECT_TRUE(q.Push(std::make_unique<std::string>("a"), cancel));
+  EXPECT_TRUE(q.Push(std::make_unique<std::string>("b"), cancel));
+  EXPECT_EQ(*q.Pop(), "a");
+  EXPECT_EQ(*q.Pop(), "b");
+}
+
+TEST(BoundedQueueTest, PushBlocksOnFullUntilPop) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> cancel{false};
+  ASSERT_TRUE(q.Push(0, cancel));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(1, cancel));
+    second_pushed.store(true);
+  });
+  // The producer is blocked until the consumer makes room. (We can't
+  // assert "still blocked" without a race; we assert the handoff
+  // completes and order is preserved.)
+  EXPECT_EQ(q.Pop(), 0);
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueueTest, CancelUnblocksProducer) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> cancel{false};
+  ASSERT_TRUE(q.Push(0, cancel));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.Push(1, cancel)); });
+  cancel.store(true);
+  q.WakeProducer();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // cancelled push drops the item
+  EXPECT_EQ(q.Pop(), 0);             // the earlier item is still there
+}
+
+TEST(BoundedQueueTest, ProducerConsumerStress) {
+  constexpr int kItems = 10000;
+  BoundedQueue<int> q(8);
+  std::atomic<bool> cancel{false};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(q.Push(i, cancel));
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(q.Pop(), i);
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace ecodb

@@ -69,7 +69,7 @@ struct RunResult {
 class ParallelExecTest : public ::testing::Test {
  protected:
   ParallelExecTest() {
-    // Several morsels' worth of rows (kMorselRows == 16384) so the
+    // Several morsels' worth of rows (kMorselRows == 8192) so the
     // schedule actually fans out, plus a build-side-sized table.
     testing::MakeSimpleTable(&catalog_, "big", 40000, 7);
     testing::MakeSimpleTable(&catalog_, "small", 37, 5);
@@ -255,6 +255,126 @@ TEST_F(ParallelExecTest, CoreLedgersSeeWorkerWork) {
   RunResult seq = Run(*plan, 1);
   EXPECT_EQ(seq.cores[0].cycles, 0.0);
   EXPECT_EQ(seq.cores[1].cycles, 0.0);
+}
+
+// --- Parallel pipeline breakers ---
+
+TEST_F(ParallelExecTest, ParallelBuildDuplicateChainOrder) {
+  // big as the BUILD side on a duplicate string key: the partitioned
+  // parallel build must stitch per-batch fragments so every duplicate
+  // chain comes out insertion-order-equivalent to the sequential build —
+  // probe matches emit in build-row order, and the probe-side chain
+  // walks charge identical compare counts.
+  ExpectParallelParity(*MakeHashJoin(Scan("big"), Scan("small"), {2}, {2}));
+}
+
+TEST_F(ParallelExecTest, ParallelBuildUnderFilterSpine) {
+  // Filtered build spine: per-batch fragments arrive with gaps (selection
+  // vectors), and the trailing grace-hash spill charge must equal the
+  // sequential build's.
+  ExpectParallelParity(*MakeHashJoin(
+      MakeFilter(Scan("big"), Cmp(CompareOp::kLt, K(), LitInt(2500))),
+      Scan("small"), {0}, {0}));
+}
+
+TEST_F(ParallelExecTest, ParallelAggSumCountMinMax) {
+  // Every accumulator kind through the worker-partial / coordinator-merge
+  // split: SUM/AVG ride the shipped-double path, MIN/MAX the shipped
+  // operand path, COUNT(*) ships nothing.
+  ExpectParallelParity(*MakeAggregate(
+      Scan("big"), {S()},
+      {Agg(AggSpec::Kind::kSum, V(), "sum_v"),
+       Agg(AggSpec::Kind::kAvg, V(), "avg_v"),
+       Agg(AggSpec::Kind::kCount, nullptr, "n"),
+       Agg(AggSpec::Kind::kMin, K(), "min_k"),
+       Agg(AggSpec::Kind::kMax, S(), "max_s")}));
+}
+
+TEST_F(ParallelExecTest, ParallelGlobalAggregate) {
+  // No group keys: one global group, every worker ships ordinal 0, and
+  // the vacuous key-compare walk must still count like sequential.
+  ExpectParallelParity(*MakeAggregate(
+      Scan("big"), {},
+      {Agg(AggSpec::Kind::kSum, V(), "sum_v"),
+       Agg(AggSpec::Kind::kCount, nullptr, "n")}));
+}
+
+TEST_F(ParallelExecTest, ParallelAggEmptyInput) {
+  // Empty partitions everywhere: grouped agg yields zero rows, global
+  // agg a synthetic zero-count row — identically to sequential.
+  ExpectParallelParity(*MakeAggregate(
+      MakeFilter(Scan("big"), Cmp(CompareOp::kLt, K(), LitInt(-1))), {S()},
+      {Agg(AggSpec::Kind::kSum, V(), "sum_v")}));
+  ExpectParallelParity(*MakeAggregate(
+      MakeFilter(Scan("big"), Cmp(CompareOp::kLt, K(), LitInt(-1))), {},
+      {Agg(AggSpec::Kind::kCount, nullptr, "n")}));
+}
+
+TEST_F(ParallelExecTest, ParallelSortAtRoot) {
+  // Sort directly over the spine: per-worker index sorts merged by the
+  // coordinator, with the canonical (rank-replay) compare count. A
+  // duplicate-heavy string key plus descending double exercises the
+  // cross-run tiebreak.
+  ExpectParallelParity(
+      *MakeSort(Scan("big"), {SortKey{S(), true}, SortKey{V(), false}}));
+}
+
+TEST_F(ParallelExecTest, ParallelSortEmptyInput) {
+  ExpectParallelParity(*MakeSort(
+      MakeFilter(Scan("big"), Cmp(CompareOp::kLt, K(), LitInt(-1))),
+      {SortKey{K(), true}}));
+}
+
+TEST_F(ParallelExecTest, ParallelSortOverParallelBuildJoin) {
+  // All three breakers' machinery in one plan: parallel build (big as
+  // build side), morsel probe spine, sort root over the join.
+  ExpectParallelParity(*MakeSort(
+      MakeHashJoin(MakeFilter(Scan("big"),
+                              Cmp(CompareOp::kLt, K(), LitInt(20000))),
+                   Scan("big"), {0}, {0}),
+      {SortKey{Col(4, ValueType::kDouble, "v"), false}}));
+}
+
+TEST_F(ParallelExecTest, BreakerMergeDeterminism) {
+  // Same worker count, same seed => bit-identical doubles, with breaker
+  // phases (parallel build + partial agg + sort) in the plan.
+  PlanNodePtr plan = MakeSort(
+      MakeAggregate(MakeHashJoin(Scan("big"), Scan("small"), {2}, {2}), {S()},
+                    {Agg(AggSpec::Kind::kSum, V(), "sum_v")}),
+      {SortKey{Col(1, ValueType::kDouble, "sum_v"), false}});
+  RunResult a = Run(*plan, 8);
+  RunResult b = Run(*plan, 8);
+  ExpectRowsEqual(a.rows, b.rows);
+  EXPECT_EQ(a.stats.cycles_charged, b.stats.cycles_charged);
+  EXPECT_EQ(a.stats.mem_lines_charged, b.stats.mem_lines_charged);
+  EXPECT_EQ(a.cpu_j, b.cpu_j);
+  EXPECT_EQ(a.wall_j, b.wall_j);
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST_F(ParallelExecTest, BreakerWorkLandsOnWorkerCores) {
+  // The fix this PR pins: breaker accumulate work (partial agg here) is
+  // attributed to the worker's core (w % num_cores), not bulk-charged to
+  // core 0 by the coordinator. With 2 workers on the 2-core testbed both
+  // ledgers must accrue, and the pool's phase mark must label agg work.
+  PlanNodePtr plan = MakeAggregate(
+      Scan("big"), {S()}, {Agg(AggSpec::Kind::kSum, V(), "sum_v")});
+  Machine machine(MachineConfig::PaperTestbed());
+  EngineProfile profile = EngineProfile::MySqlMemory();
+  BufferPool pool(&machine, 0);
+  ExecContext ctx(&machine, &profile, &catalog_, &pool);
+  ctx.set_exec_workers(2);
+  auto rows = ExecutePlan(*plan, &ctx, ExecMode::kBatch);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  const std::vector<CoreLedger>& cores = machine.core_ledgers();
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_GT(cores[0].cycles, 0.0);
+  EXPECT_GT(cores[1].cycles, 0.0);
+  bool saw_agg_phase = false;
+  for (const CorePhase& p : machine.core_phases()) {
+    if (p.label == "agg") saw_agg_phase = true;
+  }
+  EXPECT_TRUE(saw_agg_phase);
 }
 
 TEST_F(ParallelExecTest, EligibilityRules) {

@@ -47,6 +47,35 @@ class PlanFuzzer {
     return std::move(sp.node);
   }
 
+  /// A plan guaranteed to end in a pipeline breaker — aggregation root,
+  /// sort root, or both — over a base that is itself join-heavy half the
+  /// time (so the parallel partitioned hash build, the partial-agg merge
+  /// and the sorted-run merge all get dense coverage at any worker
+  /// count). Same determinism contract as Generate().
+  PlanNodePtr GenerateBreakerRoot() {
+    SubPlan sp = Coin(0.5) ? GenerateBase()
+                           : (Coin(0.5) ? GenerateJoin(Coin(0.4) ? 2 : 1)
+                                        : GenerateStringKeyJoin());
+    MaybeFilter(&sp, 0.4);
+    if (Coin(0.3)) ApplyPassthroughProject(&sp);
+    switch (Roll(3)) {
+      case 0:
+        ApplyAggregate(&sp);
+        break;
+      case 1:
+        ApplySort(&sp);
+        break;
+      default:  // agg-root under a sort root: both breakers stacked
+        ApplyAggregate(&sp);
+        ApplySort(&sp);
+        break;
+    }
+    if (Coin(0.3)) {
+      sp.node = MakeLimit(std::move(sp.node), RandomLimitValue());
+    }
+    return std::move(sp.node);
+  }
+
  private:
   size_t Roll(size_t n) { return n == 0 ? 0 : rng_() % n; }
   bool Coin(double p) {
